@@ -1,0 +1,78 @@
+// dapcbench reproduces the paper's DAPC pointer-chase figures (Figures
+// 5-12): chase-rate depth sweeps and server-scaling sweeps for Active
+// Messages, RDMA GET (GBPC), cached bitcode/binary ifuncs and the Julia
+// path.
+//
+// Usage:
+//
+//	dapcbench                 # all eight figures at paper scale
+//	dapcbench -figure 5       # one figure
+//	dapcbench -quick          # reduced grid for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"threechains/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	figure := flag.Int("figure", 0, "figure number 5-12 (0 = all)")
+	quick := flag.Bool("quick", false, "reduced depth/server grids")
+	flag.Parse()
+
+	depths := bench.PaperDepths()
+	if *quick {
+		depths = []int{1, 16, 256, 4096}
+	}
+	servers := func(max int) []int {
+		s := bench.PaperServerCounts(max)
+		if *quick && len(s) > 3 {
+			s = []int{s[0], s[len(s)/2], s[len(s)-1]}
+		}
+		return s
+	}
+
+	type figfn struct {
+		title string
+		x     string
+		run   func() ([]bench.Series, error)
+	}
+	figs := map[int]figfn{
+		5: {"Fig. 5: Thor 32-Server; C/C++ (Xeon Client and BF2 Servers): DAPC depth sweep", "Depth",
+			func() ([]bench.Series, error) { return bench.Fig5(depths) }},
+		6: {"Fig. 6: Ookami 64-Server; C/C++: DAPC depth sweep", "Depth",
+			func() ([]bench.Series, error) { return bench.Fig6(depths) }},
+		7: {"Fig. 7: Thor 16-Server; C/C++ (Xeon Client and Servers): DAPC depth sweep", "Depth",
+			func() ([]bench.Series, error) { return bench.Fig7(depths) }},
+		8: {"Fig. 8: Thor 32-Server; Julia (Xeon Client and BF2 Servers): DAPC depth sweep", "Depth",
+			func() ([]bench.Series, error) { return bench.Fig8(depths) }},
+		9: {"Fig. 9: Thor 4096-Chase-Depth; C/C++ (Xeon Client and BF2 Servers): DAPC scaling", "Servers",
+			func() ([]bench.Series, error) { return bench.Fig9(servers(32)) }},
+		10: {"Fig. 10: Ookami 4096-Chase-Depth; C/C++: DAPC scaling", "Servers",
+			func() ([]bench.Series, error) { return bench.Fig10(servers(64)) }},
+		11: {"Fig. 11: Thor 4096-Chase-Depth; C/C++ (Xeon Client and Servers): DAPC scaling", "Servers",
+			func() ([]bench.Series, error) { return bench.Fig11(servers(16)) }},
+		12: {"Fig. 12: Thor 4096-Chase-Depth; Julia (Xeon Client and BF2 Servers): DAPC scaling", "Servers",
+			func() ([]bench.Series, error) { return bench.Fig12(servers(32)) }},
+	}
+
+	order := []int{5, 6, 7, 8, 9, 10, 11, 12}
+	if *figure != 0 {
+		order = []int{*figure}
+	}
+	for _, n := range order {
+		f, ok := figs[n]
+		if !ok {
+			log.Fatalf("no figure %d (want 5-12)", n)
+		}
+		series, err := f.run()
+		if err != nil {
+			log.Fatalf("figure %d: %v", n, err)
+		}
+		fmt.Println(bench.FormatFigure(f.title+" (chases/second)", f.x, series))
+	}
+}

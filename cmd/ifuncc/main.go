@@ -1,0 +1,114 @@
+// ifuncc is the Three-Chains toolchain driver (the paper's Figure-1 build
+// step): it compiles an ifunc library to a fat-bitcode archive plus a
+// .deps file and places both in an artifact directory the runtime can
+// locate at registration time.
+//
+// Sources are either built-in reference kernels (-kernel tsi|dapc|prop)
+// or Julia-path minilang files (-src file.jl). Targets default to the
+// paper's x86_64 + aarch64 pair.
+//
+// Usage:
+//
+//	ifuncc -kernel tsi -o ./artifacts
+//	ifuncc -src filter.jl -name filter -o ./artifacts -targets x86_64-pc-linux-gnu,aarch64-fujitsu-linux-gnu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"threechains/internal/bitcode"
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/minilang"
+	"threechains/internal/passes"
+	"threechains/internal/testbed"
+	"threechains/internal/toolchain"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ifuncc: ")
+	var (
+		kernel  = flag.String("kernel", "", "built-in kernel: tsi, dapc or prop")
+		srcFile = flag.String("src", "", "minilang (Julia-path) source file")
+		name    = flag.String("name", "", "ifunc library name (default: kernel/module name)")
+		outDir  = flag.String("o", ".", "artifact output directory")
+		targets = flag.String("targets", "", "comma-separated target triples (default: x86_64 + aarch64)")
+		opt     = flag.Int("O", 2, "optimization level (0-2)")
+		noDebug = flag.Bool("strip", false, "omit debug info")
+		dump    = flag.Bool("emit-ir", false, "print the IR instead of writing artifacts")
+	)
+	flag.Parse()
+
+	var mod *ir.Module
+	switch {
+	case *kernel != "":
+		switch *kernel {
+		case "tsi":
+			mod = core.BuildTSI()
+		case "dapc":
+			mod = core.BuildChaser()
+		case "prop":
+			mod = core.BuildPropagator()
+		default:
+			log.Fatalf("unknown kernel %q (want tsi, dapc or prop)", *kernel)
+		}
+	case *srcFile != "":
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := *name
+		if n == "" {
+			n = strings.TrimSuffix(*srcFile, ".jl")
+		}
+		mod, err = minilang.Compile(n, string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name != "" {
+		mod.Name = *name
+	}
+
+	triples := testbed.PaperTriples
+	if *targets != "" {
+		triples = nil
+		for _, t := range strings.Split(*targets, ",") {
+			tr, err := isa.ParseTriple(strings.TrimSpace(t))
+			if err != nil {
+				log.Fatal(err)
+			}
+			triples = append(triples, tr)
+		}
+	}
+
+	if *dump {
+		fmt.Print(ir.Print(mod))
+		return
+	}
+
+	arch, raw, err := toolchain.BuildArchive(mod, toolchain.Options{
+		Opt:     passes.Level(*opt),
+		Debug:   !*noDebug,
+		Triples: triples,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := toolchain.WriteArtifacts(*outDir, mod.Name, raw, mod.Deps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d bytes fat bitcode (%d targets: %s), deps=%v\n",
+		mod.Name, len(raw), len(arch.Entries), arch.TripleList(), mod.Deps)
+	fmt.Printf("wrote %s/%s.fatbc and %s/%s.deps\n", *outDir, mod.Name, *outDir, mod.Name)
+	_ = bitcode.Magic // anchor the wire-format package in godoc
+}

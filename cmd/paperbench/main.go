@@ -1,0 +1,52 @@
+// paperbench regenerates the complete evaluation of "Bring the BitCODE"
+// (§V): Tables I-VI and Figures 5-12, printed in the paper's layout.
+// EXPERIMENTS.md is produced from this output.
+//
+// Usage:
+//
+//	paperbench           # full paper grid (several minutes of CPU)
+//	paperbench -quick    # reduced grids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "reduced DAPC grids")
+	flag.Parse()
+
+	fmt.Println("=== Three-Chains paper evaluation (simulated testbeds) ===")
+	fmt.Println()
+	run("tsibench", nil)
+	args := []string{}
+	if *quick {
+		args = append(args, "-quick")
+	}
+	run("dapcbench", args)
+}
+
+// run executes a sibling command in-process when possible; paperbench is
+// a thin driver, so it simply execs the already-built binaries when
+// present and falls back to `go run`.
+func run(tool string, args []string) {
+	if path, err := exec.LookPath("./" + tool); err == nil {
+		pipe(exec.Command(path, args...))
+		return
+	}
+	goArgs := append([]string{"run", "threechains/cmd/" + tool}, args...)
+	pipe(exec.Command("go", goArgs...))
+}
+
+func pipe(cmd *exec.Cmd) {
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// tsibench reproduces the paper's TSI microbenchmark tables (Tables I-VI)
+// on the calibrated testbeds: overhead breakdowns (lookup+exec, JIT,
+// transmission) and latency/message-rate comparisons for Active Messages
+// versus cached/uncached bitcode and binary ifuncs.
+//
+// Usage:
+//
+//	tsibench                  # all three platforms
+//	tsibench -platform ookami # one platform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"threechains/internal/bench"
+	"threechains/internal/testbed"
+)
+
+func main() {
+	log.SetFlags(0)
+	platform := flag.String("platform", "all", "ookami, thor-bf2, thor-xeon or all")
+	flag.Parse()
+
+	var profiles []testbed.Profile
+	switch strings.ToLower(*platform) {
+	case "all":
+		profiles = testbed.All()
+	case "ookami":
+		profiles = []testbed.Profile{testbed.Ookami()}
+	case "thor-bf2", "bf2":
+		profiles = []testbed.Profile{testbed.ThorBF2()}
+	case "thor-xeon", "xeon":
+		profiles = []testbed.Profile{testbed.ThorXeon()}
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	tableNo := map[string][2]string{
+		"Ookami":    {"Table I", "Table IV"},
+		"Thor-BF2":  {"Table II", "Table V"},
+		"Thor-Xeon": {"Table III", "Table VI"},
+	}
+	for _, p := range profiles {
+		rows, err := bench.TSITable(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := tableNo[p.Name]
+		fmt.Println(bench.FormatBreakdownTable(
+			fmt.Sprintf("%s: %s TSI overhead breakdown", names[0], p.Name), rows))
+		fmt.Println(bench.FormatRateTable(
+			fmt.Sprintf("%s: %s TSI latencies and message rates", names[1], p.Name), rows))
+		// Binary rows (discussed in §V-A prose: cached 26 B vs 75 B).
+		for _, r := range rows {
+			if r.Mode == bench.TSIBinaryCached || r.Mode == bench.TSIBinaryUncached {
+				fmt.Printf("%-18s latency %.2f µs, rate %.0f msg/s, %d bytes/msg\n",
+					r.Mode, r.LatencyUS, r.RateMsgSec, r.MsgBytes)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,126 @@
+// Pointer chase: the X-RDMA DAPC miniapp from the paper's §IV-C.
+//
+// A Xeon client drives four BlueField-2 DPU servers holding shards of a
+// pointer table. The chaser ifunc follows pointers locally, forwards
+// itself to the shard owner when the chain crosses servers, and returns
+// the final value to the client — all without any code predeployed on the
+// DPUs. The same chase is then repeated with client-driven RDMA GETs
+// (GBPC) for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"threechains"
+	"threechains/internal/bench"
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/sim"
+	"threechains/internal/testbed"
+)
+
+const (
+	servers = 4
+	shard   = 1024 // entries per server
+	depth   = 512
+)
+
+func main() {
+	// Build the cluster by hand to show the full setup (the bench
+	// package automates all of this for the paper's figures).
+	profile := testbed.ThorMixed()
+	specs := []core.NodeSpec{{Name: "client", March: testbed.ThorXeon().March()}}
+	for i := 0; i < servers; i++ {
+		specs = append(specs, core.NodeSpec{Name: fmt.Sprintf("dpu%d", i), March: profile.March()})
+	}
+	cl := core.NewCluster(profile.Net, specs)
+	client := cl.Runtime(0)
+
+	// One permutation cycle over all entries, sharded server-first.
+	rng := rand.New(rand.NewSource(1))
+	n := uint64(servers * shard)
+	perm := rng.Perm(int(n))
+	next := make([]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		next[uint64(perm[i])] = uint64(perm[(i+1)%n])
+	}
+	for s := 0; s < servers; s++ {
+		rt := cl.Runtime(1 + s)
+		base := rt.Node.Alloc(shard * 8)
+		for i := 0; i < shard; i++ {
+			threechains.StoreU64(rt, base+uint64(i)*8, next[uint64(s*shard+i)])
+		}
+		ctx := rt.Node.Alloc(threechains.SrvCtxBytes)
+		threechains.StoreU64(rt, ctx+threechains.SrvCtxTableBase, base)
+		threechains.StoreU64(rt, ctx+threechains.SrvCtxShardSize, shard)
+		threechains.StoreU64(rt, ctx+threechains.SrvCtxNumServers, servers)
+		threechains.StoreU64(rt, ctx+threechains.SrvCtxFirstServer, 1)
+		rt.TargetPtr = ctx
+	}
+	client.TargetPtr = client.Node.Alloc(8) // result slot
+
+	// Register the chaser and make the client able to run ReturnResult.
+	h, err := client.RegisterBitcode("dapc", threechains.BuildChaser(), threechains.PaperTriples())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.RegisterLocal(h); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run three chases from random starting entries.
+	fmt.Printf("DAPC on %d DPU servers, depth %d:\n", servers, depth)
+	for i := 0; i < 3; i++ {
+		start := uint64(rng.Int63n(int64(n)))
+		payload := make([]byte, threechains.ChaseBytes)
+		put64(payload, threechains.ChaseAddr, start)
+		put64(payload, threechains.ChaseDepth, depth)
+		put64(payload, threechains.ChaseDest, 0)
+		done := client.SetCompletion()
+		t0 := cl.Eng.Now()
+		owner := int(start / shard)
+		if _, err := client.Send(1+owner, h, "chase", payload); err != nil {
+			log.Fatal(err)
+		}
+		var result uint64
+		var elapsed sim.Time
+		cl.Eng.Go("wait", func(p *sim.Proc) {
+			result = p.Await(done)
+			elapsed = p.Now() - t0
+		})
+		cl.Run()
+		fmt.Printf("  chase %d: start=%5d final=%5d  %v\n", i+1, start, result, elapsed)
+	}
+	var hops uint64
+	for _, rt := range cl.Runtimes {
+		hops += rt.Stats.GuestSends
+	}
+	fmt.Printf("ifunc forwards issued by guest code: %d\n\n", hops)
+
+	// The GBPC comparison, using the bench harness end to end.
+	cfg := threechains.DAPCConfig{
+		Profile: profile, ClientMarch: testbed.ThorXeon().March,
+		Servers: servers, EntriesPerServer: shard, Depth: depth, Chases: 6,
+	}
+	ifuncRes, err := bench.RunDAPC(cfg, bench.DAPCBitcode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	getRes, err := bench.RunDAPC(cfg, bench.DAPCGet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("throughput, ifunc (X-RDMA): %8.1f chases/s\n", ifuncRes.RateChasesSec)
+	fmt.Printf("throughput, RDMA GET      : %8.1f chases/s\n", getRes.RateChasesSec)
+	fmt.Printf("X-RDMA advantage          : %+.1f%%\n",
+		100*(ifuncRes.RateChasesSec/getRes.RateChasesSec-1))
+	_ = ir.Print // keep the ir import for documentation links
+}
+
+func put64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,48 @@
+// Self-propagating code: the introduction's "remotely injected code can
+// recursively propagate itself to other remote machines".
+//
+// A single ifunc is sent to node 1 of an eight-node Ookami ring. Each
+// execution increments a visit counter on its node and forwards the ifunc
+// (with a decremented TTL) to the next node — the code travels around the
+// ring twice. Only the first visit to each node ships the fat bitcode;
+// every later hop is a 40-byte cached frame.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"threechains"
+)
+
+const nodes = 8
+
+func main() {
+	cl := threechains.NewClusterN(threechains.Ookami(), nodes)
+	for _, rt := range cl.Runtimes {
+		rt.TargetPtr = rt.Node.Alloc(8) // visit counter
+	}
+	src := cl.Runtime(0)
+	h, err := src.RegisterBitcode("wave", threechains.BuildPropagator(), threechains.PaperTriples())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// TTL for two full laps; stride 1.
+	payload := make([]byte, 16)
+	payload[0] = 2*nodes - 1
+	payload[8] = 1
+	if _, err := src.Send(1, h, "main", payload); err != nil {
+		log.Fatal(err)
+	}
+	start := cl.Eng.Now()
+	cl.Run()
+
+	fmt.Printf("propagation wave over %d Ookami nodes (2 laps) took %v\n\n", nodes, cl.Eng.Now()-start)
+	fmt.Printf("%-8s %-8s %-12s %-12s %-6s\n", "node", "visits", "full-frames", "cached", "jit")
+	for i, rt := range cl.Runtimes {
+		v, _ := threechains.LoadU64(rt, rt.TargetPtr)
+		fmt.Printf("node %-3d %-8d %-12d %-12d %-6d\n",
+			i, v, rt.Stats.FullFrames, rt.Stats.TruncatedFrames, rt.Stats.JITCompiles)
+	}
+}

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"threechains/internal/testbed"
+)
+
+// within asserts got is within tol (fractional) of want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Errorf("%s = %.4g, paper %.4g (off by %+.1f%%, tol ±%.0f%%)",
+			name, got, want, 100*(got-want)/want, tol*100)
+	}
+}
+
+// paperTSI holds the paper's Tables I-VI reference values.
+type paperTSI struct {
+	lat  map[TSIMode]float64 // µs
+	rate map[TSIMode]float64 // msg/s
+	jit  float64             // ms
+}
+
+var paperValues = map[string]paperTSI{
+	"Ookami": {
+		lat:  map[TSIMode]float64{TSIActiveMessage: 2.58, TSIBitcodeCached: 2.67, TSIBitcodeUncached: 5.12},
+		rate: map[TSIMode]float64{TSIActiveMessage: 1.32e6, TSIBitcodeCached: 1.669e6, TSIBitcodeUncached: 405.3e3},
+		jit:  6.59,
+	},
+	"Thor-BF2": {
+		lat:  map[TSIMode]float64{TSIActiveMessage: 1.88, TSIBitcodeCached: 1.86, TSIBitcodeUncached: 3.49},
+		rate: map[TSIMode]float64{TSIActiveMessage: 974e3, TSIBitcodeCached: 1.311e6, TSIBitcodeUncached: 417.3e3},
+		jit:  4.50,
+	},
+	"Thor-Xeon": {
+		lat:  map[TSIMode]float64{TSIActiveMessage: 1.56, TSIBitcodeCached: 1.53, TSIBitcodeUncached: 3.59},
+		rate: map[TSIMode]float64{TSIActiveMessage: 6.754e6, TSIBitcodeCached: 7.302e6, TSIBitcodeUncached: 2.037e6},
+		jit:  0.83,
+	},
+}
+
+// TestTSIMatchesPaper is the headline reproduction test: every latency,
+// message rate and JIT cost of Tables I-VI must land within tolerance of
+// the paper's measurement.
+func TestTSIMatchesPaper(t *testing.T) {
+	for _, p := range testbed.All() {
+		ref := paperValues[p.Name]
+		for _, mode := range []TSIMode{TSIActiveMessage, TSIBitcodeCached, TSIBitcodeUncached} {
+			r, err := RunTSI(p, mode)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, mode, err)
+			}
+			within(t, p.Name+"/"+mode.String()+" latency", r.LatencyUS, ref.lat[mode], 0.15)
+			within(t, p.Name+"/"+mode.String()+" rate", r.RateMsgSec, ref.rate[mode], 0.15)
+			if mode == TSIBitcodeCached && r.MsgBytes != 26 {
+				t.Errorf("%s cached frame = %d bytes, want 26", p.Name, r.MsgBytes)
+			}
+			if mode == TSIActiveMessage && r.MsgBytes != 33 {
+				t.Errorf("%s AM frame = %d bytes, want 33", p.Name, r.MsgBytes)
+			}
+			if mode == TSIBitcodeUncached {
+				within(t, p.Name+" JIT ms", r.JITms, ref.jit, 0.10)
+				if r.MsgBytes < 2000 || r.MsgBytes > 12000 {
+					t.Errorf("%s uncached frame = %d bytes, want KiB-scale (paper: 5185)", p.Name, r.MsgBytes)
+				}
+			}
+		}
+	}
+}
+
+func TestTSIBinaryModes(t *testing.T) {
+	p := testbed.ThorXeon()
+	cached, err := RunTSI(p, TSIBinaryCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := RunTSI(p, TSIBinaryUncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §V-A: binary cached 26 B vs uncached 75 B-ish (small object).
+	if cached.MsgBytes != 26 {
+		t.Errorf("binary cached frame = %d, want 26", cached.MsgBytes)
+	}
+	if uncached.MsgBytes <= cached.MsgBytes || uncached.MsgBytes > 600 {
+		t.Errorf("binary uncached frame = %d bytes, want small object > 26", uncached.MsgBytes)
+	}
+	// Caching matters less for binaries (code is small), but uncached
+	// must still be slower.
+	if uncached.LatencyUS <= cached.LatencyUS {
+		t.Errorf("binary uncached (%.2f) not slower than cached (%.2f)",
+			uncached.LatencyUS, cached.LatencyUS)
+	}
+}
+
+func TestDAPCBitcodeBeatsGet(t *testing.T) {
+	// Fig. 7 shape: on Thor-Xeon with 16 servers the cached-bitcode
+	// chaser beats GBPC at depth 256+.
+	cfg := DAPCConfig{Profile: testbed.ThorXeon(), Servers: 16, Depth: 256, Chases: 6, EntriesPerServer: 512}
+	get, err := RunDAPC(cfg, DAPCGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := RunDAPC(cfg, DAPCBitcode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.RateChasesSec <= get.RateChasesSec {
+		t.Fatalf("bitcode (%.1f/s) not faster than Get (%.1f/s)",
+			bc.RateChasesSec, get.RateChasesSec)
+	}
+	// The win should be in the tens of percent, not orders of magnitude
+	// (paper: up to 75% on Thor-Xeon).
+	gain := bc.RateChasesSec/get.RateChasesSec - 1
+	if gain > 3.0 {
+		t.Fatalf("bitcode gain %.0f%% implausibly large", gain*100)
+	}
+}
+
+func TestDAPCAMCloseToBitcode(t *testing.T) {
+	// §V-C: AM performs within a few percent of cached bitcode.
+	cfg := DAPCConfig{Profile: testbed.ThorBF2(), Servers: 8, Depth: 128, Chases: 6, EntriesPerServer: 256}
+	am, err := RunDAPC(cfg, DAPCActiveMessage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := RunDAPC(cfg, DAPCBitcode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := am.RateChasesSec / bc.RateChasesSec
+	if ratio < 0.85 || ratio > 1.25 {
+		t.Fatalf("AM/bitcode rate ratio %.2f outside [0.85, 1.25]", ratio)
+	}
+}
+
+func TestDAPCRateFallsWithDepth(t *testing.T) {
+	cfg := DAPCConfig{Profile: testbed.ThorXeon(), Servers: 4, Chases: 4, EntriesPerServer: 512}
+	rs, err := DepthSweep(cfg, DAPCBitcode, []int{1, 16, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rs[0].RateChasesSec > rs[1].RateChasesSec && rs[1].RateChasesSec > rs[2].RateChasesSec) {
+		t.Fatalf("rates not monotonically falling with depth: %v %v %v",
+			rs[0].RateChasesSec, rs[1].RateChasesSec, rs[2].RateChasesSec)
+	}
+}
+
+func TestDAPCGetFlatWithServers(t *testing.T) {
+	// Fig. 9-11: the GBPC line stays nearly flat as servers scale; the
+	// ifunc line falls (more cross-server forwards).
+	cfg := DAPCConfig{Profile: testbed.ThorXeon(), Depth: 512, Chases: 4, EntriesPerServer: 256}
+	getLine, err := ServerSweep(cfg, DAPCGet, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcLine, err := ServerSweep(cfg, DAPCBitcode, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	getDrop := getLine[0].RateChasesSec / getLine[1].RateChasesSec
+	bcDrop := bcLine[0].RateChasesSec / bcLine[1].RateChasesSec
+	if getDrop > 1.15 {
+		t.Fatalf("Get rate dropped %.2fx from 2 to 8 servers; should be flat", getDrop)
+	}
+	if bcDrop < getDrop {
+		t.Fatalf("bitcode did not fall faster than Get (%.2fx vs %.2fx)", bcDrop, getDrop)
+	}
+	// At 2 servers the ifunc advantage is largest (most locality).
+	if bcLine[0].RateChasesSec < getLine[0].RateChasesSec {
+		t.Fatalf("at 2 servers bitcode (%.1f) slower than Get (%.1f)",
+			bcLine[0].RateChasesSec, getLine[0].RateChasesSec)
+	}
+}
+
+func TestDAPCJuliaFlatAndSlower(t *testing.T) {
+	// Fig. 8: the Julia-generated line is slower than the C line and much
+	// flatter across depth.
+	cfg := DAPCConfig{Profile: testbed.ThorMixed(), Servers: 4, Chases: 3, EntriesPerServer: 256}
+	jl, err := DepthSweep(cfg, DAPCJulia, []int{1, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DepthSweep(cfg, DAPCBitcode, []int{1, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jl[0].RateChasesSec >= c[0].RateChasesSec {
+		t.Fatalf("julia depth-1 rate %.1f not below C %.1f", jl[0].RateChasesSec, c[0].RateChasesSec)
+	}
+	jlFlat := jl[0].RateChasesSec / jl[1].RateChasesSec
+	cFlat := c[0].RateChasesSec / c[1].RateChasesSec
+	if jlFlat > cFlat/3 {
+		t.Fatalf("julia line not flatter: julia %.1fx vs C %.1fx across depth", jlFlat, cFlat)
+	}
+}
+
+func TestDAPCBinaryOnHomogeneousCluster(t *testing.T) {
+	cfg := DAPCConfig{Profile: testbed.Ookami(), Servers: 4, Depth: 64, Chases: 4, EntriesPerServer: 256}
+	bin, err := RunDAPC(cfg, DAPCBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.RateChasesSec <= 0 {
+		t.Fatal("binary DAPC produced no throughput")
+	}
+	// Heterogeneous Thor (Xeon client + BF2 servers) must refuse: the
+	// §III-B portability wall, and the reason Fig. 5 has no binary line.
+	hc := cfg
+	hc.Profile = testbed.ThorMixed()
+	hc.ClientMarch = nil // set by fig() normally; force Xeon here
+	hc.Profile.March = testbed.ThorBF2().March
+	hcCfg := hc
+	hcCfg.ClientMarch = testbed.ThorXeon().March
+	if _, err := RunDAPC(hcCfg, DAPCBinary); err == nil {
+		t.Fatal("binary DAPC ran on a heterogeneous cluster")
+	}
+}
+
+func TestDAPCDeterministic(t *testing.T) {
+	cfg := DAPCConfig{Profile: testbed.ThorBF2(), Servers: 4, Depth: 64, Chases: 4, EntriesPerServer: 256, Seed: 7}
+	a, err := RunDAPC(cfg, DAPCBitcode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDAPC(cfg, DAPCBitcode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RateChasesSec != b.RateChasesSec {
+		t.Fatalf("same seed, different rates: %v vs %v", a.RateChasesSec, b.RateChasesSec)
+	}
+}
+
+func TestFormattersProduceTables(t *testing.T) {
+	rows, err := TSITable(testbed.ThorXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := FormatBreakdownTable("Table III", rows)
+	for _, want := range []string{"Lookup+Exec", "JIT", "Transmission", "Total"} {
+		if !contains(tbl, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, tbl)
+		}
+	}
+	rt := FormatRateTable("Table VI", rows)
+	for _, want := range []string{"Active Message", "Cached Bitcode", "msg/sec", "%"} {
+		if !contains(rt, want) {
+			t.Errorf("rate table missing %q:\n%s", want, rt)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"threechains/internal/isa"
+	"threechains/internal/testbed"
+)
+
+// This file renders results in the paper's table/figure layouts and
+// defines the exact experiment grid of §V (one function per table and
+// figure). cmd/paperbench drives these; bench_test.go runs the same cells
+// as Go benchmarks.
+
+// FormatBreakdownTable renders a Table I/II/III-style overhead breakdown.
+func FormatBreakdownTable(title string, rows []TSIResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-14s %-18s %-18s %-18s\n", "Stage", "Active Message", "Uncached Bitcode", "Cached Bitcode")
+	pick := func(m TSIMode) *TSIResult {
+		for i := range rows {
+			if rows[i].Mode == m {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	am, unc, cac := pick(TSIActiveMessage), pick(TSIBitcodeUncached), pick(TSIBitcodeCached)
+	if am == nil || unc == nil || cac == nil {
+		return title + ": incomplete rows\n"
+	}
+	fmt.Fprintf(&sb, "%-14s %-18s %-18s %-18s\n", "Lookup+Exec",
+		fmt.Sprintf("%.2f µs", am.LookupExecUS),
+		fmt.Sprintf("%.2f µs", unc.LookupExecUS),
+		fmt.Sprintf("%.2f µs", cac.LookupExecUS))
+	fmt.Fprintf(&sb, "%-14s %-18s %-18s %-18s\n", "JIT",
+		"N/A", fmt.Sprintf("(%.2f ms)", unc.JITms), "N/A")
+	fmt.Fprintf(&sb, "%-14s %-18s %-18s %-18s\n", "Transmission",
+		fmt.Sprintf("%.2f µs", am.TransUS),
+		fmt.Sprintf("%.2f µs", unc.TransUS),
+		fmt.Sprintf("%.2f µs", cac.TransUS))
+	fmt.Fprintf(&sb, "%-14s %-18s %-18s %-18s\n", "Total",
+		fmt.Sprintf("%.2f µs", am.LatencyUS),
+		fmt.Sprintf("%.2f µs", unc.LatencyUS),
+		fmt.Sprintf("%.2f µs", cac.LatencyUS))
+	fmt.Fprintf(&sb, "(message bytes: AM %d, uncached %d, cached %d)\n",
+		am.MsgBytes, unc.MsgBytes, cac.MsgBytes)
+	return sb.String()
+}
+
+// FormatRateTable renders a Table IV/V/VI-style latency + message-rate
+// comparison with speedup rows.
+func FormatRateTable(title string, rows []TSIResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-18s %-12s %-10s %-18s %-10s\n", "Method", "Latency", "Speedup", "Message Rate", "Speedup")
+	pick := func(m TSIMode) *TSIResult {
+		for i := range rows {
+			if rows[i].Mode == m {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	am, unc, cac := pick(TSIActiveMessage), pick(TSIBitcodeUncached), pick(TSIBitcodeCached)
+	if am == nil || unc == nil || cac == nil {
+		return title + ": incomplete rows\n"
+	}
+	pair := func(a, b *TSIResult) {
+		fmt.Fprintf(&sb, "%-18s %-12s %-10s %-18s %-10s\n", a.Mode,
+			fmt.Sprintf("%.2f µs", a.LatencyUS),
+			fmt.Sprintf("%+.2f%%", 100*(a.LatencyUS-b.LatencyUS)/b.LatencyUS),
+			fmt.Sprintf("%s msg/sec", comma(int64(a.RateMsgSec))),
+			fmt.Sprintf("%+.2f%%", 100*(b.RateMsgSec-a.RateMsgSec)/a.RateMsgSec))
+		fmt.Fprintf(&sb, "%-18s %-12s %-10s %-18s %-10s\n", b.Mode,
+			fmt.Sprintf("%.2f µs", b.LatencyUS), "",
+			fmt.Sprintf("%s msg/sec", comma(int64(b.RateMsgSec))), "")
+	}
+	pair(am, cac)
+	pair(unc, cac)
+	return sb.String()
+}
+
+// comma formats an integer with thousands separators.
+func comma(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+// Series is one plotted line of a figure.
+type Series struct {
+	Label string
+	X     []int
+	Y     []float64 // chases/second
+}
+
+// FormatFigure renders figure data as an aligned text table, including
+// the "Get - Bitcode % Diff" secondary series the paper plots.
+func FormatFigure(title, xlabel string, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-8s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %22s", s.Label)
+	}
+	var get, bitcode *Series
+	for i := range series {
+		switch series[i].Label {
+		case "Get":
+			get = &series[i]
+		case "Cached Bitcode":
+			bitcode = &series[i]
+		}
+	}
+	if get != nil && bitcode != nil {
+		fmt.Fprintf(&sb, " %22s", "Get-Bitcode %Diff")
+	}
+	sb.WriteByte('\n')
+	if len(series) == 0 {
+		return sb.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&sb, "%-8d", series[0].X[i])
+		for _, s := range series {
+			fmt.Fprintf(&sb, " %22.1f", s.Y[i])
+		}
+		if get != nil && bitcode != nil {
+			diff := 100 * (bitcode.Y[i] - get.Y[i]) / get.Y[i]
+			fmt.Fprintf(&sb, " %+21.1f%%", diff)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// --- Experiment grid: one function per paper table/figure. -------------
+
+// TableI is the Ookami TSI overhead breakdown.
+func TableI() ([]TSIResult, error) { return TSITable(testbed.Ookami()) }
+
+// TableII is the Thor BF2 TSI overhead breakdown.
+func TableII() ([]TSIResult, error) { return TSITable(testbed.ThorBF2()) }
+
+// TableIII is the Thor Xeon TSI overhead breakdown.
+func TableIII() ([]TSIResult, error) { return TSITable(testbed.ThorXeon()) }
+
+// fig constructs the standard DAPC config for a figure.
+func fig(p testbed.Profile, clientXeon bool, servers int) DAPCConfig {
+	cfg := DAPCConfig{Profile: p, Servers: servers}
+	if clientXeon {
+		cfg.ClientMarch = isa.XeonE5
+	}
+	return cfg
+}
+
+// figModes returns the line set of the C-path depth figures.
+func figModes() []DAPCMode {
+	return []DAPCMode{DAPCActiveMessage, DAPCGet, DAPCBitcode}
+}
+
+// runLines evaluates modes over a sweep function.
+func runLines(cfg DAPCConfig, modes []DAPCMode, xs []int, depthSweep bool) ([]Series, error) {
+	var out []Series
+	for _, m := range modes {
+		var rs []DAPCResult
+		var err error
+		if depthSweep {
+			rs, err = DepthSweep(cfg, m, xs)
+		} else {
+			rs, err = ServerSweep(cfg, m, xs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: m.String(), X: xs}
+		for _, r := range rs {
+			s.Y = append(s.Y, r.RateChasesSec)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig5 is the Thor 32-server C/C++ depth sweep (Xeon client, BF2
+// servers).
+func Fig5(depths []int) ([]Series, error) {
+	return runLines(fig(testbed.ThorMixed(), true, 32), figModes(), depths, true)
+}
+
+// Fig6 is the Ookami 64-server C/C++ depth sweep, including the cached
+// binary line (homogeneous aarch64 cluster).
+func Fig6(depths []int) ([]Series, error) {
+	modes := []DAPCMode{DAPCActiveMessage, DAPCGet, DAPCBinary, DAPCBitcode}
+	return runLines(fig(testbed.Ookami(), false, 64), modes, depths, true)
+}
+
+// Fig7 is the Thor 16-server all-Xeon depth sweep.
+func Fig7(depths []int) ([]Series, error) {
+	return runLines(fig(testbed.ThorXeon(), true, 16), figModes(), depths, true)
+}
+
+// Fig8 is the Thor 32-server Julia depth sweep: AM, Get, Julia-generated
+// bitcode and C-generated bitcode (both driven from the client).
+func Fig8(depths []int) ([]Series, error) {
+	cfg := fig(testbed.ThorMixed(), true, 32)
+	modes := []DAPCMode{DAPCActiveMessage, DAPCGet, DAPCJulia, DAPCBitcode}
+	return runLines(cfg, modes, depths, true)
+}
+
+// Fig9 is the Thor BF2 scaling sweep at depth 4096.
+func Fig9(servers []int) ([]Series, error) {
+	cfg := fig(testbed.ThorMixed(), true, 0)
+	cfg.Depth = 4096
+	return runLines(cfg, figModes(), servers, false)
+}
+
+// Fig10 is the Ookami scaling sweep at depth 4096 (incl. cached binary).
+func Fig10(servers []int) ([]Series, error) {
+	cfg := fig(testbed.Ookami(), false, 0)
+	cfg.Depth = 4096
+	modes := []DAPCMode{DAPCActiveMessage, DAPCGet, DAPCBinary, DAPCBitcode}
+	return runLines(cfg, modes, servers, false)
+}
+
+// Fig11 is the Thor Xeon scaling sweep at depth 4096.
+func Fig11(servers []int) ([]Series, error) {
+	cfg := fig(testbed.ThorXeon(), true, 0)
+	cfg.Depth = 4096
+	return runLines(cfg, figModes(), servers, false)
+}
+
+// Fig12 is the Thor Julia scaling sweep at depth 4096.
+func Fig12(servers []int) ([]Series, error) {
+	cfg := fig(testbed.ThorMixed(), true, 0)
+	cfg.Depth = 4096
+	modes := []DAPCMode{DAPCActiveMessage, DAPCGet, DAPCJulia, DAPCBitcode}
+	return runLines(cfg, modes, servers, false)
+}

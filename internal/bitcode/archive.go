@@ -1,0 +1,165 @@
+package bitcode
+
+import (
+	"errors"
+	"fmt"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+)
+
+// ArchiveMagic prefixes fat-bitcode archives ("Three-Chains Fat Archive").
+var ArchiveMagic = [4]byte{'T', 'C', 'F', 'A'}
+
+// Archive errors.
+var (
+	ErrNoTarget     = errors.New("bitcode: archive has no entry for target")
+	ErrEmptyArchive = errors.New("bitcode: empty archive")
+)
+
+// Entry is one per-target bitcode blob inside a fat archive. Triple is the
+// LLVM-style target string the toolchain compiled for.
+type Entry struct {
+	Triple  string
+	Bitcode []byte
+}
+
+// Archive is the fat-bitcode container of §III-C: the same ifunc compiled
+// for every target the toolchain supports, shipped together so the
+// receiving process can extract the variant matching its local
+// architecture.
+type Archive struct {
+	Entries []Entry
+}
+
+// Pack builds an archive from one generic module by stamping it for each
+// requested triple. TargetHint lets per-target copies diverge later (the
+// toolchain may run target-aware passes per entry); the bitcode itself
+// stays portable.
+func Pack(m *ir.Module, triples []isa.Triple) (*Archive, error) {
+	if len(triples) == 0 {
+		return nil, ErrEmptyArchive
+	}
+	a := &Archive{}
+	for _, t := range triples {
+		if !t.Valid() {
+			return nil, fmt.Errorf("bitcode: invalid triple %v", t)
+		}
+		per := m.Clone()
+		per.TargetHint = t.String()
+		bc, err := Encode(per)
+		if err != nil {
+			return nil, err
+		}
+		a.Entries = append(a.Entries, Entry{Triple: t.String(), Bitcode: bc})
+	}
+	return a, nil
+}
+
+// Select extracts and decodes the entry matching the local triple. The
+// lookup prefers an exact triple match, then falls back to any entry of
+// the same architecture (generic aarch64 bitcode runs on both A64FX and
+// BlueField-2 — the µarch specialization happens at JIT time, not here).
+func (a *Archive) Select(local isa.Triple) (*ir.Module, error) {
+	want := local.String()
+	var archMatch *Entry
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		if e.Triple == want {
+			return Decode(e.Bitcode)
+		}
+		t, err := isa.ParseTriple(e.Triple)
+		if err == nil && t.Arch == local.Arch && archMatch == nil {
+			archMatch = e
+		}
+	}
+	if archMatch != nil {
+		return Decode(archMatch.Bitcode)
+	}
+	return nil, fmt.Errorf("%w %s (archive has %s)", ErrNoTarget, want, a.TripleList())
+}
+
+// Has reports whether any entry can serve the local triple.
+func (a *Archive) Has(local isa.Triple) bool {
+	for i := range a.Entries {
+		if t, err := isa.ParseTriple(a.Entries[i].Triple); err == nil && t.Arch == local.Arch {
+			return true
+		}
+	}
+	return false
+}
+
+// TripleList renders the entry triples for error messages.
+func (a *Archive) TripleList() string {
+	s := ""
+	for i, e := range a.Entries {
+		if i > 0 {
+			s += ","
+		}
+		s += e.Triple
+	}
+	return s
+}
+
+// Size returns the total serialized archive size in bytes — what an
+// uncached ifunc message must carry on the wire.
+func (a *Archive) Size() int {
+	n := 4 + 1 + uvarintLen(uint64(len(a.Entries)))
+	for _, e := range a.Entries {
+		n += uvarintLen(uint64(len(e.Triple))) + len(e.Triple)
+		n += uvarintLen(uint64(len(e.Bitcode))) + len(e.Bitcode)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodeArchive serializes the archive.
+func EncodeArchive(a *Archive) ([]byte, error) {
+	if len(a.Entries) == 0 {
+		return nil, ErrEmptyArchive
+	}
+	w := &writer{}
+	w.buf = append(w.buf, ArchiveMagic[:]...)
+	w.uvarint(Version)
+	w.uvarint(uint64(len(a.Entries)))
+	for _, e := range a.Entries {
+		w.str(e.Triple)
+		w.bytes(e.Bitcode)
+	}
+	return w.buf, nil
+}
+
+// DecodeArchive deserializes an archive without decoding the contained
+// bitcode (Select decodes lazily, so a receiver only pays for its own
+// target's entry).
+func DecodeArchive(data []byte) (*Archive, error) {
+	if len(data) < 4 || data[0] != ArchiveMagic[0] || data[1] != ArchiveMagic[1] ||
+		data[2] != ArchiveMagic[2] || data[3] != ArchiveMagic[3] {
+		return nil, ErrBadMagic
+	}
+	r := &reader{buf: data, off: 4}
+	if v := r.uvarint(); v != Version && r.err == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	a := &Archive{}
+	for i, n := 0, r.count(64); i < n && r.err == nil; i++ {
+		e := Entry{Triple: r.str()}
+		e.Bitcode = r.rawBytes(1 << 26)
+		a.Entries = append(a.Entries, e)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(a.Entries) == 0 {
+		return nil, ErrEmptyArchive
+	}
+	return a, nil
+}

@@ -1,0 +1,336 @@
+// Package bitcode serializes IR modules to a compact binary form — the
+// analogue of LLVM bitcode in the paper — and packs per-target bitcode
+// files into multi-architecture "fat-bitcode" archives (§III-C).
+//
+// The wire format is versioned, length-checked, and deliberately defensive:
+// bitcode arrives over the network from other machines, so the decoder
+// validates structure and re-runs the IR verifier before anything is
+// executed, the way Three-Chains relies on LLVM's bitcode reader.
+package bitcode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"threechains/internal/ir"
+)
+
+// Magic prefixes every serialized module ("Three-Chains BitCode").
+var Magic = [4]byte{'T', 'C', 'B', 'C'}
+
+// Version is the current wire format version.
+const Version = 1
+
+// Size guards against corrupted or hostile inputs.
+const (
+	maxStringLen = 1 << 16
+	maxCount     = 1 << 20
+	maxGlobal    = 1 << 26
+)
+
+// Decode errors.
+var (
+	ErrBadMagic   = errors.New("bitcode: bad magic")
+	ErrBadVersion = errors.New("bitcode: unsupported version")
+	ErrTruncated  = errors.New("bitcode: truncated input")
+	ErrCorrupt    = errors.New("bitcode: corrupt input")
+)
+
+// writer accumulates the encoded byte stream.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+func (w *writer) svarint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bytes(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// reader consumes the encoded byte stream with bounds checking.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) svarint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) count(max int) int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(max) {
+		r.fail(fmt.Errorf("%w: count %d exceeds %d", ErrCorrupt, v, max))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.count(maxStringLen)
+	if r.err != nil {
+		return ""
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) rawBytes(max int) []byte {
+	n := r.count(max)
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+
+// Encode verifies and serializes a module.
+func Encode(m *ir.Module) ([]byte, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("bitcode: refusing to encode invalid module: %w", err)
+	}
+	w := &writer{}
+	w.buf = append(w.buf, Magic[:]...)
+	w.uvarint(Version)
+	w.str(m.Name)
+	w.str(m.Source)
+	w.str(m.TargetHint)
+
+	w.uvarint(uint64(len(m.Deps)))
+	for _, d := range m.Deps {
+		w.str(d)
+	}
+	w.uvarint(uint64(len(m.Externs)))
+	for _, e := range m.Externs {
+		w.str(e)
+	}
+	w.uvarint(uint64(len(m.Meta)))
+	for _, k := range sortedKeys(m.Meta) {
+		w.str(k)
+		w.str(m.Meta[k])
+	}
+	w.uvarint(uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		w.str(g.Name)
+		w.uvarint(uint64(g.Size))
+		w.bytes(g.Init)
+	}
+	w.uvarint(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		encodeFunc(w, f)
+	}
+	return w.buf, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	// Insertion sort keeps encoding deterministic without importing sort
+	// for a 3-element map... but clarity wins: simple selection.
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}
+
+func encodeFunc(w *writer, f *ir.Func) {
+	w.str(f.Name)
+	w.u8(uint8(f.Ret))
+	w.uvarint(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		w.u8(uint8(p))
+	}
+	w.uvarint(uint64(f.NumRegs))
+	w.uvarint(uint64(len(f.Blocks)))
+	for _, blk := range f.Blocks {
+		w.str(blk.Name)
+		w.uvarint(uint64(len(blk.Instrs)))
+		for i := range blk.Instrs {
+			encodeInstr(w, &blk.Instrs[i])
+		}
+	}
+}
+
+func encodeInstr(w *writer, in *ir.Instr) {
+	w.u8(uint8(in.Op))
+	w.u8(uint8(in.Ty))
+	w.u8(uint8(in.Pred))
+	w.svarint(int64(in.Dst))
+	w.svarint(int64(in.A))
+	w.svarint(int64(in.B))
+	w.svarint(int64(in.C))
+	w.svarint(in.Imm)
+	w.svarint(in.Imm2)
+	w.uvarint(uint64(in.T0))
+	w.uvarint(uint64(in.T1))
+	w.str(in.Sym)
+	w.uvarint(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		w.svarint(int64(a))
+	}
+}
+
+// Decode deserializes and verifies a module.
+func Decode(data []byte) (*ir.Module, error) {
+	r := &reader{buf: data}
+	if len(data) < 4 || data[0] != Magic[0] || data[1] != Magic[1] ||
+		data[2] != Magic[2] || data[3] != Magic[3] {
+		return nil, ErrBadMagic
+	}
+	r.off = 4
+	if v := r.uvarint(); v != Version {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	m := &ir.Module{}
+	m.Name = r.str()
+	m.Source = r.str()
+	m.TargetHint = r.str()
+	for i, n := 0, r.count(maxCount); i < n && r.err == nil; i++ {
+		m.Deps = append(m.Deps, r.str())
+	}
+	for i, n := 0, r.count(maxCount); i < n && r.err == nil; i++ {
+		m.Externs = append(m.Externs, r.str())
+	}
+	if n := r.count(maxCount); n > 0 {
+		m.Meta = make(map[string]string, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			k := r.str()
+			m.Meta[k] = r.str()
+		}
+	}
+	for i, n := 0, r.count(maxCount); i < n && r.err == nil; i++ {
+		g := ir.Global{Name: r.str()}
+		g.Size = r.count(maxGlobal)
+		g.Init = r.rawBytes(maxGlobal)
+		m.Globals = append(m.Globals, g)
+	}
+	for i, n := 0, r.count(maxCount); i < n && r.err == nil; i++ {
+		f, err := decodeFunc(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("bitcode: decoded module fails verification: %w", err)
+	}
+	return m, nil
+}
+
+func decodeFunc(r *reader) (*ir.Func, error) {
+	f := &ir.Func{Name: r.str(), Ret: ir.Type(r.u8())}
+	for i, n := 0, r.count(256); i < n && r.err == nil; i++ {
+		f.Params = append(f.Params, ir.Type(r.u8()))
+	}
+	f.NumRegs = r.count(maxCount)
+	for i, n := 0, r.count(maxCount); i < n && r.err == nil; i++ {
+		blk := &ir.Block{Name: r.str()}
+		for j, k := 0, r.count(maxCount); j < k && r.err == nil; j++ {
+			in, err := decodeInstr(r)
+			if err != nil {
+				return nil, err
+			}
+			blk.Instrs = append(blk.Instrs, in)
+		}
+		f.Blocks = append(f.Blocks, blk)
+	}
+	return f, r.err
+}
+
+func decodeInstr(r *reader) (ir.Instr, error) {
+	var in ir.Instr
+	in.Op = ir.Opcode(r.u8())
+	if int(in.Op) >= ir.NumOpcodes {
+		r.fail(fmt.Errorf("%w: opcode %d", ErrCorrupt, in.Op))
+		return in, r.err
+	}
+	in.Ty = ir.Type(r.u8())
+	in.Pred = ir.Pred(r.u8())
+	in.Dst = ir.Reg(r.svarint())
+	in.A = ir.Reg(r.svarint())
+	in.B = ir.Reg(r.svarint())
+	in.C = ir.Reg(r.svarint())
+	in.Imm = r.svarint()
+	in.Imm2 = r.svarint()
+	in.T0 = int(r.uvarint())
+	in.T1 = int(r.uvarint())
+	in.Sym = r.str()
+	if n := r.count(256); n > 0 {
+		in.Args = make([]ir.Reg, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			in.Args = append(in.Args, ir.Reg(r.svarint()))
+		}
+	}
+	return in, r.err
+}

@@ -1,0 +1,215 @@
+package bitcode
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+)
+
+func sampleModule() *ir.Module {
+	m := ir.NewModule("sample")
+	b := ir.NewBuilder(m)
+	b.AddGlobal("table", 64, []byte{1, 2, 3})
+	b.DeclareExtern("tc.send")
+	b.AddDep("libucx.so")
+	m.Meta = map[string]string{"producer": "test", "opt": "O2"}
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	g := b.GlobalAddr("table")
+	v := b.Load(ir.I64, g, 8)
+	s := b.Add(v, b.Const64(5))
+	b.Store(ir.I64, s, g, 8)
+	b.Call("tc.send", false, s)
+	b.Ret(s)
+	return m
+}
+
+func TestRoundTripSample(t *testing.T) {
+	m := sampleModule()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ir.Print(m) != ir.Print(back) {
+		t.Fatalf("round trip changed module:\n--- before\n%s\n--- after\n%s",
+			ir.Print(m), ir.Print(back))
+	}
+	if back.Meta["producer"] != "test" || back.Deps[0] != "libucx.so" {
+		t.Fatal("metadata or deps lost")
+	}
+	if len(back.Globals) != 1 || back.Globals[0].Size != 64 || len(back.Globals[0].Init) != 3 {
+		t.Fatal("globals lost")
+	}
+}
+
+func TestEncodeRejectsInvalidModule(t *testing.T) {
+	m := ir.NewModule("bad")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	_ = b // unterminated entry block
+	if _, err := Encode(m); err == nil {
+		t.Fatal("encoded an invalid module")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not bitcode at all")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("nil input: %v", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data, err := Encode(sampleModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	data, err := Encode(sampleModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	flips := 0
+	for trial := 0; trial < 300; trial++ {
+		c := append([]byte(nil), data...)
+		c[rng.Intn(len(c))] ^= byte(1 << rng.Intn(8))
+		m, err := Decode(c)
+		if err != nil {
+			flips++
+			continue
+		}
+		// A flip that still decodes must still verify (Decode verifies).
+		if verr := ir.Verify(m); verr != nil {
+			t.Fatalf("decode returned unverified module: %v", verr)
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no bit flip was ever detected; decoder too lenient")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := ir.DefaultGenConfig()
+	check := func(seed int64) bool {
+		m := ir.GenModule(rand.New(rand.NewSource(seed)), cfg)
+		data, err := Encode(m)
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		return ir.Print(m) == ir.Print(back)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	m := sampleModule()
+	a, _ := Encode(m)
+	b, _ := Encode(m)
+	if string(a) != string(b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestArchivePackSelect(t *testing.T) {
+	m := sampleModule()
+	triples := []isa.Triple{isa.TripleXeon, isa.TripleA64FX, isa.TripleBF2}
+	a, err := Pack(m, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(a.Entries))
+	}
+	// Exact match.
+	got, err := a.Select(isa.TripleA64FX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TargetHint != isa.TripleA64FX.String() {
+		t.Fatalf("selected %q", got.TargetHint)
+	}
+	// Same-arch fallback: a generic aarch64 machine gets an aarch64 entry.
+	generic := isa.Triple{Arch: isa.ArchAArch64, Vendor: "generic", OS: "linux-gnu"}
+	if _, err := a.Select(generic); err != nil {
+		t.Fatalf("same-arch fallback failed: %v", err)
+	}
+	// Missing arch fails — the portability error the paper's binary path
+	// hits and fat-bitcode avoids only when the entry exists.
+	if _, err := a.Select(isa.TripleRV); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("err = %v, want no-target", err)
+	}
+	if a.Has(isa.TripleRV) {
+		t.Fatal("Has claims riscv64 support")
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	m := sampleModule()
+	a, err := Pack(m, []isa.Triple{isa.TripleXeon, isa.TripleBF2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeArchive(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != a.Size() {
+		t.Fatalf("Size() = %d, encoded = %d", a.Size(), len(data))
+	}
+	back, err := DecodeArchive(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[0].Triple != isa.TripleXeon.String() {
+		t.Fatal("archive round trip lost entries")
+	}
+	if _, err := back.Select(isa.TripleXeon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveGrowsWithTargets(t *testing.T) {
+	// Fat-bitcode costs bytes per target — the transmission overhead the
+	// caching protocol exists to amortize (§III-D).
+	m := sampleModule()
+	a1, _ := Pack(m, []isa.Triple{isa.TripleXeon})
+	a3, _ := Pack(m, []isa.Triple{isa.TripleXeon, isa.TripleA64FX, isa.TripleBF2})
+	if a3.Size() < 2*a1.Size() {
+		t.Fatalf("3-target archive (%d B) not ~3x of 1-target (%d B)", a3.Size(), a1.Size())
+	}
+}
+
+func TestEmptyArchiveRejected(t *testing.T) {
+	if _, err := Pack(sampleModule(), nil); !errors.Is(err, ErrEmptyArchive) {
+		t.Fatal("packed empty archive")
+	}
+	if _, err := EncodeArchive(&Archive{}); !errors.Is(err, ErrEmptyArchive) {
+		t.Fatal("encoded empty archive")
+	}
+}

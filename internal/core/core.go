@@ -1,0 +1,663 @@
+// Package core is the Three-Chains runtime: it glues the fabric, the
+// UCP-like communication layer, the JIT session, the remote dynamic
+// linker and the ifunc framing/caching protocol into the workflow of the
+// paper's Figure 1.
+//
+// One Runtime lives on every node (process). The source side registers
+// ifunc libraries (bitcode fat archives or per-ISA binary objects) and
+// sends typed messages; the target side polls, registers unseen types
+// on the fly (JIT-compiling bitcode for the local micro-architecture or
+// loading matching binaries), and invokes the entry function with the
+// payload and a user-defined target pointer. Executing ifuncs can
+// recursively forward themselves (or sibling entry points in the same
+// module) to further nodes — the X-RDMA capability demonstrated by the
+// DAPC pointer chase.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"threechains/internal/bitcode"
+	"threechains/internal/elfx"
+	"threechains/internal/fabric"
+	"threechains/internal/ifunc"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/jit"
+	"threechains/internal/linker"
+	"threechains/internal/mcode"
+	"threechains/internal/sim"
+	"threechains/internal/ucx"
+)
+
+// Core errors.
+var (
+	ErrNoHandle    = errors.New("core: ifunc not registered on source")
+	ErrNoEntry     = errors.New("core: no such entry function")
+	ErrNoBinary    = errors.New("core: no binary for target architecture")
+	ErrBadPayload  = errors.New("core: payload too large")
+	ErrNotRunnable = errors.New("core: frame has no code and type is unknown")
+)
+
+// NodeSpec describes one cluster node.
+type NodeSpec struct {
+	Name  string
+	March *isa.MicroArch
+	// MemBytes is the node heap size (0 = 16 MiB default).
+	MemBytes int
+}
+
+// Cluster is a simulated Three-Chains deployment: an engine, a fabric and
+// one runtime per node.
+type Cluster struct {
+	Eng      *sim.Engine
+	Net      *fabric.Network
+	Ctx      *ucx.Context
+	Runtimes []*Runtime
+}
+
+// NewCluster builds a cluster over the given network parameters.
+func NewCluster(params fabric.NetParams, nodes []NodeSpec) *Cluster {
+	eng := sim.New()
+	net := fabric.New(eng, params)
+	ctx := ucx.NewContext(net)
+	c := &Cluster{Eng: eng, Net: net, Ctx: ctx}
+	for _, spec := range nodes {
+		mem := spec.MemBytes
+		if mem == 0 {
+			mem = 16 << 20
+		}
+		node := net.AddNode(spec.Name, spec.March, mem)
+		c.Runtimes = append(c.Runtimes, newRuntime(c, node))
+	}
+	// Out-of-band rkey exchange: every runtime learns every heap window
+	// (the bootstrap step a launcher like mpirun would perform).
+	for _, r := range c.Runtimes {
+		r.heapKeys = make([]ucx.RKey, len(c.Runtimes))
+		for j, peer := range c.Runtimes {
+			r.heapKeys[j] = peer.heapKey
+		}
+	}
+	return c
+}
+
+// Runtime returns the runtime on node i.
+func (c *Cluster) Runtime(i int) *Runtime { return c.Runtimes[i] }
+
+// Run drives the simulation until no events remain.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// payloadArena is the per-runtime buffer messages' payloads are staged in
+// before invoking guest code (reused: execution is run-to-completion).
+const payloadArena = 1 << 16
+
+// Handle is a source-side registered ifunc library (the value returned by
+// the paper's registration API).
+type Handle struct {
+	Name string
+	Hash uint64
+	Kind ifunc.CodeKind
+	// Module is the IR kept for local prediction and entry lookup.
+	Module *ir.Module
+	// ArchiveBytes is the serialized fat-bitcode archive (bitcode kind).
+	ArchiveBytes []byte
+	// Objects maps ISA -> serialized elfx object (binary kind).
+	Objects map[isa.Arch][]byte
+	// entries maps function name -> entry index.
+	entries map[string]uint16
+	names   []string
+}
+
+// EntryIndex resolves a function name to the frame entry index.
+func (h *Handle) EntryIndex(fn string) (uint16, error) {
+	idx, ok := h.entries[fn]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q in %s", ErrNoEntry, fn, h.Name)
+	}
+	return idx, nil
+}
+
+// CodeSize returns the code-section size shipped for arch (archives are
+// arch-independent).
+func (h *Handle) CodeSize(arch isa.Arch) int {
+	if h.Kind == ifunc.KindBitcode {
+		return len(h.ArchiveBytes)
+	}
+	return len(h.Objects[arch])
+}
+
+// ExecObserver is notified after every local ifunc execution (benchmarks
+// use it to timestamp completions without perturbing the protocol).
+type ExecObserver func(name, entry string, result uint64, when sim.Time)
+
+// pendingSend is an outbound message buffered during guest execution and
+// flushed when the execution's CPU time has elapsed.
+type pendingSend struct {
+	dst     int
+	frame   []byte
+	sentLen int
+}
+
+// pendingPut is a guest-issued one-sided write, likewise buffered.
+type pendingPut struct {
+	dst  int
+	addr uint64
+	data []byte
+}
+
+// pendingAM is a guest-issued forward under Active Message transport.
+type pendingAM struct {
+	dst     int
+	entry   uint16
+	payload []byte
+}
+
+// Runtime is the per-node Three-Chains runtime.
+type Runtime struct {
+	Cluster *Cluster
+	Node    *fabric.Node
+	Worker  *ucx.Worker
+	Loader  *linker.Loader
+	Session *jit.Session
+	Reg     *ifunc.Registry
+	Sent    *ifunc.SentCache
+
+	// TargetPtr is the user-defined pointer passed as the third argument
+	// to every ifunc entry invoked on this node (§III-A).
+	TargetPtr uint64
+
+	// DisableSendCache forces full frames on every send — the "uncached"
+	// benchmark mode of §V (code section transmitted every time while the
+	// receiver's JIT cache stays warm, exactly the paper's methodology).
+	DisableSendCache bool
+
+	// ExecCostMultiplier scales guest execution cost on this node
+	// (default 1). The Julia DAPC mode uses it to model the unoptimized
+	// runtime paths the paper observed but did not diagnose (§V-D).
+	ExecCostMultiplier float64
+
+	// Observer, when set, is called after each execution.
+	Observer ExecObserver
+
+	// MaxSteps bounds a single guest execution (safety).
+	MaxSteps int64
+
+	handles map[string]*Handle
+	eps     []*ucx.Endpoint // lazily created endpoints per destination
+
+	heapKey  ucx.RKey   // this node's whole-heap window
+	heapKeys []ucx.RKey // everyone's windows (rkey exchange)
+
+	payloadBuf uint64 // arena for inbound payloads
+
+	seq uint32
+
+	// execution context while a guest runs (run-to-completion).
+	current      *ifunc.Registration
+	currentAMID  int32 // >= 0 while executing under AM transport
+	pendingSends []pendingSend
+	pendingAMs   []pendingAM
+	pendingPuts  []pendingPut
+	pendingDone  []uint64
+
+	// completion hook for tc.complete.
+	completeSig *sim.Signal
+
+	// GuestLog collects tc.log values (debugging aid).
+	GuestLog []uint64
+
+	// LastExecErr records the most recent guest execution error.
+	LastExecErr error
+
+	// LastDropErr records why the most recent undeliverable frame was
+	// dropped.
+	LastDropErr error
+
+	// Stats.
+	Stats RuntimeStats
+}
+
+// RuntimeStats aggregates runtime activity.
+type RuntimeStats struct {
+	IfuncsSent      uint64
+	FullFrames      uint64
+	TruncatedFrames uint64
+	Executions      uint64
+	ExecErrors      uint64
+	DroppedFrames   uint64
+	JITCompiles     uint64
+	BinaryLoads     uint64
+	GuestSends      uint64
+}
+
+func newRuntime(c *Cluster, node *fabric.Node) *Runtime {
+	r := &Runtime{
+		Cluster:     c,
+		Node:        node,
+		Loader:      linker.NewLoader(),
+		Reg:         ifunc.NewRegistry(),
+		Sent:        ifunc.NewSentCache(),
+		MaxSteps:    1 << 24,
+		handles:     make(map[string]*Handle),
+		currentAMID: -1,
+	}
+	r.Worker = c.Ctx.NewWorker(node)
+	r.Session = jit.NewSession(node.March, r.Loader, r.allocGlobal)
+	r.payloadBuf = node.Alloc(payloadArena)
+	r.heapKey = r.Worker.RegisterMem(0, uint64(len(node.Mem())))
+	r.Worker.SetIfuncSink(r.pollSink)
+	r.installRuntimeLibs()
+	return r
+}
+
+// allocGlobal places a module global in node heap (JIT loader callback).
+func (r *Runtime) allocGlobal(g ir.Global) uint64 {
+	addr := r.Node.Alloc(g.Size)
+	copy(r.Node.Mem()[addr:], g.Init)
+	return addr
+}
+
+// ep returns (creating lazily) the endpoint to node dst.
+func (r *Runtime) ep(dst int) *ucx.Endpoint {
+	if r.eps == nil {
+		r.eps = make([]*ucx.Endpoint, len(r.Cluster.Runtimes))
+	}
+	if r.eps[dst] == nil {
+		r.eps[dst] = r.Worker.Connect(r.Cluster.Runtimes[dst].Worker)
+	}
+	return r.eps[dst]
+}
+
+// Mem implements ir.Env.
+func (r *Runtime) Mem() []byte { return r.Node.Mem() }
+
+// GlobalAddr implements ir.Env (unused: machines resolve globals through
+// patched GOTs, but the interface requires it).
+func (r *Runtime) GlobalAddr(name string) (uint64, bool) {
+	if a, ok := r.Loader.BindData(name); ok {
+		return a, true
+	}
+	return 0, false
+}
+
+// CallExtern implements ir.Env (unused for lowered code; kept for
+// interpreter-based debugging against a runtime node).
+func (r *Runtime) CallExtern(sym string, args []uint64) (uint64, error) {
+	if fn, ok := r.Loader.BindFunc(sym); ok {
+		return fn(args)
+	}
+	return 0, fmt.Errorf("%w: %s", ir.ErrUnresolved, sym)
+}
+
+// SetCompletion installs a fresh completion signal and returns it; guest
+// code fires it via the tc.complete intrinsic (how DAPC's ReturnResult
+// notifies the waiting client).
+func (r *Runtime) SetCompletion() *sim.Signal {
+	r.completeSig = r.Cluster.Eng.NewSignal()
+	return r.completeSig
+}
+
+// RegisterBitcode registers an ifunc library in bitcode form: the module
+// is packed into a fat archive for the given target triples (the
+// toolchain step of Figure 1).
+func (r *Runtime) RegisterBitcode(name string, m *ir.Module, triples []isa.Triple) (*Handle, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	arch, err := bitcode.Pack(m, triples)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := bitcode.EncodeArchive(arch)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{
+		Name: name, Hash: ifunc.NameHash(name), Kind: ifunc.KindBitcode,
+		Module: m.Clone(), ArchiveBytes: raw,
+	}
+	h.index()
+	r.handles[name] = h
+	return h, nil
+}
+
+// RegisterArchive registers an ifunc library from serialized fat-bitcode
+// archive bytes (toolchain output loaded from disk, Figure 1). The entry
+// table comes from the archive entry matching the local triple.
+func (r *Runtime) RegisterArchive(name string, raw []byte) (*Handle, error) {
+	arch, err := bitcode.DecodeArchive(raw)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := arch.Select(r.Node.March.Triple)
+	if err != nil {
+		// A source that cannot run the code itself can still ship it:
+		// fall back to the first entry for the entry table.
+		mod, err = bitcode.Decode(arch.Entries[0].Bitcode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h := &Handle{
+		Name: name, Hash: ifunc.NameHash(name), Kind: ifunc.KindBitcode,
+		Module: mod, ArchiveBytes: raw,
+	}
+	h.index()
+	r.handles[name] = h
+	return h, nil
+}
+
+// RegisterBinary registers an ifunc library in binary form,
+// cross-compiled for each provided micro-architecture (the §III-B
+// workflow, including its pain: targets whose ISA is missing from marchs
+// cannot be reached).
+func (r *Runtime) RegisterBinary(name string, m *ir.Module, marchs []*isa.MicroArch) (*Handle, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	h := &Handle{
+		Name: name, Hash: ifunc.NameHash(name), Kind: ifunc.KindBinary,
+		Module: m.Clone(), Objects: make(map[isa.Arch][]byte),
+	}
+	for _, march := range marchs {
+		cm, err := mcode.Lower(m, march)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := elfx.Build(cm)
+		if err != nil {
+			return nil, err
+		}
+		h.Objects[march.Triple.Arch] = obj.Encode()
+	}
+	h.index()
+	r.handles[name] = h
+	return h, nil
+}
+
+// index builds the entry table from the module's function order.
+func (h *Handle) index() {
+	h.entries = make(map[string]uint16, len(h.Module.Funcs))
+	for i, f := range h.Module.Funcs {
+		h.entries[f.Name] = uint16(i)
+		h.names = append(h.names, f.Name)
+	}
+}
+
+// Handle returns a previously registered handle.
+func (r *Runtime) Handle(name string) (*Handle, error) {
+	h, ok := r.handles[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoHandle, name)
+	}
+	return h, nil
+}
+
+// Deregister removes a source-side handle and invalidates the sent-cache
+// for its type, so a re-registration ships fresh code to every peer.
+// The paper ties compiled-code lifetime to registration: "the generated
+// machine code ... stays alive until the ifunc is de-registered".
+func (r *Runtime) Deregister(name string) error {
+	h, ok := r.handles[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoHandle, name)
+	}
+	delete(r.handles, name)
+	r.Sent.Forget(h.Hash)
+	return nil
+}
+
+// DeregisterLocal drops a receiver-side registration: later truncated
+// frames of the type are dropped (protocol violation) until a full frame
+// re-registers it.
+func (r *Runtime) DeregisterLocal(hash uint64) bool {
+	return r.Reg.Delete(hash)
+}
+
+// Send ships an ifunc message of type h to node dst, invoking entry fn
+// with the payload. The returned signal fires with a ucx.Status once the
+// frame has been handed to the target's polling loop (transport-level
+// completion; use Observer or completion intrinsics for execution-level
+// completion).
+func (r *Runtime) Send(dst int, h *Handle, fn string, payload []byte) (*sim.Signal, error) {
+	entry, err := h.EntryIndex(fn)
+	if err != nil {
+		return nil, err
+	}
+	frame, sentLen, err := r.buildFrame(dst, h, entry, payload)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.IfuncsSent++
+	return r.ep(dst).SendIfunc(frame[:sentLen]), nil
+}
+
+// buildFrame constructs the full frame and decides the transmitted length
+// per the caching protocol.
+func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) ([]byte, int, error) {
+	if len(payload) > payloadArena {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrBadPayload, len(payload))
+	}
+	var code []byte
+	switch h.Kind {
+	case ifunc.KindBitcode:
+		code = h.ArchiveBytes
+	case ifunc.KindBinary:
+		arch := r.Cluster.Runtimes[dst].Node.March.Triple.Arch
+		obj, ok := h.Objects[arch]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: %s for %s", ErrNoBinary, h.Name, arch)
+		}
+		code = obj
+	}
+	r.seq++
+	hdr := ifunc.Header{
+		Kind: h.Kind, NameHash: h.Hash, Entry: entry,
+		SrcNode: uint16(r.Node.ID), Seq: r.seq,
+	}
+	frame := ifunc.Build(hdr, payload, code)
+	if r.Sent.Seen(dst, h.Hash) && !r.DisableSendCache {
+		r.Stats.TruncatedFrames++
+		return frame, ifunc.TruncatedLen(len(payload)), nil
+	}
+	r.Sent.Mark(dst, h.Hash)
+	r.Stats.FullFrames++
+	return frame, len(frame), nil
+}
+
+// PredeployAM installs the module as an Active Message handler under
+// amID — the paper's baseline mode where code is compiled and present on
+// the target before any message flows. The AM header immediate selects
+// the entry index.
+func (r *Runtime) PredeployAM(amID uint32, name string, m *ir.Module) error {
+	key := "am-" + name
+	bc, err := bitcode.Encode(m)
+	if err != nil {
+		return err
+	}
+	c, _, _, err := r.Session.Compile(jit.CacheKey(bc), m)
+	if err != nil {
+		return err
+	}
+	reg := &ifunc.Registration{
+		Name: name, Hash: ifunc.NameHash(key), Kind: ifunc.KindBitcode, Compiled: c,
+	}
+	for _, f := range m.Funcs {
+		reg.EntryNames = append(reg.EntryNames, f.Name)
+	}
+	r.Worker.SetAMHandler(amID, func(src *ucx.Endpoint, header uint64, data []byte) {
+		r.currentAMID = int32(amID)
+		r.execute(reg, uint16(header), data)
+		r.currentAMID = -1
+	})
+	return nil
+}
+
+// pollSink is the ifunc polling function: it receives raw frames from the
+// UCX layer (already charged for NIC + poll pickup) and drives
+// registration and execution.
+func (r *Runtime) pollSink(srcNode int, raw []byte) {
+	f, err := ifunc.Parse(raw)
+	if err != nil {
+		// Malformed frames are dropped and counted; a production runtime
+		// would log them.
+		r.Stats.DroppedFrames++
+		r.LastDropErr = err
+		return
+	}
+	reg, known := r.Reg.Get(f.NameHash)
+	if !known {
+		if f.Code == nil {
+			// Truncated frame for an unknown type: protocol violation
+			// (sender cache out of sync, e.g. after local deregistration).
+			r.Stats.DroppedFrames++
+			r.LastDropErr = fmt.Errorf("%w: type %016x", ErrNotRunnable, f.NameHash)
+			return
+		}
+		var cost sim.Time
+		reg, cost, err = r.registerFromWire(f)
+		if err != nil {
+			r.Stats.DroppedFrames++
+			r.LastDropErr = err
+			return
+		}
+		// Charge the one-time registration (JIT or binary load) before
+		// execution.
+		r.Node.ExecCPU(cost, func() {
+			r.execute(reg, f.Entry, f.Payload)
+		})
+		return
+	}
+	// Known type: lookup cost then execute.
+	r.Node.ExecCPU(jit.LookupCost, func() {
+		r.execute(reg, f.Entry, f.Payload)
+	})
+}
+
+// registerFromWire registers an unseen ifunc type from a full frame,
+// returning the registration and the virtual time the registration step
+// costs (JIT compile for bitcode, load+GOT-patch for binary).
+func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Time, error) {
+	code := append([]byte(nil), f.Code...)
+	reg := &ifunc.Registration{
+		Name:      fmt.Sprintf("wire-%016x", f.NameHash),
+		Hash:      f.NameHash,
+		Kind:      f.Kind,
+		CodeBytes: code,
+	}
+	var cost sim.Time
+	switch f.Kind {
+	case ifunc.KindBitcode:
+		arch, err := bitcode.DecodeArchive(code)
+		if err != nil {
+			return nil, 0, err
+		}
+		mod, err := arch.Select(r.Node.March.Triple)
+		if err != nil {
+			return nil, 0, err
+		}
+		c, jc, _, err := r.Session.Compile(jit.CacheKey(code), mod)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost = jc
+		reg.Compiled = c
+		for _, fn := range mod.Funcs {
+			reg.EntryNames = append(reg.EntryNames, fn.Name)
+		}
+		r.Stats.JITCompiles++
+	case ifunc.KindBinary:
+		obj, err := elfx.Decode(code)
+		if err != nil {
+			return nil, 0, err
+		}
+		cm, err := obj.ToCompiled(r.Node.March.Triple.Arch)
+		if err != nil {
+			return nil, 0, err
+		}
+		c, lc, _, err := r.Session.LoadBinary(jit.CacheKey(code), cm)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost = lc
+		reg.Compiled = c
+		for _, fn := range cm.Funcs {
+			reg.EntryNames = append(reg.EntryNames, fn.Name)
+		}
+		r.Stats.BinaryLoads++
+	default:
+		return nil, 0, fmt.Errorf("%w: kind %d", ifunc.ErrBadFrame, f.Kind)
+	}
+	r.Reg.Put(reg)
+	return reg, cost, nil
+}
+
+// execute runs one entry of a registered ifunc with the payload staged in
+// the node's payload arena, charges the execution's virtual time, and
+// flushes guest-issued sends at completion.
+func (r *Runtime) execute(reg *ifunc.Registration, entry uint16, payload []byte) {
+	entryName, err := reg.EntryName(entry)
+	if err != nil {
+		return
+	}
+	mem := r.Node.Mem()
+	copy(mem[r.payloadBuf:], payload)
+
+	stackBase, stackSize := r.Node.StackRegion()
+	ma, err := mcode.NewMachine(reg.Compiled.CM, r, reg.Compiled.Link, ir.ExecLimits{
+		MaxSteps: r.MaxSteps, StackBase: stackBase, StackSize: stackSize,
+	})
+	if err != nil {
+		return
+	}
+	r.current = reg
+	r.pendingSends = r.pendingSends[:0]
+	r.pendingAMs = r.pendingAMs[:0]
+	r.pendingPuts = r.pendingPuts[:0]
+	r.pendingDone = r.pendingDone[:0]
+	res, runErr := ma.Run(entryName, r.payloadBuf, uint64(len(payload)), r.TargetPtr)
+	r.current = nil
+	reg.Executions++
+	r.Stats.Executions++
+	if runErr != nil {
+		r.LastExecErr = fmt.Errorf("core: %s.%s: %w", reg.Name, entryName, runErr)
+		r.Stats.ExecErrors++
+	}
+
+	// Charge the dynamic cost of the executed instructions, then flush
+	// buffered guest communication at the completion time.
+	mult := r.ExecCostMultiplier
+	if mult <= 0 {
+		mult = 1
+	}
+	cost := sim.FromSeconds(mcode.Seconds(&ma.Counts, r.Node.March) * mult)
+	sends := append([]pendingSend(nil), r.pendingSends...)
+	ams := append([]pendingAM(nil), r.pendingAMs...)
+	amID := r.currentAMID
+	puts := append([]pendingPut(nil), r.pendingPuts...)
+	dones := append([]uint64(nil), r.pendingDone...)
+	r.Node.ExecCPU(cost, func() {
+		for _, ps := range sends {
+			r.Stats.IfuncsSent++
+			r.Stats.GuestSends++
+			r.ep(ps.dst).SendIfunc(ps.frame[:ps.sentLen])
+		}
+		for _, pa := range ams {
+			r.Stats.IfuncsSent++
+			r.Stats.GuestSends++
+			r.ep(pa.dst).SendAM(uint32(amID), uint64(pa.entry), pa.payload)
+		}
+		for _, pp := range puts {
+			r.ep(pp.dst).Put(pp.data, pp.addr, r.heapKeys[pp.dst])
+		}
+		for _, v := range dones {
+			if r.completeSig != nil && !r.completeSig.Fired() {
+				r.completeSig.Fire(v)
+			}
+		}
+		if r.Observer != nil && runErr == nil {
+			r.Observer(reg.Name, entryName, res.Value, r.Cluster.Eng.Now())
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"threechains/internal/isa"
+)
+
+// TestClusterDeterminism runs a non-trivial multi-node workload twice and
+// requires bit-identical behaviour: same virtual end time, same event
+// count, same per-node statistics. This is the repository's foundational
+// guarantee — every benchmark number is exactly reproducible.
+func TestClusterDeterminism(t *testing.T) {
+	run := func() (string, error) {
+		specs := make([]NodeSpec, 6)
+		for i := range specs {
+			m := isa.XeonE5()
+			if i%2 == 1 {
+				m = isa.CortexA72()
+			}
+			specs[i] = NodeSpec{Name: fmt.Sprintf("n%d", i), March: m}
+		}
+		c := NewCluster(testParams(), specs)
+		for _, rt := range c.Runtimes {
+			rt.TargetPtr = rt.Node.Alloc(8)
+		}
+		src := c.Runtime(0)
+		hp, err := src.RegisterBitcode("prop", BuildPropagator(), allTriples)
+		if err != nil {
+			return "", err
+		}
+		ht, err := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+		if err != nil {
+			return "", err
+		}
+		// Interleave propagation waves and direct sends.
+		payload := make([]byte, 16)
+		payload[0] = 11
+		payload[8] = 1
+		src.Send(1, hp, "main", payload)
+		for i := 1; i < 6; i++ {
+			src.Send(i, ht, "main", []byte{0})
+		}
+		payload2 := make([]byte, 16)
+		payload2[0] = 7
+		payload2[8] = 2
+		src.Send(2, hp, "main", payload2)
+		c.Run()
+
+		fp := fmt.Sprintf("t=%v events=%d", c.Eng.Now(), c.Eng.Executed())
+		for i, rt := range c.Runtimes {
+			v := uint64(0)
+			if rt.TargetPtr != 0 {
+				v, _ = LoadTestU64(rt, rt.TargetPtr)
+			}
+			fp += fmt.Sprintf(" | n%d %+v visits=%d", i, rt.Stats, v)
+		}
+		return fp, nil
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("run %d diverged:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// LoadTestU64 reads node memory for test fingerprints.
+func LoadTestU64(r *Runtime, addr uint64) (uint64, error) {
+	return readU64(r, addr), nil
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"threechains/internal/ifunc"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/sim"
+	"threechains/internal/toolchain"
+	"threechains/internal/ucx"
+)
+
+// This file covers the runtime paths beyond the basic workflow:
+// deregistration, the uncached mode, AM-transport forwarding, the
+// accumulate X-RDMA op, error recording, and hostile inputs.
+
+func TestDeregisterInvalidatesSendCache(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	src.Send(1, h, "main", []byte{0})
+	c.Run()
+	if src.Stats.FullFrames != 1 {
+		t.Fatalf("stats %+v", src.Stats)
+	}
+	if err := src.Deregister("tsi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Handle("tsi"); !errors.Is(err, ErrNoHandle) {
+		t.Fatal("handle survived deregistration")
+	}
+	if err := src.Deregister("tsi"); !errors.Is(err, ErrNoHandle) {
+		t.Fatal("double deregistration accepted")
+	}
+	// Re-register: the sent-cache was invalidated, so the next send is a
+	// full frame again.
+	h2, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	src.Send(1, h2, "main", []byte{0})
+	c.Run()
+	if src.Stats.FullFrames != 2 {
+		t.Fatalf("re-registration did not resend code: %+v", src.Stats)
+	}
+}
+
+func TestDeregisterLocalDropsTruncatedFrames(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	src.Send(1, h, "main", []byte{0})
+	c.Run()
+	if !dst.DeregisterLocal(h.Hash) {
+		t.Fatal("deregister local failed")
+	}
+	if dst.DeregisterLocal(h.Hash) {
+		t.Fatal("double local deregistration succeeded")
+	}
+	// The sender still believes the code is cached; its truncated frame
+	// is now a protocol violation the receiver drops.
+	src.Send(1, h, "main", []byte{0})
+	c.Run()
+	if got := readU64(dst, dst.TargetPtr); got != 1 {
+		t.Fatalf("counter = %d after dropped frame, want 1", got)
+	}
+	if dst.Stats.Executions != 1 {
+		t.Fatalf("dropped frame executed: %+v", dst.Stats)
+	}
+}
+
+func TestDisableSendCacheShipsFullFrames(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	src.DisableSendCache = true
+	for i := 0; i < 3; i++ {
+		src.Send(1, h, "main", []byte{0})
+		c.Run()
+	}
+	if src.Stats.FullFrames != 3 || src.Stats.TruncatedFrames != 0 {
+		t.Fatalf("stats %+v", src.Stats)
+	}
+	// The receiver JIT-compiled once regardless (content-keyed cache).
+	if dst.Stats.JITCompiles != 1 || dst.Stats.Executions != 3 {
+		t.Fatalf("dst stats %+v", dst.Stats)
+	}
+}
+
+func TestAccumulateXRDMA(t *testing.T) {
+	c := twoNodes()
+	host, dpu := c.Runtime(0), c.Runtime(1)
+	counters := dpu.Node.Alloc(64)
+	dpu.TargetPtr = counters
+	result := host.Node.Alloc(8)
+
+	h, err := host.RegisterBitcode("acc", BuildAccumulator(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 32)
+	payload[0] = 5  // delta
+	payload[8] = 16 // offset
+	for i := 0; i < 8; i++ {
+		payload[24+i] = byte(result >> (8 * i))
+	}
+	// Two accumulates: 0 -> 5 -> 10; the second returns old value 5.
+	host.Send(1, h, "accumulate", payload)
+	c.Run()
+	host.Send(1, h, "accumulate", payload)
+	c.Run()
+	if got := readU64(dpu, counters+16); got != 10 {
+		t.Fatalf("accumulator = %d, want 10", got)
+	}
+	if got := readU64(host, result); got != 5 {
+		t.Fatalf("fetched old value = %d, want 5", got)
+	}
+	if dpu.LastExecErr != nil {
+		t.Fatal(dpu.LastExecErr)
+	}
+}
+
+func TestGuestErrorsAreRecorded(t *testing.T) {
+	// An ifunc that loads from a wild pointer must fail cleanly: error
+	// recorded, node still serviceable.
+	m := ir.NewModule("wild")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	bad := b.Const64(1 << 40)
+	b.Ret(b.Load(ir.I64, bad, 0))
+
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	h, _ := src.RegisterBitcode("wild", m, allTriples)
+	src.Send(1, h, "main", nil)
+	c.Run()
+	if dst.Stats.ExecErrors != 1 || dst.LastExecErr == nil {
+		t.Fatalf("error not recorded: %+v, %v", dst.Stats, dst.LastExecErr)
+	}
+	if !errors.Is(dst.LastExecErr, ir.ErrOutOfBounds) {
+		t.Fatalf("wrong error class: %v", dst.LastExecErr)
+	}
+	// The node still executes good ifuncs afterwards.
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h2, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	src.Send(1, h2, "main", []byte{0})
+	c.Run()
+	if got := readU64(dst, dst.TargetPtr); got != 1 {
+		t.Fatalf("node wedged after guest error: counter=%d", got)
+	}
+}
+
+func TestGuestSendSelfValidation(t *testing.T) {
+	// A chaser-style ifunc that forwards to an invalid node id must trap.
+	m := ir.NewModule("badfwd")
+	b := ir.NewBuilder(m)
+	b.AddDep(LibTC)
+	b.DeclareExtern(SymSendSelf)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	buf := b.Alloca(8)
+	b.Call(SymSendSelf, true, b.Const64(99), b.Const64(0), buf, b.Const64(8))
+	b.Ret(b.Const64(0))
+
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	h, _ := src.RegisterBitcode("badfwd", m, allTriples)
+	src.Send(1, h, "main", nil)
+	c.Run()
+	if dst.Stats.ExecErrors != 1 {
+		t.Fatalf("bad forward not rejected: %+v", dst.Stats)
+	}
+}
+
+func TestMalformedFramesAreDropped(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	ep := src.Worker.Connect(dst.Worker)
+	// Garbage, truncated-for-unknown-type, and short frames.
+	hdr := ifunc.Header{Kind: ifunc.KindBitcode, NameHash: 12345}
+	unknownTrunc := ifunc.Build(hdr, []byte{1}, []byte("code"))[:ifunc.TruncatedLen(1)]
+	for _, frame := range [][]byte{
+		[]byte("garbage frame"),
+		unknownTrunc,
+		{0xC3},
+	} {
+		ep.SendIfunc(frame)
+	}
+	c.Run()
+	if dst.Stats.Executions != 0 || dst.Stats.JITCompiles != 0 {
+		t.Fatalf("malformed frames reached execution: %+v", dst.Stats)
+	}
+}
+
+func TestCorruptCodeSectionRejected(t *testing.T) {
+	// A full frame whose archive bytes are corrupted must not register.
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	h, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	// Structural damage: wreck the archive magic and also truncate —
+	// single bit flips in metadata strings are legitimately tolerated
+	// (bitcode has no checksum), but framing damage must be caught.
+	code := append([]byte(nil), h.ArchiveBytes[:len(h.ArchiveBytes)-40]...)
+	code[0] ^= 0xFF
+	hdr := ifunc.Header{Kind: ifunc.KindBitcode, NameHash: h.Hash}
+	frame := ifunc.Build(hdr, []byte{0}, code)
+	src.Worker.Connect(dst.Worker).SendIfunc(frame)
+	c.Run()
+	if dst.Stats.Executions != 0 {
+		t.Fatalf("corrupt archive executed: %+v", dst.Stats)
+	}
+}
+
+func TestRegisterArchiveFromToolchain(t *testing.T) {
+	// Full Figure-1 loop: toolchain artifacts on disk, registration from
+	// the loaded bytes, execution on the other node.
+	dir := t.TempDir()
+	m := BuildTSI()
+	_, raw, err := toolchain.BuildArchive(m, toolchain.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolchain.WriteArtifacts(dir, "tsi", raw, m.Deps); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := toolchain.LoadArtifacts(dir, "tsi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h, err := src.RegisterArchive("tsi", loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Send(1, h, "main", []byte{0})
+	c.Run()
+	if got := readU64(dst, dst.TargetPtr); got != 1 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestAMTransportForwarding(t *testing.T) {
+	// DAPC in AM mode at the unit level: a chaser predeployed on three
+	// nodes forwards via AMs (no code on the wire at all).
+	c := NewCluster(testParams(), []NodeSpec{
+		{Name: "client", March: isa.XeonE5()},
+		{Name: "s0", March: isa.XeonE5()},
+		{Name: "s1", March: isa.XeonE5()},
+	})
+	client := c.Runtime(0)
+	mod := BuildChaser()
+	for _, rt := range c.Runtimes {
+		if err := rt.PredeployAM(4, "dapc", mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tiny 2-server table: cycle 0->1->2->3->0 across shard size 2.
+	for s := 0; s < 2; s++ {
+		rt := c.Runtime(1 + s)
+		base := rt.Node.Alloc(16)
+		for i := 0; i < 2; i++ {
+			g := uint64(s*2 + i)
+			ir.StoreMem(rt.Node.Mem(), base+uint64(i)*8, ir.I64, (g+1)%4)
+		}
+		ctx := rt.Node.Alloc(SrvCtxBytes)
+		mem := rt.Node.Mem()
+		ir.StoreMem(mem, ctx+SrvCtxTableBase, ir.I64, base)
+		ir.StoreMem(mem, ctx+SrvCtxShardSize, ir.I64, 2)
+		ir.StoreMem(mem, ctx+SrvCtxNumServers, ir.I64, 2)
+		ir.StoreMem(mem, ctx+SrvCtxFirstServer, ir.I64, 1)
+		rt.TargetPtr = ctx
+	}
+	client.TargetPtr = client.Node.Alloc(8)
+
+	done := client.SetCompletion()
+	payload := make([]byte, ChaseBytes)
+	payload[ChaseAddr] = 0
+	payload[ChaseDepth] = 3 // 0 -> 1 -> 2 -> value 3
+	ep := client.Worker.Connect(c.Runtime(1).Worker)
+	ep.SendAM(4, EntryChase, payload)
+	c.Run()
+	if !done.Fired() || done.Value() != 3 {
+		t.Fatalf("AM chase result: fired=%v value=%d", done.Fired(), done.Value())
+	}
+	// Zero ifunc frames moved; all guest forwards were AMs.
+	for i, rt := range c.Runtimes {
+		if rt.Stats.FullFrames != 0 {
+			t.Fatalf("node %d shipped code in AM mode: %+v", i, rt.Stats)
+		}
+	}
+}
+
+func TestExecCostMultiplierSlowsExecution(t *testing.T) {
+	run := func(mult float64) sim.Time {
+		c := twoNodes()
+		src, dst := c.Runtime(0), c.Runtime(1)
+		dst.TargetPtr = dst.Node.Alloc(8)
+		dst.ExecCostMultiplier = mult
+		h, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+		src.Send(1, h, "main", []byte{0}) // warm
+		c.Run()
+		var done sim.Time
+		dst.Observer = func(_, _ string, _ uint64, when sim.Time) { done = when }
+		start := c.Eng.Now()
+		src.Send(1, h, "main", []byte{0})
+		c.Run()
+		// Completion is observed at exec start; add the post-exec flush by
+		// measuring to engine idle instead.
+		_ = done
+		return c.Eng.Now() - start
+	}
+	if fast, slow := run(1), run(1000); slow <= fast {
+		t.Fatalf("multiplier had no effect: %v vs %v", fast, slow)
+	}
+}
+
+func TestCompletionSignalSingleShot(t *testing.T) {
+	// tc.complete twice in one execution must not panic the double-fire
+	// guard.
+	m := ir.NewModule("twice")
+	b := ir.NewBuilder(m)
+	b.AddDep(LibTC)
+	b.DeclareExtern(SymComplete)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	b.Call(SymComplete, true, b.Const64(1))
+	b.Call(SymComplete, true, b.Const64(2))
+	b.Ret(b.Const64(0))
+
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	h, _ := src.RegisterBitcode("twice", m, allTriples)
+	done := dst.SetCompletion()
+	src.Send(1, h, "main", nil)
+	c.Run()
+	if !done.Fired() || done.Value() != 1 {
+		t.Fatalf("fired=%v value=%d, want first value", done.Fired(), done.Value())
+	}
+	if dst.LastExecErr != nil {
+		t.Fatal(dst.LastExecErr)
+	}
+}
+
+func TestGuestLogIntrinsic(t *testing.T) {
+	m := ir.NewModule("logger")
+	b := ir.NewBuilder(m)
+	b.AddDep(LibTC)
+	b.DeclareExtern(SymLog)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	b.Call(SymLog, true, b.Const64(111))
+	b.Call(SymLog, true, b.Const64(222))
+	b.Ret(b.Const64(0))
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	h, _ := src.RegisterBitcode("logger", m, allTriples)
+	src.Send(1, h, "main", nil)
+	c.Run()
+	if len(dst.GuestLog) != 2 || dst.GuestLog[0] != 111 || dst.GuestLog[1] != 222 {
+		t.Fatalf("guest log = %v", dst.GuestLog)
+	}
+}
+
+func TestSendStatusPropagates(t *testing.T) {
+	c := twoNodes()
+	src := c.Runtime(0)
+	h, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	sig, err := src.Send(1, h, "main", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if ucx.Status(sig.Value()) != ucx.OK {
+		t.Fatalf("status %v", ucx.Status(sig.Value()))
+	}
+}
+
+func TestDroppedFrameDiagnostics(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	ep := src.Worker.Connect(dst.Worker)
+	// Unknown type, truncated: ErrNotRunnable recorded.
+	hdr := ifunc.Header{Kind: ifunc.KindBitcode, NameHash: 777}
+	ep.SendIfunc(ifunc.Build(hdr, []byte{1}, []byte("x"))[:ifunc.TruncatedLen(1)])
+	c.Run()
+	if dst.Stats.DroppedFrames != 1 || !errors.Is(dst.LastDropErr, ErrNotRunnable) {
+		t.Fatalf("drops=%d err=%v", dst.Stats.DroppedFrames, dst.LastDropErr)
+	}
+	// Garbage: parse error recorded.
+	ep.SendIfunc([]byte("???"))
+	c.Run()
+	if dst.Stats.DroppedFrames != 2 || !errors.Is(dst.LastDropErr, ifunc.ErrShortFrame) {
+		t.Fatalf("drops=%d err=%v", dst.Stats.DroppedFrames, dst.LastDropErr)
+	}
+}

@@ -1,0 +1,341 @@
+// Package elfx implements the miniature ELF-like object container used by
+// binary ifuncs — the original Two-Chains representation the paper's
+// §III-B describes and §III-C replaces with bitcode.
+//
+// An Object is what the sender packs from a compiled (lowered) module:
+// ISA-tagged .text bytes per function, a .got section naming the external
+// symbols the receiving linker must patch, a .data section with global
+// initializers, and .deps naming shared libraries to load first. Like a
+// real ELF .so, the container is only meaningful on its own architecture;
+// loading on a mismatched ISA fails.
+package elfx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+// Magic identifies object files ("Three-Chains ELF-ish Object").
+var Magic = [4]byte{0x7f, 'T', 'C', 'O'}
+
+// Version is the container format version.
+const Version = 1
+
+// Object errors.
+var (
+	ErrBadObject = errors.New("elfx: malformed object")
+	ErrBadMagic  = errors.New("elfx: bad magic")
+)
+
+// Section is a named byte blob, like an ELF section.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Object is a parsed object file.
+type Object struct {
+	Arch     isa.Arch
+	Triple   string
+	Features string
+	Sections []Section
+}
+
+// Section returns the named section, or nil.
+func (o *Object) Section(name string) *Section {
+	for i := range o.Sections {
+		if o.Sections[i].Name == name {
+			return &o.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Build packs a compiled module into an object file. The object inherits
+// the module's target triple; its .text is encoded with that ISA's
+// instruction codec.
+func Build(cm *mcode.CompiledModule) (*Object, error) {
+	o := &Object{
+		Arch:     cm.Triple.Arch,
+		Triple:   cm.Triple.String(),
+		Features: cm.Features,
+	}
+	// .text: function table with per-ISA encoded code.
+	var text []byte
+	text = binary.AppendUvarint(text, uint64(len(cm.Funcs)))
+	for _, p := range cm.Funcs {
+		text = appendStr(text, p.Name)
+		text = binary.AppendUvarint(text, uint64(p.Params))
+		text = binary.AppendUvarint(text, uint64(p.NumRegs))
+		enc, err := mcode.EncodeText(p, cm.Triple.Arch)
+		if err != nil {
+			return nil, err
+		}
+		text = binary.AppendUvarint(text, uint64(len(enc)))
+		text = append(text, enc...)
+	}
+	o.Sections = append(o.Sections, Section{Name: ".text", Data: text})
+
+	// .got: symbols requiring receiver-side patching.
+	var got []byte
+	got = binary.AppendUvarint(got, uint64(len(cm.GOT)))
+	for _, e := range cm.GOT {
+		got = append(got, byte(e.Kind))
+		got = appendStr(got, e.Sym)
+	}
+	o.Sections = append(o.Sections, Section{Name: ".got", Data: got})
+
+	// .data: globals with initializers.
+	var data []byte
+	data = binary.AppendUvarint(data, uint64(len(cm.Globals)))
+	for _, g := range cm.Globals {
+		data = appendStr(data, g.Name)
+		data = binary.AppendUvarint(data, uint64(g.Size))
+		data = binary.AppendUvarint(data, uint64(len(g.Init)))
+		data = append(data, g.Init...)
+	}
+	o.Sections = append(o.Sections, Section{Name: ".data", Data: data})
+
+	// .deps: shared library dependencies.
+	var deps []byte
+	deps = binary.AppendUvarint(deps, uint64(len(cm.Deps)))
+	for _, d := range cm.Deps {
+		deps = appendStr(deps, d)
+	}
+	o.Sections = append(o.Sections, Section{Name: ".deps", Data: deps})
+
+	// .note: module name (like .note.gnu / SONAME).
+	o.Sections = append(o.Sections, Section{Name: ".note", Data: appendStr(nil, cm.Name)})
+	return o, nil
+}
+
+// Encode serializes the object file.
+func (o *Object) Encode() []byte {
+	var buf []byte
+	buf = append(buf, Magic[:]...)
+	buf = append(buf, Version, byte(o.Arch))
+	buf = appendStr(buf, o.Triple)
+	buf = appendStr(buf, o.Features)
+	buf = binary.AppendUvarint(buf, uint64(len(o.Sections)))
+	for _, s := range o.Sections {
+		buf = appendStr(buf, s.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Data)))
+		buf = append(buf, s.Data...)
+	}
+	return buf
+}
+
+// Decode parses an object file.
+func Decode(data []byte) (*Object, error) {
+	if len(data) < 6 || data[0] != Magic[0] || data[1] != Magic[1] ||
+		data[2] != Magic[2] || data[3] != Magic[3] {
+		return nil, ErrBadMagic
+	}
+	if data[4] != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadObject, data[4])
+	}
+	o := &Object{Arch: isa.Arch(data[5])}
+	if !o.Arch.Valid() {
+		return nil, fmt.Errorf("%w: arch %d", ErrBadObject, data[5])
+	}
+	r := &sreader{buf: data, off: 6}
+	o.Triple = r.str()
+	o.Features = r.str()
+	n := r.uvarint()
+	if n > 64 {
+		return nil, fmt.Errorf("%w: %d sections", ErrBadObject, n)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		s := Section{Name: r.str()}
+		s.Data = r.bytes()
+		o.Sections = append(o.Sections, s)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadObject)
+	}
+	return o, nil
+}
+
+// ToCompiled reconstructs the compiled module, validating that the object
+// matches the local architecture — the §III-B portability gate. The
+// returned module still needs its GOT patched (package linker) before it
+// can run.
+func (o *Object) ToCompiled(local isa.Arch) (*mcode.CompiledModule, error) {
+	if o.Arch != local {
+		return nil, fmt.Errorf("%w: object is %s, local CPU is %s",
+			mcode.ErrWrongArch, o.Arch, local)
+	}
+	tr, err := isa.ParseTriple(o.Triple)
+	if err != nil {
+		return nil, fmt.Errorf("%w: triple: %v", ErrBadObject, err)
+	}
+	cm := &mcode.CompiledModule{Triple: tr, Features: o.Features}
+
+	note := o.Section(".note")
+	if note == nil {
+		return nil, fmt.Errorf("%w: missing .note", ErrBadObject)
+	}
+	nr := &sreader{buf: note.Data}
+	cm.Name = nr.str()
+	if nr.err != nil {
+		return nil, nr.err
+	}
+
+	text := o.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("%w: missing .text", ErrBadObject)
+	}
+	tr2 := &sreader{buf: text.Data}
+	nf := tr2.uvarint()
+	if nf > 1<<16 {
+		return nil, fmt.Errorf("%w: %d functions", ErrBadObject, nf)
+	}
+	for i := uint64(0); i < nf && tr2.err == nil; i++ {
+		p := &mcode.Program{Name: tr2.str()}
+		p.Params = int(tr2.uvarint())
+		p.NumRegs = int(tr2.uvarint())
+		enc := tr2.bytes()
+		if tr2.err != nil {
+			break
+		}
+		code, err := mcode.DecodeText(enc, local)
+		if err != nil {
+			return nil, err
+		}
+		p.Code = code
+		cm.Funcs = append(cm.Funcs, p)
+	}
+	if tr2.err != nil {
+		return nil, tr2.err
+	}
+
+	if got := o.Section(".got"); got != nil {
+		gr := &sreader{buf: got.Data}
+		ng := gr.uvarint()
+		if ng > 1<<16 {
+			return nil, fmt.Errorf("%w: %d GOT entries", ErrBadObject, ng)
+		}
+		for i := uint64(0); i < ng && gr.err == nil; i++ {
+			kind := mcode.GOTKind(gr.u8())
+			cm.GOT = append(cm.GOT, mcode.GOTEntry{Kind: kind, Sym: gr.str()})
+		}
+		if gr.err != nil {
+			return nil, gr.err
+		}
+	}
+
+	if data := o.Section(".data"); data != nil {
+		dr := &sreader{buf: data.Data}
+		ng := dr.uvarint()
+		if ng > 1<<16 {
+			return nil, fmt.Errorf("%w: %d globals", ErrBadObject, ng)
+		}
+		for i := uint64(0); i < ng && dr.err == nil; i++ {
+			g := ir.Global{Name: dr.str()}
+			g.Size = int(dr.uvarint())
+			n := dr.uvarint()
+			if n > uint64(g.Size) {
+				return nil, fmt.Errorf("%w: global init exceeds size", ErrBadObject)
+			}
+			init := dr.take(int(n))
+			g.Init = append([]byte(nil), init...)
+			cm.Globals = append(cm.Globals, g)
+		}
+		if dr.err != nil {
+			return nil, dr.err
+		}
+	}
+
+	if deps := o.Section(".deps"); deps != nil {
+		pr := &sreader{buf: deps.Data}
+		nd := pr.uvarint()
+		if nd > 1<<12 {
+			return nil, fmt.Errorf("%w: %d deps", ErrBadObject, nd)
+		}
+		for i := uint64(0); i < nd && pr.err == nil; i++ {
+			cm.Deps = append(cm.Deps, pr.str())
+		}
+		if pr.err != nil {
+			return nil, pr.err
+		}
+	}
+	return cm, nil
+}
+
+// appendStr writes a length-prefixed string.
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// sreader is a bounds-checked sequential reader.
+type sreader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *sreader) fail() {
+	if r.err == nil {
+		r.err = ErrBadObject
+	}
+}
+
+func (r *sreader) u8() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *sreader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *sreader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *sreader) str() string {
+	n := r.uvarint()
+	if n > 1<<16 {
+		r.fail()
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *sreader) bytes() []byte {
+	n := r.uvarint()
+	if n > 1<<26 {
+		r.fail()
+		return nil
+	}
+	return append([]byte(nil), r.take(int(n))...)
+}

@@ -1,0 +1,223 @@
+package elfx
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+func buildSample(t *testing.T, march *isa.MicroArch) *mcode.CompiledModule {
+	t.Helper()
+	m := ir.NewModule("binifunc")
+	b := ir.NewBuilder(m)
+	b.AddGlobal("counter", 8, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	b.DeclareExtern("ucx.put")
+	b.AddDep("libucx.so")
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	g := b.GlobalAddr("counter")
+	v := b.Load(ir.I64, g, 0)
+	nv := b.Add(v, b.Const64(1))
+	b.Store(ir.I64, nv, g, 0)
+	b.Call("ucx.put", false, nv)
+	b.Ret(nv)
+	cm, err := mcode.Lower(m, march)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	cm := buildSample(t, isa.XeonE5())
+	o, err := Build(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := o.Encode()
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := back.ToCompiled(isa.ArchX86_64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm2.Name != "binifunc" || len(cm2.Funcs) != 1 || cm2.Funcs[0].Name != "main" {
+		t.Fatalf("identity lost: %+v", cm2)
+	}
+	if len(cm2.GOT) != len(cm.GOT) || len(cm2.Globals) != 1 || len(cm2.Deps) != 1 {
+		t.Fatal("sections lost")
+	}
+	if len(cm2.Funcs[0].Code) != len(cm.Funcs[0].Code) {
+		t.Fatal("code length changed")
+	}
+	for i := range cm2.Funcs[0].Code {
+		if cm2.Funcs[0].Code[i] != cm.Funcs[0].Code[i] {
+			t.Fatalf("instruction %d changed", i)
+		}
+	}
+}
+
+func TestWrongArchLoadFails(t *testing.T) {
+	cm := buildSample(t, isa.XeonE5())
+	o, err := Build(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := o.Encode()
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §III-B failure: x86_64 binary shipped to an Arm DPU.
+	if _, err := back.ToCompiled(isa.ArchAArch64); !errors.Is(err, mcode.ErrWrongArch) {
+		t.Fatalf("err = %v, want wrong-arch", err)
+	}
+}
+
+func TestObjectExecutesAfterRoundTrip(t *testing.T) {
+	cm := buildSample(t, isa.CortexA72())
+	o, _ := Build(cm)
+	back, err := Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := back.ToCompiled(isa.ArchAArch64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 12)
+	// Simulate the loader: place the global, bind the extern.
+	var got []uint64
+	link := mcode.NewLinkage(cm2)
+	for i, e := range cm2.GOT {
+		switch e.Kind {
+		case mcode.GOTData:
+			link.DataAddrs[i] = 512
+			env.StoreU64(512, 41)
+		case mcode.GOTFunc:
+			link.Funcs[i] = func(args []uint64) (uint64, error) {
+				got = append(got, args[0])
+				return 0, nil
+			}
+		}
+	}
+	ma, err := mcode.NewMachine(cm2, env, link, ir.ExecLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ma.Run("main", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 42 || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("value=%d got=%v", res.Value, got)
+	}
+}
+
+func TestDecodeRejectsGarbageAndTruncation(t *testing.T) {
+	if _, err := Decode([]byte("ELF?")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+	cm := buildSample(t, isa.XeonE5())
+	o, _ := Build(cm)
+	data := o.Encode()
+	for cut := 0; cut < len(data); cut += 5 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestDecodeSurvivesBitFlips(t *testing.T) {
+	cm := buildSample(t, isa.XeonE5())
+	o, _ := Build(cm)
+	data := o.Encode()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		c := append([]byte(nil), data...)
+		c[rng.Intn(len(c))] ^= 1 << rng.Intn(8)
+		// Must never panic; errors are fine, and objects that still parse
+		// must either load or fail cleanly.
+		if back, err := Decode(c); err == nil {
+			_, _ = back.ToCompiled(isa.ArchX86_64)
+		}
+	}
+}
+
+func TestPureBinaryHasEmptyGOT(t *testing.T) {
+	m := ir.NewModule("pure")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Add(b.Param(0), b.Param(0)))
+	cm, err := mcode.Lower(m, isa.A64FX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := Build(cm)
+	back, _ := Decode(o.Encode())
+	cm2, err := back.ToCompiled(isa.ArchAArch64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm2.GOT) != 0 {
+		t.Fatal("pure module grew GOT entries")
+	}
+	// Pure path: run with no linkage at all (the paper's skip-GOT-patch
+	// fast path).
+	env := ir.NewSimpleEnv(256)
+	ma, err := mcode.NewMachine(cm2, env, nil, ir.ExecLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := ma.Run("main", 21); res.Value != 42 {
+		t.Fatalf("got %d", res.Value)
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	cm := buildSample(t, isa.XeonE5())
+	o, _ := Build(cm)
+	for _, name := range []string{".text", ".got", ".data", ".deps", ".note"} {
+		if o.Section(name) == nil {
+			t.Errorf("missing section %s", name)
+		}
+	}
+	if o.Section(".bss") != nil {
+		t.Error("phantom section")
+	}
+}
+
+func TestObjectSizeTracksOptimization(t *testing.T) {
+	// Binary size depends on code size — a bigger kernel means a bigger
+	// object (the 65-vs-90-byte discussion in §III-D).
+	small := ir.NewModule("s")
+	b := ir.NewBuilder(small)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Add(b.Param(0), b.Param(0)))
+
+	big := ir.NewModule("b")
+	b2 := ir.NewBuilder(big)
+	b2.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	acc := b2.Param(0)
+	for i := 0; i < 20; i++ {
+		acc = b2.Add(acc, b2.Const64(int64(i)))
+	}
+	b2.Ret(acc)
+
+	enc := func(m *ir.Module) int {
+		cm, err := mcode.Lower(m, isa.XeonE5())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ := Build(cm)
+		return len(o.Encode())
+	}
+	if enc(big) <= enc(small) {
+		t.Fatal("bigger kernel did not produce bigger object")
+	}
+}

@@ -1,0 +1,169 @@
+// Package ifunc defines the ifunc message frame — the wire format of
+// Three-Chains messages (paper Figures 2 and 3) — and the transparent
+// code-caching protocol that elides the code section once the target has
+// seen an ifunc type (Figure 4, §III-D).
+//
+// Frame layout:
+//
+//	full:      HEADER | PAYLOAD | MAGIC1 | CODELEN | CODE | MAGIC2
+//	truncated: HEADER | PAYLOAD | MAGIC1
+//
+// The header is 24 bytes; a truncated (cached) frame with the TSI
+// benchmark's 1-byte payload is exactly 26 bytes, matching §V-A. The
+// sender always *builds* the full frame and truncates at transmission
+// time by sending fewer bytes — the frame itself is never modified, so it
+// can later be forwarded whole to a third process that has not seen the
+// code yet.
+package ifunc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// CodeKind discriminates the shipped code representation.
+type CodeKind uint8
+
+const (
+	// KindBitcode ships a fat-bitcode archive (§III-C).
+	KindBitcode CodeKind = 1
+	// KindBinary ships an ELF-like object for one ISA (§III-B).
+	KindBinary CodeKind = 2
+)
+
+// String names the kind.
+func (k CodeKind) String() string {
+	switch k {
+	case KindBitcode:
+		return "bitcode"
+	case KindBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// HeaderLen is the fixed frame header size.
+const HeaderLen = 24
+
+// Magic bytes: Magic0 marks the frame start; Magic1 separates payload
+// from code; Magic2 terminates a full frame (the MAGIC fields of Figures
+// 2-3, used to detect complete delivery of one-sided writes).
+const (
+	Magic0 byte = 0xC3
+	Magic1 byte = 0xA5
+	Magic2 byte = 0x5A
+)
+
+// Frame errors.
+var (
+	ErrShortFrame = errors.New("ifunc: frame too short")
+	ErrBadFrame   = errors.New("ifunc: malformed frame")
+	ErrNoCode     = errors.New("ifunc: truncated frame for unregistered ifunc")
+)
+
+// Header is the decoded frame header.
+type Header struct {
+	Kind       CodeKind
+	Version    uint8
+	NameHash   uint64 // ifunc type id (FNV-1a of the registered name)
+	Entry      uint16 // entry function index within the shipped module
+	SrcNode    uint16 // originating node id
+	Seq        uint32 // sender sequence number
+	PayloadLen uint32
+}
+
+// Frame is a parsed ifunc message.
+type Frame struct {
+	Header
+	Payload []byte
+	// Code is nil for truncated (cache-hit) frames.
+	Code []byte
+}
+
+// NameHash derives the 64-bit ifunc type id from its registered name.
+func NameHash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Build constructs the full frame bytes. Senders keep this buffer and
+// transmit either all of it or just the truncated prefix (TruncatedLen).
+func Build(h Header, payload, code []byte) []byte {
+	h.PayloadLen = uint32(len(payload))
+	buf := make([]byte, 0, HeaderLen+len(payload)+1+4+len(code)+1)
+	buf = append(buf, Magic0, byte(h.Kind), h.Version, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, h.NameHash)
+	buf = binary.LittleEndian.AppendUint16(buf, h.Entry)
+	buf = binary.LittleEndian.AppendUint16(buf, h.SrcNode)
+	buf = binary.LittleEndian.AppendUint32(buf, h.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, h.PayloadLen)
+	buf = append(buf, payload...)
+	buf = append(buf, Magic1)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(code)))
+	buf = append(buf, code...)
+	buf = append(buf, Magic2)
+	return buf
+}
+
+// TruncatedLen returns how many bytes of a full frame the sender
+// transmits when the target already has the code: header + payload +
+// MAGIC1.
+func TruncatedLen(payloadLen int) int { return HeaderLen + payloadLen + 1 }
+
+// FullLen returns the full frame length for given payload and code sizes.
+func FullLen(payloadLen, codeLen int) int {
+	return HeaderLen + payloadLen + 1 + 4 + codeLen + 1
+}
+
+// Parse decodes a frame (full or truncated). The returned frame aliases
+// data; callers that retain it must copy.
+func Parse(data []byte) (*Frame, error) {
+	if len(data) < HeaderLen+1 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(data))
+	}
+	if data[0] != Magic0 {
+		return nil, fmt.Errorf("%w: bad start magic %#x", ErrBadFrame, data[0])
+	}
+	var f Frame
+	f.Kind = CodeKind(data[1])
+	if f.Kind != KindBitcode && f.Kind != KindBinary {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, data[1])
+	}
+	f.Version = data[2]
+	f.NameHash = binary.LittleEndian.Uint64(data[4:])
+	f.Entry = binary.LittleEndian.Uint16(data[12:])
+	f.SrcNode = binary.LittleEndian.Uint16(data[14:])
+	f.Seq = binary.LittleEndian.Uint32(data[16:])
+	f.PayloadLen = binary.LittleEndian.Uint32(data[20:])
+
+	pEnd := HeaderLen + int(f.PayloadLen)
+	if pEnd+1 > len(data) {
+		return nil, fmt.Errorf("%w: payload %d exceeds frame %d", ErrBadFrame, f.PayloadLen, len(data))
+	}
+	f.Payload = data[HeaderLen:pEnd]
+	if data[pEnd] != Magic1 {
+		return nil, fmt.Errorf("%w: bad separator magic %#x", ErrBadFrame, data[pEnd])
+	}
+	if len(data) == pEnd+1 {
+		// Truncated frame: code elided by the caching protocol.
+		return &f, nil
+	}
+	if pEnd+5 > len(data) {
+		return nil, fmt.Errorf("%w: dangling code length", ErrBadFrame)
+	}
+	codeLen := binary.LittleEndian.Uint32(data[pEnd+1:])
+	cStart := pEnd + 5
+	cEnd := cStart + int(codeLen)
+	if cEnd+1 != len(data) {
+		return nil, fmt.Errorf("%w: code %d bytes does not fill frame %d", ErrBadFrame, codeLen, len(data))
+	}
+	if data[cEnd] != Magic2 {
+		return nil, fmt.Errorf("%w: bad trailer magic %#x", ErrBadFrame, data[cEnd])
+	}
+	f.Code = data[cStart:cEnd]
+	return &f, nil
+}

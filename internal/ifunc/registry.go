@@ -1,0 +1,115 @@
+package ifunc
+
+import (
+	"fmt"
+
+	"threechains/internal/jit"
+)
+
+// Registration is a receiver-side registered ifunc type: everything the
+// polling function needs to execute truncated frames of this type and to
+// re-forward the full code to third parties.
+type Registration struct {
+	// Name is the registered name when known locally; remotely learned
+	// registrations synthesize one from the hash.
+	Name string
+	Hash uint64
+	Kind CodeKind
+	// Compiled is the ready-to-run artifact (JIT output or loaded
+	// binary).
+	Compiled *jit.Compiled
+	// CodeBytes is the original code section (fat-bitcode archive or
+	// per-ISA object) kept verbatim so this node can propagate the ifunc
+	// onward — the recursive-injection capability.
+	CodeBytes []byte
+	// EntryNames maps frame entry indices to function names.
+	EntryNames []string
+	// Executions counts invocations on this node.
+	Executions uint64
+}
+
+// EntryName resolves a frame entry index.
+func (r *Registration) EntryName(idx uint16) (string, error) {
+	if int(idx) >= len(r.EntryNames) {
+		return "", fmt.Errorf("ifunc: entry %d out of range (%d entries) in %s",
+			idx, len(r.EntryNames), r.Name)
+	}
+	return r.EntryNames[idx], nil
+}
+
+// Registry is the per-node table of registered ifunc types, keyed by the
+// 64-bit type hash carried in every frame header.
+type Registry struct {
+	byHash map[uint64]*Registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byHash: make(map[uint64]*Registration)}
+}
+
+// Get looks up a registration.
+func (rg *Registry) Get(hash uint64) (*Registration, bool) {
+	r, ok := rg.byHash[hash]
+	return r, ok
+}
+
+// Put stores a registration (replacing any previous one of the same
+// hash, like re-registering an ifunc library).
+func (rg *Registry) Put(r *Registration) { rg.byHash[r.Hash] = r }
+
+// Delete removes a registration, reporting whether it existed.
+func (rg *Registry) Delete(hash uint64) bool {
+	if _, ok := rg.byHash[hash]; !ok {
+		return false
+	}
+	delete(rg.byHash, hash)
+	return true
+}
+
+// Len returns the number of registered types.
+func (rg *Registry) Len() int { return len(rg.byHash) }
+
+// SentCache is the sender-side hash table of §III-D: which (endpoint,
+// ifunc-type) pairs have already received the code section. Hits allow
+// truncated transmission.
+type SentCache struct {
+	m map[sentKey]bool
+	// Hits and Misses count cache decisions for reports.
+	Hits, Misses uint64
+}
+
+type sentKey struct {
+	dstNode int
+	hash    uint64
+}
+
+// NewSentCache returns an empty cache.
+func NewSentCache() *SentCache {
+	return &SentCache{m: make(map[sentKey]bool)}
+}
+
+// Seen reports whether dst has already received code for hash, counting
+// the lookup in the hit/miss stats.
+func (c *SentCache) Seen(dstNode int, hash uint64) bool {
+	if c.m[sentKey{dstNode, hash}] {
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Mark records that dst now has the code for hash.
+func (c *SentCache) Mark(dstNode int, hash uint64) {
+	c.m[sentKey{dstNode, hash}] = true
+}
+
+// Forget drops all entries for a type (re-registration invalidates).
+func (c *SentCache) Forget(hash uint64) {
+	for k := range c.m {
+		if k.hash == hash {
+			delete(c.m, k)
+		}
+	}
+}

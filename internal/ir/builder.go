@@ -1,0 +1,281 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR functions instruction-by-instruction, in the style
+// of LLVM's IRBuilder. This is the repository's "C path": low-level code
+// that a C frontend would have produced is written directly against this
+// API (the paper's C-based ifunc libraries).
+//
+// The zero Builder is not usable; call NewBuilder.
+type Builder struct {
+	Mod *Module
+	F   *Func
+	cur int // current block index
+}
+
+// NewBuilder returns a builder appending to mod.
+func NewBuilder(mod *Module) *Builder {
+	return &Builder{Mod: mod, cur: -1}
+}
+
+// NewModule is a convenience constructor for a named module produced by
+// the low-level path.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Source: "c"}
+}
+
+// NewFunc starts a new function with the given signature and makes its
+// entry block current. Parameter i is available in register Reg(i).
+func (b *Builder) NewFunc(name string, params []Type, ret Type) *Func {
+	f := &Func{
+		Name:    name,
+		Params:  append([]Type(nil), params...),
+		Ret:     ret,
+		NumRegs: len(params),
+	}
+	b.Mod.Funcs = append(b.Mod.Funcs, f)
+	b.F = f
+	b.cur = -1
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	return f
+}
+
+// Param returns the register holding parameter i of the current function.
+func (b *Builder) Param(i int) Reg {
+	if i < 0 || i >= len(b.F.Params) {
+		panic(fmt.Sprintf("ir: no parameter %d in %s", i, b.F.Name))
+	}
+	return Reg(i)
+}
+
+// NewBlock appends a new (empty) block and returns its index. It does not
+// change the insertion point.
+func (b *Builder) NewBlock(name string) int {
+	b.F.Blocks = append(b.F.Blocks, &Block{Name: name})
+	return len(b.F.Blocks) - 1
+}
+
+// SetBlock moves the insertion point to block idx.
+func (b *Builder) SetBlock(idx int) {
+	if idx < 0 || idx >= len(b.F.Blocks) {
+		panic(fmt.Sprintf("ir: bad block index %d", idx))
+	}
+	b.cur = idx
+}
+
+// CurBlock returns the current insertion block index.
+func (b *Builder) CurBlock() int { return b.cur }
+
+// newReg allocates a fresh virtual register.
+func (b *Builder) newReg() Reg {
+	r := Reg(b.F.NumRegs)
+	b.F.NumRegs++
+	return r
+}
+
+// emit appends in to the current block, allocating a destination register
+// when withDst is true.
+func (b *Builder) emit(in Instr, withDst bool) Reg {
+	if b.cur < 0 {
+		panic("ir: builder has no current block")
+	}
+	if withDst {
+		in.Dst = b.newReg()
+	} else {
+		in.Dst = NoReg
+	}
+	blk := b.F.Blocks[b.cur]
+	blk.Instrs = append(blk.Instrs, in)
+	return in.Dst
+}
+
+// Const64 materializes a 64-bit integer constant.
+func (b *Builder) Const64(v int64) Reg {
+	return b.emit(Instr{Op: OpConst, Ty: I64, Imm: v}, true)
+}
+
+// ConstF materializes a float64 constant.
+func (b *Builder) ConstF(v float64) Reg {
+	return b.emit(Instr{Op: OpFConst, Ty: F64, Imm: int64(f64bits(v))}, true)
+}
+
+// Bin emits a binary integer/float arithmetic instruction.
+func (b *Builder) Bin(op Opcode, x, y Reg) Reg {
+	ty := I64
+	switch op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		ty = F64
+	}
+	return b.emit(Instr{Op: op, Ty: ty, A: x, B: y}, true)
+}
+
+// Convenience arithmetic wrappers.
+func (b *Builder) Add(x, y Reg) Reg  { return b.Bin(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Reg) Reg  { return b.Bin(OpSub, x, y) }
+func (b *Builder) Mul(x, y Reg) Reg  { return b.Bin(OpMul, x, y) }
+func (b *Builder) SDiv(x, y Reg) Reg { return b.Bin(OpSDiv, x, y) }
+func (b *Builder) UDiv(x, y Reg) Reg { return b.Bin(OpUDiv, x, y) }
+func (b *Builder) SRem(x, y Reg) Reg { return b.Bin(OpSRem, x, y) }
+func (b *Builder) URem(x, y Reg) Reg { return b.Bin(OpURem, x, y) }
+func (b *Builder) And(x, y Reg) Reg  { return b.Bin(OpAnd, x, y) }
+func (b *Builder) Or(x, y Reg) Reg   { return b.Bin(OpOr, x, y) }
+func (b *Builder) Xor(x, y Reg) Reg  { return b.Bin(OpXor, x, y) }
+func (b *Builder) Shl(x, y Reg) Reg  { return b.Bin(OpShl, x, y) }
+func (b *Builder) LShr(x, y Reg) Reg { return b.Bin(OpLShr, x, y) }
+func (b *Builder) AShr(x, y Reg) Reg { return b.Bin(OpAShr, x, y) }
+func (b *Builder) FAdd(x, y Reg) Reg { return b.Bin(OpFAdd, x, y) }
+func (b *Builder) FSub(x, y Reg) Reg { return b.Bin(OpFSub, x, y) }
+func (b *Builder) FMul(x, y Reg) Reg { return b.Bin(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Reg) Reg { return b.Bin(OpFDiv, x, y) }
+
+// ICmp emits an integer comparison producing 0/1.
+func (b *Builder) ICmp(p Pred, x, y Reg) Reg {
+	return b.emit(Instr{Op: OpICmp, Ty: I64, Pred: p, A: x, B: y}, true)
+}
+
+// FCmp emits a float comparison producing 0/1.
+func (b *Builder) FCmp(p Pred, x, y Reg) Reg {
+	return b.emit(Instr{Op: OpFCmp, Ty: I64, Pred: p, A: x, B: y}, true)
+}
+
+// Trunc truncates x to the width of ty (I8/I16/I32), zeroing upper bits.
+func (b *Builder) Trunc(ty Type, x Reg) Reg {
+	return b.emit(Instr{Op: OpTrunc, Ty: ty, A: x}, true)
+}
+
+// SExt sign-extends the low bits of x (interpreted at width ty) to 64 bits.
+func (b *Builder) SExt(ty Type, x Reg) Reg {
+	return b.emit(Instr{Op: OpSExt, Ty: ty, A: x}, true)
+}
+
+// SIToFP, UIToFP, FPToSI, FPToUI convert between integer and float regs.
+func (b *Builder) SIToFP(x Reg) Reg { return b.emit(Instr{Op: OpSIToFP, Ty: F64, A: x}, true) }
+func (b *Builder) UIToFP(x Reg) Reg { return b.emit(Instr{Op: OpUIToFP, Ty: F64, A: x}, true) }
+func (b *Builder) FPToSI(x Reg) Reg { return b.emit(Instr{Op: OpFPToSI, Ty: I64, A: x}, true) }
+func (b *Builder) FPToUI(x Reg) Reg { return b.emit(Instr{Op: OpFPToUI, Ty: I64, A: x}, true) }
+
+// Select emits Dst = cond != 0 ? x : y.
+func (b *Builder) Select(cond, x, y Reg) Reg {
+	return b.emit(Instr{Op: OpSelect, Ty: I64, A: cond, B: x, C: y}, true)
+}
+
+// Alloca reserves size bytes of invocation-local stack and returns the
+// address.
+func (b *Builder) Alloca(size int64) Reg {
+	return b.emit(Instr{Op: OpAlloca, Ty: Ptr, Imm: size}, true)
+}
+
+// Load reads a ty-sized value from addr+off.
+func (b *Builder) Load(ty Type, addr Reg, off int64) Reg {
+	return b.emit(Instr{Op: OpLoad, Ty: ty, A: addr, Imm: off}, true)
+}
+
+// Store writes val as a ty-sized value to addr+off.
+func (b *Builder) Store(ty Type, val, addr Reg, off int64) {
+	b.emit(Instr{Op: OpStore, Ty: ty, A: val, B: addr, Imm: off}, false)
+}
+
+// PtrAdd computes base + idx*scale + disp.
+func (b *Builder) PtrAdd(base, idx Reg, scale, disp int64) Reg {
+	return b.emit(Instr{Op: OpPtrAdd, Ty: Ptr, A: base, B: idx, Imm: disp, Imm2: scale}, true)
+}
+
+// GlobalAddr materializes the address of a module global or of a global
+// exported by a loaded dependency.
+func (b *Builder) GlobalAddr(name string) Reg {
+	return b.emit(Instr{Op: OpGlobal, Ty: Ptr, Sym: name}, true)
+}
+
+// Br ends the current block with an unconditional branch.
+func (b *Builder) Br(target int) {
+	b.emit(Instr{Op: OpBr, T0: target}, false)
+}
+
+// CondBr ends the current block branching on cond.
+func (b *Builder) CondBr(cond Reg, then, els int) {
+	b.emit(Instr{Op: OpCondBr, A: cond, T0: then, T1: els}, false)
+}
+
+// Ret ends the current block returning val.
+func (b *Builder) Ret(val Reg) {
+	b.emit(Instr{Op: OpRet, A: val}, false)
+}
+
+// RetVoid ends the current block with a void return.
+func (b *Builder) RetVoid() {
+	b.emit(Instr{Op: OpRet, A: NoReg}, false)
+}
+
+// Call emits a direct call to sym. If sym is not defined in the module the
+// verifier requires it to be declared in Externs. hasResult selects
+// whether a destination register is allocated.
+func (b *Builder) Call(sym string, hasResult bool, args ...Reg) Reg {
+	ty := I64
+	if !hasResult {
+		ty = Void
+	}
+	return b.emit(Instr{Op: OpCall, Ty: ty, Sym: sym, Args: append([]Reg(nil), args...)}, hasResult)
+}
+
+// AtomicAdd emits a fetch-add on the i64 at addr.
+func (b *Builder) AtomicAdd(addr, delta Reg) Reg {
+	return b.emit(Instr{Op: OpAtomicAdd, Ty: I64, A: addr, B: delta}, true)
+}
+
+// AtomicCAS emits compare-and-swap on the i64 at addr; returns the old
+// value.
+func (b *Builder) AtomicCAS(addr, want, repl Reg) Reg {
+	return b.emit(Instr{Op: OpAtomicCAS, Ty: I64, A: addr, B: want, C: repl}, true)
+}
+
+// VSet fills count i64 elements at dst with val (vectorized memset).
+func (b *Builder) VSet(dst, val, count Reg) {
+	b.emit(Instr{Op: OpVSet, A: dst, B: val, C: count}, false)
+}
+
+// VCopy copies count i64 elements from src to dst (vectorized memcpy).
+func (b *Builder) VCopy(dst, src, count Reg) {
+	b.emit(Instr{Op: OpVCopy, A: dst, B: src, C: count}, false)
+}
+
+// VBinOp applies elementwise 'op' over count i64 elements:
+// dst[i] = a[i] op b[i].
+func (b *Builder) VBinOp(op Pred, dst, a, bb, count Reg) {
+	b.emit(Instr{Op: OpVBinOp, Pred: op, A: dst, B: a, C: bb, Args: []Reg{count}}, false)
+}
+
+// VReduce reduces count i64 elements at src with 'op' into the result reg.
+func (b *Builder) VReduce(op Pred, src, count Reg) Reg {
+	return b.emit(Instr{Op: OpVReduce, Ty: I64, Pred: op, A: src, B: count}, true)
+}
+
+// Trap ends the block aborting execution with the given code.
+func (b *Builder) Trap(code int64) {
+	b.emit(Instr{Op: OpTrap, Imm: code}, false)
+}
+
+// AddGlobal declares module-level storage and returns its name for
+// GlobalAddr.
+func (b *Builder) AddGlobal(name string, size int, init []byte) string {
+	b.Mod.Globals = append(b.Mod.Globals, Global{Name: name, Size: size, Init: append([]byte(nil), init...)})
+	return name
+}
+
+// DeclareExtern records an external symbol dependency.
+func (b *Builder) DeclareExtern(sym string) {
+	if !b.Mod.HasExtern(sym) {
+		b.Mod.Externs = append(b.Mod.Externs, sym)
+	}
+}
+
+// AddDep records a shared-library dependency (foo.deps entry).
+func (b *Builder) AddDep(lib string) {
+	for _, d := range b.Mod.Deps {
+		if d == lib {
+			return
+		}
+	}
+	b.Mod.Deps = append(b.Mod.Deps, lib)
+}

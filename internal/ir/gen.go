@@ -1,0 +1,158 @@
+package ir
+
+import "math/rand"
+
+// GenConfig tunes the random program generator.
+type GenConfig struct {
+	// MaxBlocks bounds the block count (forward-branching DAG, so every
+	// generated program terminates).
+	MaxBlocks int
+	// MaxInstrsPerBlock bounds straight-line block length.
+	MaxInstrsPerBlock int
+	// ScratchSize is the size of the scratch global all memory operations
+	// are masked into.
+	ScratchSize int
+	// WithCalls permits calls to a second generated helper function.
+	WithCalls bool
+	// WithVectors permits scalable vector kernel ops.
+	WithVectors bool
+}
+
+// DefaultGenConfig returns the configuration used by cross-package
+// property tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxBlocks:         6,
+		MaxInstrsPerBlock: 12,
+		ScratchSize:       256,
+		WithCalls:         true,
+		WithVectors:       true,
+	}
+}
+
+// GenModule produces a random, Verify-clean, always-terminating module.
+// It is the workload generator behind the semantic-equivalence property
+// tests (interpreter vs machine-code VM, pre- vs post-optimization,
+// bitcode round trips). Programs are deterministic in rng.
+func GenModule(rng *rand.Rand, cfg GenConfig) *Module {
+	if cfg.MaxBlocks <= 0 {
+		cfg = DefaultGenConfig()
+	}
+	m := &Module{Name: "gen", Source: "gen"}
+	m.Globals = append(m.Globals, Global{Name: "scratch", Size: cfg.ScratchSize})
+
+	if cfg.WithCalls {
+		genFunc(rng, m, "helper", cfg, false)
+	}
+	genFunc(rng, m, "main", cfg, cfg.WithCalls)
+	return m
+}
+
+// genFunc generates one function with two i64 params returning i64.
+func genFunc(rng *rand.Rand, m *Module, name string, cfg GenConfig, mayCall bool) {
+	b := NewBuilder(m)
+	b.NewFunc(name, []Type{I64, I64}, I64)
+
+	nblocks := 1 + rng.Intn(cfg.MaxBlocks)
+	blocks := make([]int, nblocks)
+	blocks[0] = b.CurBlock()
+	for i := 1; i < nblocks; i++ {
+		blocks[i] = b.NewBlock("")
+	}
+
+	// Registers defined in the entry block are safe in every successor.
+	scratch := b.GlobalAddr("scratch")
+	mask := b.Const64(int64(cfg.ScratchSize - 8))
+	safe := []Reg{b.Param(0), b.Param(1), scratch, mask,
+		b.Const64(int64(rng.Int31())), b.Const64(-7)}
+
+	pick := func(pool []Reg) Reg { return pool[rng.Intn(len(pool))] }
+
+	for bi := 0; bi < nblocks; bi++ {
+		if bi > 0 {
+			b.SetBlock(blocks[bi])
+		}
+		pool := append([]Reg(nil), safe...)
+		n := 1 + rng.Intn(cfg.MaxInstrsPerBlock)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(12) {
+			case 0:
+				pool = append(pool, b.Const64(rng.Int63n(1<<32)-1<<31))
+			case 1:
+				ops := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr}
+				pool = append(pool, b.Bin(ops[rng.Intn(len(ops))], pick(pool), pick(pool)))
+			case 2:
+				// Division with a guaranteed non-zero divisor.
+				div := b.Or(pick(pool), b.Const64(1))
+				ops := []Opcode{OpSDiv, OpUDiv, OpSRem, OpURem}
+				pool = append(pool, b.Bin(ops[rng.Intn(len(ops))], pick(pool), div))
+			case 3:
+				preds := []Pred{PredEQ, PredNE, PredSLT, PredSGE, PredULT, PredUGE}
+				pool = append(pool, b.ICmp(preds[rng.Intn(len(preds))], pick(pool), pick(pool)))
+			case 4:
+				pool = append(pool, b.Select(pick(pool), pick(pool), pick(pool)))
+			case 5:
+				// Masked in-bounds load from the scratch global.
+				off := b.And(pick(pool), mask)
+				addr := b.Add(scratch, off)
+				pool = append(pool, b.Load(I64, addr, 0))
+			case 6:
+				off := b.And(pick(pool), mask)
+				addr := b.Add(scratch, off)
+				b.Store(I64, pick(pool), addr, 0)
+			case 7:
+				tys := []Type{I8, I16, I32}
+				ty := tys[rng.Intn(len(tys))]
+				if rng.Intn(2) == 0 {
+					pool = append(pool, b.Trunc(ty, pick(pool)))
+				} else {
+					pool = append(pool, b.SExt(ty, pick(pool)))
+				}
+			case 8:
+				// Float round trip keeps values bit-stable.
+				f := b.SIToFP(pick(pool))
+				g := b.FAdd(f, b.ConstF(float64(rng.Intn(100))))
+				pool = append(pool, b.FPToSI(g))
+			case 9:
+				if mayCall {
+					pool = append(pool, b.Call("helper", true, pick(pool), pick(pool)))
+				} else {
+					pool = append(pool, b.Add(pick(pool), pick(pool)))
+				}
+			case 10:
+				if cfg.WithVectors {
+					// Vector ops over the first elements of scratch.
+					count := b.Const64(int64(1 + rng.Intn(cfg.ScratchSize/8)))
+					switch rng.Intn(3) {
+					case 0:
+						b.VSet(scratch, pick(pool), count)
+					case 1:
+						vp := []Pred{VPredAdd, VPredXor, VPredMax}[rng.Intn(3)]
+						b.VBinOp(vp, scratch, scratch, scratch, count)
+					default:
+						vp := []Pred{VPredAdd, VPredXor, VPredMin}[rng.Intn(3)]
+						pool = append(pool, b.VReduce(vp, scratch, count))
+					}
+				}
+			case 11:
+				off := b.And(pick(pool), mask)
+				pool = append(pool, b.PtrAdd(scratch, off, 1, 0))
+			}
+		}
+		// Terminator: forward-only control flow guarantees termination.
+		if bi == nblocks-1 {
+			b.Ret(pick(pool))
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			b.Ret(pick(pool))
+		case 1:
+			b.Br(blocks[bi+1+rng.Intn(nblocks-bi-1)])
+		default:
+			t0 := blocks[bi+1+rng.Intn(nblocks-bi-1)]
+			t1 := blocks[bi+1+rng.Intn(nblocks-bi-1)]
+			b.CondBr(pick(pool), t0, t1)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+// Package ir defines the portable intermediate representation that plays
+// the role of LLVM IR in this Three-Chains reproduction.
+//
+// The IR is typed, register-based and block-structured. A Module is the
+// unit of shipping: it contains functions, globals, external symbol
+// declarations and the list of shared-library dependencies that the
+// receiving runtime must load before execution (the paper's "foo.deps").
+//
+// Design points that mirror the paper's use of LLVM:
+//
+//   - The IR is architecture-portable. Lowering to machine code happens on
+//     the *receiving* side (package mcode / jit), where the local
+//     micro-architecture is known, so vector width and atomic instruction
+//     selection are decided late — the A64FX-emits-SVE story of §III-C.
+//   - Vector operations are "scalable": they name an element operation and
+//     a length, and the backend chooses the lane count, like SVE
+//     vector-length-agnostic code.
+//   - External calls are symbolic; resolution is deferred to the remote
+//     dynamic linker (package linker) or the JIT session (package jit).
+//
+// Registers are function-scoped virtual registers holding either a 64-bit
+// integer/pointer or a float64. Narrow integer types exist at memory
+// boundaries (loads, stores, truncations) as explicit conversion
+// operations, the way a RISC backend would materialize them.
+package ir
+
+import "fmt"
+
+// Type is the IR value type lattice. Integer registers are 64-bit wide at
+// execution time; narrow types describe memory operands and conversions.
+type Type uint8
+
+const (
+	// Void is the absence of a value (procedure returns).
+	Void Type = iota
+	// I8, I16, I32, I64 are integer types of the given bit width.
+	I8
+	I16
+	I32
+	I64
+	// F32 and F64 are IEEE-754 floating types. Register values are
+	// float64; F32 rounds at memory boundaries.
+	F32
+	F64
+	// Ptr is a 64-bit address into the owning node's simulated heap.
+	Ptr
+)
+
+// Size returns the in-memory size of the type in bytes.
+func (t Type) Size() int {
+	switch t {
+	case I8:
+		return 1
+	case I16:
+		return 2
+	case I32:
+		return 4
+	case I64, F64, Ptr:
+		return 8
+	case F32:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// IsInt reports whether t is an integer or pointer type.
+func (t Type) IsInt() bool { return t >= I8 && t <= I64 || t == Ptr }
+
+// IsFloat reports whether t is a floating-point type.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// String returns the LLVM-style spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I8:
+		return "i8"
+	case I16:
+		return "i16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("ty(%d)", uint8(t))
+	}
+}
+
+// Reg names a virtual register within a function. NoReg marks an absent
+// operand or a void destination.
+type Reg int32
+
+// NoReg is the sentinel for "no register".
+const NoReg Reg = -1
+
+// String renders the register in printer syntax.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("%%r%d", int32(r))
+}
+
+// Opcode enumerates IR operations.
+type Opcode uint8
+
+const (
+	// OpNop does nothing; passes may leave them behind and lowering
+	// discards them.
+	OpNop Opcode = iota
+
+	// OpConst materializes the signed 64-bit immediate Imm into Dst.
+	OpConst
+	// OpFConst materializes the float64 immediate (bits in Imm) into Dst.
+	OpFConst
+
+	// Integer arithmetic: Dst = A op B. Division by zero traps.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Floating arithmetic: Dst = A op B on float64 registers.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// OpICmp compares integers with predicate Pred; Dst is 0 or 1.
+	OpICmp
+	// OpFCmp compares floats with predicate Pred; Dst is 0 or 1.
+	OpFCmp
+
+	// Conversions.
+	OpTrunc  // Dst = A truncated to Ty (I8/I16/I32), zero upper bits
+	OpSExt   // Dst = A's low Ty bits sign-extended to 64
+	OpSIToFP // Dst = float64(int64(A))
+	OpUIToFP // Dst = float64(uint64(A))
+	OpFPToSI // Dst = int64(float64(A)), traps on NaN/overflow-free trunc
+	OpFPToUI // Dst = uint64(float64(A))
+
+	// OpSelect: Dst = A != 0 ? B : C.
+	OpSelect
+
+	// Memory. Addresses are offsets into the executing node's heap.
+	OpAlloca // Dst = stack allocation of Imm bytes (8-byte aligned)
+	OpLoad   // Dst = *(Ty*)(A + Imm)
+	OpStore  // *(Ty*)(B + Imm) = A
+	OpPtrAdd // Dst = A + B*Imm2 + Imm (GEP: base, index, scale, disp)
+
+	// OpGlobal materializes the address of global Sym into Dst.
+	OpGlobal
+
+	// Control flow. T0/T1 index blocks of the containing function.
+	OpBr     // unconditional to T0
+	OpCondBr // A != 0 ? T0 : T1
+	OpRet    // return A (or void when A == NoReg)
+
+	// OpCall calls Sym with Args. If Sym is a function in the same module
+	// it is a local call; otherwise resolution is deferred to the linker
+	// ("external symbol", costs an indirect call through the GOT when the
+	// module was shipped as a binary ifunc).
+	OpCall
+
+	// Atomics (the LSE story: single-instruction on µarchs with LSE,
+	// CAS-loop cost otherwise).
+	OpAtomicAdd // Dst = fetch-add(*(i64*)A, B)
+	OpAtomicCAS // Dst = old; if *(i64*)A == B { *A = C }
+
+	// Scalable vector kernel operations (SVE-style vector-length-agnostic
+	// loops; the backend picks the lane count from the local µarch).
+	OpVSet    // fill: A=dst ptr, B=value(i64), C=count
+	OpVCopy   // copy: A=dst ptr, B=src ptr, C=count (8-byte elems)
+	OpVBinOp  // elementwise: A=dst, B=src1, C=src2, count in Args[0]; Pred selects +,-,*,& (VPred*)
+	OpVReduce // Dst = reduce(src=A, count=B) with Pred VPred* over i64
+
+	// OpTrap aborts execution with code Imm (bounds-check failures from
+	// high-level frontends, unreachable markers).
+	OpTrap
+
+	opcodeCount
+)
+
+// NumOpcodes is the count of defined opcodes.
+const NumOpcodes = int(opcodeCount)
+
+var opcodeNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpFConst: "fconst",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpUDiv: "udiv",
+	OpSRem: "srem", OpURem: "urem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpTrunc: "trunc", OpSExt: "sext", OpSIToFP: "sitofp", OpUIToFP: "uitofp",
+	OpFPToSI: "fptosi", OpFPToUI: "fptoui",
+	OpSelect: "select",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpPtrAdd: "ptradd",
+	OpGlobal: "global",
+	OpBr:     "br", OpCondBr: "condbr", OpRet: "ret",
+	OpCall:      "call",
+	OpAtomicAdd: "atomicadd", OpAtomicCAS: "atomiccas",
+	OpVSet: "vset", OpVCopy: "vcopy", OpVBinOp: "vbinop", OpVReduce: "vreduce",
+	OpTrap: "trap",
+}
+
+// String returns the printer mnemonic of the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Pred is a comparison predicate for OpICmp/OpFCmp, and doubles as the
+// element-operation selector for vector kernels.
+type Pred uint8
+
+const (
+	// Integer predicates (signed and unsigned).
+	PredEQ Pred = iota
+	PredNE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+	// Ordered float predicates.
+	PredOEQ
+	PredONE
+	PredOLT
+	PredOLE
+	PredOGT
+	PredOGE
+	// Vector element operations (OpVBinOp/OpVReduce).
+	VPredAdd
+	VPredSub
+	VPredMul
+	VPredAnd
+	VPredXor
+	VPredMax
+	VPredMin
+
+	predCount
+)
+
+var predNames = [...]string{
+	PredEQ: "eq", PredNE: "ne", PredSLT: "slt", PredSLE: "sle",
+	PredSGT: "sgt", PredSGE: "sge", PredULT: "ult", PredULE: "ule",
+	PredUGT: "ugt", PredUGE: "uge",
+	PredOEQ: "oeq", PredONE: "one", PredOLT: "olt", PredOLE: "ole",
+	PredOGT: "ogt", PredOGE: "oge",
+	VPredAdd: "vadd", VPredSub: "vsub", VPredMul: "vmul",
+	VPredAnd: "vand", VPredXor: "vxor", VPredMax: "vmax", VPredMin: "vmin",
+}
+
+// String returns the predicate mnemonic.
+func (p Pred) String() string {
+	if int(p) < len(predNames) && predNames[p] != "" {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// Instr is one IR instruction. The meaning of the fields depends on Op;
+// see the Opcode documentation. Call instructions carry their operands in
+// Args; everything else uses A, B, C.
+type Instr struct {
+	Op   Opcode
+	Ty   Type  // result type, or memory operand type for load/store
+	Dst  Reg   // destination register (NoReg for void results)
+	A    Reg   // first operand
+	B    Reg   // second operand
+	C    Reg   // third operand
+	Imm  int64 // immediate: constant, offset, alloca size, trap code
+	Imm2 int64 // second immediate: ptradd scale
+	Sym  string
+	Pred Pred
+	T0   int // branch target (block index)
+	T1   int // branch else-target
+	Args []Reg
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpBr, OpCondBr, OpRet, OpTrap:
+		return true
+	}
+	return false
+}
+
+// HasSideEffects reports whether the instruction may not be removed even
+// if its result is unused.
+func (in *Instr) HasSideEffects() bool {
+	switch in.Op {
+	case OpStore, OpCall, OpAtomicAdd, OpAtomicCAS,
+		OpVSet, OpVCopy, OpVBinOp, OpVReduce,
+		OpBr, OpCondBr, OpRet, OpTrap, OpAlloca:
+		return true
+	case OpSDiv, OpUDiv, OpSRem, OpURem:
+		return true // may trap on zero divisor
+	}
+	return false
+}
+
+// Uses appends the registers read by the instruction to dst and returns it.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != NoReg {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case OpConst, OpFConst, OpAlloca, OpGlobal, OpBr, OpNop:
+	case OpRet:
+		add(in.A)
+	case OpCall:
+		for _, r := range in.Args {
+			add(r)
+		}
+	default:
+		add(in.A)
+		add(in.B)
+		add(in.C)
+		// Some opcodes (e.g. OpVBinOp's element count) carry extra
+		// operands in Args.
+		for _, r := range in.Args {
+			add(r)
+		}
+	}
+	return dst
+}
+
+// Block is a basic block: a label and a straight-line instruction list
+// ending in exactly one terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Terminator returns the final instruction of the block, or nil if the
+// block is empty or unterminated (only valid pre-verification).
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := &b.Instrs[len(b.Instrs)-1]
+	if !t.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Func is an IR function. Parameters arrive in registers 0..len(Params)-1.
+// Blocks[0] is the entry block.
+type Func struct {
+	Name    string
+	Params  []Type
+	Ret     Type
+	NumRegs int
+	Blocks  []*Block
+}
+
+// NumInstrs counts the instructions in the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Global is module-level mutable storage. The loader allocates Size bytes
+// in the receiving node's heap and copies Init (padded with zeros).
+type Global struct {
+	Name string
+	Size int
+	Init []byte
+}
+
+// Module is the shippable compilation unit — the analogue of one LLVM
+// bitcode module.
+type Module struct {
+	// Name identifies the ifunc library ("foo" in the paper's workflow).
+	Name string
+	// Source records the producing frontend ("c" for the builder path,
+	// "minilang" for the Julia-like path). Informational.
+	Source string
+	// TargetHint optionally names the triple this copy was tuned for;
+	// empty means fully generic. Fat-bitcode archives hold one module per
+	// target triple.
+	TargetHint string
+	Funcs      []*Func
+	Globals    []Global
+	// Externs declares symbols that must be resolved by the target-side
+	// linker (runtime intrinsics, shared-library functions).
+	Externs []string
+	// Deps lists shared libraries the target must load before running
+	// (the contents of the paper's foo.deps file).
+	Deps []string
+	// Meta carries free-form metadata (compile options, source digest).
+	Meta map[string]string
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// HasExtern reports whether the module declares sym as external.
+func (m *Module) HasExtern(sym string) bool {
+	for _, e := range m.Externs {
+		if e == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// NumInstrs counts instructions across all functions; the JIT cost model
+// charges compilation time proportional to this.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// IsPure reports whether the module needs no external symbols or deps —
+// the paper's "pure" ifuncs that skip GOT patching entirely.
+func (m *Module) IsPure() bool {
+	return len(m.Externs) == 0 && len(m.Deps) == 0
+}
+
+// Clone returns a deep copy of the module. Passes mutate in place;
+// senders clone when they must keep a pristine archive copy.
+func (m *Module) Clone() *Module {
+	c := &Module{
+		Name:       m.Name,
+		Source:     m.Source,
+		TargetHint: m.TargetHint,
+	}
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Name:    f.Name,
+			Params:  append([]Type(nil), f.Params...),
+			Ret:     f.Ret,
+			NumRegs: f.NumRegs,
+		}
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Instrs: append([]Instr(nil), b.Instrs...)}
+			for i := range nb.Instrs {
+				if nb.Instrs[i].Args != nil {
+					nb.Instrs[i].Args = append([]Reg(nil), nb.Instrs[i].Args...)
+				}
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		c.Funcs = append(c.Funcs, nf)
+	}
+	for _, g := range m.Globals {
+		c.Globals = append(c.Globals, Global{
+			Name: g.Name, Size: g.Size, Init: append([]byte(nil), g.Init...),
+		})
+	}
+	c.Externs = append([]string(nil), m.Externs...)
+	c.Deps = append([]string(nil), m.Deps...)
+	if m.Meta != nil {
+		c.Meta = make(map[string]string, len(m.Meta))
+		for k, v := range m.Meta {
+			c.Meta[k] = v
+		}
+	}
+	return c
+}

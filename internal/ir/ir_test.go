@@ -1,0 +1,501 @@
+package ir
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildCounter builds the paper's TSI kernel shape: increment an i64 at
+// the target pointer.
+func buildCounter(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("tsi")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{Ptr, I64, Ptr}, I64)
+	old := b.Load(I64, b.Param(2), 0)
+	inc := b.Add(old, b.Const64(1))
+	b.Store(I64, inc, b.Param(2), 0)
+	b.Ret(inc)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func runMain(t *testing.T, m *Module, env *SimpleEnv, args ...uint64) uint64 {
+	t.Helper()
+	ip := NewInterp(m, env, ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+	res, err := ip.Run("main", args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Value
+}
+
+func TestCounterIncrements(t *testing.T) {
+	m := buildCounter(t)
+	env := NewSimpleEnv(1 << 16)
+	env.StoreU64(512, 41)
+	got := runMain(t, m, env, 0, 0, 512)
+	if got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if env.LoadU64(512) != 42 {
+		t.Fatalf("memory = %d, want 42", env.LoadU64(512))
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder, x, y Reg) Reg
+		x, y  uint64
+		want  uint64
+	}{
+		{"add", func(b *Builder, x, y Reg) Reg { return b.Add(x, y) }, 3, 4, 7},
+		{"sub-wrap", func(b *Builder, x, y Reg) Reg { return b.Sub(x, y) }, 1, 2, ^uint64(0)},
+		{"mul", func(b *Builder, x, y Reg) Reg { return b.Mul(x, y) }, 7, 6, 42},
+		{"sdiv-neg", func(b *Builder, x, y Reg) Reg { return b.SDiv(x, y) }, ^uint64(8), 2, ^uint64(3)},
+		{"udiv", func(b *Builder, x, y Reg) Reg { return b.UDiv(x, y) }, ^uint64(0), 2, (^uint64(0)) / 2},
+		{"srem", func(b *Builder, x, y Reg) Reg { return b.SRem(x, y) }, ^uint64(6), 3, ^uint64(0)},
+		{"shl-mask", func(b *Builder, x, y Reg) Reg { return b.Shl(x, y) }, 1, 65, 2},
+		{"ashr", func(b *Builder, x, y Reg) Reg { return b.AShr(x, y) }, ^uint64(7), 1, ^uint64(3)},
+		{"xor", func(b *Builder, x, y Reg) Reg { return b.Xor(x, y) }, 0xff00, 0x0ff0, 0xf0f0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewModule("arith")
+			b := NewBuilder(m)
+			b.NewFunc("main", []Type{I64, I64}, I64)
+			b.Ret(tc.build(b, b.Param(0), b.Param(1)))
+			if err := Verify(m); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			env := NewSimpleEnv(1 << 14)
+			if got := runMain(t, m, env, tc.x, tc.y); got != tc.want {
+				t.Fatalf("got %#x, want %#x", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	m := NewModule("div0")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Ret(b.SDiv(b.Param(0), b.Param(1)))
+	env := NewSimpleEnv(1 << 12)
+	ip := NewInterp(m, env, ExecLimits{})
+	_, err := ip.Run("main", 1, 0)
+	if !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("err = %v, want divide-by-zero", err)
+	}
+}
+
+func TestLoadStoreTypes(t *testing.T) {
+	// Store a wide value through each narrow type and read it back.
+	for _, ty := range []Type{I8, I16, I32, I64} {
+		m := NewModule("mem")
+		b := NewBuilder(m)
+		b.NewFunc("main", []Type{I64, I64}, I64)
+		addr := b.Const64(64)
+		b.Store(ty, b.Param(0), addr, 0)
+		b.Ret(b.Load(ty, addr, 0))
+		env := NewSimpleEnv(1 << 12)
+		v := runMain(t, m, env, 0x1122334455667788, 0)
+		var want uint64
+		switch ty {
+		case I8:
+			want = 0x88
+		case I16:
+			want = 0x7788
+		case I32:
+			want = 0x55667788
+		case I64:
+			want = 0x1122334455667788
+		}
+		if v != want {
+			t.Errorf("%s roundtrip = %#x, want %#x", ty, v, want)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	m := NewModule("float")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	f := b.SIToFP(b.Param(0))
+	g := b.FMul(f, b.ConstF(2.5))
+	b.Ret(b.FPToSI(g))
+	env := NewSimpleEnv(1 << 12)
+	if got := runMain(t, m, env, 10, 0); got != 25 {
+		t.Fatalf("10*2.5 = %d, want 25", got)
+	}
+}
+
+func TestF32Store(t *testing.T) {
+	m := NewModule("f32")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	addr := b.Const64(32)
+	v := b.ConstF(1.5)
+	b.Store(F32, v, addr, 0)
+	back := b.Load(F32, addr, 0)
+	b.Ret(b.FPToSI(b.FMul(back, b.ConstF(2))))
+	env := NewSimpleEnv(1 << 12)
+	if got := runMain(t, m, env, 0, 0); got != 3 {
+		t.Fatalf("got %d, want 3", got)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	// sum 0..n-1 via a back-edge loop.
+	m := NewModule("loop")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	acc := b.Alloca(8)
+	i := b.Alloca(8)
+	zero := b.Const64(0)
+	b.Store(I64, zero, acc, 0)
+	b.Store(I64, zero, i, 0)
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	iv := b.Load(I64, i, 0)
+	b.CondBr(b.ICmp(PredSLT, iv, b.Param(0)), body, exit)
+	b.SetBlock(body)
+	iv2 := b.Load(I64, i, 0)
+	a := b.Load(I64, acc, 0)
+	b.Store(I64, b.Add(a, iv2), acc, 0)
+	b.Store(I64, b.Add(iv2, b.Const64(1)), i, 0)
+	b.Br(head)
+	b.SetBlock(exit)
+	b.Ret(b.Load(I64, acc, 0))
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	env := NewSimpleEnv(1 << 14)
+	if got := runMain(t, m, env, 100, 0); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+}
+
+func TestLocalCallAndRecursion(t *testing.T) {
+	// fib via recursion exercises call frames and stack discipline.
+	m := NewModule("fib")
+	b := NewBuilder(m)
+	b.NewFunc("fib", []Type{I64}, I64)
+	lt2 := b.ICmp(PredSLT, b.Param(0), b.Const64(2))
+	rec := b.NewBlock("rec")
+	base := b.NewBlock("base")
+	b.CondBr(lt2, base, rec)
+	b.SetBlock(base)
+	b.Ret(b.Param(0))
+	b.SetBlock(rec)
+	n1 := b.Sub(b.Param(0), b.Const64(1))
+	n2 := b.Sub(b.Param(0), b.Const64(2))
+	f1 := b.Call("fib", true, n1)
+	f2 := b.Call("fib", true, n2)
+	b.Ret(b.Add(f1, f2))
+
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Ret(b.Call("fib", true, b.Param(0)))
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	env := NewSimpleEnv(1 << 14)
+	if got := runMain(t, m, env, 15, 0); got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestExternCall(t *testing.T) {
+	m := NewModule("ext")
+	b := NewBuilder(m)
+	b.DeclareExtern("host.add")
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Ret(b.Call("host.add", true, b.Param(0), b.Param(1)))
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	env := NewSimpleEnv(1 << 12)
+	env.Externs["host.add"] = func(args []uint64) (uint64, error) { return args[0] + args[1], nil }
+	if got := runMain(t, m, env, 40, 2); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestUnresolvedExternFails(t *testing.T) {
+	m := NewModule("ext")
+	b := NewBuilder(m)
+	b.DeclareExtern("gone")
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Ret(b.Call("gone", true))
+	env := NewSimpleEnv(1 << 12)
+	ip := NewInterp(m, env, ExecLimits{})
+	if _, err := ip.Run("main", 0, 0); !errors.Is(err, ErrUnresolved) {
+		t.Fatalf("err = %v, want unresolved", err)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	m := NewModule("atomics")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	addr := b.Const64(128)
+	b.Store(I64, b.Param(0), addr, 0)
+	old := b.AtomicAdd(addr, b.Const64(5))
+	prev := b.AtomicCAS(addr, b.Add(old, b.Const64(5)), b.Const64(99))
+	_ = prev
+	b.Ret(b.Load(I64, addr, 0))
+	env := NewSimpleEnv(1 << 12)
+	if got := runMain(t, m, env, 10, 0); got != 99 {
+		t.Fatalf("after CAS got %d, want 99", got)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	m := NewModule("vec")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	base := b.Const64(0)
+	n := b.Const64(16)
+	b.VSet(base, b.Const64(3), n)
+	b.VBinOp(VPredAdd, base, base, base, n) // each elem becomes 6
+	b.Ret(b.VReduce(VPredAdd, base, n))     // 16*6 = 96
+	env := NewSimpleEnv(1 << 12)
+	if got := runMain(t, m, env, 0, 0); got != 96 {
+		t.Fatalf("vector sum = %d, want 96", got)
+	}
+}
+
+func TestOutOfBoundsLoadTraps(t *testing.T) {
+	m := NewModule("oob")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Ret(b.Load(I64, b.Param(0), 0))
+	env := NewSimpleEnv(64)
+	ip := NewInterp(m, env, ExecLimits{})
+	if _, err := ip.Run("main", 1<<40, 0); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("err = %v, want out-of-bounds", err)
+	}
+}
+
+func TestTrapInstruction(t *testing.T) {
+	m := NewModule("trap")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Trap(7)
+	env := NewSimpleEnv(64)
+	ip := NewInterp(m, env, ExecLimits{})
+	_, err := ip.Run("main", 0, 0)
+	var te *TrapError
+	if !errors.As(err, &te) || te.Code != 7 {
+		t.Fatalf("err = %v, want trap 7", err)
+	}
+	if !errors.Is(err, ErrTrap) {
+		t.Fatalf("trap error does not unwrap to ErrTrap")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := NewModule("spin")
+	b := NewBuilder(m)
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	loop := b.NewBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	env := NewSimpleEnv(64)
+	ip := NewInterp(m, env, ExecLimits{MaxSteps: 1000})
+	if _, err := ip.Run("main", 0, 0); !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+func TestAllocaIsZeroedAndStackRestored(t *testing.T) {
+	m := NewModule("alloca")
+	b := NewBuilder(m)
+	// callee dirties its stack then returns.
+	b.NewFunc("dirty", []Type{}, Void)
+	p := b.Alloca(16)
+	b.Store(I64, b.Const64(-1), p, 0)
+	b.RetVoid()
+	// main: call dirty twice; second alloca must still read zero.
+	b.NewFunc("main", []Type{I64, I64}, I64)
+	b.Call("dirty", false)
+	q := b.Alloca(16)
+	b.Ret(b.Load(I64, q, 0))
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	env := NewSimpleEnv(1 << 14)
+	if got := runMain(t, m, env, 0, 0); got != 0 {
+		t.Fatalf("fresh alloca reads %d, want 0", got)
+	}
+}
+
+func TestVerifyCatchesBadIR(t *testing.T) {
+	mk := func() (*Module, *Builder) {
+		m := NewModule("bad")
+		b := NewBuilder(m)
+		b.NewFunc("main", []Type{I64}, I64)
+		return m, b
+	}
+	t.Run("unterminated block", func(t *testing.T) {
+		m, b := mk()
+		_ = b.Add(b.Param(0), b.Param(0))
+		if Verify(m) == nil {
+			t.Fatal("verify accepted unterminated block")
+		}
+	})
+	t.Run("bad branch target", func(t *testing.T) {
+		m, b := mk()
+		b.Br(99)
+		if Verifier := Verify(m); Verifier == nil {
+			t.Fatal("verify accepted bad branch target")
+		}
+	})
+	t.Run("unknown call target", func(t *testing.T) {
+		m, b := mk()
+		b.Ret(b.Call("nowhere", true))
+		if Verify(m) == nil {
+			t.Fatal("verify accepted undeclared call target")
+		}
+	})
+	t.Run("void return mismatch", func(t *testing.T) {
+		m, b := mk()
+		b.RetVoid()
+		if Verify(m) == nil {
+			t.Fatal("verify accepted void return from i64 function")
+		}
+	})
+	t.Run("bad global", func(t *testing.T) {
+		m, b := mk()
+		g := b.GlobalAddr("missing")
+		b.Ret(g)
+		if Verify(m) == nil {
+			t.Fatal("verify accepted undefined global")
+		}
+	})
+	t.Run("arity mismatch", func(t *testing.T) {
+		m, b := mk()
+		b.Ret(b.Call("main", true)) // main takes 1 arg
+		if Verify(m) == nil {
+			t.Fatal("verify accepted arity mismatch")
+		}
+	})
+	t.Run("duplicate function", func(t *testing.T) {
+		m, b := mk()
+		b.Ret(b.Param(0))
+		b.NewFunc("main", []Type{I64}, I64)
+		b.Ret(b.Param(0))
+		if Verify(m) == nil {
+			t.Fatal("verify accepted duplicate function names")
+		}
+	})
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	m := buildCounter(t)
+	s := Print(m)
+	for _, want := range []string{"func @main", "load i64", "store i64", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := buildCounter(t)
+	c := m.Clone()
+	c.Funcs[0].Blocks[0].Instrs[0].Imm = 999
+	c.Name = "other"
+	if m.Funcs[0].Blocks[0].Instrs[0].Imm == 999 {
+		t.Fatal("clone shares instruction storage")
+	}
+	if m.Name == "other" {
+		t.Fatal("clone shares name")
+	}
+}
+
+func TestGenModuleAlwaysVerifiesAndTerminates(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := GenModule(rng, cfg)
+		if err := Verify(m); err != nil {
+			t.Fatalf("seed %d: generated module fails verify: %v", seed, err)
+		}
+		env := NewSimpleEnv(1 << 14)
+		env.Globals["scratch"] = 0
+		ip := NewInterp(m, env, ExecLimits{MaxSteps: 1 << 20, StackBase: 4096, StackSize: 4096})
+		if _, err := ip.Run("main", uint64(seed), uint64(seed*3)); err != nil {
+			t.Fatalf("seed %d: generated module traps: %v", seed, err)
+		}
+	}
+}
+
+func TestGenModuleDeterministic(t *testing.T) {
+	a := GenModule(rand.New(rand.NewSource(42)), DefaultGenConfig())
+	b := GenModule(rand.New(rand.NewSource(42)), DefaultGenConfig())
+	if Print(a) != Print(b) {
+		t.Fatal("same seed produced different modules")
+	}
+}
+
+func TestTripleParse(t *testing.T) {
+	// Type/width sanity that other packages rely on.
+	if I64.Size() != 8 || F32.Size() != 4 || I8.Size() != 1 {
+		t.Fatal("type sizes wrong")
+	}
+	if !Ptr.IsInt() || F64.IsInt() || !F32.IsFloat() {
+		t.Fatal("type classification wrong")
+	}
+}
+
+func TestPrintGoldenTSIShape(t *testing.T) {
+	// The printer is part of the debugging surface; lock the structural
+	// shape (not byte-exact formatting) of a known kernel.
+	m := buildCounter(t)
+	out := Print(m)
+	wantLines := []string{
+		`; module "tsi" source=c`,
+		"func @main(ptr %r0, i64 %r1, ptr %r2) i64 {",
+		"%r3 = load i64 [%r2 + 0]",
+		"%r4 = const i64 1",
+		"%r5 = add %r3, %r4",
+		"store i64 %r5 -> [%r2 + 0]",
+		"ret %r5",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Errorf("printout missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestUsesCoversAllOperandKinds(t *testing.T) {
+	// Uses() feeds DCE and fusion; every operand slot must be reported.
+	cases := []struct {
+		in   Instr
+		want int
+	}{
+		{Instr{Op: OpAdd, Dst: 2, A: 0, B: 1, C: NoReg}, 2},
+		{Instr{Op: OpSelect, Dst: 3, A: 0, B: 1, C: 2}, 3},
+		{Instr{Op: OpCall, Dst: 1, A: NoReg, B: NoReg, C: NoReg, Args: []Reg{0, 2, 4}}, 3},
+		{Instr{Op: OpVBinOp, Dst: NoReg, A: 0, B: 1, C: 2, Args: []Reg{3}}, 4},
+		{Instr{Op: OpConst, Dst: 0, A: NoReg, B: NoReg, C: NoReg}, 0},
+		{Instr{Op: OpRet, A: 5, B: NoReg, C: NoReg, Dst: NoReg}, 1},
+		{Instr{Op: OpBr, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg}, 0},
+	}
+	for i, tc := range cases {
+		if got := len(tc.in.Uses(nil)); got != tc.want {
+			t.Errorf("case %d (%s): %d uses, want %d", i, tc.in.Op, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in a stable LLVM-flavoured textual form.
+// The output is for humans, logs and golden tests; bitcode (package
+// bitcode) is the machine interchange format.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %q source=%s", m.Name, m.Source)
+	if m.TargetHint != "" {
+		fmt.Fprintf(&sb, " target=%s", m.TargetHint)
+	}
+	sb.WriteByte('\n')
+	for _, d := range m.Deps {
+		fmt.Fprintf(&sb, "dep %q\n", d)
+	}
+	for _, e := range m.Externs {
+		fmt.Fprintf(&sb, "extern @%s\n", e)
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global @%s [%d bytes, %d init]\n", g.Name, g.Size, len(g.Init))
+	}
+	for _, f := range m.Funcs {
+		printFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, f *Func) {
+	var ps []string
+	for i, p := range f.Params {
+		ps = append(ps, fmt.Sprintf("%s %%r%d", p, i))
+	}
+	fmt.Fprintf(sb, "\nfunc @%s(%s) %s {\n", f.Name, strings.Join(ps, ", "), f.Ret)
+	for bi, blk := range f.Blocks {
+		name := blk.Name
+		if name == "" {
+			name = fmt.Sprintf("b%d", bi)
+		}
+		fmt.Fprintf(sb, "%s: ; block %d\n", name, bi)
+		for i := range blk.Instrs {
+			fmt.Fprintf(sb, "  %s\n", FormatInstr(&blk.Instrs[i]))
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// FormatInstr renders a single instruction.
+func FormatInstr(in *Instr) string {
+	dst := ""
+	if in.Dst != NoReg {
+		dst = fmt.Sprintf("%s = ", in.Dst)
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpUDiv, OpSRem, OpURem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr,
+		OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return fmt.Sprintf("%s%s %s, %s", dst, in.Op, in.A, in.B)
+	case OpConst:
+		return fmt.Sprintf("%s%s %s %d", dst, in.Op, in.Ty, in.Imm)
+	case OpFConst:
+		return fmt.Sprintf("%s%s %s %g", dst, in.Op, in.Ty, f64frombits(uint64(in.Imm)))
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%s%s %s %s, %s", dst, in.Op, in.Pred, in.A, in.B)
+	case OpTrunc, OpSExt:
+		return fmt.Sprintf("%s%s %s %s", dst, in.Op, in.Ty, in.A)
+	case OpSIToFP, OpUIToFP, OpFPToSI, OpFPToUI:
+		return fmt.Sprintf("%s%s %s", dst, in.Op, in.A)
+	case OpSelect:
+		return fmt.Sprintf("%s%s %s, %s, %s", dst, in.Op, in.A, in.B, in.C)
+	case OpAlloca:
+		return fmt.Sprintf("%s%s %d", dst, in.Op, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s%s %s [%s + %d]", dst, in.Op, in.Ty, in.A, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("%s %s %s -> [%s + %d]", in.Op, in.Ty, in.A, in.B, in.Imm)
+	case OpPtrAdd:
+		return fmt.Sprintf("%s%s %s + %s*%d + %d", dst, in.Op, in.A, in.B, in.Imm2, in.Imm)
+	case OpGlobal:
+		return fmt.Sprintf("%s%s @%s", dst, in.Op, in.Sym)
+	case OpBr:
+		return fmt.Sprintf("%s ->%d", in.Op, in.T0)
+	case OpCondBr:
+		return fmt.Sprintf("%s %s ->%d ->%d", in.Op, in.A, in.T0, in.T1)
+	case OpRet:
+		if in.A == NoReg {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", in.A)
+	case OpCall:
+		var as []string
+		for _, a := range in.Args {
+			as = append(as, a.String())
+		}
+		return fmt.Sprintf("%scall @%s(%s)", dst, in.Sym, strings.Join(as, ", "))
+	case OpAtomicAdd:
+		return fmt.Sprintf("%s%s [%s], %s", dst, in.Op, in.A, in.B)
+	case OpAtomicCAS:
+		return fmt.Sprintf("%s%s [%s], %s, %s", dst, in.Op, in.A, in.B, in.C)
+	case OpVSet:
+		return fmt.Sprintf("%s [%s], %s x %s", in.Op, in.A, in.B, in.C)
+	case OpVCopy:
+		return fmt.Sprintf("%s [%s] <- [%s] x %s", in.Op, in.A, in.B, in.C)
+	case OpVBinOp:
+		return fmt.Sprintf("%s %s [%s] = [%s], [%s] x %s", in.Op, in.Pred, in.A, in.B, in.C, in.Args[0])
+	case OpVReduce:
+		return fmt.Sprintf("%s%s %s [%s] x %s", dst, in.Op, in.Pred, in.A, in.B)
+	case OpTrap:
+		return fmt.Sprintf("trap %d", in.Imm)
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("%s%s %s %s %s", dst, in.Op, in.A, in.B, in.C)
+	}
+}

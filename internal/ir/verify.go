@@ -1,0 +1,290 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// f64bits and f64frombits convert between float64 values and their IEEE
+// bit patterns; the IR stores float immediates and register values as
+// uint64 bit patterns.
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// VerifyError describes a structural problem found by Verify.
+type VerifyError struct {
+	Module string
+	Func   string
+	Block  int
+	Index  int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	if e.Func == "" {
+		return fmt.Sprintf("ir: module %q: %s", e.Module, e.Msg)
+	}
+	return fmt.Sprintf("ir: %s.%s block %d instr %d: %s",
+		e.Module, e.Func, e.Block, e.Index, e.Msg)
+}
+
+// Verify checks module-level structural invariants:
+//
+//   - function names are unique and non-empty;
+//   - every block is non-empty and ends in exactly one terminator, with
+//     no terminators mid-block;
+//   - branch targets are in range;
+//   - registers are within the declared register count;
+//   - instructions have destinations exactly when their opcode produces a
+//     value; operand registers are present where required;
+//   - direct calls resolve to a module function (with matching arity) or
+//     to a declared extern;
+//   - globals referenced by OpGlobal exist in the module or are declared
+//     extern; global names are unique; init data fits declared size.
+//
+// Verify is run by the toolchain before serialization and by the receiving
+// runtime after deserialization, mirroring LLVM's bitcode verifier.
+func Verify(m *Module) error {
+	if m.Name == "" {
+		return &VerifyError{Module: m.Name, Msg: "module has no name"}
+	}
+	fnames := make(map[string]int, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if f.Name == "" {
+			return &VerifyError{Module: m.Name, Msg: "function with empty name"}
+		}
+		if _, dup := fnames[f.Name]; dup {
+			return &VerifyError{Module: m.Name, Msg: fmt.Sprintf("duplicate function %q", f.Name)}
+		}
+		fnames[f.Name] = len(f.Params)
+	}
+	gnames := make(map[string]bool, len(m.Globals))
+	for _, g := range m.Globals {
+		if g.Name == "" {
+			return &VerifyError{Module: m.Name, Msg: "global with empty name"}
+		}
+		if gnames[g.Name] {
+			return &VerifyError{Module: m.Name, Msg: fmt.Sprintf("duplicate global %q", g.Name)}
+		}
+		if len(g.Init) > g.Size {
+			return &VerifyError{Module: m.Name, Msg: fmt.Sprintf("global %q init (%d bytes) exceeds size (%d)", g.Name, len(g.Init), g.Size)}
+		}
+		gnames[g.Name] = true
+	}
+	externs := make(map[string]bool, len(m.Externs))
+	for _, e := range m.Externs {
+		externs[e] = true
+	}
+	for _, f := range m.Funcs {
+		if err := verifyFunc(m, f, fnames, gnames, externs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Func, fnames map[string]int, gnames, externs map[string]bool) error {
+	fail := func(bi, ii int, format string, args ...interface{}) error {
+		return &VerifyError{Module: m.Name, Func: f.Name, Block: bi, Index: ii,
+			Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(f.Blocks) == 0 {
+		return fail(-1, -1, "function has no blocks")
+	}
+	if f.NumRegs < len(f.Params) {
+		return fail(-1, -1, "register count %d below parameter count %d", f.NumRegs, len(f.Params))
+	}
+	checkReg := func(bi, ii int, r Reg, what string) error {
+		if r == NoReg {
+			return fail(bi, ii, "missing %s operand", what)
+		}
+		if int(r) < 0 || int(r) >= f.NumRegs {
+			return fail(bi, ii, "%s register %d out of range [0,%d)", what, r, f.NumRegs)
+		}
+		return nil
+	}
+	checkTarget := func(bi, ii, t int) error {
+		if t < 0 || t >= len(f.Blocks) {
+			return fail(bi, ii, "branch target %d out of range [0,%d)", t, len(f.Blocks))
+		}
+		return nil
+	}
+	for bi, blk := range f.Blocks {
+		if len(blk.Instrs) == 0 {
+			return fail(bi, -1, "empty block")
+		}
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			last := ii == len(blk.Instrs)-1
+			if in.IsTerminator() != last {
+				if last {
+					return fail(bi, ii, "block does not end in a terminator (%s)", in.Op)
+				}
+				return fail(bi, ii, "terminator %s in the middle of a block", in.Op)
+			}
+			// Destination presence.
+			needsDst := opProducesValue(in)
+			if needsDst && in.Dst == NoReg {
+				return fail(bi, ii, "%s must have a destination", in.Op)
+			}
+			if !needsDst && in.Dst != NoReg {
+				return fail(bi, ii, "%s must not have a destination", in.Op)
+			}
+			if in.Dst != NoReg {
+				if err := checkReg(bi, ii, in.Dst, "destination"); err != nil {
+					return err
+				}
+			}
+			// Operand presence per opcode.
+			switch in.Op {
+			case OpNop, OpConst, OpFConst, OpAlloca:
+			case OpGlobal:
+				if in.Sym == "" {
+					return fail(bi, ii, "global reference with empty symbol")
+				}
+				if !gnames[in.Sym] && !externs[in.Sym] {
+					return fail(bi, ii, "global %q neither defined nor declared extern", in.Sym)
+				}
+			case OpAdd, OpSub, OpMul, OpSDiv, OpUDiv, OpSRem, OpURem,
+				OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr,
+				OpFAdd, OpFSub, OpFMul, OpFDiv, OpICmp, OpFCmp,
+				OpAtomicAdd, OpPtrAdd:
+				if err := checkReg(bi, ii, in.A, "first"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.B, "second"); err != nil {
+					return err
+				}
+			case OpTrunc, OpSExt, OpSIToFP, OpUIToFP, OpFPToSI, OpFPToUI, OpLoad:
+				if err := checkReg(bi, ii, in.A, "source"); err != nil {
+					return err
+				}
+				if in.Op == OpTrunc || in.Op == OpSExt {
+					if in.Ty != I8 && in.Ty != I16 && in.Ty != I32 {
+						return fail(bi, ii, "%s to non-narrow type %s", in.Op, in.Ty)
+					}
+				}
+				if in.Op == OpLoad && in.Ty.Size() == 0 {
+					return fail(bi, ii, "load of sizeless type %s", in.Ty)
+				}
+			case OpStore:
+				if err := checkReg(bi, ii, in.A, "value"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.B, "address"); err != nil {
+					return err
+				}
+				if in.Ty.Size() == 0 {
+					return fail(bi, ii, "store of sizeless type %s", in.Ty)
+				}
+			case OpSelect, OpAtomicCAS:
+				if err := checkReg(bi, ii, in.A, "first"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.B, "second"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.C, "third"); err != nil {
+					return err
+				}
+			case OpBr:
+				if err := checkTarget(bi, ii, in.T0); err != nil {
+					return err
+				}
+			case OpCondBr:
+				if err := checkReg(bi, ii, in.A, "condition"); err != nil {
+					return err
+				}
+				if err := checkTarget(bi, ii, in.T0); err != nil {
+					return err
+				}
+				if err := checkTarget(bi, ii, in.T1); err != nil {
+					return err
+				}
+			case OpRet:
+				if f.Ret == Void {
+					if in.A != NoReg {
+						return fail(bi, ii, "value return from void function")
+					}
+				} else if in.A == NoReg {
+					return fail(bi, ii, "void return from %s function", f.Ret)
+				} else if err := checkReg(bi, ii, in.A, "return"); err != nil {
+					return err
+				}
+			case OpCall:
+				if in.Sym == "" {
+					return fail(bi, ii, "call with empty symbol")
+				}
+				for ai, a := range in.Args {
+					if err := checkReg(bi, ii, a, fmt.Sprintf("argument %d", ai)); err != nil {
+						return err
+					}
+				}
+				if arity, local := fnames[in.Sym]; local {
+					if arity != len(in.Args) {
+						return fail(bi, ii, "call %s: %d args, want %d", in.Sym, len(in.Args), arity)
+					}
+				} else if !externs[in.Sym] {
+					return fail(bi, ii, "call target %q neither defined nor declared extern", in.Sym)
+				}
+			case OpVSet, OpVCopy:
+				if err := checkReg(bi, ii, in.A, "dst"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.B, "src/val"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.C, "count"); err != nil {
+					return err
+				}
+			case OpVBinOp:
+				if err := checkReg(bi, ii, in.A, "dst"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.B, "src1"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.C, "src2"); err != nil {
+					return err
+				}
+				if len(in.Args) != 1 {
+					return fail(bi, ii, "vbinop needs exactly one count register")
+				}
+				if err := checkReg(bi, ii, in.Args[0], "count"); err != nil {
+					return err
+				}
+				if !isVPred(in.Pred) {
+					return fail(bi, ii, "vbinop with non-vector predicate %s", in.Pred)
+				}
+			case OpVReduce:
+				if err := checkReg(bi, ii, in.A, "src"); err != nil {
+					return err
+				}
+				if err := checkReg(bi, ii, in.B, "count"); err != nil {
+					return err
+				}
+				if !isVPred(in.Pred) {
+					return fail(bi, ii, "vreduce with non-vector predicate %s", in.Pred)
+				}
+			case OpTrap:
+			default:
+				return fail(bi, ii, "unknown opcode %d", uint8(in.Op))
+			}
+		}
+	}
+	return nil
+}
+
+// opProducesValue reports whether the instruction defines Dst.
+func opProducesValue(in *Instr) bool {
+	switch in.Op {
+	case OpNop, OpStore, OpBr, OpCondBr, OpRet, OpTrap, OpVSet, OpVCopy, OpVBinOp:
+		return false
+	case OpCall:
+		return in.Ty != Void
+	}
+	return true
+}
+
+func isVPred(p Pred) bool { return p >= VPredAdd && p <= VPredMin }

@@ -1,0 +1,339 @@
+// Package isa describes the instruction-set architectures and
+// micro-architectures of the simulated heterogeneous cluster.
+//
+// Three-Chains ships code between machines of different ISAs (the paper's
+// testbeds mix x86_64 Xeon hosts, Cortex-A72 BlueField-2 DPUs and Fujitsu
+// A64FX nodes). A Triple identifies an ISA + OS combination, exactly like
+// an LLVM target triple; a MicroArch carries the per-core details that the
+// JIT uses to specialize code on the receiving side: clock frequency,
+// vector width (SVE/AVX2/NEON analogue), availability of single-instruction
+// atomics (ARM LSE analogue), and a per-operation cycle cost table.
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arch is a processor instruction-set architecture.
+type Arch uint8
+
+const (
+	// ArchInvalid is the zero Arch; it never validates.
+	ArchInvalid Arch = iota
+	// ArchX86_64 models 64-bit x86 (variable-length encoding).
+	ArchX86_64
+	// ArchAArch64 models 64-bit Arm (fixed-length encoding).
+	ArchAArch64
+	// ArchRISCV64 models 64-bit RISC-V; included because the paper lists
+	// RISC-V among the ISAs a binary-only design must patch separately.
+	ArchRISCV64
+)
+
+// String returns the conventional architecture name used in triples.
+func (a Arch) String() string {
+	switch a {
+	case ArchX86_64:
+		return "x86_64"
+	case ArchAArch64:
+		return "aarch64"
+	case ArchRISCV64:
+		return "riscv64"
+	default:
+		return "invalid"
+	}
+}
+
+// Valid reports whether a names a known architecture.
+func (a Arch) Valid() bool {
+	return a == ArchX86_64 || a == ArchAArch64 || a == ArchRISCV64
+}
+
+// ParseArch converts an architecture name to an Arch.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "x86_64", "amd64":
+		return ArchX86_64, nil
+	case "aarch64", "arm64":
+		return ArchAArch64, nil
+	case "riscv64":
+		return ArchRISCV64, nil
+	}
+	return ArchInvalid, fmt.Errorf("isa: unknown architecture %q", s)
+}
+
+// Triple identifies a compilation target the way LLVM does:
+// architecture, vendor and operating system, e.g. "x86_64-pc-linux-gnu".
+type Triple struct {
+	Arch   Arch
+	Vendor string // "pc", "unknown", "fujitsu", "nvidia"
+	OS     string // "linux-gnu"
+}
+
+// String renders the triple in LLVM's arch-vendor-os form.
+func (t Triple) String() string {
+	v := t.Vendor
+	if v == "" {
+		v = "unknown"
+	}
+	os := t.OS
+	if os == "" {
+		os = "linux-gnu"
+	}
+	return t.Arch.String() + "-" + v + "-" + os
+}
+
+// Valid reports whether the triple names a usable target.
+func (t Triple) Valid() bool { return t.Arch.Valid() }
+
+// ParseTriple parses an "arch-vendor-os" string. The vendor and OS
+// components are free-form; only the architecture is validated.
+func ParseTriple(s string) (Triple, error) {
+	var arch string
+	rest := ""
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' {
+			arch, rest = s[:i], s[i+1:]
+			break
+		}
+	}
+	if arch == "" {
+		arch = s
+	}
+	a, err := ParseArch(arch)
+	if err != nil {
+		return Triple{}, err
+	}
+	vendor, os := "unknown", "linux-gnu"
+	split := false
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '-' {
+			vendor, os = rest[:i], rest[i+1:]
+			split = true
+			break
+		}
+	}
+	if rest != "" && !split {
+		vendor = rest
+	}
+	return Triple{Arch: a, Vendor: vendor, OS: os}, nil
+}
+
+// Well-known triples for the paper's platforms.
+var (
+	TripleXeon  = Triple{Arch: ArchX86_64, Vendor: "pc", OS: "linux-gnu"}
+	TripleA64FX = Triple{Arch: ArchAArch64, Vendor: "fujitsu", OS: "linux-gnu"}
+	TripleBF2   = Triple{Arch: ArchAArch64, Vendor: "nvidia", OS: "linux-gnu"}
+	TripleRV    = Triple{Arch: ArchRISCV64, Vendor: "unknown", OS: "linux-gnu"}
+)
+
+// Op enumerates the dynamic operation classes the cost model prices.
+// The machine-code VM reports executed operations in these classes and the
+// scheduler converts them to virtual cycles using the MicroArch table.
+type Op uint8
+
+const (
+	OpALU     Op = iota // integer add/sub/logic/shift/compare
+	OpMul               // integer multiply
+	OpDiv               // integer divide / remainder
+	OpFPU               // floating add/sub/mul
+	OpFDiv              // floating divide
+	OpLoad              // memory load (cache-hit cost)
+	OpStore             // memory store
+	OpBranch            // taken/untaken branch, jump
+	OpCall              // direct call / return
+	OpCallInd           // indirect call (through GOT or pointer)
+	OpAtomic            // atomic RMW / CAS
+	OpVector            // one vector lane-group operation
+	OpSysRT             // runtime intrinsic trap (send, put, ...)
+	opCount
+)
+
+// NumOps is the number of operation classes.
+const NumOps = int(opCount)
+
+// opNames indexes Op to a short mnemonic for reports.
+var opNames = [opCount]string{
+	"alu", "mul", "div", "fpu", "fdiv", "load", "store",
+	"branch", "call", "callind", "atomic", "vector", "sysrt",
+}
+
+// String returns the mnemonic for the operation class.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// MicroArch describes one CPU micro-architecture: everything the
+// target-side JIT needs to specialize code, plus the cycle cost table used
+// to charge virtual time for executed instructions.
+type MicroArch struct {
+	Name string // "a64fx", "cortex-a72", "xeon-e5-2697a"
+	Triple
+	ClockGHz float64 // core clock in GHz
+
+	// VectorBits is the SIMD width in bits (SVE 512 on A64FX, AVX2 256 on
+	// Xeon, NEON 128 on Cortex-A72). The vectorizer pass widens loops to
+	// VectorBits/64 lanes when lowering on this µarch.
+	VectorBits int
+
+	// HasLSE reports single-instruction atomic RMW support (ARM LSE or
+	// x86 LOCK-prefixed RMW). Without it, atomics lower to CAS loops.
+	HasLSE bool
+
+	// IssueWidth approximates superscalar issue (instructions per cycle
+	// for independent scalar work). Used to discount ALU-heavy code.
+	IssueWidth int
+
+	// Cost holds cycles per operation class.
+	Cost [NumOps]float64
+
+	// JITCyclesPerIRInst is the calibrated cost, in cycles, of JIT
+	// compiling one IR instruction (lowering + regalloc + encoding +
+	// linking amortized). Together with JITBaseCycles it reproduces the
+	// paper's measured one-time JIT costs (Tables I–III).
+	JITCyclesPerIRInst float64
+	// JITBaseCycles is the fixed per-module JIT setup cost in cycles.
+	JITBaseCycles float64
+}
+
+// VectorLanes returns how many 64-bit lanes one vector op processes.
+func (m *MicroArch) VectorLanes() int {
+	if m.VectorBits < 64 {
+		return 1
+	}
+	return m.VectorBits / 64
+}
+
+// CyclesToSeconds converts a cycle count on this µarch to seconds.
+func (m *MicroArch) CyclesToSeconds(cycles float64) float64 {
+	return cycles / (m.ClockGHz * 1e9)
+}
+
+// OpSeconds returns the time one operation of class op takes, in seconds.
+func (m *MicroArch) OpSeconds(op Op) float64 {
+	return m.CyclesToSeconds(m.Cost[op])
+}
+
+// defaultCost returns a generic cost table scaled for a modern OoO core.
+func defaultCost() [NumOps]float64 {
+	var c [NumOps]float64
+	c[OpALU] = 1
+	c[OpMul] = 3
+	c[OpDiv] = 20
+	c[OpFPU] = 4
+	c[OpFDiv] = 15
+	c[OpLoad] = 4
+	c[OpStore] = 1
+	c[OpBranch] = 1
+	c[OpCall] = 3
+	c[OpCallInd] = 8
+	c[OpAtomic] = 20
+	c[OpVector] = 2
+	c[OpSysRT] = 30
+	return c
+}
+
+// A64FX returns the Fujitsu A64FX µarch (Ookami nodes): 512-bit SVE,
+// LSE atomics, modest clock, in-order-ish issue, slow JIT (the paper
+// measured 6.59 ms for the TSI kernel).
+func A64FX() *MicroArch {
+	m := &MicroArch{
+		Name:       "a64fx",
+		Triple:     TripleA64FX,
+		ClockGHz:   1.8,
+		VectorBits: 512,
+		HasLSE:     true,
+		IssueWidth: 2,
+		Cost:       defaultCost(),
+	}
+	m.Cost[OpLoad] = 6 // HBM-backed, long L1 latency
+	m.Cost[OpAtomic] = 12
+	m.JITCyclesPerIRInst = 570e3
+	m.JITBaseCycles = 9.012e6
+	return m
+}
+
+// CortexA72 returns the BlueField-2 DPU core µarch (Thor DPUs):
+// 128-bit NEON, no LSE (ARMv8.0), 3-wide issue.
+func CortexA72() *MicroArch {
+	m := &MicroArch{
+		Name:       "cortex-a72",
+		Triple:     TripleBF2,
+		ClockGHz:   2.0,
+		VectorBits: 128,
+		HasLSE:     false,
+		IssueWidth: 3,
+		Cost:       defaultCost(),
+	}
+	m.Cost[OpAtomic] = 30 // CAS-loop atomics
+	m.JITCyclesPerIRInst = 400e3
+	m.JITBaseCycles = 7.0e6
+	return m
+}
+
+// XeonE5 returns the Thor host µarch (Intel Xeon E5-2697A v4): 256-bit
+// AVX2, locked RMW atomics, 4-wide issue, fast JIT (0.83 ms TSI).
+func XeonE5() *MicroArch {
+	m := &MicroArch{
+		Name:       "xeon-e5-2697a",
+		Triple:     TripleXeon,
+		ClockGHz:   2.6,
+		VectorBits: 256,
+		HasLSE:     true,
+		IssueWidth: 4,
+		Cost:       defaultCost(),
+	}
+	m.Cost[OpLoad] = 4
+	m.Cost[OpAtomic] = 15
+	m.JITCyclesPerIRInst = 100e3
+	m.JITBaseCycles = 1.658e6
+	return m
+}
+
+// Generic returns a neutral µarch for the given triple, used by tests and
+// examples that do not care about platform specifics.
+func Generic(t Triple) *MicroArch {
+	return &MicroArch{
+		Name:       "generic-" + t.Arch.String(),
+		Triple:     t,
+		ClockGHz:   2.0,
+		VectorBits: 128,
+		HasLSE:     true,
+		IssueWidth: 2,
+		Cost:       defaultCost(),
+
+		JITCyclesPerIRInst: 100000,
+		JITBaseCycles:      1e6,
+	}
+}
+
+// Features renders the µarch feature string the JIT reports in logs,
+// mirroring LLVM's "+sve,+lse"-style feature lists.
+func (m *MicroArch) Features() string {
+	var fs []string
+	switch {
+	case m.VectorBits >= 512:
+		fs = append(fs, "+sve512")
+	case m.VectorBits >= 256:
+		fs = append(fs, "+avx2")
+	case m.VectorBits >= 128:
+		fs = append(fs, "+simd128")
+	}
+	if m.HasLSE {
+		fs = append(fs, "+lse")
+	} else {
+		fs = append(fs, "-lse")
+	}
+	sort.Strings(fs)
+	s := ""
+	for i, f := range fs {
+		if i > 0 {
+			s += ","
+		}
+		s += f
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package isa
+
+import "testing"
+
+func TestParseTriple(t *testing.T) {
+	cases := []struct {
+		in   string
+		arch Arch
+		ok   bool
+	}{
+		{"x86_64-pc-linux-gnu", ArchX86_64, true},
+		{"aarch64-fujitsu-linux-gnu", ArchAArch64, true},
+		{"aarch64-nvidia-linux-gnu", ArchAArch64, true},
+		{"riscv64-unknown-linux-gnu", ArchRISCV64, true},
+		{"amd64", ArchX86_64, true},
+		{"sparc-sun-solaris", ArchInvalid, false},
+		{"", ArchInvalid, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseTriple(tc.in)
+		if tc.ok && (err != nil || got.Arch != tc.arch) {
+			t.Errorf("ParseTriple(%q) = %v, %v; want arch %v", tc.in, got, err, tc.arch)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseTriple(%q) accepted", tc.in)
+		}
+	}
+}
+
+func TestTripleStringRoundTrip(t *testing.T) {
+	for _, tr := range []Triple{TripleXeon, TripleA64FX, TripleBF2, TripleRV} {
+		back, err := ParseTriple(tr.String())
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		if back != tr {
+			t.Errorf("round trip %v -> %q -> %v", tr, tr.String(), back)
+		}
+	}
+}
+
+func TestMicroArchProfiles(t *testing.T) {
+	a64fx, a72, xeon := A64FX(), CortexA72(), XeonE5()
+
+	// The SVE story: A64FX processes the most lanes per vector op.
+	if !(a64fx.VectorLanes() > xeon.VectorLanes() && xeon.VectorLanes() > a72.VectorLanes()) {
+		t.Fatalf("vector lanes ordering wrong: a64fx=%d xeon=%d a72=%d",
+			a64fx.VectorLanes(), xeon.VectorLanes(), a72.VectorLanes())
+	}
+	// The LSE story: BlueField-2's Cortex-A72 lacks LSE.
+	if a72.HasLSE || !a64fx.HasLSE || !xeon.HasLSE {
+		t.Fatal("LSE flags wrong")
+	}
+	// JIT speed ordering from the paper's Tables I-III:
+	// Xeon (0.83ms) < BF2 (4.50ms) < A64FX (6.59ms) for the same kernel.
+	cost := func(m *MicroArch) float64 {
+		return m.CyclesToSeconds(m.JITBaseCycles + 40*m.JITCyclesPerIRInst)
+	}
+	if !(cost(xeon) < cost(a72) && cost(a72) < cost(a64fx)) {
+		t.Fatalf("JIT cost ordering wrong: xeon=%g a72=%g a64fx=%g",
+			cost(xeon), cost(a72), cost(a64fx))
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	m := Generic(TripleXeon)
+	if got := m.CyclesToSeconds(2e9); got != 1.0 {
+		t.Fatalf("2GHz: 2e9 cycles = %g s, want 1", got)
+	}
+	if m.OpSeconds(OpALU) <= 0 {
+		t.Fatal("ALU op has non-positive cost")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	if f := A64FX().Features(); f != "+lse,+sve512" {
+		t.Fatalf("a64fx features = %q", f)
+	}
+	if f := CortexA72().Features(); f != "+simd128,-lse" {
+		t.Fatalf("a72 features = %q", f)
+	}
+	if f := XeonE5().Features(); f != "+avx2,+lse" {
+		t.Fatalf("xeon features = %q", f)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(0); int(op) < NumOps; op++ {
+		s := op.String()
+		if s == "" || s == "op?" {
+			t.Fatalf("op %d has no name", op)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+}

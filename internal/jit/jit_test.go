@@ -1,0 +1,315 @@
+package jit
+
+import (
+	"errors"
+	"testing"
+
+	"threechains/internal/bitcode"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/linker"
+	"threechains/internal/mcode"
+	"threechains/internal/passes"
+	"threechains/internal/sim"
+)
+
+// testNode bundles a fake node memory with an allocator.
+type testNode struct {
+	env  *ir.SimpleEnv
+	next uint64
+}
+
+func newTestNode() *testNode {
+	return &testNode{env: ir.NewSimpleEnv(1 << 16), next: 64}
+}
+
+func (n *testNode) alloc(g ir.Global) uint64 {
+	addr := n.next
+	copy(n.env.Memory[addr:], g.Init)
+	n.next += (uint64(g.Size) + 7) &^ 7
+	return addr
+}
+
+func tsiModule() *ir.Module {
+	m := ir.NewModule("tsi")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	old := b.Load(ir.I64, b.Param(2), 0)
+	inc := b.Add(old, b.Const64(1))
+	b.Store(ir.I64, inc, b.Param(2), 0)
+	b.Ret(inc)
+	return m
+}
+
+func newSession(march *isa.MicroArch) (*Session, *testNode) {
+	node := newTestNode()
+	ld := linker.NewLoader()
+	return NewSession(march, ld, node.alloc), node
+}
+
+func TestCompileAndRun(t *testing.T) {
+	s, node := newSession(isa.XeonE5())
+	m := tsiModule()
+	c, cost, hit, err := s.Compile("k1", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || cost <= 0 {
+		t.Fatalf("first compile: hit=%v cost=%v", hit, cost)
+	}
+	node.env.StoreU64(512, 41)
+	ma, err := mcode.NewMachine(c.CM, node.env, c.Link, ir.ExecLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ma.Run("main", 0, 0, 512)
+	if err != nil || res.Value != 42 {
+		t.Fatalf("run: %d, %v", res.Value, err)
+	}
+}
+
+func TestCacheHitIsCheap(t *testing.T) {
+	s, _ := newSession(isa.A64FX())
+	m := tsiModule()
+	_, cost1, hit1, err := s.Compile("k", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, cost2, hit2, err := s.Compile("k", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("hit flags: %v %v", hit1, hit2)
+	}
+	if cost2 >= cost1/100 {
+		t.Fatalf("cache hit cost %v not far below compile cost %v", cost2, cost1)
+	}
+	if c2 == nil || s.Stats.CacheHits != 1 || s.Stats.Compiles != 1 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+}
+
+func TestJITCostOrderingAcrossPlatforms(t *testing.T) {
+	// Paper Tables I-III: Xeon 0.83ms < BF2 4.50ms < A64FX 6.59ms.
+	m := tsiModule()
+	cost := func(march *isa.MicroArch) sim.Time {
+		s, _ := newSession(march)
+		return s.CompileCost(m)
+	}
+	xeon, bf2, a64fx := cost(isa.XeonE5()), cost(isa.CortexA72()), cost(isa.A64FX())
+	if !(xeon < bf2 && bf2 < a64fx) {
+		t.Fatalf("ordering wrong: xeon=%v bf2=%v a64fx=%v", xeon, bf2, a64fx)
+	}
+	// Magnitudes: sub-ms to ~10ms.
+	if xeon < 100*sim.Microsecond || a64fx > 20*sim.Millisecond {
+		t.Fatalf("magnitudes off: xeon=%v a64fx=%v", xeon, a64fx)
+	}
+}
+
+func TestCompileLoadsDeps(t *testing.T) {
+	node := newTestNode()
+	ld := linker.NewLoader()
+	lib := linker.NewDynLib("libcrypto.so")
+	called := false
+	lib.Funcs["crypto.hash"] = func(args []uint64) (uint64, error) {
+		called = true
+		return args[0] * 31, nil
+	}
+	if err := ld.Provide(lib); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(isa.XeonE5(), ld, node.alloc)
+
+	m := ir.NewModule("withdeps")
+	b := ir.NewBuilder(m)
+	b.AddDep("libcrypto.so")
+	b.DeclareExtern("crypto.hash")
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Call("crypto.hash", true, b.Param(0)))
+
+	c, _, _, err := s.Compile("k", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ld.Loaded("libcrypto.so") {
+		t.Fatal("dep not loaded")
+	}
+	ma, _ := mcode.NewMachine(c.CM, node.env, c.Link, ir.ExecLimits{})
+	res, err := ma.Run("main", 2)
+	if err != nil || res.Value != 62 || !called {
+		t.Fatalf("res=%d err=%v called=%v", res.Value, err, called)
+	}
+}
+
+func TestCompileFailsOnMissingDep(t *testing.T) {
+	s, _ := newSession(isa.XeonE5())
+	m := ir.NewModule("broken")
+	b := ir.NewBuilder(m)
+	b.AddDep("libmissing.so")
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	b.Ret(b.Const64(0))
+	if _, _, _, err := s.Compile("k", m); !errors.Is(err, linker.ErrNoLibrary) {
+		t.Fatalf("err = %v, want no-library", err)
+	}
+}
+
+func TestCompileFailsOnUnresolvedSymbol(t *testing.T) {
+	s, _ := newSession(isa.XeonE5())
+	m := ir.NewModule("unresolved")
+	b := ir.NewBuilder(m)
+	b.DeclareExtern("ghost.fn")
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	b.Ret(b.Call("ghost.fn", true))
+	if _, _, _, err := s.Compile("k", m); !errors.Is(err, linker.ErrNoSymbol) {
+		t.Fatalf("err = %v, want no-symbol", err)
+	}
+}
+
+func TestGlobalsAllocatedAndInitialized(t *testing.T) {
+	s, node := newSession(isa.XeonE5())
+	m := ir.NewModule("g")
+	b := ir.NewBuilder(m)
+	b.AddGlobal("tbl", 16, []byte{7, 0, 0, 0, 0, 0, 0, 0})
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	g := b.GlobalAddr("tbl")
+	b.Ret(b.Load(ir.I64, g, 0))
+	c, _, _, err := s.Compile("k", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Globals) != 1 {
+		t.Fatal("global not allocated")
+	}
+	ma, _ := mcode.NewMachine(c.CM, node.env, c.Link, ir.ExecLimits{})
+	res, err := ma.Run("main")
+	if err != nil || res.Value != 7 {
+		t.Fatalf("res=%d err=%v", res.Value, err)
+	}
+}
+
+func TestMicroArchSpecialization(t *testing.T) {
+	// The same bitcode lowers to LSE atomics on A64FX and CAS loops on
+	// BlueField-2 — the §III-C retargeting story at the JIT layer.
+	m := ir.NewModule("atomic")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr}, ir.I64)
+	b.Ret(b.AtomicAdd(b.Param(0), b.Const64(1)))
+
+	has := func(march *isa.MicroArch, op mcode.MOp) bool {
+		s, _ := newSession(march)
+		c, _, _, err := s.Compile("k", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range c.CM.Funcs[0].Code {
+			if in.Op == op {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(isa.A64FX(), mcode.MAtomicAddLSE) {
+		t.Fatal("A64FX JIT did not emit LSE")
+	}
+	if !has(isa.CortexA72(), mcode.MAtomicAddCAS) {
+		t.Fatal("BF2 JIT did not emit CAS loop")
+	}
+}
+
+func TestOptLevelAffectsCode(t *testing.T) {
+	m := ir.NewModule("opt")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	x := b.Add(b.Const64(20), b.Const64(22))
+	b.Ret(b.Mul(x, b.Const64(1)))
+
+	instrs := func(lvl passes.Level) int {
+		s, _ := newSession(isa.XeonE5())
+		s.OptLevel = lvl
+		c, _, _, err := s.Compile("k", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.CM.NumInstrs()
+	}
+	if o2, o0 := instrs(passes.O2), instrs(passes.O0); o2 >= o0 {
+		t.Fatalf("O2 (%d instrs) not smaller than O0 (%d)", o2, o0)
+	}
+}
+
+func TestCacheKeyStableAndContentSensitive(t *testing.T) {
+	m := tsiModule()
+	bc1, err := bitcode.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc2, _ := bitcode.Encode(m)
+	if CacheKey(bc1) != CacheKey(bc2) {
+		t.Fatal("same bitcode, different keys")
+	}
+	m2 := tsiModule()
+	m2.Funcs[0].Blocks[0].Instrs[1].Imm = 2 // increment by 2 instead
+	bc3, _ := bitcode.Encode(m2)
+	if CacheKey(bc1) == CacheKey(bc3) {
+		t.Fatal("different bitcode, same key")
+	}
+}
+
+func TestLoadBinary(t *testing.T) {
+	node := newTestNode()
+	ld := linker.NewLoader()
+	s := NewSession(isa.XeonE5(), ld, node.alloc)
+
+	m := tsiModule()
+	cm, err := mcode.Lower(m, isa.XeonE5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, cost, hit, err := s.LoadBinary("bin1", cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first load reported a hit")
+	}
+	// Binary load must be far cheaper than JIT compilation.
+	if jitCost := s.CompileCost(m); cost >= jitCost/10 {
+		t.Fatalf("binary load %v not far below JIT %v", cost, jitCost)
+	}
+	node.env.StoreU64(256, 1)
+	ma, _ := mcode.NewMachine(c.CM, node.env, c.Link, ir.ExecLimits{})
+	res, err := ma.Run("main", 0, 0, 256)
+	if err != nil || res.Value != 2 {
+		t.Fatalf("res=%d err=%v", res.Value, err)
+	}
+	// Second load hits the cache.
+	if _, _, hit2, _ := s.LoadBinary("bin1", cm); !hit2 {
+		t.Fatal("binary reload missed cache")
+	}
+}
+
+func TestLinkerDirect(t *testing.T) {
+	ld := linker.NewLoader()
+	lib := linker.NewDynLib("libm.so")
+	lib.Funcs["sin"] = func(a []uint64) (uint64, error) { return 0, nil }
+	lib.Data["pi"] = 1234
+	if err := ld.Preload(lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Provide(linker.NewDynLib("libm.so")); !errors.Is(err, linker.ErrDupLibrary) {
+		t.Fatalf("dup err = %v", err)
+	}
+	if _, ok := ld.BindFunc("sin"); !ok {
+		t.Fatal("sin not bound")
+	}
+	if a, ok := ld.BindData("pi"); !ok || a != 1234 {
+		t.Fatal("pi not bound")
+	}
+	if err := ld.LoadDeps([]string{"libm.so"}); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := ld.LoadDeps([]string{"nope.so"}); !errors.Is(err, linker.ErrNoLibrary) {
+		t.Fatalf("err = %v", err)
+	}
+}

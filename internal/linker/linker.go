@@ -1,0 +1,168 @@
+// Package linker implements remote dynamic linking on the receiving node:
+// the analogue of the paper's GOT reconstruction for binary ifuncs
+// (§III-B) and ORC-JIT's run-time symbol resolution for bitcode ifuncs
+// (§III-C).
+//
+// A node owns a Loader holding the shared libraries "present on its file
+// system" (simulated: bundles of Go-implemented functions and exported
+// data). When an ifunc arrives, the runtime loads the libraries named in
+// the module's deps list (the foo.deps file), then patches every GOT slot
+// of the compiled module: module-local globals resolve to their freshly
+// allocated heap addresses, external functions and data resolve against
+// the loaded libraries' symbol tables. A missing library or symbol aborts
+// the load with a descriptive error — the crash §III-B describes, made
+// diagnosable.
+package linker
+
+import (
+	"errors"
+	"fmt"
+
+	"threechains/internal/mcode"
+)
+
+// Linker errors.
+var (
+	ErrNoLibrary  = errors.New("linker: required library not present")
+	ErrNoSymbol   = errors.New("linker: unresolved symbol")
+	ErrDupLibrary = errors.New("linker: duplicate library")
+)
+
+// DynLib is a simulated shared library: a named bundle of functions and
+// exported data symbols. Function implementations are Go closures already
+// bound to their node's context (the way a real .so's code is bound to
+// the process that mapped it).
+type DynLib struct {
+	Name  string
+	Funcs map[string]mcode.ExternFunc
+	// Data maps exported data symbols to node-heap addresses.
+	Data map[string]uint64
+}
+
+// NewDynLib creates an empty library.
+func NewDynLib(name string) *DynLib {
+	return &DynLib{
+		Name:  name,
+		Funcs: make(map[string]mcode.ExternFunc),
+		Data:  make(map[string]uint64),
+	}
+}
+
+// Loader is the per-node dynamic linking state: available libraries,
+// loaded libraries, and the merged symbol table.
+type Loader struct {
+	avail  map[string]*DynLib
+	loaded map[string]bool
+
+	funcs map[string]mcode.ExternFunc
+	data  map[string]uint64
+
+	// Stats for reports.
+	LoadsPerformed int
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{
+		avail:  make(map[string]*DynLib),
+		loaded: make(map[string]bool),
+		funcs:  make(map[string]mcode.ExternFunc),
+		data:   make(map[string]uint64),
+	}
+}
+
+// Provide makes a library available for loading (placing the .so on the
+// node's file system). Providing two libraries with the same name is an
+// error.
+func (ld *Loader) Provide(lib *DynLib) error {
+	if _, dup := ld.avail[lib.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDupLibrary, lib.Name)
+	}
+	ld.avail[lib.Name] = lib
+	return nil
+}
+
+// Preload loads a library immediately (the runtime's own intrinsics,
+// always resident).
+func (ld *Loader) Preload(lib *DynLib) error {
+	if err := ld.Provide(lib); err != nil {
+		return err
+	}
+	return ld.load(lib.Name)
+}
+
+// LoadDeps loads every named library (idempotent per library), merging
+// their symbols. It fails if any library is absent.
+func (ld *Loader) LoadDeps(deps []string) error {
+	for _, d := range deps {
+		if ld.loaded[d] {
+			continue
+		}
+		if err := ld.load(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ld *Loader) load(name string) error {
+	lib, ok := ld.avail[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoLibrary, name)
+	}
+	for sym, fn := range lib.Funcs {
+		ld.funcs[sym] = fn
+	}
+	for sym, addr := range lib.Data {
+		ld.data[sym] = addr
+	}
+	ld.loaded[name] = true
+	ld.LoadsPerformed++
+	return nil
+}
+
+// Loaded reports whether the named library has been loaded.
+func (ld *Loader) Loaded(name string) bool { return ld.loaded[name] }
+
+// BindFunc resolves a function symbol from the loaded libraries.
+func (ld *Loader) BindFunc(sym string) (mcode.ExternFunc, bool) {
+	fn, ok := ld.funcs[sym]
+	return fn, ok
+}
+
+// BindData resolves a data symbol from the loaded libraries.
+func (ld *Loader) BindData(sym string) (uint64, bool) {
+	a, ok := ld.data[sym]
+	return a, ok
+}
+
+// PatchGOT resolves every GOT slot of a compiled module. moduleGlobals
+// maps the module's own globals (already allocated in node heap by the
+// runtime) to their addresses; everything else resolves through the
+// loader. The returned linkage makes the module runnable.
+func PatchGOT(cm *mcode.CompiledModule, moduleGlobals map[string]uint64, ld *Loader) (*mcode.Linkage, error) {
+	link := mcode.NewLinkage(cm)
+	for i, e := range cm.GOT {
+		switch e.Kind {
+		case mcode.GOTData:
+			if addr, ok := moduleGlobals[e.Sym]; ok {
+				link.DataAddrs[i] = addr
+				continue
+			}
+			if addr, ok := ld.BindData(e.Sym); ok {
+				link.DataAddrs[i] = addr
+				continue
+			}
+			return nil, fmt.Errorf("%w: data symbol %q in %s", ErrNoSymbol, e.Sym, cm.Name)
+		case mcode.GOTFunc:
+			if fn, ok := ld.BindFunc(e.Sym); ok {
+				link.Funcs[i] = fn
+				continue
+			}
+			return nil, fmt.Errorf("%w: function %q in %s", ErrNoSymbol, e.Sym, cm.Name)
+		default:
+			return nil, fmt.Errorf("linker: unknown GOT kind %d", e.Kind)
+		}
+	}
+	return link, nil
+}

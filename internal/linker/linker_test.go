@@ -1,0 +1,189 @@
+package linker
+
+import (
+	"errors"
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+func libM() *DynLib {
+	lib := NewDynLib("libm.so")
+	lib.Funcs["m.abs"] = func(a []uint64) (uint64, error) {
+		if int64(a[0]) < 0 {
+			return uint64(-int64(a[0])), nil
+		}
+		return a[0], nil
+	}
+	lib.Data["m.pi"] = 3141
+	return lib
+}
+
+func TestProvideAndLoad(t *testing.T) {
+	ld := NewLoader()
+	if err := ld.Provide(libM()); err != nil {
+		t.Fatal(err)
+	}
+	if ld.Loaded("libm.so") {
+		t.Fatal("provide must not load")
+	}
+	if _, ok := ld.BindFunc("m.abs"); ok {
+		t.Fatal("symbol bound before load")
+	}
+	if err := ld.LoadDeps([]string{"libm.so"}); err != nil {
+		t.Fatal(err)
+	}
+	if !ld.Loaded("libm.so") || ld.LoadsPerformed != 1 {
+		t.Fatal("load bookkeeping wrong")
+	}
+	if _, ok := ld.BindFunc("m.abs"); !ok {
+		t.Fatal("function not bound after load")
+	}
+	if a, ok := ld.BindData("m.pi"); !ok || a != 3141 {
+		t.Fatal("data not bound after load")
+	}
+	// Idempotent loads do not recount.
+	if err := ld.LoadDeps([]string{"libm.so", "libm.so"}); err != nil {
+		t.Fatal(err)
+	}
+	if ld.LoadsPerformed != 1 {
+		t.Fatalf("reload counted: %d", ld.LoadsPerformed)
+	}
+}
+
+func TestMissingLibraryFails(t *testing.T) {
+	ld := NewLoader()
+	if err := ld.LoadDeps([]string{"libghost.so"}); !errors.Is(err, ErrNoLibrary) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateLibraryRejected(t *testing.T) {
+	ld := NewLoader()
+	if err := ld.Provide(libM()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Provide(libM()); !errors.Is(err, ErrDupLibrary) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	ld := NewLoader()
+	if err := ld.Preload(libM()); err != nil {
+		t.Fatal(err)
+	}
+	if !ld.Loaded("libm.so") {
+		t.Fatal("preload did not load")
+	}
+}
+
+// lowerWithSyms builds a compiled module referencing an extern function,
+// an extern data symbol and a module-local global.
+func lowerWithSyms(t *testing.T) *mcode.CompiledModule {
+	t.Helper()
+	m := ir.NewModule("patchme")
+	b := ir.NewBuilder(m)
+	b.AddGlobal("local.tbl", 8, nil)
+	b.DeclareExtern("m.abs")
+	b.DeclareExtern("m.pi")
+	b.AddDep("libm.so")
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	g := b.GlobalAddr("local.tbl")
+	pi := b.GlobalAddr("m.pi")
+	v := b.Call("m.abs", true, b.Param(0))
+	b.Store(ir.I64, v, g, 0)
+	b.Ret(b.Add(v, pi))
+	cm, err := mcode.Lower(m, isa.XeonE5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestPatchGOTResolvesAllKinds(t *testing.T) {
+	ld := NewLoader()
+	if err := ld.Preload(libM()); err != nil {
+		t.Fatal(err)
+	}
+	cm := lowerWithSyms(t)
+	link, err := PatchGOT(cm, map[string]uint64{"local.tbl": 512}, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 12)
+	ma, err := mcode.NewMachine(cm, env, link, ir.ExecLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ma.Run("main", ^uint64(6)) // -7
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 7+3141 {
+		t.Fatalf("got %d, want %d", res.Value, 7+3141)
+	}
+	if env.LoadU64(512) != 7 {
+		t.Fatalf("local global not patched to 512: %d", env.LoadU64(512))
+	}
+}
+
+func TestPatchGOTMissingFunction(t *testing.T) {
+	ld := NewLoader() // libm never provided
+	cm := lowerWithSyms(t)
+	if _, err := PatchGOT(cm, map[string]uint64{"local.tbl": 512}, ld); !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPatchGOTMissingModuleGlobal(t *testing.T) {
+	ld := NewLoader()
+	if err := ld.Preload(libM()); err != nil {
+		t.Fatal(err)
+	}
+	cm := lowerWithSyms(t)
+	// Forget to allocate the module global: unresolved data symbol.
+	if _, err := PatchGOT(cm, nil, ld); !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPatchGOTPureModule(t *testing.T) {
+	m := ir.NewModule("pure")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Param(0))
+	cm, err := mcode.Lower(m, isa.A64FX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := PatchGOT(cm, nil, NewLoader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(link.Funcs) != 0 {
+		t.Fatal("pure module produced GOT entries")
+	}
+}
+
+func TestSymbolShadowing(t *testing.T) {
+	// A later-loaded library wins for colliding symbols, like dlopen
+	// RTLD_GLOBAL ordering.
+	ld := NewLoader()
+	a := NewDynLib("a.so")
+	a.Funcs["f"] = func([]uint64) (uint64, error) { return 1, nil }
+	b := NewDynLib("b.so")
+	b.Funcs["f"] = func([]uint64) (uint64, error) { return 2, nil }
+	if err := ld.Preload(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Preload(b); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := ld.BindFunc("f")
+	if v, _ := fn(nil); v != 2 {
+		t.Fatalf("shadowing order wrong: %d", v)
+	}
+}

@@ -1,0 +1,289 @@
+package mcode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+)
+
+// Codec errors.
+var (
+	ErrBadText      = errors.New("mcode: corrupt text section")
+	ErrTextTooLarge = errors.New("mcode: text section too large")
+)
+
+// Machine-code instruction streams are encoded differently per ISA, the
+// way real .text bytes differ per architecture:
+//
+//   - aarch64: fixed-width records (RISC style). Decoding is trivial and
+//     position-independent but every instruction pays full width.
+//   - x86_64: variable-length records with a presence mask (CISC style).
+//     Common instructions are small; decode must walk the stream.
+//   - riscv64: fixed-width like aarch64 with a different layout/magic.
+//
+// The point of modeling this (rather than using one format) is §III-B:
+// binary ifunc bytes are meaningful only on their own ISA. DecodeText
+// refuses streams whose arch tag does not match, which is exactly the
+// failure a real binary ifunc hits when an x86 .so is shipped to an Arm
+// DPU.
+
+// EncodeText serializes the instruction stream of one Program for the
+// given architecture.
+func EncodeText(p *Program, arch isa.Arch) ([]byte, error) {
+	var buf []byte
+	buf = append(buf, byte(arch))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Code)))
+	switch arch {
+	case isa.ArchAArch64, isa.ArchRISCV64:
+		for i := range p.Code {
+			buf = appendFixed(buf, &p.Code[i])
+		}
+	case isa.ArchX86_64:
+		for i := range p.Code {
+			buf = appendVar(buf, &p.Code[i])
+		}
+	default:
+		return nil, fmt.Errorf("mcode: cannot encode for arch %v", arch)
+	}
+	return buf, nil
+}
+
+// DecodeText reverses EncodeText, validating the architecture tag.
+func DecodeText(data []byte, arch isa.Arch) ([]MInstr, error) {
+	if len(data) < 2 {
+		return nil, ErrBadText
+	}
+	if isa.Arch(data[0]) != arch {
+		return nil, fmt.Errorf("%w: text is %s, local CPU is %s",
+			ErrWrongArch, isa.Arch(data[0]), arch)
+	}
+	off := 1
+	n, k := binary.Uvarint(data[off:])
+	if k <= 0 || n > 1<<22 {
+		return nil, ErrBadText
+	}
+	off += k
+	code := make([]MInstr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var mi MInstr
+		var err error
+		switch arch {
+		case isa.ArchAArch64, isa.ArchRISCV64:
+			off, err = readFixed(data, off, &mi)
+		case isa.ArchX86_64:
+			off, err = readVar(data, off, &mi)
+		default:
+			return nil, fmt.Errorf("mcode: cannot decode for arch %v", arch)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if int(mi.Op) >= int(mopCount) {
+			return nil, fmt.Errorf("%w: opcode %d", ErrBadText, mi.Op)
+		}
+		code = append(code, mi)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadText, len(data)-off)
+	}
+	return code, nil
+}
+
+// fixedSize is the record size of the fixed-width (RISC-style) encoding.
+const fixedSize = 3 + 4*4 + 8*2 + 4*4
+
+func appendFixed(buf []byte, in *MInstr) []byte {
+	buf = append(buf, byte(in.Op), byte(in.Ty), byte(in.Pred))
+	for _, v := range []int32{in.Dst, in.A, in.B, in.C} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(in.Imm))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(in.Imm2))
+	for _, v := range []int32{in.Target, in.Lanes, in.ArgBase, in.ArgCount} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func readFixed(data []byte, off int, mi *MInstr) (int, error) {
+	if off+fixedSize > len(data) {
+		return off, ErrBadText
+	}
+	mi.Op = MOp(data[off])
+	mi.Ty = ir.Type(data[off+1])
+	mi.Pred = ir.Pred(data[off+2])
+	p := off + 3
+	rd32 := func() int32 {
+		v := int32(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+		return v
+	}
+	mi.Dst, mi.A, mi.B, mi.C = rd32(), rd32(), rd32(), rd32()
+	mi.Imm = int64(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	mi.Imm2 = int64(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	mi.Target, mi.Lanes, mi.ArgBase, mi.ArgCount = rd32(), rd32(), rd32(), rd32()
+	return p, nil
+}
+
+// Variable-length (x86-style) encoding: opcode + type/pred byte pair +
+// presence mask, then only the fields the mask names, as varints.
+const (
+	vfDst = 1 << iota
+	vfA
+	vfB
+	vfC
+	vfImm
+	vfImm2
+	vfTarget
+	vfMisc // lanes/argbase/argcount
+)
+
+func appendVar(buf []byte, in *MInstr) []byte {
+	mask := byte(0)
+	if in.Dst != int32(ir.NoReg) {
+		mask |= vfDst
+	}
+	if in.A != int32(ir.NoReg) {
+		mask |= vfA
+	}
+	if in.B != int32(ir.NoReg) {
+		mask |= vfB
+	}
+	if in.C != int32(ir.NoReg) {
+		mask |= vfC
+	}
+	if in.Imm != 0 {
+		mask |= vfImm
+	}
+	if in.Imm2 != 0 {
+		mask |= vfImm2
+	}
+	if in.Target != 0 {
+		mask |= vfTarget
+	}
+	if in.Lanes != 0 || in.ArgBase != 0 || in.ArgCount != 0 {
+		mask |= vfMisc
+	}
+	buf = append(buf, byte(in.Op), byte(in.Ty), byte(in.Pred), mask)
+	if mask&vfDst != 0 {
+		buf = binary.AppendVarint(buf, int64(in.Dst))
+	}
+	if mask&vfA != 0 {
+		buf = binary.AppendVarint(buf, int64(in.A))
+	}
+	if mask&vfB != 0 {
+		buf = binary.AppendVarint(buf, int64(in.B))
+	}
+	if mask&vfC != 0 {
+		buf = binary.AppendVarint(buf, int64(in.C))
+	}
+	if mask&vfImm != 0 {
+		buf = binary.AppendVarint(buf, in.Imm)
+	}
+	if mask&vfImm2 != 0 {
+		buf = binary.AppendVarint(buf, in.Imm2)
+	}
+	if mask&vfTarget != 0 {
+		buf = binary.AppendVarint(buf, int64(in.Target))
+	}
+	if mask&vfMisc != 0 {
+		buf = binary.AppendVarint(buf, int64(in.Lanes))
+		buf = binary.AppendVarint(buf, int64(in.ArgBase))
+		buf = binary.AppendVarint(buf, int64(in.ArgCount))
+	}
+	return buf
+}
+
+func readVar(data []byte, off int, mi *MInstr) (int, error) {
+	if off+4 > len(data) {
+		return off, ErrBadText
+	}
+	mi.Op = MOp(data[off])
+	mi.Ty = ir.Type(data[off+1])
+	mi.Pred = ir.Pred(data[off+2])
+	mask := data[off+3]
+	p := off + 4
+	rd := func() (int64, error) {
+		v, n := binary.Varint(data[p:])
+		if n <= 0 {
+			return 0, ErrBadText
+		}
+		p += n
+		return v, nil
+	}
+	// Absent register fields decode to NoReg; absent scalars to 0.
+	mi.Dst, mi.A, mi.B, mi.C = int32(ir.NoReg), int32(ir.NoReg), int32(ir.NoReg), int32(ir.NoReg)
+	var v int64
+	var err error
+	if mask&vfDst != 0 {
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.Dst = int32(v)
+	}
+	if mask&vfA != 0 {
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.A = int32(v)
+	}
+	if mask&vfB != 0 {
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.B = int32(v)
+	}
+	if mask&vfC != 0 {
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.C = int32(v)
+	}
+	if mask&vfImm != 0 {
+		if mi.Imm, err = rd(); err != nil {
+			return p, err
+		}
+	}
+	if mask&vfImm2 != 0 {
+		if mi.Imm2, err = rd(); err != nil {
+			return p, err
+		}
+	}
+	if mask&vfTarget != 0 {
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.Target = int32(v)
+	}
+	if mask&vfMisc != 0 {
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.Lanes = int32(v)
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.ArgBase = int32(v)
+		if v, err = rd(); err != nil {
+			return p, err
+		}
+		mi.ArgCount = int32(v)
+	}
+	return p, nil
+}
+
+// Disasm renders a program as pseudo-assembly for logs and debugging.
+func Disasm(p *Program) string {
+	s := fmt.Sprintf("%s: ; %d regs, %d params\n", p.Name, p.NumRegs, p.Params)
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		s += fmt.Sprintf("  %4d: %-12s dst=%d a=%d b=%d c=%d imm=%d tgt=%d\n",
+			pc, in.Op.String(), in.Dst, in.A, in.B, in.C, in.Imm, in.Target)
+	}
+	return s
+}

@@ -1,0 +1,476 @@
+// Package mcode is the machine-code layer of the reproduction: the
+// analogue of LLVM's back-end. It lowers portable IR into a per-target
+// executable form, executes it on a register VM with cycle accounting,
+// and encodes/decodes it in per-ISA binary formats.
+//
+// Lowering is where the paper's target-side specialization happens
+// (§III-C): on a µarch with LSE, atomic IR ops lower to single
+// instructions; without LSE they lower to CAS loops. Scalable vector IR
+// ops are baked to the local SIMD lane count (SVE 8×64-bit lanes on
+// A64FX, AVX2 4 on Xeon, NEON 2 on Cortex-A72). A compare feeding only
+// the immediately following branch is fused. Because these decisions are
+// *baked into* the lowered code, binary-shipped ifuncs keep the producing
+// machine's choices while bitcode-shipped ifuncs get re-lowered on the
+// receiver — exactly the trade-off the paper measures.
+package mcode
+
+import (
+	"errors"
+	"fmt"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+)
+
+// MOp is a lowered machine opcode. It is a superset of ir.Opcode: several
+// IR operations lower to different machine ops depending on the µarch.
+type MOp uint8
+
+const (
+	MNop MOp = iota
+	MConst
+	MAdd
+	MSub
+	MMul
+	MSDiv
+	MUDiv
+	MSRem
+	MURem
+	MAnd
+	MOr
+	MXor
+	MShl
+	MLShr
+	MAShr
+	MFAdd
+	MFSub
+	MFMul
+	MFDiv
+	MICmp
+	MFCmp
+	MTrunc
+	MSExt
+	MSIToFP
+	MUIToFP
+	MFPToSI
+	MFPToUI
+	MSelect
+	MAlloca
+	MLoad
+	MStore
+	MPtrAdd
+	MGlobal // Dst = GOT[Target] (data symbol address)
+	MJmp    // pc = Target
+	MJnz    // if A != 0 pc = Target else pc = Imm (else target)
+	MCmpBr  // fused compare-and-branch: if cmp(Pred,A,B) pc = Target else pc = Imm
+	MRet
+	MCallLocal // call function Target in the same compiled module
+	MCallExt   // call external symbol via GOT slot Target (indirect)
+	MAtomicAddLSE
+	MAtomicAddCAS // CAS-loop lowering on µarchs without LSE
+	MAtomicCASOp
+	MVSet // Lanes baked
+	MVCopy
+	MVBinOp
+	MVReduce
+	MTrap
+
+	mopCount
+)
+
+var mopNames = [...]string{
+	MNop: "nop", MConst: "const",
+	MAdd: "add", MSub: "sub", MMul: "mul", MSDiv: "sdiv", MUDiv: "udiv",
+	MSRem: "srem", MURem: "urem", MAnd: "and", MOr: "or", MXor: "xor",
+	MShl: "shl", MLShr: "lshr", MAShr: "ashr",
+	MFAdd: "fadd", MFSub: "fsub", MFMul: "fmul", MFDiv: "fdiv",
+	MICmp: "icmp", MFCmp: "fcmp",
+	MTrunc: "trunc", MSExt: "sext", MSIToFP: "sitofp", MUIToFP: "uitofp",
+	MFPToSI: "fptosi", MFPToUI: "fptoui",
+	MSelect: "select", MAlloca: "alloca", MLoad: "load", MStore: "store",
+	MPtrAdd: "ptradd", MGlobal: "got.addr",
+	MJmp: "jmp", MJnz: "jnz", MCmpBr: "cmpbr", MRet: "ret",
+	MCallLocal: "call", MCallExt: "call.got",
+	MAtomicAddLSE: "ldadd", MAtomicAddCAS: "casloop.add", MAtomicCASOp: "cas",
+	MVSet: "vset", MVCopy: "vcopy", MVBinOp: "vbinop", MVReduce: "vreduce",
+	MTrap: "brk",
+}
+
+// String returns the disassembly mnemonic.
+func (op MOp) String() string {
+	if int(op) < len(mopNames) && mopNames[op] != "" {
+		return mopNames[op]
+	}
+	return fmt.Sprintf("mop(%d)", uint8(op))
+}
+
+// MInstr is one lowered machine instruction. All fields are fixed-width so
+// the per-ISA codecs can serialize without variable structure.
+type MInstr struct {
+	Op        MOp
+	Ty        ir.Type
+	Pred      ir.Pred
+	Dst       int32
+	A, B, C   int32
+	Imm, Imm2 int64
+	Target    int32 // branch pc / callee index / GOT slot
+	Lanes     int32 // baked vector lane count
+	ArgBase   int32 // calls: first argument register
+	ArgCount  int32 // calls: number of argument registers (contiguous)
+}
+
+// GOTKind classifies a GOT entry.
+type GOTKind uint8
+
+const (
+	// GOTFunc is an external function symbol (runtime intrinsic or
+	// shared-library function).
+	GOTFunc GOTKind = iota
+	// GOTData is a data symbol (module global or dependency-exported).
+	GOTData
+)
+
+// GOTEntry is one slot of the global offset table: a symbolic reference
+// the loader must patch before execution (§III-B's remote dynamic
+// linking).
+type GOTEntry struct {
+	Sym  string
+	Kind GOTKind
+}
+
+// Program is one lowered function: linearized code with branch targets as
+// instruction indices.
+type Program struct {
+	Name    string
+	Params  int
+	NumRegs int
+	Code    []MInstr
+}
+
+// CompiledModule is a fully lowered module: the unit the JIT produces and
+// the binary object format serializes.
+type CompiledModule struct {
+	Name     string
+	Triple   isa.Triple
+	Features string // µarch feature string the code was specialized for
+	Funcs    []*Program
+	GOT      []GOTEntry
+	Globals  []ir.Global
+	Deps     []string
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (cm *CompiledModule) FuncIndex(name string) int {
+	for i, f := range cm.Funcs {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumInstrs counts lowered instructions (JIT cost is charged per lowered
+// instruction by the cost model).
+func (cm *CompiledModule) NumInstrs() int {
+	n := 0
+	for _, f := range cm.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}
+
+// IsPureBinary reports whether the module needs no linking at all — the
+// paper's "pure" ifunc fast path that skips GOT patching.
+func (cm *CompiledModule) IsPureBinary() bool {
+	return len(cm.GOT) == 0 && len(cm.Deps) == 0
+}
+
+// Lower compiles an IR module for the given micro-architecture. The
+// module must verify. Calls to functions defined in the module become
+// local calls; everything else becomes a GOT-indirect external call.
+// Globals referenced by name become GOT data slots.
+func Lower(m *ir.Module, march *isa.MicroArch) (*CompiledModule, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("mcode: cannot lower invalid module: %w", err)
+	}
+	cm := &CompiledModule{
+		Name:     m.Name,
+		Triple:   march.Triple,
+		Features: march.Features(),
+		Deps:     append([]string(nil), m.Deps...),
+	}
+	for _, g := range m.Globals {
+		cm.Globals = append(cm.Globals, ir.Global{
+			Name: g.Name, Size: g.Size, Init: append([]byte(nil), g.Init...),
+		})
+	}
+	gotIdx := map[string]int32{}
+	gotSlot := func(sym string, kind GOTKind) int32 {
+		key := fmt.Sprintf("%d:%s", kind, sym)
+		if i, ok := gotIdx[key]; ok {
+			return i
+		}
+		i := int32(len(cm.GOT))
+		cm.GOT = append(cm.GOT, GOTEntry{Sym: sym, Kind: kind})
+		gotIdx[key] = i
+		return i
+	}
+	localIdx := map[string]int32{}
+	for i, f := range m.Funcs {
+		localIdx[f.Name] = int32(i)
+	}
+	for _, f := range m.Funcs {
+		p, err := lowerFunc(f, m, march, localIdx, gotSlot)
+		if err != nil {
+			return nil, err
+		}
+		cm.Funcs = append(cm.Funcs, p)
+	}
+	return cm, nil
+}
+
+// lowerFunc linearizes one function. Register file layout: the IR virtual
+// registers stay as-is; calls marshal arguments into a fresh contiguous
+// register range appended at the top of the frame.
+func lowerFunc(f *ir.Func, m *ir.Module, march *isa.MicroArch,
+	localIdx map[string]int32, gotSlot func(string, GOTKind) int32) (*Program, error) {
+
+	p := &Program{Name: f.Name, Params: len(f.Params), NumRegs: f.NumRegs}
+	lanes := int32(march.VectorLanes())
+
+	// First pass: compute block start offsets. Fused compare+branch pairs
+	// shrink two IR instructions into one machine instruction, so we must
+	// identify fusion before layout.
+	fuse := findFusions(f)
+
+	starts := make([]int32, len(f.Blocks))
+	off := int32(0)
+	for bi, blk := range f.Blocks {
+		starts[bi] = off
+		for ii := range blk.Instrs {
+			if fuse[blockInstr{bi, ii}] == fuseSkip {
+				continue // folded into the following CondBr
+			}
+			in := &blk.Instrs[ii]
+			off += int32(lowerWidth(in, march))
+		}
+	}
+
+	// Second pass: emit.
+	for bi, blk := range f.Blocks {
+		for ii := range blk.Instrs {
+			role := fuse[blockInstr{bi, ii}]
+			if role == fuseSkip {
+				continue
+			}
+			in := &blk.Instrs[ii]
+			mi := MInstr{
+				Ty: in.Ty, Pred: in.Pred,
+				Dst: int32(in.Dst), A: int32(in.A), B: int32(in.B), C: int32(in.C),
+				Imm: in.Imm, Imm2: in.Imm2,
+			}
+			switch in.Op {
+			case ir.OpNop:
+				continue
+			case ir.OpConst, ir.OpFConst:
+				mi.Op = MConst
+			case ir.OpAdd:
+				mi.Op = MAdd
+			case ir.OpSub:
+				mi.Op = MSub
+			case ir.OpMul:
+				mi.Op = MMul
+			case ir.OpSDiv:
+				mi.Op = MSDiv
+			case ir.OpUDiv:
+				mi.Op = MUDiv
+			case ir.OpSRem:
+				mi.Op = MSRem
+			case ir.OpURem:
+				mi.Op = MURem
+			case ir.OpAnd:
+				mi.Op = MAnd
+			case ir.OpOr:
+				mi.Op = MOr
+			case ir.OpXor:
+				mi.Op = MXor
+			case ir.OpShl:
+				mi.Op = MShl
+			case ir.OpLShr:
+				mi.Op = MLShr
+			case ir.OpAShr:
+				mi.Op = MAShr
+			case ir.OpFAdd:
+				mi.Op = MFAdd
+			case ir.OpFSub:
+				mi.Op = MFSub
+			case ir.OpFMul:
+				mi.Op = MFMul
+			case ir.OpFDiv:
+				mi.Op = MFDiv
+			case ir.OpICmp:
+				mi.Op = MICmp
+			case ir.OpFCmp:
+				mi.Op = MFCmp
+			case ir.OpTrunc:
+				mi.Op = MTrunc
+			case ir.OpSExt:
+				mi.Op = MSExt
+			case ir.OpSIToFP:
+				mi.Op = MSIToFP
+			case ir.OpUIToFP:
+				mi.Op = MUIToFP
+			case ir.OpFPToSI:
+				mi.Op = MFPToSI
+			case ir.OpFPToUI:
+				mi.Op = MFPToUI
+			case ir.OpSelect:
+				mi.Op = MSelect
+			case ir.OpAlloca:
+				mi.Op = MAlloca
+			case ir.OpLoad:
+				mi.Op = MLoad
+			case ir.OpStore:
+				mi.Op = MStore
+			case ir.OpPtrAdd:
+				mi.Op = MPtrAdd
+			case ir.OpGlobal:
+				mi.Op = MGlobal
+				mi.Target = gotSlot(in.Sym, GOTData)
+			case ir.OpBr:
+				mi.Op = MJmp
+				mi.Target = starts[in.T0]
+			case ir.OpCondBr:
+				if role == fuseBranch {
+					// Pull the compare into the branch.
+					cmp := &blk.Instrs[ii-1]
+					mi.Op = MCmpBr
+					mi.Pred = cmp.Pred
+					mi.A = int32(cmp.A)
+					mi.B = int32(cmp.B)
+					mi.Ty = cmp.Ty
+					if cmp.Op == ir.OpFCmp {
+						mi.Ty = ir.F64
+					} else {
+						mi.Ty = ir.I64
+					}
+				} else {
+					mi.Op = MJnz
+					mi.A = int32(in.A)
+				}
+				mi.Target = starts[in.T0]
+				mi.Imm = int64(starts[in.T1])
+			case ir.OpRet:
+				mi.Op = MRet
+			case ir.OpCall:
+				// Marshal arguments into fresh contiguous registers.
+				base := int32(p.NumRegs)
+				p.NumRegs += len(in.Args)
+				for k, a := range in.Args {
+					p.Code = append(p.Code, MInstr{
+						Op: MOr, Ty: ir.I64,
+						Dst: base + int32(k), A: int32(a), B: int32(a),
+					})
+				}
+				mi.ArgBase = base
+				mi.ArgCount = int32(len(in.Args))
+				if li, ok := localIdx[in.Sym]; ok {
+					mi.Op = MCallLocal
+					mi.Target = li
+				} else {
+					mi.Op = MCallExt
+					mi.Target = gotSlot(in.Sym, GOTFunc)
+				}
+			case ir.OpAtomicAdd:
+				if march.HasLSE {
+					mi.Op = MAtomicAddLSE
+				} else {
+					mi.Op = MAtomicAddCAS
+				}
+			case ir.OpAtomicCAS:
+				mi.Op = MAtomicCASOp
+			case ir.OpVSet:
+				mi.Op = MVSet
+				mi.Lanes = lanes
+			case ir.OpVCopy:
+				mi.Op = MVCopy
+				mi.Lanes = lanes
+			case ir.OpVBinOp:
+				mi.Op = MVBinOp
+				mi.Lanes = lanes
+				mi.ArgBase = int32(in.Args[0]) // count register
+				mi.ArgCount = 1
+			case ir.OpVReduce:
+				mi.Op = MVReduce
+				mi.Lanes = lanes
+			case ir.OpTrap:
+				mi.Op = MTrap
+			default:
+				return nil, fmt.Errorf("mcode: cannot lower opcode %s", in.Op)
+			}
+			p.Code = append(p.Code, mi)
+		}
+	}
+	return p, nil
+}
+
+type blockInstr struct{ block, instr int }
+
+type fuseRole uint8
+
+const (
+	fuseNone   fuseRole = iota
+	fuseSkip            // compare folded away
+	fuseBranch          // branch absorbs the compare
+)
+
+// findFusions marks ICmp/FCmp instructions that feed only the immediately
+// following CondBr within the same block, plus the branches that absorb
+// them. This is the µarch peephole that makes JIT-lowered code cheaper
+// than naive interpretation.
+func findFusions(f *ir.Func) map[blockInstr]fuseRole {
+	// Count uses of every register across the function.
+	uses := make(map[ir.Reg]int)
+	var scratch []ir.Reg
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			scratch = blk.Instrs[i].Uses(scratch[:0])
+			for _, r := range scratch {
+				uses[r]++
+			}
+		}
+	}
+	out := map[blockInstr]fuseRole{}
+	for bi, blk := range f.Blocks {
+		for ii := 0; ii+1 < len(blk.Instrs); ii++ {
+			in := &blk.Instrs[ii]
+			nxt := &blk.Instrs[ii+1]
+			if (in.Op == ir.OpICmp || in.Op == ir.OpFCmp) &&
+				nxt.Op == ir.OpCondBr && nxt.A == in.Dst && uses[in.Dst] == 1 {
+				out[blockInstr{bi, ii}] = fuseSkip
+				out[blockInstr{bi, ii + 1}] = fuseBranch
+			}
+		}
+	}
+	return out
+}
+
+// lowerWidth returns how many machine instructions an IR instruction
+// expands to (call argument marshalling adds copies).
+func lowerWidth(in *ir.Instr, march *isa.MicroArch) int {
+	switch in.Op {
+	case ir.OpNop:
+		return 0
+	case ir.OpCall:
+		return 1 + len(in.Args)
+	}
+	return 1
+}
+
+// Errors specific to execution on the machine VM.
+var (
+	ErrNoFunction = errors.New("mcode: no such function")
+	ErrNotLinked  = errors.New("mcode: module not linked")
+	ErrBadGOTSlot = errors.New("mcode: GOT slot out of range")
+	ErrWrongArch  = errors.New("mcode: binary is for a different architecture")
+)

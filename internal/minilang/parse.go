@@ -1,0 +1,503 @@
+package minilang
+
+import "fmt"
+
+// AST node definitions. The language is expression/statement structured
+// with function definitions at the top level.
+
+// TypeName is a surface type annotation.
+type TypeName string
+
+// Surface types.
+const (
+	TyInt   TypeName = "Int"
+	TyFloat TypeName = "Float"
+	TyBool  TypeName = "Bool"
+	TyPtr   TypeName = "Ptr"
+	TyNone  TypeName = "" // unannotated
+)
+
+// File is a parsed source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    TypeName
+	Body   []Stmt
+	Line   int
+}
+
+// Param is a declared parameter with optional annotation.
+type Param struct {
+	Name string
+	Type TypeName
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+// AssignStmt is `name = expr`.
+type AssignStmt struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/elseif/else/end.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil, or the lowered elseif/else chain
+	Line int
+}
+
+// WhileStmt is while/end.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is Julia's counted loop: `for i = a:b ... end` (inclusive).
+// The bound expressions evaluate once, before the first iteration.
+type ForStmt struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Line     int
+}
+
+// ReturnStmt is `return expr` (expr may be nil).
+type ReturnStmt struct {
+	X    Expr
+	Line int
+}
+
+// ExprStmt is a bare expression evaluated for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (s *AssignStmt) stmtLine() int { return s.Line }
+func (s *IfStmt) stmtLine() int     { return s.Line }
+func (s *WhileStmt) stmtLine() int  { return s.Line }
+func (s *ForStmt) stmtLine() int    { return s.Line }
+func (s *ReturnStmt) stmtLine() int { return s.Line }
+func (s *ExprStmt) stmtLine() int   { return s.Line }
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V    int64
+	Line int
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	V    float64
+	Line int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	V    bool
+	Line int
+}
+
+// VarRef reads a variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// BinOp is a binary operation.
+type BinOp struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnOp is unary - or !.
+type UnOp struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Call invokes a user function or a builtin.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (e *IntLit) exprLine() int   { return e.Line }
+func (e *FloatLit) exprLine() int { return e.Line }
+func (e *BoolLit) exprLine() int  { return e.Line }
+func (e *VarRef) exprLine() int   { return e.Line }
+func (e *BinOp) exprLine() int    { return e.Line }
+func (e *UnOp) exprLine() int     { return e.Line }
+func (e *Call) exprLine() int     { return e.Line }
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectOp(op string) error {
+	t := p.next()
+	if t.kind != tokOp || t.text != op {
+		return errf(t.line, "expected %q, got %q", op, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return errf(t.line, "expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peek().kind == tokOp && p.peek().text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Parse parses a source file.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.atEOF() {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, errf(1, "no functions defined")
+	}
+	return f, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	start := p.peek().line
+	if err := p.expectKeyword("function"); err != nil {
+		return nil, err
+	}
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return nil, errf(nameTok.line, "expected function name, got %q", nameTok.text)
+	}
+	fn := &FuncDecl{Name: nameTok.text, Line: start}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for !p.acceptOp(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+		}
+		pt := p.next()
+		if pt.kind != tokIdent {
+			return nil, errf(pt.line, "expected parameter name, got %q", pt.text)
+		}
+		prm := Param{Name: pt.text, Type: TyNone}
+		if p.acceptOp("::") {
+			ty, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			prm.Type = ty
+		}
+		fn.Params = append(fn.Params, prm)
+	}
+	if p.acceptOp("::") {
+		ty, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = ty
+	}
+	body, err := p.parseBlock("end")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseTypeName() (TypeName, error) {
+	t := p.next()
+	switch TypeName(t.text) {
+	case TyInt, TyFloat, TyBool, TyPtr:
+		return TypeName(t.text), nil
+	}
+	return TyNone, errf(t.line, "unknown type %q (want Int, Float, Bool or Ptr)", t.text)
+}
+
+// parseBlock parses statements until one of the stop keywords (not
+// consumed).
+func (p *parser) parseBlock(stops ...string) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return nil, errf(t.line, "unexpected end of input (missing 'end'?)")
+		}
+		if t.kind == tokKeyword {
+			for _, s := range stops {
+				if t.text == s {
+					return out, nil
+				}
+			}
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && t.text == "return":
+		p.next()
+		// A bare return is followed by a stop keyword.
+		if nt := p.peek(); nt.kind == tokKeyword && (nt.text == "end" || nt.text == "else" || nt.text == "elseif") {
+			return &ReturnStmt{Line: t.line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "if":
+		return p.parseIf()
+	case t.kind == tokKeyword && t.text == "for":
+		p.next()
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, errf(nameTok.line, "expected loop variable, got %q", nameTok.text)
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		from, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(":"); err != nil {
+			return nil, err
+		}
+		to, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock("end")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: nameTok.text, From: from, To: to, Body: body, Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "while":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock("end")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case t.kind == tokIdent:
+		// Assignment or expression statement: look ahead for '='.
+		if p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "=" {
+			p.next() // name
+			p.next() // =
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: t.text, X: x, Line: t.line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: t.line}, nil
+	default:
+		return nil, errf(t.line, "unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next() // if / elseif
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock("end", "else", "elseif")
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+	switch {
+	case p.peek().kind == tokKeyword && p.peek().text == "elseif":
+		els, err := p.parseIf() // consumes through matching end
+		if err != nil {
+			return nil, err
+		}
+		st.Else = []Stmt{els}
+		return st, nil
+	case p.acceptKeyword("else"):
+		els, err := p.parseBlock("end")
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Expression parsing with precedence climbing.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4, "|": 4, "^": 4,
+	"*": 5, "/": 5, "%": 5, "&": 5,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinOp{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		var v int64
+		if _, err := fmt.Sscanf(t.text, "%v", &v); err != nil {
+			return nil, errf(t.line, "bad integer literal %q", t.text)
+		}
+		return &IntLit{V: v, Line: t.line}, nil
+	case t.kind == tokFloat:
+		var v float64
+		if _, err := fmt.Sscanf(t.text, "%g", &v); err != nil {
+			return nil, errf(t.line, "bad float literal %q", t.text)
+		}
+		return &FloatLit{V: v, Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		return &BoolLit{V: true, Line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		return &BoolLit{V: false, Line: t.line}, nil
+	case t.kind == tokIdent:
+		if p.acceptOp("(") {
+			call := &Call{Name: t.text, Line: t.line}
+			for !p.acceptOp(")") {
+				if len(call.Args) > 0 {
+					if err := p.expectOp(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	case t.kind == tokOp && t.text == "(":
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errf(t.line, "unexpected token %q in expression", t.text)
+	}
+}

@@ -1,0 +1,145 @@
+package passes
+
+import "threechains/internal/ir"
+
+// CSE performs block-local common-subexpression elimination over pure
+// arithmetic: when two instructions in a block compute the same operation
+// over the same operand registers (with no redefinition in between), the
+// second becomes a copy of the first's result. Loads are deliberately
+// excluded — without alias analysis an intervening store could invalidate
+// them — which keeps the pass trivially sound.
+type CSE struct{}
+
+// Name implements Pass.
+func (CSE) Name() string { return "cse" }
+
+// exprKey identifies a pure computation. Commutative operations are
+// canonicalized by ordering the operand registers.
+type exprKey struct {
+	op   ir.Opcode
+	pred ir.Pred
+	ty   ir.Type
+	a, b ir.Reg
+	imm  int64
+	imm2 int64
+}
+
+// Run implements Pass.
+func (CSE) Run(m *ir.Module, f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		avail := make(map[exprKey]ir.Reg)
+		// defVersion tracks register redefinition: an expression is only
+		// reusable while neither operand has been redefined since.
+		version := make(map[ir.Reg]int)
+		keyVersion := make(map[exprKey][2]int)
+
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if key, ok := cseKey(in); ok {
+				if prev, hit := avail[key]; hit {
+					vs := keyVersion[key]
+					if version[key.a] == vs[0] && version[key.b] == vs[1] {
+						// Replace with a copy (canonical Or x,x form).
+						*in = ir.Instr{Op: ir.OpOr, Ty: ir.I64, Dst: in.Dst, A: prev, B: prev}
+						changed = true
+						if in.Dst != ir.NoReg {
+							version[in.Dst]++
+						}
+						continue
+					}
+				}
+				avail[key] = in.Dst
+				keyVersion[key] = [2]int{version[key.a], version[key.b]}
+			}
+			if in.Dst != ir.NoReg {
+				version[in.Dst]++
+			}
+		}
+	}
+	return changed
+}
+
+// CopyProp forwards block-local register copies (the canonical Or x,x
+// form that ConstFold, Simplify and CSE emit): uses of the copy's
+// destination are rewritten to the source until either register is
+// redefined, after which DCE can drop the dead copy.
+type CopyProp struct{}
+
+// Name implements Pass.
+func (CopyProp) Name() string { return "copyprop" }
+
+// Run implements Pass.
+func (CopyProp) Run(m *ir.Module, f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		copyOf := make(map[ir.Reg]ir.Reg)
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			// Rewrite operands through the copy map.
+			rewrite := func(r *ir.Reg) {
+				if src, ok := copyOf[*r]; ok {
+					*r = src
+					changed = true
+				}
+			}
+			switch in.Op {
+			case ir.OpConst, ir.OpFConst, ir.OpAlloca, ir.OpGlobal, ir.OpBr, ir.OpNop:
+			case ir.OpCall:
+				for ai := range in.Args {
+					rewrite(&in.Args[ai])
+				}
+			default:
+				if in.A != ir.NoReg {
+					rewrite(&in.A)
+				}
+				if in.B != ir.NoReg {
+					rewrite(&in.B)
+				}
+				if in.C != ir.NoReg {
+					rewrite(&in.C)
+				}
+				for ai := range in.Args {
+					rewrite(&in.Args[ai])
+				}
+			}
+			// Redefinition invalidates copies involving the destination.
+			if in.Dst != ir.NoReg {
+				delete(copyOf, in.Dst)
+				for dst, src := range copyOf {
+					if src == in.Dst {
+						delete(copyOf, dst)
+					}
+				}
+			}
+			// Record fresh copies.
+			if in.Op == ir.OpOr && in.A == in.B && in.Dst != ir.NoReg && in.A != in.Dst {
+				copyOf[in.Dst] = in.A
+			}
+		}
+	}
+	return changed
+}
+
+// cseKey returns the value-numbering key for instructions CSE may merge.
+func cseKey(in *ir.Instr) (exprKey, bool) {
+	switch in.Op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		// Commutative: canonical operand order.
+		a, b := in.A, in.B
+		if b < a {
+			a, b = b, a
+		}
+		return exprKey{op: in.Op, ty: in.Ty, a: a, b: b}, true
+	case ir.OpSub, ir.OpShl, ir.OpLShr, ir.OpAShr,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul:
+		return exprKey{op: in.Op, ty: in.Ty, a: in.A, b: in.B}, true
+	case ir.OpICmp, ir.OpFCmp:
+		return exprKey{op: in.Op, pred: in.Pred, ty: in.Ty, a: in.A, b: in.B}, true
+	case ir.OpPtrAdd:
+		return exprKey{op: in.Op, ty: in.Ty, a: in.A, b: in.B, imm: in.Imm, imm2: in.Imm2}, true
+	case ir.OpTrunc, ir.OpSExt, ir.OpSIToFP, ir.OpUIToFP:
+		return exprKey{op: in.Op, ty: in.Ty, a: in.A, b: ir.NoReg}, true
+	}
+	return exprKey{}, false
+}

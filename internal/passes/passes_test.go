@@ -1,0 +1,276 @@
+package passes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threechains/internal/ir"
+)
+
+// run interprets main(x, y) of module m against a fresh environment.
+func run(t *testing.T, m *ir.Module, x, y uint64) (uint64, error) {
+	t.Helper()
+	env := ir.NewSimpleEnv(1 << 14)
+	env.Globals["scratch"] = 0
+	env.Externs["host.add"] = func(a []uint64) (uint64, error) { return a[0] + a[1], nil }
+	ip := ir.NewInterp(m, env, ir.ExecLimits{MaxSteps: 1 << 21, StackBase: 4096, StackSize: 4096})
+	res, err := ip.Run("main", x, y)
+	return res.Value, err
+}
+
+func TestConstFoldFoldsChains(t *testing.T) {
+	m := ir.NewModule("cf")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	c1 := b.Const64(20)
+	c2 := b.Const64(22)
+	s := b.Add(c1, c2)
+	d := b.Mul(s, b.Const64(2))
+	b.Ret(d)
+	if err := Optimize(m, O1); err != nil {
+		t.Fatal(err)
+	}
+	// After folding + DCE the function should be const + ret only.
+	f := m.Func("main")
+	if n := f.NumInstrs(); n > 2 {
+		t.Fatalf("folded function has %d instrs, want <= 2:\n%s", n, ir.Print(m))
+	}
+	v, err := run(t, m, 0, 0)
+	if err != nil || v != 84 {
+		t.Fatalf("got %d, %v; want 84", v, err)
+	}
+}
+
+func TestConstFoldDoesNotFoldDivByZero(t *testing.T) {
+	m := ir.NewModule("cf0")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	z := b.Const64(0)
+	d := b.SDiv(b.Param(0), z)
+	b.Ret(d)
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, m, 5, 0); err == nil {
+		t.Fatal("divide by zero was folded away; must still trap")
+	}
+}
+
+func TestBranchFoldingRemovesDeadBlocks(t *testing.T) {
+	m := ir.NewModule("bf")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	cond := b.ICmp(ir.PredEQ, b.Const64(1), b.Const64(1))
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	b.CondBr(cond, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Ret(b.Const64(111))
+	b.SetBlock(elseB)
+	b.Ret(b.Const64(222))
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	if len(f.Blocks) != 1 {
+		t.Fatalf("dead branch not removed: %d blocks\n%s", len(f.Blocks), ir.Print(m))
+	}
+	v, err := run(t, m, 0, 0)
+	if err != nil || v != 111 {
+		t.Fatalf("got %d, %v; want 111", v, err)
+	}
+}
+
+func TestDCERemovesUnusedPureInstrs(t *testing.T) {
+	m := ir.NewModule("dce")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	dead := b.Mul(b.Param(0), b.Param(1))
+	_ = b.Add(dead, dead) // also dead
+	live := b.Add(b.Param(0), b.Param(1))
+	b.Ret(live)
+	before := m.Func("main").NumInstrs()
+	if err := Optimize(m, O1); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Func("main").NumInstrs()
+	if after >= before {
+		t.Fatalf("DCE removed nothing: %d -> %d", before, after)
+	}
+	if v, _ := run(t, m, 3, 4); v != 7 {
+		t.Fatalf("got %d, want 7", v)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := ir.NewModule("dcese")
+	b := ir.NewBuilder(m)
+	b.AddGlobal("g", 8, nil)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	g := b.GlobalAddr("g")
+	b.Store(ir.I64, b.Param(0), g, 0) // store has a side effect
+	b.Ret(b.Load(ir.I64, g, 0))
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 12)
+	env.Globals["g"] = 256
+	ip := ir.NewInterp(m, env, ir.ExecLimits{})
+	res, err := ip.Run("main", 42, 0)
+	if err != nil || res.Value != 42 {
+		t.Fatalf("store dropped: got %d, %v", res.Value, err)
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	m := ir.NewModule("simp")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	zero := b.Const64(0)
+	one := b.Const64(1)
+	a := b.Add(b.Param(0), zero) // x+0 -> x
+	c := b.Mul(a, one)           // x*1 -> x
+	d := b.Mul(c, zero)          // x*0 -> 0
+	e := b.Add(c, d)             // x+0 -> x
+	b.Ret(e)
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := run(t, m, 77, 0); v != 77 {
+		t.Fatalf("got %d, want 77", v)
+	}
+}
+
+func TestInlineSmallCallee(t *testing.T) {
+	m := ir.NewModule("inl")
+	b := ir.NewBuilder(m)
+	b.NewFunc("double", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Add(b.Param(0), b.Param(0)))
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	r := b.Call("double", true, b.Param(0))
+	r2 := b.Call("double", true, r)
+	b.Ret(r2)
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.OpCall {
+				t.Fatalf("call not inlined:\n%s", ir.Print(m))
+			}
+		}
+	}
+	if v, _ := run(t, m, 5, 0); v != 20 {
+		t.Fatalf("got %d, want 20", v)
+	}
+}
+
+func TestInlineSkipsRecursive(t *testing.T) {
+	m := ir.NewModule("rec")
+	b := ir.NewBuilder(m)
+	b.NewFunc("f", []ir.Type{ir.I64}, ir.I64)
+	isZero := b.ICmp(ir.PredEQ, b.Param(0), b.Const64(0))
+	done := b.NewBlock("done")
+	again := b.NewBlock("again")
+	b.CondBr(isZero, done, again)
+	b.SetBlock(done)
+	b.Ret(b.Const64(0))
+	b.SetBlock(again)
+	n := b.Sub(b.Param(0), b.Const64(1))
+	b.Ret(b.Call("f", true, n))
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	b.Ret(b.Call("f", true, b.Param(0)))
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := run(t, m, 10, 0); err != nil || v != 0 {
+		t.Fatalf("got %d, %v; want 0", v, err)
+	}
+}
+
+func TestO2ShrinksTSIKernelLikeThePaperDiscusses(t *testing.T) {
+	// The paper notes optimization level changes shipped code size; here
+	// O2 must not grow a trivial kernel and must preserve its semantics.
+	m := ir.NewModule("tsi")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	old := b.Load(ir.I64, b.Param(2), 0)
+	inc := b.Add(old, b.Const64(1))
+	b.Store(ir.I64, inc, b.Param(2), 0)
+	b.Ret(inc)
+	before := m.NumInstrs()
+	if err := Optimize(m, O2); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInstrs() > before {
+		t.Fatalf("O2 grew the kernel: %d -> %d", before, m.NumInstrs())
+	}
+	env := ir.NewSimpleEnv(1 << 12)
+	env.StoreU64(100, 7)
+	ip := ir.NewInterp(m, env, ir.ExecLimits{})
+	res, err := ip.Run("main", 0, 0, 100)
+	if err != nil || res.Value != 8 {
+		t.Fatalf("got %d, %v; want 8", res.Value, err)
+	}
+}
+
+// TestOptimizePreservesSemantics is the core property test: for random
+// programs and random inputs, O1 and O2 must not change observable
+// results (return value and scratch memory contents).
+func TestOptimizePreservesSemantics(t *testing.T) {
+	cfg := ir.DefaultGenConfig()
+	check := func(seed int64, x, y uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := ir.GenModule(rng, cfg)
+		for _, lvl := range []Level{O1, O2} {
+			opt := orig.Clone()
+			if err := Optimize(opt, lvl); err != nil {
+				t.Logf("seed %d lvl %d: %v", seed, lvl, err)
+				return false
+			}
+			vo, eo, mo := execWithMem(orig, uint64(x), uint64(y))
+			vn, en, mn := execWithMem(opt, uint64(x), uint64(y))
+			if (eo == nil) != (en == nil) {
+				t.Logf("seed %d lvl %d: error divergence %v vs %v", seed, lvl, eo, en)
+				return false
+			}
+			if eo == nil && (vo != vn || mo != mn) {
+				t.Logf("seed %d lvl %d: value %d vs %d, memsum %d vs %d", seed, lvl, vo, vn, mo, mn)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// execWithMem runs main and returns (value, err, checksum of scratch).
+func execWithMem(m *ir.Module, x, y uint64) (uint64, error, uint64) {
+	env := ir.NewSimpleEnv(1 << 14)
+	env.Globals["scratch"] = 0
+	ip := ir.NewInterp(m, env, ir.ExecLimits{MaxSteps: 1 << 21, StackBase: 4096, StackSize: 4096})
+	res, err := ip.Run("main", x, y)
+	var sum uint64
+	for i := 0; i < 256; i += 8 {
+		sum = sum*31 + env.LoadU64(uint64(i))
+	}
+	return res.Value, err, sum
+}
+
+func TestPipelineLevels(t *testing.T) {
+	if len(Pipeline(O0)) != 0 {
+		t.Fatal("O0 must be empty")
+	}
+	if len(Pipeline(O1)) == 0 || len(Pipeline(O2)) <= len(Pipeline(O1)) {
+		t.Fatal("pipeline sizes not increasing")
+	}
+	for _, p := range Pipeline(O2) {
+		if p.Name() == "" {
+			t.Fatal("pass with empty name")
+		}
+	}
+}

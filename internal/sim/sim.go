@@ -1,0 +1,273 @@
+// Package sim is a deterministic discrete-event simulation engine with
+// virtual time. It is the substrate under the RDMA fabric model: all
+// latencies, bandwidth delays, JIT costs and compute times are charged to
+// a virtual clock, so every benchmark in this repository is exactly
+// reproducible, bit for bit, independent of the host machine.
+//
+// Two execution styles are supported:
+//
+//   - Event callbacks (At/After): run-to-completion handlers, used by
+//     servers, NIC models and the Three-Chains runtime.
+//   - Processes (Go): goroutines cooperatively scheduled by the engine,
+//     used for client code written in a blocking style (the GBPC client
+//     issues a GET and waits for it). Exactly one goroutine runs at a
+//     time and handoff points are deterministic, so processes add no
+//     nondeterminism.
+//
+// Time is int64 picoseconds: fine enough to represent per-byte wire costs
+// (~0.5 ns/B) without rounding, wide enough for hours of simulated time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in picoseconds since simulation start.
+type Time int64
+
+// Duration constants.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts virtual time to floating seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts virtual time to floating microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t)/int64(Nanosecond))
+	}
+}
+
+// FromSeconds converts floating seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromNanos converts floating nanoseconds to virtual time.
+func FromNanos(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// event is one scheduled callback. seq breaks ties at equal times so the
+// schedule is a strict total order (determinism).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event scheduler. The zero value is not usable; call New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// executed counts dispatched events, a cheap progress metric.
+	executed uint64
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics (it would silently break causality).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step dispatches the single next event; it reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Proc is a cooperatively scheduled process: a goroutine that runs only
+// when the engine hands it control and always returns control at a
+// blocking point (Sleep/Await) or on completion.
+type Proc struct {
+	Name string
+	eng  *Engine
+
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+}
+
+// Go spawns a process. Body runs in its own goroutine but is scheduled
+// deterministically: it starts at the current virtual time (after already
+// queued events at the same timestamp).
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{Name: name, eng: e, resume: make(chan struct{}), parked: make(chan struct{})}
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		p.parked <- struct{}{}
+	}()
+	e.After(0, p.dispatch)
+	return p
+}
+
+// dispatch transfers control to the process until its next yield. Must
+// only be called from engine context (an event callback).
+func (p *Proc) dispatch() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// yield parks the process and returns control to the engine. Must only be
+// called from the process goroutine.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Now returns the engine clock (valid from process context while
+// running).
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.eng.After(d, p.dispatch)
+	p.yield()
+}
+
+// Await suspends the process until the signal fires; it returns the
+// signal's value. Awaiting an already fired signal returns immediately
+// without yielding time.
+func (p *Proc) Await(s *Signal) uint64 {
+	if s.fired {
+		return s.value
+	}
+	s.subscribe(func() { p.dispatch() })
+	p.yield()
+	return s.value
+}
+
+// Signal is a one-shot event with an optional value — the completion
+// object used for network operations (like a UCX request handle).
+type Signal struct {
+	eng   *Engine
+	fired bool
+	value uint64
+	subs  []func()
+}
+
+// NewSignal creates a signal owned by the engine.
+func (e *Engine) NewSignal() *Signal { return &Signal{eng: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the fired value (zero before firing).
+func (s *Signal) Value() uint64 { return s.value }
+
+// Fire marks the signal complete and schedules all waiters at the current
+// time. Firing twice panics: completions are one-shot.
+func (s *Signal) Fire(v uint64) {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	s.value = v
+	for _, fn := range s.subs {
+		s.eng.After(0, fn)
+	}
+	s.subs = nil
+}
+
+// OnFire registers a callback to run when the signal fires (immediately
+// scheduled if already fired).
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		s.eng.After(0, fn)
+		return
+	}
+	s.subscribe(fn)
+}
+
+func (s *Signal) subscribe(fn func()) { s.subs = append(s.subs, fn) }

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(30*Nanosecond, func() { order = append(order, 3) })
+	e.After(10*Nanosecond, func() { order = append(order, 1) })
+	e.After(20*Nanosecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []Time
+	e.After(Microsecond, func() {
+		hits = append(hits, e.Now())
+		e.After(Microsecond, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != Microsecond || hits[1] != 2*Microsecond {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.After(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.After(Microsecond, func() { fired++ })
+	e.After(3*Microsecond, func() { fired++ })
+	e.RunUntil(2 * Microsecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2*Microsecond {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New()
+	var wake []Time
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * Microsecond)
+			wake = append(wake, p.Now())
+		}
+	})
+	e.Run()
+	if len(wake) != 3 || wake[0] != 10*Microsecond || wake[2] != 30*Microsecond {
+		t.Fatalf("wake = %v", wake)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	runOnce := func() []string {
+		e := New()
+		var trace []string
+		for _, name := range []string{"a", "b"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, name)
+					p.Sleep(Microsecond)
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	first := runOnce()
+	for i := 0; i < 10; i++ {
+		got := runOnce()
+		if len(got) != len(first) {
+			t.Fatalf("trace lengths differ")
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d differs at %d: %v vs %v", i, j, got, first)
+			}
+		}
+	}
+}
+
+func TestSignalAwait(t *testing.T) {
+	e := New()
+	sig := e.NewSignal()
+	var got uint64
+	var when Time
+	e.Go("waiter", func(p *Proc) {
+		got = p.Await(sig)
+		when = p.Now()
+	})
+	e.After(7*Microsecond, func() { sig.Fire(99) })
+	e.Run()
+	if got != 99 || when != 7*Microsecond {
+		t.Fatalf("got %d at %v", got, when)
+	}
+}
+
+func TestAwaitFiredSignalReturnsImmediately(t *testing.T) {
+	e := New()
+	sig := e.NewSignal()
+	sig.Fire(5)
+	var when Time
+	e.Go("late", func(p *Proc) {
+		if v := p.Await(sig); v != 5 {
+			t.Errorf("value = %d", v)
+		}
+		when = p.Now()
+	})
+	e.Run()
+	if when != 0 {
+		t.Fatalf("await of fired signal advanced time to %v", when)
+	}
+}
+
+func TestSignalDoubleFirePanics(t *testing.T) {
+	e := New()
+	sig := e.NewSignal()
+	sig.Fire(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double fire did not panic")
+		}
+	}()
+	sig.Fire(2)
+}
+
+func TestOnFire(t *testing.T) {
+	e := New()
+	sig := e.NewSignal()
+	count := 0
+	sig.OnFire(func() { count++ })
+	sig.OnFire(func() { count++ })
+	e.After(Microsecond, func() { sig.Fire(0) })
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	// Late subscription on a fired signal still runs.
+	sig.OnFire(func() { count++ })
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestManyProcsManyEvents(t *testing.T) {
+	e := New()
+	total := 0
+	for i := 0; i < 50; i++ {
+		e.Go("p", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Sleep(Time(1+j) * Nanosecond)
+				total++
+			}
+		})
+	}
+	e.Run()
+	if total != 50*20 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		t Time
+		s string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{2500 * Nanosecond, "2.500µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.s {
+			t.Errorf("%d ps = %q, want %q", int64(c.t), got, c.s)
+		}
+	}
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Error("FromSeconds wrong")
+	}
+	if FromNanos(2.5) != 2500*Picosecond {
+		t.Error("FromNanos wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package testbed
+
+import (
+	"testing"
+
+	"threechains/internal/sim"
+)
+
+func TestProfilesAreComplete(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "" || p.March == nil {
+			t.Fatalf("incomplete profile %+v", p)
+		}
+		m := p.March()
+		if m.ClockGHz <= 0 || m.VectorBits < 64 {
+			t.Fatalf("%s: bad µarch %+v", p.Name, m)
+		}
+		if p.Net.BaseLatency <= 0 || p.Net.LatPerByte <= 0 || p.Net.GapPerByte <= 0 {
+			t.Fatalf("%s: incomplete net params %+v", p.Name, p.Net)
+		}
+		if p.AMDispatch <= 0 || p.IfuncPoll <= 0 {
+			t.Fatalf("%s: missing dispatch costs", p.Name)
+		}
+		if len(p.Triples) < 2 {
+			t.Fatalf("%s: fat-bitcode targets missing", p.Name)
+		}
+	}
+}
+
+func TestLatencySlopesMatchPaperDeltas(t *testing.T) {
+	// LatPerByte is fitted to (uncached − cached) transmission over
+	// 5159 code bytes: 2.40 µs Ookami, 1.60 µs BF2, 2.07 µs Xeon.
+	cases := []struct {
+		p      Profile
+		deltaN float64 // expected ns over 5159 bytes
+	}{
+		{Ookami(), 2400},
+		{ThorBF2(), 1600},
+		{ThorXeon(), 2070},
+	}
+	for _, c := range cases {
+		got := float64(5159*c.p.Net.LatPerByte) / float64(sim.Nanosecond)
+		if got < c.deltaN*0.97 || got > c.deltaN*1.03 {
+			t.Errorf("%s: 5159-byte latency delta %.0f ns, want ≈%.0f", c.p.Name, got, c.deltaN)
+		}
+	}
+}
+
+func TestBandwidthGapsArePhysical(t *testing.T) {
+	// Thor-Xeon's gap must be ≈ the 100 Gb/s link (0.08 ns/B); the
+	// Arm-side gaps are larger (frame-build/DMA bound, from the paper's
+	// uncached message rates).
+	xeon := ThorXeon().Net.GapPerByte
+	if ns := float64(xeon) / float64(sim.Nanosecond); ns < 0.07 || ns > 0.1 {
+		t.Errorf("Xeon gap/byte = %.3f ns, want ≈0.083 (100 Gb/s)", ns)
+	}
+	if Ookami().Net.GapPerByte <= xeon || ThorBF2().Net.GapPerByte <= xeon {
+		t.Error("Arm-side per-byte gaps should exceed the Xeon link gap")
+	}
+}
+
+func TestPlatformOrderings(t *testing.T) {
+	// Cross-platform orderings the paper's tables imply.
+	o, b, x := Ookami(), ThorBF2(), ThorXeon()
+	// Per-message software overheads: Xeon cheapest.
+	if !(x.Net.RecvOverhead < b.Net.RecvOverhead && x.Net.RecvOverhead < o.Net.RecvOverhead) {
+		t.Error("Xeon receive overhead should be the smallest")
+	}
+	if !(x.AMDispatch < o.AMDispatch && x.AMDispatch < b.AMDispatch) {
+		t.Error("Xeon AM dispatch should be the smallest")
+	}
+	// ifunc poll pickup is cheaper than AM dispatch everywhere (the
+	// cached-ifunc-vs-AM rate advantage of Tables IV-VI).
+	for _, p := range All() {
+		if p.IfuncPoll >= p.AMDispatch {
+			t.Errorf("%s: poll (%v) not cheaper than AM dispatch (%v)", p.Name, p.IfuncPoll, p.AMDispatch)
+		}
+	}
+}
+
+func TestThorMixedUsesBF2FabricWithName(t *testing.T) {
+	m := ThorMixed()
+	if m.Name != "Thor-Mixed" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if m.Net != ThorBF2().Net {
+		t.Fatal("mixed profile must use the BF2 fabric parameters")
+	}
+}

@@ -1,0 +1,124 @@
+package toolchain
+
+import (
+	"strings"
+	"testing"
+
+	"threechains/internal/bitcode"
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/passes"
+	"threechains/internal/testbed"
+)
+
+func TestBuildArchiveTSIMatchesPaperSize(t *testing.T) {
+	// §IV-B: the TSI kernel ships 5159 bytes of bitcode (5185-byte
+	// message) for the two-ISA archive. Our toolchain must land in the
+	// same neighbourhood.
+	_, raw, err := BuildArchive(core.BuildTSI(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4500 || len(raw) > 6000 {
+		t.Fatalf("TSI archive = %d bytes, want ≈5159 (±15%%)", len(raw))
+	}
+}
+
+func TestDebugInfoGrowsArchive(t *testing.T) {
+	opts := DefaultOptions()
+	_, withDebug, err := BuildArchive(core.BuildTSI(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Debug = false
+	_, stripped, err := BuildArchive(core.BuildTSI(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripped) >= len(withDebug)/2 {
+		t.Fatalf("stripped %d vs debug %d: debug info too small", len(stripped), len(withDebug))
+	}
+}
+
+func TestArchiveSelectsAndRuns(t *testing.T) {
+	arch, _, err := BuildArchive(core.BuildTSI(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := arch.Select(isa.TripleA64FX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ir.NewSimpleEnv(1 << 12)
+	env.StoreU64(64, 9)
+	ip := ir.NewInterp(mod, env, ir.ExecLimits{StackBase: 2048, StackSize: 1024})
+	res, err := ip.Run("main", 0, 1, 64)
+	if err != nil || res.Value != 10 {
+		t.Fatalf("optimized archive kernel: %d, %v", res.Value, err)
+	}
+}
+
+func TestOptimizationLevelAffectsModule(t *testing.T) {
+	// Build a module with foldable work and check O0 vs O2 sizes differ.
+	m := ir.NewModule("folds")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	x := b.Add(b.Const64(40), b.Const64(2))
+	y := b.Mul(x, b.Const64(1))
+	b.Ret(y)
+
+	size := func(lvl passes.Level) int {
+		_, raw, err := BuildArchive(m, Options{Opt: lvl, Debug: false, Triples: testbed.PaperTriples})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(raw)
+	}
+	if size(passes.O2) >= size(passes.O0) {
+		t.Fatalf("O2 archive (%d) not smaller than O0 (%d)", size(passes.O2), size(passes.O0))
+	}
+}
+
+func TestGenDebugInfoDeterministic(t *testing.T) {
+	m := core.BuildChaser()
+	if GenDebugInfo(m) != GenDebugInfo(m) {
+		t.Fatal("debug info not deterministic")
+	}
+	di := GenDebugInfo(m)
+	for _, want := range []string{"DW_TAG_compile_unit", "DW_TAG_subprogram", "chase", "return_result", ".debug_line"} {
+		if !strings.Contains(di, want) {
+			t.Errorf("debug info missing %q", want)
+		}
+	}
+}
+
+func TestWriteLoadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	m := core.BuildChaser()
+	_, raw, err := BuildArchive(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArtifacts(dir, "dapc", raw, m.Deps); err != nil {
+		t.Fatal(err)
+	}
+	back, deps, err := LoadArtifacts(dir, "dapc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(raw) {
+		t.Fatal("archive bytes changed on disk")
+	}
+	if len(deps) != 1 || deps[0] != core.LibTC {
+		t.Fatalf("deps = %v", deps)
+	}
+	// The loaded archive still decodes.
+	if _, err := bitcode.DecodeArchive(back); err != nil {
+		t.Fatal(err)
+	}
+	// Missing artifacts fail cleanly.
+	if _, _, err := LoadArtifacts(dir, "ghost"); err == nil {
+		t.Fatal("loaded nonexistent artifacts")
+	}
+}

@@ -1,0 +1,299 @@
+// Package ucx is a UCP-flavoured communication API over the simulated
+// fabric — the stand-in for OpenUCX in the paper. It provides contexts,
+// workers, endpoints, memory registration with remote keys, one-sided PUT
+// and GET, two-sided Active Messages with a registered handler table, and
+// the ifunc delivery hook the Three-Chains runtime plugs into ("the
+// Three-Chains API is implemented as an extension of the UCP interface",
+// §III-A).
+//
+// Semantics follow UCP where it matters for the paper's evaluation:
+//
+//   - PUT and GET are one-sided: the target CPU is not involved, only its
+//     NIC (fixed NICOverhead). GET is a request/response round trip.
+//   - Active Messages are two-sided: delivery costs receiver CPU time
+//     (RecvOverhead + a dispatch cost through the handler pointer table).
+//   - ifunc messages are PUT-like into a polled message buffer: NIC
+//     write, then the polling loop picks the frame up on the target CPU.
+//   - Completion is signalled through one-shot sim.Signals whose value is
+//     a Status (OK or an error code), like ucs_status_t.
+package ucx
+
+import (
+	"fmt"
+
+	"threechains/internal/fabric"
+	"threechains/internal/sim"
+)
+
+// Status is the completion status of an operation (ucs_status_t).
+type Status uint64
+
+const (
+	// OK means success.
+	OK Status = iota
+	// ErrAccess means an rkey validation or bounds failure.
+	ErrAccess
+	// ErrNoHandler means an AM id had no registered handler.
+	ErrNoHandler
+	// ErrRejected means the target refused the message (e.g. ifunc sink
+	// not installed).
+	ErrRejected
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case ErrAccess:
+		return "ERR_ACCESS"
+	case ErrNoHandler:
+		return "ERR_NO_HANDLER"
+	case ErrRejected:
+		return "ERR_REJECTED"
+	default:
+		return fmt.Sprintf("ERR(%d)", uint64(s))
+	}
+}
+
+// Context is a UCP context bound to one fabric.
+type Context struct {
+	Net *fabric.Network
+}
+
+// NewContext wraps a fabric network.
+func NewContext(net *fabric.Network) *Context { return &Context{Net: net} }
+
+// AMHandler consumes an active message on the target worker.
+// header is the sender-chosen 64-bit immediate; data is the payload.
+type AMHandler func(src *Endpoint, header uint64, data []byte)
+
+// IfuncSink consumes a delivered ifunc frame (installed by the
+// Three-Chains runtime).
+type IfuncSink func(srcWorker int, frame []byte)
+
+// memRegion is a registered memory window.
+type memRegion struct {
+	base, size uint64
+}
+
+// RKey is a packed remote key: it names a registered window on a worker
+// and travels out of band to peers (like ucp_rkey_pack output).
+type RKey struct {
+	WorkerID int
+	KeyID    uint32
+	Base     uint64
+	Size     uint64
+}
+
+// Worker is a UCP worker: the per-process communication state.
+type Worker struct {
+	Ctx  *Context
+	Node *fabric.Node
+
+	amHandlers map[uint32]AMHandler
+	ifuncSink  IfuncSink
+	regions    map[uint32]memRegion
+	nextKey    uint32
+
+	// AMDispatch is the extra CPU cost of dispatching an AM through the
+	// handler pointer table (calibrated per testbed).
+	AMDispatch sim.Time
+	// IfuncPoll is the extra CPU cost for the polling loop to pick up and
+	// frame-check one ifunc message (calibrated per testbed).
+	IfuncPoll sim.Time
+}
+
+// NewWorker creates a worker on the node.
+func (c *Context) NewWorker(n *fabric.Node) *Worker {
+	return &Worker{
+		Ctx:        c,
+		Node:       n,
+		amHandlers: make(map[uint32]AMHandler),
+		regions:    make(map[uint32]memRegion),
+	}
+}
+
+// SetAMHandler registers (or replaces) the handler for an AM id — the
+// predeployed function table of the Active Message baseline.
+func (w *Worker) SetAMHandler(id uint32, h AMHandler) { w.amHandlers[id] = h }
+
+// SetIfuncSink installs the ifunc frame consumer (the Three-Chains
+// polling function).
+func (w *Worker) SetIfuncSink(sink IfuncSink) { w.ifuncSink = sink }
+
+// RegisterMem exposes [base, base+size) for remote one-sided access and
+// returns the packed key.
+func (w *Worker) RegisterMem(base, size uint64) RKey {
+	w.nextKey++
+	w.regions[w.nextKey] = memRegion{base: base, size: size}
+	return RKey{WorkerID: w.Node.ID, KeyID: w.nextKey, Base: base, Size: size}
+}
+
+// checkAccess validates a one-sided access against a registered window.
+func (w *Worker) checkAccess(key RKey, addr uint64, size int) bool {
+	r, ok := w.regions[key.KeyID]
+	if !ok {
+		return false
+	}
+	return addr >= r.base && addr+uint64(size) <= r.base+r.size
+}
+
+// Endpoint connects a local worker to a remote worker (reliable,
+// ordered).
+type Endpoint struct {
+	W    *Worker
+	Peer *Worker
+}
+
+// Connect creates an endpoint to peer.
+func (w *Worker) Connect(peer *Worker) *Endpoint {
+	return &Endpoint{W: w, Peer: peer}
+}
+
+// Protocol header sizes model UCP's wire framing. AMHeaderBytes is sized
+// so the paper's TSI Active Message (1-byte payload) comes out at 33
+// bytes on the wire, matching §V-A; ifunc frames carry their own header
+// (package ifunc) and are sent verbatim.
+const (
+	PutHeaderBytes = 24 // put: remote addr + rkey + length
+	GetReqBytes    = 32 // get request descriptor
+	GetRespBytes   = 16 // get response framing around the data
+	AMHeaderBytes  = 32 // am id + immediate + ucp framing
+)
+
+// Put writes data into remote memory at addr (one-sided). The returned
+// signal fires with a Status when the remote write has completed.
+func (ep *Endpoint) Put(data []byte, addr uint64, key RKey) *sim.Signal {
+	eng := ep.W.Ctx.Net.Eng
+	done := eng.NewSignal()
+	wire := make([]byte, PutHeaderBytes+len(data))
+	copy(wire[PutHeaderBytes:], data)
+	params := ep.W.Ctx.Net.Params
+	ep.W.Node.Send(ep.Peer.Node, wire, nil, func(msg *fabric.Message) {
+		// NIC-side write after NIC processing; no target CPU.
+		eng.After(params.NICOverhead, func() {
+			payload := msg.Data[PutHeaderBytes:]
+			if !ep.Peer.checkAccess(key, addr, len(payload)) {
+				done.Fire(uint64(ErrAccess))
+				return
+			}
+			if err := ep.Peer.Node.WriteMem(addr, payload); err != nil {
+				done.Fire(uint64(ErrAccess))
+				return
+			}
+			done.Fire(uint64(OK))
+		})
+	})
+	return done
+}
+
+// GetOp is an in-flight GET: Done fires with a Status; Data holds the
+// fetched bytes on success.
+type GetOp struct {
+	Done *sim.Signal
+	Data []byte
+}
+
+// Get fetches size bytes from remote memory at addr (one-sided
+// request/response through the target NIC).
+func (ep *Endpoint) Get(addr uint64, size int, key RKey) *GetOp {
+	eng := ep.W.Ctx.Net.Eng
+	params := ep.W.Ctx.Net.Params
+	op := &GetOp{Done: eng.NewSignal()}
+	req := make([]byte, GetReqBytes)
+	ep.W.Node.Send(ep.Peer.Node, req, nil, func(*fabric.Message) {
+		eng.After(params.NICOverhead, func() {
+			if !ep.Peer.checkAccess(key, addr, size) {
+				// Error response travels back as a small message.
+				ep.Peer.Node.Send(ep.W.Node, make([]byte, 16), nil, func(*fabric.Message) {
+					op.Done.Fire(uint64(ErrAccess))
+				})
+				return
+			}
+			data, err := ep.Peer.Node.ReadMem(addr, size)
+			if err != nil {
+				ep.Peer.Node.Send(ep.W.Node, make([]byte, 16), nil, func(*fabric.Message) {
+					op.Done.Fire(uint64(ErrAccess))
+				})
+				return
+			}
+			resp := make([]byte, GetRespBytes+len(data))
+			copy(resp[GetRespBytes:], data)
+			ep.Peer.Node.Send(ep.W.Node, resp, nil, func(m *fabric.Message) {
+				// RDMA READ completion: response NIC processing plus the
+				// initiator's CQ poll — the reason READ round trips cost
+				// more than twice a WRITE's one-way latency.
+				eng.After(params.NICOverhead, func() {
+					ep.W.Node.ExecCPU(params.RecvOverhead/2, func() {
+						op.Data = m.Data[GetRespBytes:]
+						op.Done.Fire(uint64(OK))
+					})
+				})
+			})
+		})
+	})
+	return op
+}
+
+// SendAM delivers an active message to the peer's registered handler.
+// The signal fires with a Status after the remote handler dispatch.
+func (ep *Endpoint) SendAM(id uint32, header uint64, payload []byte) *sim.Signal {
+	eng := ep.W.Ctx.Net.Eng
+	params := ep.W.Ctx.Net.Params
+	done := eng.NewSignal()
+	wire := make([]byte, AMHeaderBytes+len(payload))
+	copy(wire[AMHeaderBytes:], payload)
+	src := ep
+	ep.W.Node.Send(ep.Peer.Node, wire, nil, func(msg *fabric.Message) {
+		// Two-sided: receiver CPU runs the dispatch + handler.
+		ep.Peer.Node.ExecCPU(params.RecvOverhead+ep.Peer.AMDispatch, func() {
+			h, ok := ep.Peer.amHandlers[id]
+			if !ok {
+				done.Fire(uint64(ErrNoHandler))
+				return
+			}
+			back := ep.Peer.Connect(src.W)
+			h(back, header, msg.Data[AMHeaderBytes:])
+			done.Fire(uint64(OK))
+		})
+	})
+	return done
+}
+
+// SendIfunc delivers an ifunc message frame to the peer's polling loop:
+// a NIC-level write into the message buffer followed by a CPU-side poll
+// pickup (the paper's Figure 1 target-side flow). The signal fires with a
+// Status once the frame has been handed to the sink.
+func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
+	eng := ep.W.Ctx.Net.Eng
+	params := ep.W.Ctx.Net.Params
+	done := eng.NewSignal()
+	srcID := ep.W.Node.ID
+	ep.W.Node.Send(ep.Peer.Node, frame, nil, func(msg *fabric.Message) {
+		eng.After(params.NICOverhead, func() {
+			if ep.Peer.ifuncSink == nil {
+				done.Fire(uint64(ErrRejected))
+				return
+			}
+			ep.Peer.Node.ExecCPU(params.RecvOverhead+ep.Peer.IfuncPoll, func() {
+				ep.Peer.ifuncSink(srcID, msg.Data)
+				done.Fire(uint64(OK))
+			})
+		})
+	})
+	return done
+}
+
+// Flush returns a signal that fires when all previously posted operations
+// from this worker have left the sender NIC (local flush semantics).
+func (w *Worker) Flush() *sim.Signal {
+	eng := w.Ctx.Net.Eng
+	s := eng.NewSignal()
+	free := w.Node.CPUFreeAt()
+	if t := eng.Now(); free < t {
+		free = t
+	}
+	eng.At(free, func() { s.Fire(uint64(OK)) })
+	return s
+}

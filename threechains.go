@@ -1,0 +1,207 @@
+// Package threechains is a pure-Go reproduction of "Bring the BitCODE —
+// Moving Compute and Data in Distributed Heterogeneous Systems" (IEEE
+// CLUSTER 2022): the Three-Chains framework for moving code and data
+// between processing elements of a distributed heterogeneous system.
+//
+// The package is a facade over the implementation packages in internal/:
+//
+//   - internal/ir, internal/passes, internal/bitcode — the portable IR,
+//     its optimizer and the (fat-)bitcode wire format (the LLVM analogue);
+//   - internal/mcode, internal/jit, internal/linker, internal/elfx — the
+//     per-µarch backend, ORC-style JIT sessions, remote dynamic linking
+//     and the ELF-like binary ifunc container;
+//   - internal/sim, internal/fabric, internal/ucx — the deterministic
+//     discrete-event RDMA fabric and a UCP-flavoured communication API;
+//   - internal/core — the Three-Chains runtime (ifunc registration, the
+//     caching protocol, recursive injection, X-RDMA operations);
+//   - internal/minilang — a Julia-like frontend (the GPUCompiler.jl
+//     integration analogue);
+//   - internal/testbed, internal/bench — calibrated models of the paper's
+//     Ookami and Thor testbeds plus the full §V evaluation harness.
+//
+// # Quick start
+//
+//	cl := threechains.NewCluster(threechains.ThorXeon())          // 2 nodes
+//	src, dst := cl.Runtime(0), cl.Runtime(1)
+//	counter := dst.Node.Alloc(8)
+//	dst.TargetPtr = counter
+//
+//	h, _ := src.RegisterBitcode("tsi", threechains.BuildTSI(), threechains.PaperTriples())
+//	src.Send(1, h, "main", []byte{0})                             // moves code + data
+//	cl.Run()                                                      // drive virtual time
+//
+// The first Send ships a fat-bitcode archive that the destination
+// JIT-compiles for its own micro-architecture; later sends of the same
+// type are truncated to 26 bytes by the transparent code cache.
+package threechains
+
+import (
+	"threechains/internal/bench"
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/minilang"
+	"threechains/internal/sim"
+	"threechains/internal/testbed"
+	"threechains/internal/toolchain"
+)
+
+// Core runtime types.
+type (
+	// Cluster is a simulated Three-Chains deployment.
+	Cluster = core.Cluster
+	// Runtime is the per-node Three-Chains runtime.
+	Runtime = core.Runtime
+	// Handle is a registered ifunc library on the source side.
+	Handle = core.Handle
+	// NodeSpec describes one node of a custom cluster.
+	NodeSpec = core.NodeSpec
+	// Profile is a calibrated testbed configuration.
+	Profile = testbed.Profile
+	// Module is a portable IR module (an ifunc library before packing).
+	Module = ir.Module
+	// Builder constructs IR modules through the low-level "C path".
+	Builder = ir.Builder
+	// MicroArch describes a CPU micro-architecture.
+	MicroArch = isa.MicroArch
+	// Triple is an LLVM-style target triple.
+	Triple = isa.Triple
+	// Time is virtual simulation time (picoseconds).
+	Time = sim.Time
+	// IRType is an IR value type for the builder path.
+	IRType = ir.Type
+)
+
+// IR value types for the builder path.
+const (
+	I8  = ir.I8
+	I16 = ir.I16
+	I32 = ir.I32
+	I64 = ir.I64
+	F32 = ir.F32
+	F64 = ir.F64
+	Ptr = ir.Ptr
+)
+
+// Testbed profiles (§IV-F).
+var (
+	// Ookami is the Fujitsu A64FX InfiniBand cluster.
+	Ookami = testbed.Ookami
+	// ThorXeon is the Thor cluster with Xeon endpoints.
+	ThorXeon = testbed.ThorXeon
+	// ThorBF2 is the Thor cluster with BlueField-2 DPU endpoints.
+	ThorBF2 = testbed.ThorBF2
+	// ThorMixed is a Xeon client with BlueField-2 servers.
+	ThorMixed = testbed.ThorMixed
+)
+
+// NewCluster builds a two-node cluster on a testbed profile — the common
+// case for microbenchmarks and examples. Use NewClusterN for more nodes
+// or core.NewCluster for full control.
+func NewCluster(p Profile) *Cluster { return NewClusterN(p, 2) }
+
+// NewClusterN builds an n-node homogeneous cluster on a testbed profile,
+// with UCX worker costs configured from the profile's calibration.
+func NewClusterN(p Profile, n int) *Cluster {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Name: p.Name, March: p.March()}
+	}
+	cl := core.NewCluster(p.Net, specs)
+	for _, rt := range cl.Runtimes {
+		rt.Worker.AMDispatch = p.AMDispatch
+		rt.Worker.IfuncPoll = p.IfuncPoll
+	}
+	return cl
+}
+
+// PaperTriples returns the fat-bitcode target list the paper ships
+// (x86_64 + aarch64).
+func PaperTriples() []Triple {
+	return append([]Triple(nil), testbed.PaperTriples...)
+}
+
+// AllTriples returns every triple of the paper's platforms.
+func AllTriples() []Triple {
+	return []Triple{isa.TripleXeon, isa.TripleA64FX, isa.TripleBF2}
+}
+
+// NewModule starts an empty IR module for the low-level builder path.
+func NewModule(name string) *Module { return ir.NewModule(name) }
+
+// NewBuilder returns an IR builder appending to m.
+func NewBuilder(m *Module) *Builder { return ir.NewBuilder(m) }
+
+// CompileJulia compiles Julia-like minilang source to an IR module
+// (the paper's §III-E high-level-language integration).
+func CompileJulia(modName, src string) (*Module, error) {
+	return minilang.Compile(modName, src)
+}
+
+// BuildArchive runs the toolchain on a module: optimize, attach debug
+// info, pack a fat-bitcode archive for the given triples, returning the
+// serialized archive for Runtime.RegisterArchive.
+func BuildArchive(m *Module, triples []Triple) ([]byte, error) {
+	_, raw, err := toolchain.BuildArchive(m, toolchain.Options{
+		Opt: 2, Debug: true, Triples: triples,
+	})
+	return raw, err
+}
+
+// Reference kernels from the paper's evaluation.
+var (
+	// BuildTSI builds the Target-Side Increment kernel (§IV-B).
+	BuildTSI = core.BuildTSI
+	// BuildChaser builds the X-RDMA DAPC pointer chaser (§IV-C).
+	BuildChaser = core.BuildChaser
+	// BuildPropagator builds a self-propagating ifunc.
+	BuildPropagator = core.BuildPropagator
+)
+
+// Guest intrinsic symbols and library names usable from ifunc modules.
+const (
+	SymNodeID   = core.SymNodeID
+	SymNumNodes = core.SymNumNodes
+	SymSendSelf = core.SymSendSelf
+	SymComplete = core.SymComplete
+	SymPutU64   = core.SymPutU64
+	LibTC       = core.LibTC
+	LibUCX      = core.LibUCX
+)
+
+// DAPC layout constants (server context and chase payload offsets).
+const (
+	SrvCtxTableBase   = core.SrvCtxTableBase
+	SrvCtxShardSize   = core.SrvCtxShardSize
+	SrvCtxNumServers  = core.SrvCtxNumServers
+	SrvCtxFirstServer = core.SrvCtxFirstServer
+	SrvCtxBytes       = core.SrvCtxBytes
+	ChaseAddr         = core.ChaseAddr
+	ChaseDepth        = core.ChaseDepth
+	ChaseDest         = core.ChaseDest
+	ChaseBytes        = core.ChaseBytes
+	EntryChase        = core.EntryChase
+	EntryReturnResult = core.EntryReturnResult
+)
+
+// Benchmark harness re-exports (see cmd/paperbench for the full report).
+type (
+	// TSIResult is one row of the paper's Tables I-VI.
+	TSIResult = bench.TSIResult
+	// DAPCResult is one point of the paper's Figures 5-12.
+	DAPCResult = bench.DAPCResult
+	// DAPCConfig parameterizes a pointer-chase experiment.
+	DAPCConfig = bench.DAPCConfig
+)
+
+// StoreU64 writes an 8-byte little-endian value into a runtime's node
+// memory (setup helper for examples and applications).
+func StoreU64(rt *Runtime, addr, v uint64) error {
+	return ir.StoreMem(rt.Node.Mem(), addr, ir.I64, v)
+}
+
+// LoadU64 reads an 8-byte little-endian value from a runtime's node
+// memory.
+func LoadU64(rt *Runtime, addr uint64) (uint64, error) {
+	return ir.LoadMem(rt.Node.Mem(), addr, ir.I64)
+}

@@ -1,0 +1,134 @@
+package threechains_test
+
+import (
+	"testing"
+
+	"threechains"
+)
+
+// These tests exercise the public facade exactly as the README and
+// examples do — they are the compatibility surface.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	cl := threechains.NewCluster(threechains.ThorXeon())
+	src, dst := cl.Runtime(0), cl.Runtime(1)
+	counter := dst.Node.Alloc(8)
+	dst.TargetPtr = counter
+
+	raw, err := threechains.BuildArchive(threechains.BuildTSI(), threechains.PaperTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := src.RegisterArchive("tsi", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := src.Send(1, h, "main", []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+		cl.Run()
+	}
+	v, err := threechains.LoadU64(dst, counter)
+	if err != nil || v != 3 {
+		t.Fatalf("counter = %d, %v", v, err)
+	}
+	if dst.Stats.JITCompiles != 1 {
+		t.Fatalf("JIT ran %d times, want 1", dst.Stats.JITCompiles)
+	}
+}
+
+func TestFacadeJuliaPath(t *testing.T) {
+	mod, err := threechains.CompileJulia("inc", `
+function main(p::Ptr, len::Int, tgt::Ptr)::Int
+    v = load64(tgt, 0) + 1
+    store64(tgt, 0, v)
+    return v
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := threechains.NewCluster(threechains.ThorBF2())
+	src, dst := cl.Runtime(0), cl.Runtime(1)
+	slot := dst.Node.Alloc(8)
+	dst.TargetPtr = slot
+	if err := threechains.StoreU64(dst, slot, 41); err != nil {
+		t.Fatal(err)
+	}
+	h, err := src.RegisterBitcode("inc", mod, threechains.AllTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Send(1, h, "main", nil)
+	cl.Run()
+	if v, _ := threechains.LoadU64(dst, slot); v != 42 {
+		t.Fatalf("julia-path counter = %d", v)
+	}
+}
+
+func TestFacadeBuilderPath(t *testing.T) {
+	// Build a custom kernel with the low-level ("C path") builder and
+	// ship it: double the i64 at the target pointer.
+	m := threechains.NewModule("double")
+	b := threechains.NewBuilder(m)
+	b.NewFunc("main", []threechains.IRType{threechains.Ptr, threechains.I64, threechains.Ptr}, threechains.I64)
+	v := b.Load(threechains.I64, b.Param(2), 0)
+	d := b.Add(v, v)
+	b.Store(threechains.I64, d, b.Param(2), 0)
+	b.Ret(d)
+
+	cl := threechains.NewCluster(threechains.Ookami())
+	src, dst := cl.Runtime(0), cl.Runtime(1)
+	slot := dst.Node.Alloc(8)
+	dst.TargetPtr = slot
+	threechains.StoreU64(dst, slot, 21)
+	h, err := src.RegisterBitcode("double", m, threechains.PaperTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Send(1, h, "main", nil)
+	cl.Run()
+	if v, _ := threechains.LoadU64(dst, slot); v != 42 {
+		t.Fatalf("doubled = %d", v)
+	}
+}
+
+func TestFacadeClusterN(t *testing.T) {
+	cl := threechains.NewClusterN(threechains.Ookami(), 5)
+	if len(cl.Runtimes) != 5 {
+		t.Fatalf("nodes = %d", len(cl.Runtimes))
+	}
+	for _, rt := range cl.Runtimes {
+		if rt.Node.March.Name != "a64fx" {
+			t.Fatalf("march = %s", rt.Node.March.Name)
+		}
+		if rt.Worker.IfuncPoll == 0 || rt.Worker.AMDispatch == 0 {
+			t.Fatal("worker costs not configured from profile")
+		}
+	}
+}
+
+func TestFacadePropagator(t *testing.T) {
+	cl := threechains.NewClusterN(threechains.ThorXeon(), 4)
+	for _, rt := range cl.Runtimes {
+		rt.TargetPtr = rt.Node.Alloc(8)
+	}
+	src := cl.Runtime(0)
+	h, err := src.RegisterBitcode("wave", threechains.BuildPropagator(), threechains.PaperTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 16)
+	payload[0] = 3
+	payload[8] = 1
+	src.Send(1, h, "main", payload)
+	cl.Run()
+	total := uint64(0)
+	for _, rt := range cl.Runtimes {
+		v, _ := threechains.LoadU64(rt, rt.TargetPtr)
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("total visits = %d, want 4", total)
+	}
+}
