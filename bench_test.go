@@ -390,30 +390,8 @@ func BenchmarkInfraJITSessionCompile(b *testing.B) {
 }
 
 func BenchmarkInfraVMExecution(b *testing.B) {
-	// Steady-state VM throughput on the sum loop.
-	m := ir.NewModule("loop")
-	bb := ir.NewBuilder(m)
-	bb.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
-	acc := bb.Alloca(8)
-	i := bb.Alloca(8)
-	zero := bb.Const64(0)
-	bb.Store(ir.I64, zero, acc, 0)
-	bb.Store(ir.I64, zero, i, 0)
-	head := bb.NewBlock("head")
-	body := bb.NewBlock("body")
-	exit := bb.NewBlock("exit")
-	bb.Br(head)
-	bb.SetBlock(head)
-	iv := bb.Load(ir.I64, i, 0)
-	bb.CondBr(bb.ICmp(ir.PredSLT, iv, bb.Param(0)), body, exit)
-	bb.SetBlock(body)
-	a := bb.Load(ir.I64, acc, 0)
-	bb.Store(ir.I64, bb.Add(a, iv), acc, 0)
-	bb.Store(ir.I64, bb.Add(iv, bb.Const64(1)), i, 0)
-	bb.Br(head)
-	bb.SetBlock(exit)
-	bb.Ret(bb.Load(ir.I64, acc, 0))
-	cm, err := mcode.Lower(m, isa.XeonE5())
+	// Steady-state VM throughput on the sum loop (default engine).
+	cm, err := mcode.Lower(bench.LoopKernel(), isa.XeonE5())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -424,6 +402,42 @@ func BenchmarkInfraVMExecution(b *testing.B) {
 		ma.Reset()
 		if _, err := ma.Run("main", 1000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineInterpVsClosure compares the pluggable execution
+// engines head to head on the TSI kernel (the per-message hot path) and
+// a dispatch-bound loop, on a warm reused machine — the runtime's
+// steady state after the per-registration machine reuse refactor. The
+// closure engine is the default because of this benchmark; CHANGES.md
+// records the measured baseline.
+func BenchmarkEngineInterpVsClosure(b *testing.B) {
+	for _, k := range bench.EngineCorpus() {
+		for _, eng := range []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}} {
+			b.Run(k.Name+"/"+eng.Name(), func(b *testing.B) {
+				cm, err := mcode.Lower(k.Mod, isa.XeonE5())
+				if err != nil {
+					b.Fatal(err)
+				}
+				env := ir.NewSimpleEnv(1 << 16)
+				ma, err := mcode.NewMachineFor(eng, cm, env, mcode.NewLinkage(cm),
+					ir.ExecLimits{StackBase: 32 << 10, StackSize: 16 << 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ma.Run(k.Entry, k.Args...); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ma.Reset()
+					if _, err := ma.Run(k.Entry, k.Args...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

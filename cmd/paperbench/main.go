@@ -14,21 +14,48 @@ import (
 	"log"
 	"os"
 	"os/exec"
+
+	"threechains/internal/bench"
+	"threechains/internal/isa"
 )
 
 func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "reduced DAPC grids")
+	engines := flag.Bool("engines", true, "include the execution-engine comparison")
 	flag.Parse()
 
 	fmt.Println("=== Three-Chains paper evaluation (simulated testbeds) ===")
 	fmt.Println()
+	if *engines {
+		engineReport()
+	}
 	run("tsibench", nil)
 	args := []string{}
 	if *quick {
 		args = append(args, "-quick")
 	}
 	run("dapcbench", args)
+}
+
+// engineReport prints the interpreter-vs-closure wall-clock comparison:
+// how fast the simulator host executes guest code under each pluggable
+// engine (virtual-time metrics are engine-invariant by contract).
+func engineReport() {
+	fmt.Println("--- Execution engines (host wall-clock per guest execution) ---")
+	fmt.Printf("%-16s %-12s %8s %12s %12s %9s\n",
+		"march", "kernel", "steps", "interp", "closure", "speedup")
+	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
+		rows, err := bench.CompareEngines(march)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-16s %-12s %8d %10.1fns %10.1fns %8.2fx\n",
+				march.Name, r.Kernel, r.Steps, r.InterpNs, r.ClosureNs, r.Speedup)
+		}
+	}
+	fmt.Println()
 }
 
 // run executes a sibling command in-process when possible; paperbench is

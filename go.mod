@@ -1,0 +1,3 @@
+module threechains
+
+go 1.22

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+// EngineResult is one row of the execution-engine comparison: the host
+// wall-clock cost of executing a kernel under each engine. Virtual-time
+// metrics are engine-invariant by contract (the differential tests
+// enforce identical operation counts), so the comparison is about how
+// fast the simulator host can push messages through a node — the knob
+// that bounds achievable simulated traffic.
+type EngineResult struct {
+	Kernel string
+	// Steps is the dynamic instruction count of one execution.
+	Steps int64
+	// InterpNs and ClosureNs are the mean wall-clock nanoseconds per
+	// execution under each engine.
+	InterpNs  float64
+	ClosureNs float64
+	// Speedup is InterpNs / ClosureNs.
+	Speedup float64
+}
+
+// EngineKernel is one workload of the engine comparison corpus (shared
+// with the root BenchmarkEngineInterpVsClosure so the benchmark and the
+// paperbench report measure the same thing).
+type EngineKernel struct {
+	Name  string
+	Mod   *ir.Module
+	Entry string
+	Args  []uint64
+}
+
+// LoopKernel builds the interpreter-throughput loop used by the VM
+// microbenchmarks: a memory-carried sum over args[0] iterations.
+func LoopKernel() *ir.Module {
+	m := ir.NewModule("sumloop")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	acc := b.Alloca(8)
+	i := b.Alloca(8)
+	zero := b.Const64(0)
+	b.Store(ir.I64, zero, acc, 0)
+	b.Store(ir.I64, zero, i, 0)
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	iv := b.Load(ir.I64, i, 0)
+	b.CondBr(b.ICmp(ir.PredSLT, iv, b.Param(0)), body, exit)
+	b.SetBlock(body)
+	a := b.Load(ir.I64, acc, 0)
+	b.Store(ir.I64, b.Add(a, iv), acc, 0)
+	b.Store(ir.I64, b.Add(iv, b.Const64(1)), i, 0)
+	b.Br(head)
+	b.SetBlock(exit)
+	b.Ret(b.Load(ir.I64, acc, 0))
+	return m
+}
+
+// EngineCorpus returns the kernels the comparison sweeps: the paper's
+// TSI hot path and a dispatch-bound loop.
+func EngineCorpus() []EngineKernel {
+	return []EngineKernel{
+		{Name: "tsi", Mod: core.BuildTSI(), Entry: "main", Args: []uint64{256, 1, 640}},
+		{Name: "sumloop-1k", Mod: LoopKernel(), Entry: "main", Args: []uint64{1000}},
+	}
+}
+
+// engineTimer is a warm machine ready for repeated timed batches.
+type engineTimer struct {
+	ma    *mcode.Machine
+	k     EngineKernel
+	steps int64
+}
+
+func newEngineTimer(eng mcode.Engine, k EngineKernel, march *isa.MicroArch) (*engineTimer, error) {
+	cm, err := mcode.Lower(k.Mod, march)
+	if err != nil {
+		return nil, err
+	}
+	env := ir.NewSimpleEnv(1 << 16)
+	ma, err := mcode.NewMachineFor(eng, cm, env, mcode.NewLinkage(cm), ir.ExecLimits{
+		StackBase: 32 << 10, StackSize: 16 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Warm the pools, caches and branch predictors.
+	for i := 0; i < 3; i++ {
+		ma.Reset()
+		if _, err := ma.Run(k.Entry, k.Args...); err != nil {
+			return nil, err
+		}
+	}
+	return &engineTimer{ma: ma, k: k, steps: ma.Steps()}, nil
+}
+
+// batch times one run of iters executions, returning ns per execution.
+func (et *engineTimer) batch(iters int) (float64, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		et.ma.Reset()
+		if _, err := et.ma.Run(et.k.Entry, et.k.Args...); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// CompareEngines measures the interpreter-vs-closure wall-clock cost of
+// the comparison corpus on one µarch. Batches alternate between the two
+// engines and the fastest batch per engine is kept, so transient host
+// noise (frequency ramp-up, cache warmth, scheduling) cannot bias one
+// side.
+func CompareEngines(march *isa.MicroArch) ([]EngineResult, error) {
+	const rounds = 5
+	var out []EngineResult
+	for _, k := range EngineCorpus() {
+		iters := 20000
+		if k.Name != "tsi" {
+			iters = 1000
+		}
+		it, err := newEngineTimer(mcode.InterpEngine{}, k, march)
+		if err != nil {
+			return nil, fmt.Errorf("bench: engine interp/%s: %w", k.Name, err)
+		}
+		ct, err := newEngineTimer(mcode.ClosureEngine{}, k, march)
+		if err != nil {
+			return nil, fmt.Errorf("bench: engine closure/%s: %w", k.Name, err)
+		}
+		ins, cns := 0.0, 0.0
+		for r := 0; r < rounds; r++ {
+			in, err := it.batch(iters)
+			if err != nil {
+				return nil, fmt.Errorf("bench: engine interp/%s: %w", k.Name, err)
+			}
+			cn, err := ct.batch(iters)
+			if err != nil {
+				return nil, fmt.Errorf("bench: engine closure/%s: %w", k.Name, err)
+			}
+			if r == 0 || in < ins {
+				ins = in
+			}
+			if r == 0 || cn < cns {
+				cns = cn
+			}
+		}
+		out = append(out, EngineResult{
+			Kernel: k.Name, Steps: it.steps,
+			InterpNs: ins, ClosureNs: cns, Speedup: ins / cns,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+	"threechains/internal/testbed"
+)
+
+// TestEngineVirtualTimeInvariance runs the TSI microbenchmark under both
+// execution engines and requires identical simulated metrics: the engine
+// choice may only change host wall-clock speed, never the virtual-time
+// physics of the model.
+func TestEngineVirtualTimeInvariance(t *testing.T) {
+	p := testbed.ThorXeon()
+	for _, mode := range []TSIMode{TSIActiveMessage, TSIBitcodeCached, TSIBitcodeUncached} {
+		p.Engine = mcode.EngineNameClosure
+		closure, err := RunTSI(p, mode)
+		if err != nil {
+			t.Fatalf("%s/closure: %v", mode, err)
+		}
+		p.Engine = mcode.EngineNameInterp
+		interp, err := RunTSI(p, mode)
+		if err != nil {
+			t.Fatalf("%s/interp: %v", mode, err)
+		}
+		if closure != interp {
+			t.Errorf("%s: results diverge across engines:\n closure: %+v\n interp:  %+v",
+				mode, closure, interp)
+		}
+	}
+}
+
+// TestCompareEngines smoke-tests the wall-clock comparison harness and
+// its core claim: the closure engine is not slower than the interpreter.
+func TestCompareEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	rows, err := CompareEngines(isa.XeonE5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	for _, r := range rows {
+		if r.Steps <= 0 || r.InterpNs <= 0 || r.ClosureNs <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Kernel, r)
+		}
+		if r.Speedup < 1 {
+			t.Errorf("%s: closure engine slower than interpreter (%.2fx)", r.Kernel, r.Speedup)
+		}
+	}
+}

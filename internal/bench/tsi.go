@@ -103,8 +103,8 @@ type tsiWorld struct {
 func newTSIWorld(p testbed.Profile, mode TSIMode) (*tsiWorld, error) {
 	march := p.March()
 	cl := core.NewCluster(p.Net, []core.NodeSpec{
-		{Name: p.Name + "-src", March: p.March()},
-		{Name: p.Name + "-dst", March: march},
+		{Name: p.Name + "-src", March: p.March(), Engine: p.Engine},
+		{Name: p.Name + "-dst", March: march, Engine: p.Engine},
 	})
 	w := &tsiWorld{cluster: cl, src: cl.Runtime(0), dst: cl.Runtime(1), mode: mode}
 	for _, rt := range cl.Runtimes {

@@ -46,6 +46,12 @@ type NodeSpec struct {
 	March *isa.MicroArch
 	// MemBytes is the node heap size (0 = 16 MiB default).
 	MemBytes int
+	// Engine selects the node's execution backend by mcode registry name
+	// ("closure", "interp"; "" = mcode.DefaultEngine). Heterogeneous
+	// clusters may mix engines per node — a constrained DPU core can run
+	// a different backend than a wide host core. An unknown name panics
+	// in NewCluster (a deployment configuration bug).
+	Engine string
 }
 
 // Cluster is a simulated Three-Chains deployment: an engine, a fabric and
@@ -69,7 +75,7 @@ func NewCluster(params fabric.NetParams, nodes []NodeSpec) *Cluster {
 			mem = 16 << 20
 		}
 		node := net.AddNode(spec.Name, spec.March, mem)
-		c.Runtimes = append(c.Runtimes, newRuntime(c, node))
+		c.Runtimes = append(c.Runtimes, newRuntime(c, node, mcode.MustEngine(spec.Engine)))
 	}
 	// Out-of-band rkey exchange: every runtime learns every heap window
 	// (the bootstrap step a launcher like mpirun would perform).
@@ -163,6 +169,9 @@ type Runtime struct {
 	Reg     *ifunc.Registry
 	Sent    *ifunc.SentCache
 
+	// Engine is this node's execution backend (NodeSpec.Engine).
+	Engine mcode.Engine
+
 	// TargetPtr is the user-defined pointer passed as the third argument
 	// to every ifunc entry invoked on this node (§III-A).
 	TargetPtr uint64
@@ -231,10 +240,11 @@ type RuntimeStats struct {
 	GuestSends      uint64
 }
 
-func newRuntime(c *Cluster, node *fabric.Node) *Runtime {
+func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
 	r := &Runtime{
 		Cluster:     c,
 		Node:        node,
+		Engine:      eng,
 		Loader:      linker.NewLoader(),
 		Reg:         ifunc.NewRegistry(),
 		Sent:        ifunc.NewSentCache(),
@@ -244,6 +254,7 @@ func newRuntime(c *Cluster, node *fabric.Node) *Runtime {
 	}
 	r.Worker = c.Ctx.NewWorker(node)
 	r.Session = jit.NewSession(node.March, r.Loader, r.allocGlobal)
+	r.Session.Engine = eng
 	r.payloadBuf = node.Alloc(payloadArena)
 	r.heapKey = r.Worker.RegisterMem(0, uint64(len(node.Mem())))
 	r.Worker.SetIfuncSink(r.pollSink)
@@ -599,18 +610,33 @@ func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Tim
 func (r *Runtime) execute(reg *ifunc.Registration, entry uint16, payload []byte) {
 	entryName, err := reg.EntryName(entry)
 	if err != nil {
+		r.LastExecErr = fmt.Errorf("core: %s: %w", reg.Name, err)
+		r.Stats.ExecErrors++
 		return
 	}
 	mem := r.Node.Mem()
 	copy(mem[r.payloadBuf:], payload)
 
-	stackBase, stackSize := r.Node.StackRegion()
-	ma, err := mcode.NewMachine(reg.Compiled.CM, r, reg.Compiled.Link, ir.ExecLimits{
-		MaxSteps: r.MaxSteps, StackBase: stackBase, StackSize: stackSize,
-	})
-	if err != nil {
-		return
+	// One machine per registration, created on first execution and
+	// reused for every later message of the type: the register files and
+	// frames it pools keep the per-message hot path allocation-free.
+	ma := reg.Machine
+	if ma == nil {
+		stackBase, stackSize := r.Node.StackRegion()
+		ma, err = mcode.NewMachineArt(reg.Compiled.Art, r, reg.Compiled.Link, ir.ExecLimits{
+			MaxSteps: r.MaxSteps, StackBase: stackBase, StackSize: stackSize,
+		})
+		if err != nil {
+			r.LastExecErr = fmt.Errorf("core: %s: %w", reg.Name, err)
+			r.Stats.ExecErrors++
+			return
+		}
+		reg.Machine = ma
 	}
+	if r.MaxSteps > 0 {
+		ma.Limits.MaxSteps = r.MaxSteps // track runtime-level changes
+	}
+	ma.Reset()
 	r.current = reg
 	r.pendingSends = r.pendingSends[:0]
 	r.pendingAMs = r.pendingAMs[:0]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"threechains/internal/jit"
+	"threechains/internal/mcode"
 )
 
 // Registration is a receiver-side registered ifunc type: everything the
@@ -26,6 +27,12 @@ type Registration struct {
 	EntryNames []string
 	// Executions counts invocations on this node.
 	Executions uint64
+	// Machine is the reusable execution context the runtime binds to this
+	// registration on first execution. Reusing it (with its pooled
+	// register files) keeps the per-message hot path allocation-free;
+	// it dies with the registration, matching the paper's compiled-code
+	// lifetime ("stays alive until the ifunc is de-registered").
+	Machine *mcode.Machine
 }
 
 // EntryName resolves a frame entry index.

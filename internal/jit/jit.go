@@ -32,10 +32,16 @@ import (
 // address (the loader's .data/.bss mapping step).
 type GlobalAllocator func(g ir.Global) uint64
 
-// Compiled is a ready-to-run artifact: lowered code plus patched linkage.
+// Compiled is a ready-to-run artifact: lowered code plus patched linkage
+// plus the engine-compiled form the runtime executes.
 type Compiled struct {
 	CM   *mcode.CompiledModule
 	Link *mcode.Linkage
+	// Art is the execution-engine artifact (closure code or interpreter
+	// binding), compiled once here and reused by every machine that runs
+	// the module — the paper's "generated machine code stays alive until
+	// the ifunc is de-registered".
+	Art mcode.Artifact
 	// Globals maps the module's own globals to their loaded addresses.
 	Globals map[string]uint64
 	// CompileTime is the virtual time the initial compilation cost.
@@ -58,6 +64,11 @@ type Session struct {
 	Alloc GlobalAllocator
 	// OptLevel is the optimization pipeline applied before lowering.
 	OptLevel passes.Level
+	// Engine is the execution backend artifacts are compiled for
+	// (mcode.DefaultEngine unless the node selects otherwise). Set it
+	// before the first Compile/LoadBinary; cached artifacts are not
+	// recompiled on change.
+	Engine mcode.Engine
 
 	cache map[string]*Compiled
 	Stats Stats
@@ -70,6 +81,7 @@ func NewSession(march *isa.MicroArch, load *linker.Loader, alloc GlobalAllocator
 		Load:     load,
 		Alloc:    alloc,
 		OptLevel: passes.O2,
+		Engine:   mcode.DefaultEngine,
 		cache:    make(map[string]*Compiled),
 	}
 }
@@ -143,10 +155,14 @@ func (s *Session) compile(key string, m *ir.Module) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jit: %w", err)
 	}
+	art, err := s.Engine.Prepare(cm)
+	if err != nil {
+		return nil, fmt.Errorf("jit: engine %s: %w", s.Engine.Name(), err)
+	}
 	s.Stats.Compiles++
 	s.Stats.InstrsCompiled += m.NumInstrs()
 	return &Compiled{
-		CM: cm, Link: link, Globals: globals,
+		CM: cm, Link: link, Art: art, Globals: globals,
 		CompileTime: cost, Key: key,
 	}, nil
 }
@@ -172,13 +188,17 @@ func (s *Session) LoadBinary(key string, cm *mcode.CompiledModule) (*Compiled, s
 	if err != nil {
 		return nil, 0, false, err
 	}
+	art, err := s.Engine.Prepare(cm)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("jit: engine %s: %w", s.Engine.Name(), err)
+	}
 	// GOT patching cost: proportional to slot count, far below JIT cost.
 	cost := sim.Time(len(cm.GOT)+1) * 120 * sim.Nanosecond
 	if cm.IsPureBinary() {
 		// The paper's "pure" fast path: no GOT, straight to execution.
 		cost = 50 * sim.Nanosecond
 	}
-	c := &Compiled{CM: cm, Link: link, Globals: globals, CompileTime: cost, Key: key}
+	c := &Compiled{CM: cm, Link: link, Art: art, Globals: globals, CompileTime: cost, Key: key}
 	s.cache[key] = c
 	return c, cost, false, nil
 }

@@ -1,0 +1,120 @@
+package mcode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Engine is a pluggable execution backend for lowered modules. An engine
+// turns a CompiledModule into a runnable Artifact once (the JIT-time
+// step); Machines then execute entries of that artifact per message. The
+// split mirrors the paper's claim structure (§III-C): moving code pays
+// off only when the one-time compile cost buys near-native per-call
+// execution, so the per-µarch backend must be swappable — a wimpy DPU
+// core and a wide host core may want different execution strategies.
+//
+// Two engines ship today:
+//
+//   - InterpEngine ("interp"): the reference giant-switch interpreter.
+//     Zero prepare cost, highest per-step cost. The semantic oracle.
+//   - ClosureEngine ("closure"): pre-compiles every instruction into a
+//     Go closure with registers, immediates and branch targets resolved
+//     at prepare time (threaded-code style), batching step/op-count
+//     accounting per basic block. Default engine.
+//
+// Both engines produce bit-identical results, dynamic operation counts,
+// step totals, memory effects and errors for any execution that does not
+// abort on ir.ErrMaxSteps (asserted by the differential tests in
+// engine_test.go). The one sanctioned divergence: on an ErrMaxSteps
+// abort the closure engine stops at basic-block granularity — it never
+// enters the block that would blow the budget — while the interpreter
+// executes that block's in-budget prefix first. Abort-time counter
+// values and any side effects of that final partial block therefore
+// depend on the engine; ErrMaxSteps is a safety abort, not a semantic
+// outcome, so nothing in the runtime may rely on post-abort state.
+type Engine interface {
+	// Name returns the engine's registry name ("interp", "closure").
+	Name() string
+	// Prepare compiles the module into a runnable artifact. The artifact
+	// is immutable and may be shared by any number of Machines (it holds
+	// no per-execution state).
+	Prepare(cm *CompiledModule) (Artifact, error)
+}
+
+// Artifact is an engine-compiled module: the runnable form a Machine
+// executes against. Implementations live in this package; per-execution
+// state (registers, stack pointer, counters) stays on the Machine so one
+// artifact serves every registration of the module on a node.
+type Artifact interface {
+	// Module returns the lowered module the artifact was compiled from.
+	Module() *CompiledModule
+
+	// run executes function fi with args on ma, returning the result
+	// value. Implementations must maintain ma.Counts, ma.steps and ma.sp
+	// with the semantics of the reference interpreter.
+	run(ma *Machine, fi int, args []uint64) (uint64, error)
+}
+
+// Engine registry names.
+const (
+	EngineNameInterp  = "interp"
+	EngineNameClosure = "closure"
+)
+
+// DefaultEngine executes modules when no engine is selected explicitly.
+// The closure engine wins on every measured workload (see
+// BenchmarkEngineInterpVsClosure), so it is the default.
+var DefaultEngine Engine = ClosureEngine{}
+
+// EngineNames lists the registered engine names.
+func EngineNames() []string { return []string{EngineNameClosure, EngineNameInterp} }
+
+// EngineByName resolves an engine registry name. The empty string picks
+// DefaultEngine, so config structs can leave the knob zero-valued.
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "":
+		return DefaultEngine, nil
+	case EngineNameClosure:
+		return ClosureEngine{}, nil
+	case EngineNameInterp:
+		return InterpEngine{}, nil
+	}
+	return nil, fmt.Errorf("mcode: unknown engine %q (have %s)",
+		name, strings.Join(EngineNames(), ", "))
+}
+
+// MustEngine is EngineByName for statically known names; it panics on an
+// unknown name (a deployment configuration bug, not a runtime condition).
+func MustEngine(name string) Engine {
+	e, err := EngineByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// InterpEngine is the reference execution engine: the giant-switch
+// interpreter over lowered instructions (vm.go). It decodes every
+// instruction on every step, which makes it the slowest backend but also
+// the simplest — it is the oracle the differential tests hold every
+// other engine against.
+type InterpEngine struct{}
+
+// Name implements Engine.
+func (InterpEngine) Name() string { return EngineNameInterp }
+
+// Prepare implements Engine. Interpretation needs no pre-processing, so
+// the artifact is just the module.
+func (InterpEngine) Prepare(cm *CompiledModule) (Artifact, error) {
+	return interpArtifact{cm: cm}, nil
+}
+
+// interpArtifact runs programs through Machine.exec's switch loop.
+type interpArtifact struct{ cm *CompiledModule }
+
+func (a interpArtifact) Module() *CompiledModule { return a.cm }
+
+func (a interpArtifact) run(ma *Machine, fi int, args []uint64) (uint64, error) {
+	return ma.exec(a.cm.Funcs[fi], args)
+}

@@ -1,0 +1,326 @@
+package mcode_test
+
+// Differential engine tests: every execution engine must produce
+// bit-identical results, dynamic operation counts, step totals and
+// errors against the reference interpreter, across the paper's kernel
+// corpus (core), minilang frontend output, and deliberately faulting
+// programs. This is the contract that lets the runtime pick engines per
+// node without perturbing the simulation's virtual time.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+	"threechains/internal/minilang"
+)
+
+// stubCalls records extern invocations so the test can also assert that
+// both engines drive the runtime identically.
+type stubCalls struct {
+	log []string
+}
+
+// diffEnv builds a SimpleEnv-backed linkage binding every GOT slot to a
+// deterministic recording stub.
+func diffLink(cm *mcode.CompiledModule, env *ir.SimpleEnv, calls *stubCalls) *mcode.Linkage {
+	link := mcode.NewLinkage(cm)
+	for i, g := range cm.GOT {
+		switch g.Kind {
+		case mcode.GOTFunc:
+			sym := g.Sym
+			link.Funcs[i] = func(args []uint64) (uint64, error) {
+				calls.log = append(calls.log, fmt.Sprintf("%s%v", sym, args))
+				switch sym {
+				case core.SymNodeID:
+					return 3, nil
+				case core.SymNumNodes:
+					return 8, nil
+				default:
+					return 0, nil
+				}
+			}
+		case mcode.GOTData:
+			link.DataAddrs[i] = 1 << 12
+		}
+	}
+	return link
+}
+
+// diffCase is one (module, entry, args, memory setup) execution compared
+// across engines.
+type diffCase struct {
+	name  string
+	mod   *ir.Module
+	entry string
+	args  []uint64
+	limit int64 // MaxSteps override (0 = default)
+	setup func(env *ir.SimpleEnv)
+}
+
+// chaseSetup stages the DAPC server context and pointer table so "chase"
+// resolves locally on stub node 3 (firstServer=3, one server).
+func chaseSetup(env *ir.SimpleEnv) {
+	const ctx, table = 512, 4096
+	env.StoreU64(ctx+core.SrvCtxTableBase, table)
+	env.StoreU64(ctx+core.SrvCtxShardSize, 64)
+	env.StoreU64(ctx+core.SrvCtxNumServers, 1)
+	env.StoreU64(ctx+core.SrvCtxFirstServer, 3)
+	for i := uint64(0); i < 64; i++ {
+		env.StoreU64(table+i*8, (i*7+3)%64)
+	}
+	env.StoreU64(256+core.ChaseAddr, 5)
+	env.StoreU64(256+core.ChaseDepth, 10)
+	env.StoreU64(256+core.ChaseDest, 0)
+}
+
+func divModule() *ir.Module {
+	m := ir.NewModule("divmod")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64, ir.I64}, ir.I64)
+	b.Ret(b.SDiv(b.Param(0), b.Param(1)))
+	return m
+}
+
+func oobModule() *ir.Module {
+	m := ir.NewModule("oob")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Load(ir.I64, b.Param(0), 0))
+	return m
+}
+
+func spinModule() *ir.Module {
+	m := ir.NewModule("spin")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	head := b.NewBlock("head")
+	b.Br(head)
+	b.SetBlock(head)
+	b.Br(head)
+	return m
+}
+
+func overflowModule() *ir.Module {
+	m := ir.NewModule("overflow")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	b.Ret(b.Alloca(1 << 20))
+	return m
+}
+
+const diffMinilangSrc = `
+function sum_to(n::Int)::Int
+    acc = 0
+    i = 0
+    while i < n
+        acc = acc + i * i
+        i = i + 1
+    end
+    return acc
+end
+function fib(n::Int)::Int
+    if n < 2
+        return n
+    end
+    return fib(n - 1) + fib(n - 2)
+end
+function mix(x::Int)::Float
+    f = float(x) * 2.5
+    return f / 4.0 + 0.5
+end`
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	ml, err := minilang.Compile("mldiff", diffMinilangSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []diffCase{
+		{name: "tsi/main", mod: core.BuildTSI(), entry: "main", args: []uint64{256, 1, 600},
+			setup: func(env *ir.SimpleEnv) { env.StoreU64(600, 41) }},
+		{name: "chaser/chase", mod: core.BuildChaser(), entry: "chase",
+			args: []uint64{256, core.ChaseBytes, 512}, setup: chaseSetup},
+		{name: "chaser/return_result", mod: core.BuildChaser(), entry: "return_result",
+			args:  []uint64{256, 8, 640},
+			setup: func(env *ir.SimpleEnv) { env.StoreU64(256, 777) }},
+		{name: "accumulator", mod: core.BuildAccumulator(), entry: "accumulate",
+			args: []uint64{256, 32, 640},
+			setup: func(env *ir.SimpleEnv) {
+				env.StoreU64(256, 5)    // delta
+				env.StoreU64(256+8, 16) // offset from target
+				env.StoreU64(256+16, 2) // requester node
+				env.StoreU64(256+24, 900)
+				env.StoreU64(640+16, 100)
+			}},
+		{name: "propagator", mod: core.BuildPropagator(), entry: "main",
+			args: []uint64{256, 16, 640},
+			setup: func(env *ir.SimpleEnv) {
+				env.StoreU64(256, 4)   // ttl
+				env.StoreU64(256+8, 1) // stride
+			}},
+		{name: "minilang/sum_to", mod: ml, entry: "sum_to", args: []uint64{500}},
+		{name: "minilang/fib", mod: ml, entry: "fib", args: []uint64{12}},
+		{name: "minilang/mix", mod: ml, entry: "mix", args: []uint64{7}},
+		{name: "fault/div0", mod: divModule(), entry: "main", args: []uint64{10, 0}},
+		{name: "fault/oob", mod: oobModule(), entry: "main", args: []uint64{1 << 40}},
+		{name: "fault/stack-overflow", mod: overflowModule(), entry: "main", args: nil},
+		{name: "fault/max-steps", mod: spinModule(), entry: "main", args: []uint64{0}, limit: 1000},
+	}
+}
+
+// runOn executes one case on one engine, returning everything observable.
+func runOn(t *testing.T, eng mcode.Engine, tc diffCase, march *isa.MicroArch) (ir.ExecResult, [isa.NumOps]uint64, *stubCalls, []byte, error) {
+	t.Helper()
+	cm, err := mcode.Lower(tc.mod, march)
+	if err != nil {
+		t.Fatalf("%s: lower: %v", tc.name, err)
+	}
+	env := ir.NewSimpleEnv(1 << 16)
+	if tc.setup != nil {
+		tc.setup(env)
+	}
+	calls := &stubCalls{}
+	ma, err := mcode.NewMachineFor(eng, cm, env, diffLink(cm, env, calls), ir.ExecLimits{
+		MaxSteps: tc.limit, StackBase: 32 << 10, StackSize: 16 << 10,
+	})
+	if err != nil {
+		t.Fatalf("%s: machine: %v", tc.name, err)
+	}
+	res, runErr := ma.Run(tc.entry, tc.args...)
+	return res, ma.Counts, calls, env.Memory, runErr
+}
+
+// TestEngineDifferential holds every engine to the interpreter's observable
+// behavior across the kernel corpus on all three paper µarchs.
+func TestEngineDifferential(t *testing.T) {
+	marchs := []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()}
+	for _, march := range marchs {
+		for _, tc := range diffCases(t) {
+			t.Run(march.Name+"/"+tc.name, func(t *testing.T) {
+				ref, refCounts, refCalls, refMem, refErr := runOn(t, mcode.InterpEngine{}, tc, march)
+				got, gotCounts, gotCalls, gotMem, gotErr := runOn(t, mcode.ClosureEngine{}, tc, march)
+
+				if (refErr == nil) != (gotErr == nil) {
+					t.Fatalf("error mismatch: interp=%v closure=%v", refErr, gotErr)
+				}
+				if refErr != nil {
+					if refErr.Error() != gotErr.Error() {
+						t.Fatalf("error text mismatch:\n interp:  %v\n closure: %v", refErr, gotErr)
+					}
+					if errors.Is(refErr, ir.ErrMaxSteps) {
+						// Sanctioned divergence: the closure engine accounts
+						// steps/counts at block granularity on this abort.
+						return
+					}
+				}
+				if got.Value != ref.Value {
+					t.Errorf("value: closure %#x, interp %#x", got.Value, ref.Value)
+				}
+				if got.Steps != ref.Steps {
+					t.Errorf("steps: closure %d, interp %d", got.Steps, ref.Steps)
+				}
+				if gotCounts != refCounts {
+					t.Errorf("op counts diverge:\n closure: %v\n interp:  %v", gotCounts, refCounts)
+				}
+				if mcode.Cycles(&gotCounts, march) != mcode.Cycles(&refCounts, march) {
+					t.Errorf("virtual-time charge diverges")
+				}
+				if fmt.Sprint(gotCalls.log) != fmt.Sprint(refCalls.log) {
+					t.Errorf("extern call traces diverge:\n closure: %v\n interp:  %v", gotCalls.log, refCalls.log)
+				}
+				if string(gotMem) != string(refMem) {
+					t.Errorf("final memory images diverge")
+				}
+			})
+		}
+	}
+}
+
+// TestEngineByName covers the registry.
+func TestEngineByName(t *testing.T) {
+	for _, name := range mcode.EngineNames() {
+		e, err := mcode.EngineByName(name)
+		if err != nil {
+			t.Fatalf("EngineByName(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("EngineByName(%q).Name() = %q", name, e.Name())
+		}
+	}
+	if e, err := mcode.EngineByName(""); err != nil || e.Name() != mcode.DefaultEngine.Name() {
+		t.Fatalf("empty name should resolve to the default engine, got %v/%v", e, err)
+	}
+	if _, err := mcode.EngineByName("nope"); err == nil {
+		t.Fatal("unknown engine name should error")
+	}
+}
+
+// TestEngineMachineReuseAllocFree asserts the acceptance criterion that a
+// warm, reused machine executes without per-message heap allocation —
+// the property Runtime.execute relies on after switching to
+// per-registration machines.
+func TestEngineMachineReuseAllocFree(t *testing.T) {
+	for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.InterpEngine{}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			cm, err := mcode.Lower(core.BuildTSI(), isa.XeonE5())
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := ir.NewSimpleEnv(1 << 14)
+			ma, err := mcode.NewMachineFor(eng, cm, env, mcode.NewLinkage(cm), ir.ExecLimits{
+				StackBase: 8 << 10, StackSize: 4 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() {
+				ma.Reset()
+				if _, err := ma.Run("main", 0, 1, 64); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the register-file and frame pools
+			if allocs := testing.AllocsPerRun(200, run); allocs > 0 {
+				t.Errorf("warm %s machine allocates %.1f objects per execution, want 0", eng.Name(), allocs)
+			}
+		})
+	}
+}
+
+// TestEnginePastEndBranch pins the wire-robustness fix: a module whose
+// branch targets len(code) (legal on the wire; the interpreter faults
+// only if it executes) must compile under every engine and produce the
+// interpreter's runtime "pc past end" error — not a Prepare panic.
+func TestEnginePastEndBranch(t *testing.T) {
+	cm := &mcode.CompiledModule{
+		Name: "bad",
+		Funcs: []*mcode.Program{{
+			Name: "main", Params: 0, NumRegs: 1,
+			Code: []mcode.MInstr{{Op: mcode.MJmp, Target: 1}},
+		}},
+	}
+	var errs []string
+	for _, eng := range []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}} {
+		env := ir.NewSimpleEnv(1 << 12)
+		ma, err := mcode.NewMachineFor(eng, cm, env, nil, ir.ExecLimits{})
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", eng.Name(), err)
+		}
+		res, err := ma.Run("main")
+		if err == nil {
+			t.Fatalf("%s: expected past-end error, got value %d", eng.Name(), res.Value)
+		}
+		if res.Steps != 1 {
+			t.Errorf("%s: steps = %d, want 1 (the jump executed)", eng.Name(), res.Steps)
+		}
+		errs = append(errs, err.Error())
+	}
+	if errs[0] != errs[1] {
+		t.Errorf("error text diverges:\n interp:  %s\n closure: %s", errs[0], errs[1])
+	}
+}

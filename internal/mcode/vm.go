@@ -32,7 +32,12 @@ func NewLinkage(cm *CompiledModule) *Linkage {
 }
 
 // Machine executes a compiled module against node memory, accumulating
-// dynamic operation counts for the virtual-time cost model.
+// dynamic operation counts for the virtual-time cost model. The actual
+// execution strategy is the engine Artifact the machine was built on;
+// the Machine itself only holds per-execution state (registers, stack
+// pointer, counters), which makes one machine reusable across any number
+// of Run calls — the runtime keeps one per registration instead of
+// allocating per message.
 type Machine struct {
 	Mod    *CompiledModule
 	Env    ir.Env // provides Mem(); symbol access goes through Link
@@ -43,13 +48,48 @@ type Machine struct {
 	// calls; Reset clears it.
 	Counts [isa.NumOps]uint64
 
-	steps int64
-	sp    uint64
+	art Artifact
+	// closureArt devirtualizes art on the hot path when the artifact is
+	// closure-compiled (nil otherwise).
+	closureArt *closureArtifact
+	steps      int64
+	sp         uint64
+
+	// Reusable per-activation resources: register files and closure-
+	// engine frames are recycled across Run calls and call depths, so a
+	// warm machine executes without per-message heap allocation.
+	regPool   [][]uint64
+	framePool []*cframe
+	depth     int
+	argbuf    []uint64
+
+	// Entry-lookup memo: Run calls overwhelmingly repeat one entry name.
+	lastFn string
+	lastFi int
 }
 
-// NewMachine prepares an execution context. link may be nil only if the
-// module has an empty GOT ("pure" ifuncs).
+// NewMachine prepares an execution context on the default engine. link
+// may be nil only if the module has an empty GOT ("pure" ifuncs).
 func NewMachine(cm *CompiledModule, env ir.Env, link *Linkage, lim ir.ExecLimits) (*Machine, error) {
+	return NewMachineFor(DefaultEngine, cm, env, link, lim)
+}
+
+// NewMachineFor prepares an execution context on the given engine,
+// compiling the module through it. Callers that execute a module many
+// times (the runtime) should instead Prepare once and share the artifact
+// via NewMachineArt.
+func NewMachineFor(eng Engine, cm *CompiledModule, env ir.Env, link *Linkage, lim ir.ExecLimits) (*Machine, error) {
+	art, err := eng.Prepare(cm)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachineArt(art, env, link, lim)
+}
+
+// NewMachineArt prepares an execution context over an already-compiled
+// engine artifact (the JIT caches artifacts alongside lowered modules).
+func NewMachineArt(art Artifact, env ir.Env, link *Linkage, lim ir.ExecLimits) (*Machine, error) {
+	cm := art.Module()
 	if link == nil {
 		if len(cm.GOT) != 0 {
 			return nil, fmt.Errorf("%w: %q has %d unresolved GOT entries", ErrNotLinked, cm.Name, len(cm.GOT))
@@ -62,7 +102,9 @@ func NewMachine(cm *CompiledModule, env ir.Env, link *Linkage, lim ir.ExecLimits
 	if lim.MaxSteps == 0 {
 		lim.MaxSteps = ir.DefaultMaxSteps
 	}
-	return &Machine{Mod: cm, Env: env, Link: link, Limits: lim, sp: lim.StackBase}, nil
+	ma := &Machine{Mod: cm, art: art, Env: env, Link: link, Limits: lim, sp: lim.StackBase}
+	ma.closureArt, _ = art.(*closureArtifact)
+	return ma, nil
 }
 
 // Reset clears accumulated operation counts and the step counter.
@@ -74,28 +116,82 @@ func (ma *Machine) Reset() {
 // Steps returns the dynamic machine instruction count so far.
 func (ma *Machine) Steps() int64 { return ma.steps }
 
+// EngineName reports which engine's artifact the machine executes.
+func (ma *Machine) EngineName() string {
+	if _, ok := ma.art.(interpArtifact); ok {
+		return EngineNameInterp
+	}
+	return EngineNameClosure
+}
+
+// getRegs pops a zeroed register file of length n from the pool,
+// allocating only when the pool is empty or its top is too small.
+func (ma *Machine) getRegs(n int) []uint64 {
+	if k := len(ma.regPool) - 1; k >= 0 {
+		r := ma.regPool[k]
+		ma.regPool = ma.regPool[:k]
+		if cap(r) >= n {
+			r = r[:n]
+			for i := range r {
+				r[i] = 0
+			}
+			return r
+		}
+	}
+	return make([]uint64, n)
+}
+
+// putRegs returns a register file to the pool.
+func (ma *Machine) putRegs(r []uint64) { ma.regPool = append(ma.regPool, r) }
+
 // Run executes the named function.
 func (ma *Machine) Run(fn string, args ...uint64) (ir.ExecResult, error) {
-	fi := ma.Mod.FuncIndex(fn)
-	if fi < 0 {
-		return ir.ExecResult{}, fmt.Errorf("%w: %q", ErrNoFunction, fn)
+	var fi int
+	if fn == ma.lastFn && ma.lastFn != "" {
+		fi = ma.lastFi
+	} else {
+		fi = ma.Mod.FuncIndex(fn)
+		if fi < 0 {
+			return ir.ExecResult{}, fmt.Errorf("%w: %q", ErrNoFunction, fn)
+		}
+		ma.lastFn, ma.lastFi = fn, fi
 	}
 	p := ma.Mod.Funcs[fi]
 	if len(args) != p.Params {
 		return ir.ExecResult{}, fmt.Errorf("mcode: %s: got %d args, want %d", fn, len(args), p.Params)
 	}
 	savedSP := ma.sp
-	v, err := ma.exec(p, args)
+	// Copy args into a machine-owned buffer so the variadic slice does
+	// not escape into the artifact call (keeps steady-state Run calls
+	// allocation-free). Element-wise: arg counts are tiny and a memmove
+	// call would cost more than the copy.
+	if cap(ma.argbuf) < len(args) {
+		ma.argbuf = make([]uint64, len(args))
+	}
+	ab := ma.argbuf[:len(args)]
+	for i := range args {
+		ab[i] = args[i]
+	}
+	var v uint64
+	var err error
+	if ca := ma.closureArt; ca != nil {
+		v, err = ca.run(ma, fi, ab)
+	} else {
+		v, err = ma.art.run(ma, fi, ab)
+	}
 	ma.sp = savedSP
 	return ir.ExecResult{Value: v, Steps: ma.steps}, err
 }
 
-// exec runs one activation of p.
+// exec runs one activation of p on the reference interpreter.
 func (ma *Machine) exec(p *Program, args []uint64) (uint64, error) {
-	regs := make([]uint64, p.NumRegs)
+	regs := ma.getRegs(p.NumRegs)
 	copy(regs, args)
 	frameSP := ma.sp
-	defer func() { ma.sp = frameSP }()
+	defer func() {
+		ma.sp = frameSP
+		ma.putRegs(regs)
+	}()
 
 	mem := ma.Env.Mem()
 	counts := &ma.Counts

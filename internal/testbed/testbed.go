@@ -48,6 +48,12 @@ type Profile struct {
 	// Triples is the fat-bitcode target list used on this platform (the
 	// paper builds x86_64 + aarch64 archives).
 	Triples []isa.Triple
+	// Engine selects the execution backend for every node built from
+	// this profile, by mcode registry name ("closure", "interp"; "" =
+	// the default closure engine). The calibrated virtual-time numbers
+	// are engine-independent — both backends charge identical operation
+	// counts — so this knob only changes host wall-clock cost.
+	Engine string
 }
 
 // PaperTriples is the two-ISA target set the paper ships (x86_64 hosts

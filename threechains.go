@@ -8,8 +8,11 @@
 //   - internal/ir, internal/passes, internal/bitcode — the portable IR,
 //     its optimizer and the (fat-)bitcode wire format (the LLVM analogue);
 //   - internal/mcode, internal/jit, internal/linker, internal/elfx — the
-//     per-µarch backend, ORC-style JIT sessions, remote dynamic linking
-//     and the ELF-like binary ifunc container;
+//     per-µarch backend with pluggable execution engines (the reference
+//     switch interpreter and the default closure-compiled threaded-code
+//     backend, selectable per node — see EngineClosure/EngineInterp),
+//     ORC-style JIT sessions, remote dynamic linking and the ELF-like
+//     binary ifunc container;
 //   - internal/sim, internal/fabric, internal/ucx — the deterministic
 //     discrete-event RDMA fabric and a UCP-flavoured communication API;
 //   - internal/core — the Three-Chains runtime (ifunc registration, the
@@ -40,10 +43,30 @@ import (
 	"threechains/internal/core"
 	"threechains/internal/ir"
 	"threechains/internal/isa"
+	"threechains/internal/mcode"
 	"threechains/internal/minilang"
 	"threechains/internal/sim"
 	"threechains/internal/testbed"
 	"threechains/internal/toolchain"
+)
+
+// Execution engines (pluggable per node). Every node runs delivered
+// ifuncs through an execution engine chosen by name via NodeSpec.Engine
+// or Profile.Engine:
+//
+//   - EngineClosure (default): each instruction is pre-compiled into a
+//     Go closure at JIT time with operands and branch targets resolved
+//     once, so steady-state dispatch is a single indirect call. This is
+//     the fast path for heavy per-message traffic.
+//   - EngineInterp: the reference switch interpreter — the semantic
+//     oracle both engines are differentially tested against.
+//
+// Both engines produce bit-identical results, operation counts and
+// virtual-time charges, so simulated metrics never depend on the engine;
+// only host wall-clock speed does.
+const (
+	EngineClosure = mcode.EngineNameClosure
+	EngineInterp  = mcode.EngineNameInterp
 )
 
 // Core runtime types.
@@ -105,7 +128,7 @@ func NewCluster(p Profile) *Cluster { return NewClusterN(p, 2) }
 func NewClusterN(p Profile, n int) *Cluster {
 	specs := make([]NodeSpec, n)
 	for i := range specs {
-		specs[i] = NodeSpec{Name: p.Name, March: p.March()}
+		specs[i] = NodeSpec{Name: p.Name, March: p.March(), Engine: p.Engine}
 	}
 	cl := core.NewCluster(p.Net, specs)
 	for _, rt := range cl.Runtimes {
