@@ -442,6 +442,55 @@ func BenchmarkEngineInterpVsClosure(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunBatch measures the batched run stage against
+// one-at-a-time execution on a warm machine: b=1 is the pre-batching
+// delivery hot path (one Reset+Run per message), larger sizes are one
+// Reset+RunBatch per delivery group — the per-group unit of the batched
+// pipeline. The end-to-end pipeline win (poll, lookup and cost-charge
+// amortization on top of this) is measured by bench.DeliverySweep and
+// reported by `paperbench -json`.
+func BenchmarkEngineRunBatch(b *testing.B) {
+	k := bench.EngineCorpus()[0] // tsi
+	for _, bs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("%s/batch-%d", k.Name, bs), func(b *testing.B) {
+			cm, err := mcode.Lower(k.Mod, isa.XeonE5())
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := ir.NewSimpleEnv(1 << 16)
+			ma, err := mcode.NewMachineFor(mcode.ClosureEngine{}, cm, env, mcode.NewLinkage(cm),
+				ir.ExecLimits{StackBase: 32 << 10, StackSize: 16 << 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			argvs := make([][]uint64, bs)
+			for i := range argvs {
+				argvs[i] = k.Args
+			}
+			out := make([]mcode.BatchResult, bs)
+			if err := ma.RunBatch(k.Entry, argvs, out); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ma.Reset()
+				if bs == 1 {
+					if _, err := ma.Run(k.Entry, k.Args...); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				if err := ma.RunBatch(k.Entry, argvs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// ns/op is per batch; scale mentally by batch size (each op
+			// executes bs guest activations).
+		})
+	}
+}
+
 func BenchmarkInfraEndToEndTSI(b *testing.B) {
 	// Wall-clock cost of one fully simulated cached TSI message.
 	p := testbed.ThorXeon()

@@ -6,29 +6,45 @@
 //
 //	paperbench           # full paper grid (several minutes of CPU)
 //	paperbench -quick    # reduced grids
+//	paperbench -json     # also write BENCH_engines.json (engine + batch
+//	                     # sweeps in machine-readable form, for tracking
+//	                     # the perf trajectory across PRs)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/exec"
+	"runtime"
 
 	"threechains/internal/bench"
 	"threechains/internal/isa"
+	"threechains/internal/testbed"
 )
 
 func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "reduced DAPC grids")
 	engines := flag.Bool("engines", true, "include the execution-engine comparison")
+	jsonOut := flag.Bool("json", false, "write BENCH_engines.json with the engine and batch sweeps")
+	jsonPath := flag.String("json-path", "BENCH_engines.json", "output path for -json")
 	flag.Parse()
 
 	fmt.Println("=== Three-Chains paper evaluation (simulated testbeds) ===")
 	fmt.Println()
-	if *engines {
-		engineReport()
+	var rep *enginesReport
+	if *engines || *jsonOut {
+		// -engines=false still collects (quietly) when -json needs the data.
+		rep = engineReport(*engines)
+	}
+	if *jsonOut {
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *jsonPath)
 	}
 	run("tsibench", nil)
 	args := []string{}
@@ -38,12 +54,44 @@ func main() {
 	run("dapcbench", args)
 }
 
-// engineReport prints the interpreter-vs-closure wall-clock comparison:
-// how fast the simulator host executes guest code under each pluggable
-// engine (virtual-time metrics are engine-invariant by contract).
-func engineReport() {
-	fmt.Println("--- Execution engines (host wall-clock per guest execution) ---")
-	fmt.Printf("%-16s %-12s %8s %12s %12s %9s\n",
+// enginesReport is the machine-readable form of the engine comparison
+// and batch sweeps (BENCH_engines.json).
+type enginesReport struct {
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Engines is the interpreter-vs-closure wall-clock comparison, one
+	// row per (µarch, kernel).
+	Engines []engineRow `json:"engines"`
+	// BatchSweeps holds the engine-level RunBatch sweep (per kernel) and
+	// the end-to-end delivery-pipeline sweep ("tsi-delivery").
+	BatchSweeps []bench.BatchSweep `json:"batch_sweeps"`
+}
+
+type engineRow struct {
+	March     string  `json:"march"`
+	Kernel    string  `json:"kernel"`
+	Steps     int64   `json:"steps"`
+	InterpNs  float64 `json:"interp_ns"`
+	ClosureNs float64 `json:"closure_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// engineReport collects the interpreter-vs-closure wall-clock comparison
+// and the message-rate-vs-batch-size sweeps: how fast the simulator host
+// executes guest code under each pluggable engine, and how much the
+// batched delivery pipeline amortizes per-message software overhead
+// (virtual-time metrics are engine- and batch-invariant by contract).
+// When print is true the tables also go to stdout.
+func engineReport(print bool) *enginesReport {
+	rep := &enginesReport{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+	printf := func(format string, args ...any) {
+		if print {
+			fmt.Printf(format, args...)
+		}
+	}
+
+	printf("--- Execution engines (host wall-clock per guest execution) ---\n")
+	printf("%-16s %-12s %8s %12s %12s %9s\n",
 		"march", "kernel", "steps", "interp", "closure", "speedup")
 	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
 		rows, err := bench.CompareEngines(march)
@@ -51,11 +99,44 @@ func engineReport() {
 			log.Fatal(err)
 		}
 		for _, r := range rows {
-			fmt.Printf("%-16s %-12s %8d %10.1fns %10.1fns %8.2fx\n",
+			printf("%-16s %-12s %8d %10.1fns %10.1fns %8.2fx\n",
 				march.Name, r.Kernel, r.Steps, r.InterpNs, r.ClosureNs, r.Speedup)
+			rep.Engines = append(rep.Engines, engineRow{
+				March: march.Name, Kernel: r.Kernel, Steps: r.Steps,
+				InterpNs: r.InterpNs, ClosureNs: r.ClosureNs, Speedup: r.Speedup,
+			})
 		}
 	}
-	fmt.Println()
+	printf("\n")
+
+	printf("--- Batch sweep (host throughput vs delivery batch size) ---\n")
+	sweeps, err := bench.SweepBatches(isa.XeonE5())
+	if err != nil {
+		log.Fatal(err)
+	}
+	delivery, err := bench.DeliverySweep(testbed.ThorXeon(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweeps = append(sweeps, delivery)
+	rep.BatchSweeps = sweeps
+	for _, s := range sweeps {
+		printf("%-14s (%s, %s)\n", s.Kernel, s.March, s.Engine)
+		for _, p := range s.Points {
+			printf("    batch %3d  %10.1f ns/exec  %6.2fx\n", p.BatchSize, p.NsPerExec, p.Gain)
+		}
+	}
+	printf("\n")
+	return rep
+}
+
+// writeJSON dumps the engines report for cross-PR trajectory tracking.
+func writeJSON(path string, rep *enginesReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // run executes a sibling command in-process when possible; paperbench is

@@ -204,6 +204,8 @@ func newDAPCWorld(cfg DAPCConfig, mode DAPCMode) (*dapcWorld, error) {
 	for _, rt := range cl.Runtimes {
 		rt.Worker.AMDispatch = cfg.Profile.AMDispatch
 		rt.Worker.IfuncPoll = cfg.Profile.IfuncPoll
+		// Paper fidelity: one message per poll, like the §V runtime.
+		rt.Worker.MaxDrain = 1
 	}
 	for i := 1; i <= cfg.Servers; i++ {
 		w.servers = append(w.servers, cl.Runtime(i))

@@ -110,6 +110,10 @@ func newTSIWorld(p testbed.Profile, mode TSIMode) (*tsiWorld, error) {
 	for _, rt := range cl.Runtimes {
 		rt.Worker.AMDispatch = p.AMDispatch
 		rt.Worker.IfuncPoll = p.IfuncPoll
+		// Paper fidelity: the §V runtime handles one message per poll, so
+		// the calibrated tables are reproduced with batching pinned off.
+		// The batched pipeline's gain is measured separately (BatchSweep).
+		rt.Worker.MaxDrain = 1
 	}
 	w.counter = w.dst.Node.Alloc(8)
 	w.dst.TargetPtr = w.counter

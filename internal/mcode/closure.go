@@ -63,6 +63,11 @@ type cblock struct {
 	// steps is the instruction count charged (and checked against
 	// MaxSteps) on block entry.
 	steps int64
+	// start is the block's first pc in the lowered code — the entry point
+	// for the exact-abort fallback, which replays the block's in-budget
+	// prefix through the reference interpreter loop when the pre-charge
+	// would blow the MaxSteps budget.
+	start int32
 	// deltas is the block's static operation-class contribution, applied
 	// after the block retires. Runtime-dependent classes (vector groups)
 	// are counted by their own closures instead.
@@ -75,6 +80,9 @@ type cprog struct {
 	params  int
 	numRegs int
 	blocks  []cblock
+	// prog is the lowered source the blocks were compiled from, kept for
+	// the exact-abort interpreter fallback.
+	prog *Program
 }
 
 // closureArtifact is a module compiled by ClosureEngine.
@@ -88,6 +96,24 @@ func (a *closureArtifact) Module() *CompiledModule { return a.cm }
 
 func (a *closureArtifact) run(ma *Machine, fi int, args []uint64) (uint64, error) {
 	return a.call(ma, a.progs[fi], args)
+}
+
+// runBatch is the native batched entry: the block graph, frame pool and
+// register layout are already resolved, so each element is a bare
+// reset-and-reenter of the trampoline — no per-element entry lookup,
+// argument re-validation or artifact dispatch. Counts accumulate across
+// the batch (one virtual-time charge); the budget ceiling is rebased per
+// element so each message keeps the standalone MaxSteps budget.
+func (a *closureArtifact) runBatch(ma *Machine, fi int, argvs [][]uint64, out []BatchResult) {
+	cp := a.progs[fi]
+	budget := ma.Limits.MaxSteps
+	for i, argv := range argvs {
+		start := ma.steps
+		ma.Limits.MaxSteps = start + budget
+		v, err := a.call(ma, cp, argv)
+		out[i] = BatchResult{Value: v, Steps: ma.steps - start, Err: err}
+	}
+	ma.Limits.MaxSteps = budget
 }
 
 // getFrame returns the frame for the next call depth. Frames stay bound
@@ -130,8 +156,12 @@ func (f *cframe) frameRegs(n int, args []uint64) []uint64 {
 }
 
 // call runs one activation of cp: the block trampoline. Steps and static
-// counts are charged per block; the MaxSteps check therefore triggers at
-// block granularity (see the Engine contract note on ErrMaxSteps).
+// counts are charged per block. When a block's pre-charge would blow the
+// MaxSteps budget, the charge is refunded and the activation falls back
+// to the reference interpreter loop from the block's first instruction:
+// the in-budget prefix executes with per-instruction accounting (and its
+// side effects land), so abort-time counters and memory match the
+// interpreter exactly instead of stopping at block granularity.
 func (a *closureArtifact) call(ma *Machine, cp *cprog, args []uint64) (uint64, error) {
 	f := ma.getFrame()
 	f.ma, f.art = ma, a
@@ -147,7 +177,13 @@ func (a *closureArtifact) call(ma *Machine, cp *cprog, args []uint64) (uint64, e
 	for {
 		ma.steps += blk.steps
 		if ma.steps > maxSteps {
-			err = ir.ErrMaxSteps
+			// Exact abort: refund the block pre-charge and replay the
+			// block (and, in the impossible case the budget is not
+			// exhausted there, the rest of the activation) on the
+			// interpreter. f.regs is the engine-shared register layout, so
+			// the hand-off needs no translation.
+			ma.steps -= blk.steps
+			v, err = ma.execFrom(cp.prog, f.regs, blk.start)
 			break
 		}
 		var nblk *cblock
@@ -244,7 +280,7 @@ func isTerminator(op MOp) bool {
 // compileProg partitions the linear code into basic blocks and compiles
 // each into a closure chain.
 func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
-	cp := &cprog{name: p.Name, params: p.Params, numRegs: p.NumRegs}
+	cp := &cprog{name: p.Name, params: p.Params, numRegs: p.NumRegs, prog: p}
 	code := p.Code
 
 	if len(code) == 0 {
@@ -256,7 +292,13 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 		return cp, nil
 	}
 
-	// Leaders: entry, branch targets, fall-throughs after terminators.
+	// Leaders: entry, branch targets, fall-throughs after terminators —
+	// and after local calls. Ending the accounting block at a call keeps
+	// the step pre-charge exact across activation boundaries: when a
+	// callee runs, every pre-charged instruction of every caller on the
+	// stack has actually executed, so a MaxSteps abort deep in recursion
+	// triggers at precisely the oracle's step count (no phantom charge
+	// for caller suffixes that never ran).
 	leader := make([]bool, len(code))
 	leader[0] = true
 	mark := func(pc int32) error {
@@ -283,7 +325,7 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 				return nil, err
 			}
 		}
-		if isTerminator(in.Op) && i+1 < len(code) {
+		if (isTerminator(in.Op) || in.Op == MCallLocal) && i+1 < len(code) {
 			leader[i+1] = true
 		}
 	}
@@ -337,7 +379,7 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 // backwards so every instruction captures its successor directly.
 func (a *closureArtifact) compileBlock(p *Program, start, end int, tgt func(int32) *cblock) (cblock, error) {
 	code := p.Code
-	blk := cblock{steps: int64(end - start)}
+	blk := cblock{steps: int64(end - start), start: int32(start)}
 
 	// Static per-instruction deltas and their running prefix sums (for
 	// exact accounting at fault sites).

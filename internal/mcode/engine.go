@@ -13,7 +13,7 @@ import (
 // execution, so the per-µarch backend must be swappable — a wimpy DPU
 // core and a wide host core may want different execution strategies.
 //
-// Two engines ship today:
+// Three engines ship today:
 //
 //   - InterpEngine ("interp"): the reference giant-switch interpreter.
 //     Zero prepare cost, highest per-step cost. The semantic oracle.
@@ -21,17 +21,20 @@ import (
 //     Go closure with registers, immediates and branch targets resolved
 //     at prepare time (threaded-code style), batching step/op-count
 //     accounting per basic block. Default engine.
+//   - AdaptiveEngine ("adaptive"): starts every module on the
+//     interpreter and promotes it to the closure artifact once observed
+//     traffic crosses the compile-amortization threshold (adaptive.go).
 //
-// Both engines produce bit-identical results, dynamic operation counts,
-// step totals, memory effects and errors for any execution that does not
-// abort on ir.ErrMaxSteps (asserted by the differential tests in
-// engine_test.go). The one sanctioned divergence: on an ErrMaxSteps
-// abort the closure engine stops at basic-block granularity — it never
-// enters the block that would blow the budget — while the interpreter
-// executes that block's in-budget prefix first. Abort-time counter
-// values and any side effects of that final partial block therefore
-// depend on the engine; ErrMaxSteps is a safety abort, not a semantic
-// outcome, so nothing in the runtime may rely on post-abort state.
+// All engines produce bit-identical results, dynamic operation counts,
+// step totals, memory effects and errors — including on ir.ErrMaxSteps
+// aborts: the closure engine pre-charges steps per basic block, but when
+// a block's charge would blow the budget it refunds the charge and
+// replays that block's in-budget prefix through the reference
+// interpreter loop, so abort-time counters and the final partial block's
+// side effects match the oracle exactly. The differential tests in
+// engine_test.go hold every engine (and the RunBatch path) to this
+// contract; it is what lets the runtime pick engines per node without
+// perturbing the simulation's virtual time.
 type Engine interface {
 	// Name returns the engine's registry name ("interp", "closure").
 	Name() string
@@ -53,12 +56,20 @@ type Artifact interface {
 	// value. Implementations must maintain ma.Counts, ma.steps and ma.sp
 	// with the semantics of the reference interpreter.
 	run(ma *Machine, fi int, args []uint64) (uint64, error)
+
+	// runBatch executes function fi once per argument vector, rebasing
+	// the MaxSteps ceiling on each element's start so every element gets
+	// a fresh budget while counts and steps accumulate across the batch.
+	// Batch-level validation (entry, arity, out sizing) is done by
+	// Machine.RunBatch before dispatching here.
+	runBatch(ma *Machine, fi int, argvs [][]uint64, out []BatchResult)
 }
 
 // Engine registry names.
 const (
-	EngineNameInterp  = "interp"
-	EngineNameClosure = "closure"
+	EngineNameInterp   = "interp"
+	EngineNameClosure  = "closure"
+	EngineNameAdaptive = "adaptive"
 )
 
 // DefaultEngine executes modules when no engine is selected explicitly.
@@ -67,7 +78,9 @@ const (
 var DefaultEngine Engine = ClosureEngine{}
 
 // EngineNames lists the registered engine names.
-func EngineNames() []string { return []string{EngineNameClosure, EngineNameInterp} }
+func EngineNames() []string {
+	return []string{EngineNameClosure, EngineNameInterp, EngineNameAdaptive}
+}
 
 // EngineByName resolves an engine registry name. The empty string picks
 // DefaultEngine, so config structs can leave the knob zero-valued.
@@ -79,6 +92,8 @@ func EngineByName(name string) (Engine, error) {
 		return ClosureEngine{}, nil
 	case EngineNameInterp:
 		return InterpEngine{}, nil
+	case EngineNameAdaptive:
+		return AdaptiveEngine{}, nil
 	}
 	return nil, fmt.Errorf("mcode: unknown engine %q (have %s)",
 		name, strings.Join(EngineNames(), ", "))
@@ -117,4 +132,18 @@ func (a interpArtifact) Module() *CompiledModule { return a.cm }
 
 func (a interpArtifact) run(ma *Machine, fi int, args []uint64) (uint64, error) {
 	return ma.exec(a.cm.Funcs[fi], args)
+}
+
+// runBatch is the oracle loop fallback: one interpreter activation per
+// element inside a per-element budget window.
+func (a interpArtifact) runBatch(ma *Machine, fi int, argvs [][]uint64, out []BatchResult) {
+	p := a.cm.Funcs[fi]
+	budget := ma.Limits.MaxSteps
+	for i, argv := range argvs {
+		start := ma.steps
+		ma.Limits.MaxSteps = start + budget
+		v, err := ma.exec(p, argv)
+		out[i] = BatchResult{Value: v, Steps: ma.steps - start, Err: err}
+	}
+	ma.Limits.MaxSteps = budget
 }

@@ -8,7 +8,6 @@ package mcode_test
 // node without perturbing the simulation's virtual time.
 
 import (
-	"errors"
 	"fmt"
 	"testing"
 
@@ -113,6 +112,22 @@ func overflowModule() *ir.Module {
 	return m
 }
 
+// partialStoresModule is one long straight-line block of stores: a
+// MaxSteps limit landing in its middle used to be the documented
+// block-granularity divergence (the closure engine refused the whole
+// block). The exact-abort fix must leave the in-budget prefix's stores
+// in memory and its per-instruction counters charged, like the oracle.
+func partialStoresModule() *ir.Module {
+	m := ir.NewModule("partialstores")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{}, ir.I64)
+	for i := int64(0); i < 8; i++ {
+		b.Store(ir.I64, b.Const64(100+i), b.Const64(1024+8*i), 0)
+	}
+	b.Ret(b.Const64(0))
+	return m
+}
+
 const diffMinilangSrc = `
 function sum_to(n::Int)::Int
     acc = 0
@@ -170,6 +185,31 @@ func diffCases(t *testing.T) []diffCase {
 		{name: "fault/oob", mod: oobModule(), entry: "main", args: []uint64{1 << 40}},
 		{name: "fault/stack-overflow", mod: overflowModule(), entry: "main", args: nil},
 		{name: "fault/max-steps", mod: spinModule(), entry: "main", args: []uint64{0}, limit: 1000},
+		// MaxSteps aborts landing mid-block: the prefix of the final block
+		// must execute with exact interpreter accounting (the former
+		// sanctioned divergence, now pinned).
+		{name: "fault/max-steps-mid-block", mod: partialStoresModule(), entry: "main", args: nil, limit: 10},
+		{name: "fault/max-steps-in-callee", mod: ml, entry: "fib", args: []uint64{20}, limit: 500},
+		{name: "fault/max-steps-loop-mid", mod: ml, entry: "sum_to", args: []uint64{1 << 30}, limit: 777},
+	}
+}
+
+// enginesUnderTest is every non-oracle engine configuration the
+// differential suite holds against the interpreter: the closure backend,
+// the cold adaptive tier (below threshold, interpreting) and a hot
+// adaptive tier (threshold 1, promoted to closures before the first
+// run).
+func enginesUnderTest() []struct {
+	label string
+	eng   mcode.Engine
+} {
+	return []struct {
+		label string
+		eng   mcode.Engine
+	}{
+		{"closure", mcode.ClosureEngine{}},
+		{"adaptive-cold", mcode.AdaptiveEngine{}},
+		{"adaptive-hot", mcode.AdaptiveEngine{Threshold: 1}},
 	}
 }
 
@@ -195,48 +235,153 @@ func runOn(t *testing.T, eng mcode.Engine, tc diffCase, march *isa.MicroArch) (i
 	return res, ma.Counts, calls, env.Memory, runErr
 }
 
-// TestEngineDifferential holds every engine to the interpreter's observable
-// behavior across the kernel corpus on all three paper µarchs.
+// TestEngineDifferential holds every engine to the interpreter's
+// observable behavior across the kernel corpus on all three paper
+// µarchs — including ErrMaxSteps aborts, where the closure engine's
+// exact-abort fallback must reproduce the oracle's partial-block side
+// effects and counters bit for bit.
 func TestEngineDifferential(t *testing.T) {
 	marchs := []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()}
 	for _, march := range marchs {
-		for _, tc := range diffCases(t) {
-			t.Run(march.Name+"/"+tc.name, func(t *testing.T) {
-				ref, refCounts, refCalls, refMem, refErr := runOn(t, mcode.InterpEngine{}, tc, march)
-				got, gotCounts, gotCalls, gotMem, gotErr := runOn(t, mcode.ClosureEngine{}, tc, march)
+		for _, ec := range enginesUnderTest() {
+			for _, tc := range diffCases(t) {
+				t.Run(march.Name+"/"+ec.label+"/"+tc.name, func(t *testing.T) {
+					ref, refCounts, refCalls, refMem, refErr := runOn(t, mcode.InterpEngine{}, tc, march)
+					got, gotCounts, gotCalls, gotMem, gotErr := runOn(t, ec.eng, tc, march)
 
-				if (refErr == nil) != (gotErr == nil) {
-					t.Fatalf("error mismatch: interp=%v closure=%v", refErr, gotErr)
-				}
-				if refErr != nil {
-					if refErr.Error() != gotErr.Error() {
-						t.Fatalf("error text mismatch:\n interp:  %v\n closure: %v", refErr, gotErr)
+					if (refErr == nil) != (gotErr == nil) {
+						t.Fatalf("error mismatch: interp=%v %s=%v", refErr, ec.label, gotErr)
 					}
-					if errors.Is(refErr, ir.ErrMaxSteps) {
-						// Sanctioned divergence: the closure engine accounts
-						// steps/counts at block granularity on this abort.
-						return
+					if refErr != nil && refErr.Error() != gotErr.Error() {
+						t.Fatalf("error text mismatch:\n interp: %v\n %s: %v", refErr, ec.label, gotErr)
 					}
-				}
-				if got.Value != ref.Value {
-					t.Errorf("value: closure %#x, interp %#x", got.Value, ref.Value)
-				}
-				if got.Steps != ref.Steps {
-					t.Errorf("steps: closure %d, interp %d", got.Steps, ref.Steps)
-				}
-				if gotCounts != refCounts {
-					t.Errorf("op counts diverge:\n closure: %v\n interp:  %v", gotCounts, refCounts)
-				}
-				if mcode.Cycles(&gotCounts, march) != mcode.Cycles(&refCounts, march) {
-					t.Errorf("virtual-time charge diverges")
-				}
-				if fmt.Sprint(gotCalls.log) != fmt.Sprint(refCalls.log) {
-					t.Errorf("extern call traces diverge:\n closure: %v\n interp:  %v", gotCalls.log, refCalls.log)
-				}
-				if string(gotMem) != string(refMem) {
-					t.Errorf("final memory images diverge")
-				}
-			})
+					if got.Value != ref.Value {
+						t.Errorf("value: %s %#x, interp %#x", ec.label, got.Value, ref.Value)
+					}
+					if got.Steps != ref.Steps {
+						t.Errorf("steps: %s %d, interp %d", ec.label, got.Steps, ref.Steps)
+					}
+					if gotCounts != refCounts {
+						t.Errorf("op counts diverge:\n %s: %v\n interp: %v", ec.label, gotCounts, refCounts)
+					}
+					if mcode.Cycles(&gotCounts, march) != mcode.Cycles(&refCounts, march) {
+						t.Errorf("virtual-time charge diverges")
+					}
+					if fmt.Sprint(gotCalls.log) != fmt.Sprint(refCalls.log) {
+						t.Errorf("extern call traces diverge:\n %s: %v\n interp: %v", ec.label, gotCalls.log, refCalls.log)
+					}
+					if string(gotMem) != string(refMem) {
+						t.Errorf("final memory images diverge")
+					}
+				})
+			}
+		}
+	}
+}
+
+// batchOn executes one case as a RunBatch of size n on one engine,
+// returning per-element results plus the batch-cumulative observables.
+func batchOn(t *testing.T, eng mcode.Engine, tc diffCase, march *isa.MicroArch, n int) ([]mcode.BatchResult, [isa.NumOps]uint64, *stubCalls, []byte) {
+	t.Helper()
+	cm, err := mcode.Lower(tc.mod, march)
+	if err != nil {
+		t.Fatalf("%s: lower: %v", tc.name, err)
+	}
+	env := ir.NewSimpleEnv(1 << 16)
+	if tc.setup != nil {
+		tc.setup(env)
+	}
+	calls := &stubCalls{}
+	ma, err := mcode.NewMachineFor(eng, cm, env, diffLink(cm, env, calls), ir.ExecLimits{
+		MaxSteps: tc.limit, StackBase: 32 << 10, StackSize: 16 << 10,
+	})
+	if err != nil {
+		t.Fatalf("%s: machine: %v", tc.name, err)
+	}
+	argvs := make([][]uint64, n)
+	for i := range argvs {
+		argvs[i] = tc.args
+	}
+	out := make([]mcode.BatchResult, n)
+	if err := ma.RunBatch(tc.entry, argvs, out); err != nil {
+		t.Fatalf("%s: RunBatch: %v", tc.name, err)
+	}
+	return out, ma.Counts, calls, env.Memory
+}
+
+// TestEngineBatchDifferential pins batch ≡ sequential for every engine
+// (the interpreter oracle included): RunBatch over n identical messages
+// must reproduce, element for element, the results, steps and errors of
+// n Reset+Run executions, and its cumulative op counts, extern call
+// trace, memory image and virtual-time charge must equal the sequential
+// sums. This is the contract that lets the runtime drain a message batch
+// through one machine with a single virtual-time charge.
+func TestEngineBatchDifferential(t *testing.T) {
+	const batchN = 4
+	marchs := []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()}
+	allEngines := append([]struct {
+		label string
+		eng   mcode.Engine
+	}{{"interp", mcode.InterpEngine{}}}, enginesUnderTest()...)
+	for _, march := range marchs {
+		for _, ec := range allEngines {
+			for _, tc := range diffCases(t) {
+				t.Run(march.Name+"/"+ec.label+"/"+tc.name, func(t *testing.T) {
+					// Sequential oracle: n independent Reset+Run executions on
+					// one interpreter machine and environment.
+					cm, err := mcode.Lower(tc.mod, march)
+					if err != nil {
+						t.Fatal(err)
+					}
+					env := ir.NewSimpleEnv(1 << 16)
+					if tc.setup != nil {
+						tc.setup(env)
+					}
+					seqCalls := &stubCalls{}
+					ma, err := mcode.NewMachineFor(mcode.InterpEngine{}, cm, env, diffLink(cm, env, seqCalls), ir.ExecLimits{
+						MaxSteps: tc.limit, StackBase: 32 << 10, StackSize: 16 << 10,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var seq []mcode.BatchResult
+					var seqCounts [isa.NumOps]uint64
+					for i := 0; i < batchN; i++ {
+						ma.Reset()
+						res, runErr := ma.Run(tc.entry, tc.args...)
+						seq = append(seq, mcode.BatchResult{Value: res.Value, Steps: res.Steps, Err: runErr})
+						for op := range seqCounts {
+							seqCounts[op] += ma.Counts[op]
+						}
+					}
+
+					got, gotCounts, gotCalls, gotMem := batchOn(t, ec.eng, tc, march, batchN)
+					for i := range seq {
+						if (seq[i].Err == nil) != (got[i].Err == nil) ||
+							(seq[i].Err != nil && seq[i].Err.Error() != got[i].Err.Error()) {
+							t.Fatalf("element %d error: batch=%v sequential=%v", i, got[i].Err, seq[i].Err)
+						}
+						if got[i].Value != seq[i].Value {
+							t.Errorf("element %d value: batch %#x, sequential %#x", i, got[i].Value, seq[i].Value)
+						}
+						if got[i].Steps != seq[i].Steps {
+							t.Errorf("element %d steps: batch %d, sequential %d", i, got[i].Steps, seq[i].Steps)
+						}
+					}
+					if gotCounts != seqCounts {
+						t.Errorf("cumulative op counts diverge:\n batch:      %v\n sequential: %v", gotCounts, seqCounts)
+					}
+					if mcode.Cycles(&gotCounts, march) != mcode.Cycles(&seqCounts, march) {
+						t.Errorf("virtual-time charge diverges")
+					}
+					if fmt.Sprint(gotCalls.log) != fmt.Sprint(seqCalls.log) {
+						t.Errorf("extern call traces diverge")
+					}
+					if string(gotMem) != string(env.Memory) {
+						t.Errorf("final memory images diverge")
+					}
+				})
+			}
 		}
 	}
 }
@@ -265,7 +410,9 @@ func TestEngineByName(t *testing.T) {
 // the property Runtime.execute relies on after switching to
 // per-registration machines.
 func TestEngineMachineReuseAllocFree(t *testing.T) {
-	for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.InterpEngine{}} {
+	// The adaptive engine uses threshold 1 so promotion (a one-time
+	// compile) happens during warm-up, outside the measured window.
+	for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.InterpEngine{}, mcode.AdaptiveEngine{Threshold: 1}} {
 		t.Run(eng.Name(), func(t *testing.T) {
 			cm, err := mcode.Lower(core.BuildTSI(), isa.XeonE5())
 			if err != nil {

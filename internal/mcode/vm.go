@@ -118,10 +118,14 @@ func (ma *Machine) Steps() int64 { return ma.steps }
 
 // EngineName reports which engine's artifact the machine executes.
 func (ma *Machine) EngineName() string {
-	if _, ok := ma.art.(interpArtifact); ok {
+	switch ma.art.(type) {
+	case interpArtifact:
 		return EngineNameInterp
+	case *adaptiveArtifact:
+		return EngineNameAdaptive
+	default:
+		return EngineNameClosure
 	}
-	return EngineNameClosure
 }
 
 // getRegs pops a zeroed register file of length n from the pool,
@@ -144,17 +148,25 @@ func (ma *Machine) getRegs(n int) []uint64 {
 // putRegs returns a register file to the pool.
 func (ma *Machine) putRegs(r []uint64) { ma.regPool = append(ma.regPool, r) }
 
+// lookupEntry resolves a function name to its index, memoizing the last
+// hit (Run/RunBatch calls overwhelmingly repeat one entry name).
+func (ma *Machine) lookupEntry(fn string) (int, error) {
+	if fn == ma.lastFn && ma.lastFn != "" {
+		return ma.lastFi, nil
+	}
+	fi := ma.Mod.FuncIndex(fn)
+	if fi < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrNoFunction, fn)
+	}
+	ma.lastFn, ma.lastFi = fn, fi
+	return fi, nil
+}
+
 // Run executes the named function.
 func (ma *Machine) Run(fn string, args ...uint64) (ir.ExecResult, error) {
-	var fi int
-	if fn == ma.lastFn && ma.lastFn != "" {
-		fi = ma.lastFi
-	} else {
-		fi = ma.Mod.FuncIndex(fn)
-		if fi < 0 {
-			return ir.ExecResult{}, fmt.Errorf("%w: %q", ErrNoFunction, fn)
-		}
-		ma.lastFn, ma.lastFi = fn, fi
+	fi, err := ma.lookupEntry(fn)
+	if err != nil {
+		return ir.ExecResult{}, err
 	}
 	p := ma.Mod.Funcs[fi]
 	if len(args) != p.Params {
@@ -173,7 +185,6 @@ func (ma *Machine) Run(fn string, args ...uint64) (ir.ExecResult, error) {
 		ab[i] = args[i]
 	}
 	var v uint64
-	var err error
 	if ca := ma.closureArt; ca != nil {
 		v, err = ca.run(ma, fi, ab)
 	} else {
@@ -181,6 +192,58 @@ func (ma *Machine) Run(fn string, args ...uint64) (ir.ExecResult, error) {
 	}
 	ma.sp = savedSP
 	return ir.ExecResult{Value: v, Steps: ma.steps}, err
+}
+
+// BatchResult is the outcome of one element of a RunBatch call: the same
+// observables a standalone Run would produce for that element.
+type BatchResult struct {
+	// Value is the element's return value (zero on error).
+	Value uint64
+	// Steps is the dynamic instruction count this element executed.
+	Steps int64
+	// Err is the element's execution error, if any. An errored element
+	// does not stop the batch: elements are independent messages.
+	Err error
+}
+
+// RunBatch executes the named function once per argument vector, in
+// order, accumulating operation counts across the whole batch (one
+// virtual-time charge instead of one per message). Entry lookup and
+// argument validation happen once; each element gets a fresh MaxSteps
+// budget, exactly as if the caller had issued Reset+Run per element, so
+// per-element results, steps and errors are bit-identical to sequential
+// execution while ma.Counts holds the batch total (counts are additive,
+// so the sum equals the sequence of per-message charges). Engines
+// implement the inner loop natively: the closure engine re-enters its
+// already-resolved block graph per element without re-walking setup; the
+// interpreter provides the oracle loop fallback.
+//
+// out must have at least len(argvs) elements; RunBatch fills out[:len(argvs)].
+// The returned error reports batch-level failures (unknown entry, arity
+// mismatch) that apply to every element; per-element failures land in
+// out[i].Err.
+func (ma *Machine) RunBatch(fn string, argvs [][]uint64, out []BatchResult) error {
+	fi, err := ma.lookupEntry(fn)
+	if err != nil {
+		return err
+	}
+	if len(out) < len(argvs) {
+		return fmt.Errorf("mcode: %s: RunBatch out holds %d of %d results", fn, len(out), len(argvs))
+	}
+	p := ma.Mod.Funcs[fi]
+	for _, argv := range argvs {
+		if len(argv) != p.Params {
+			return fmt.Errorf("mcode: %s: got %d args, want %d", fn, len(argv), p.Params)
+		}
+	}
+	savedSP := ma.sp
+	if ca := ma.closureArt; ca != nil {
+		ca.runBatch(ma, fi, argvs, out)
+	} else {
+		ma.art.runBatch(ma, fi, argvs, out)
+	}
+	ma.sp = savedSP
+	return nil
 }
 
 // exec runs one activation of p on the reference interpreter.
@@ -192,10 +255,18 @@ func (ma *Machine) exec(p *Program, args []uint64) (uint64, error) {
 		ma.sp = frameSP
 		ma.putRegs(regs)
 	}()
+	return ma.execFrom(p, regs, 0)
+}
 
+// execFrom is the reference interpreter loop: it executes p from pc over
+// the provided register file until return, fault or step exhaustion. The
+// register layout is the one shared by every engine, which lets the
+// closure backend hand a partially executed activation to this loop (its
+// exact-abort path for MaxSteps) without any state translation. Stack
+// pointer save/restore is the caller's responsibility.
+func (ma *Machine) execFrom(p *Program, regs []uint64, pc int32) (uint64, error) {
 	mem := ma.Env.Mem()
 	counts := &ma.Counts
-	pc := int32(0)
 	for {
 		if int(pc) >= len(p.Code) {
 			return 0, fmt.Errorf("mcode: %s: pc %d past end", p.Name, pc)

@@ -42,17 +42,20 @@ type Profile struct {
 	// AMDispatch is the CPU cost of dispatching an Active Message through
 	// the registered handler table.
 	AMDispatch sim.Time
-	// IfuncPoll is the CPU cost of the ifunc polling loop picking up and
-	// frame-checking one message.
+	// IfuncPoll is the fixed CPU cost of one ifunc poll pickup (each
+	// drained frame additionally pays the fabric's receive overhead, so
+	// a one-frame drain charges exactly the paper's per-message cost and
+	// larger drains amortize the poll).
 	IfuncPoll sim.Time
 	// Triples is the fat-bitcode target list used on this platform (the
 	// paper builds x86_64 + aarch64 archives).
 	Triples []isa.Triple
 	// Engine selects the execution backend for every node built from
-	// this profile, by mcode registry name ("closure", "interp"; "" =
-	// the default closure engine). The calibrated virtual-time numbers
-	// are engine-independent — both backends charge identical operation
-	// counts — so this knob only changes host wall-clock cost.
+	// this profile, by mcode registry name ("closure", "interp",
+	// "adaptive"; "" = the default closure engine). The calibrated
+	// virtual-time numbers are engine-independent — every backend
+	// charges identical operation counts — so this knob only changes
+	// host wall-clock cost.
 	Engine string
 }
 

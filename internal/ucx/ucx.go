@@ -13,7 +13,9 @@
 //   - Active Messages are two-sided: delivery costs receiver CPU time
 //     (RecvOverhead + a dispatch cost through the handler pointer table).
 //   - ifunc messages are PUT-like into a polled message buffer: NIC
-//     write, then the polling loop picks the frame up on the target CPU.
+//     write, then the polling loop drains every queued frame on the
+//     target CPU in one pickup (one IfuncPoll + RecvOverhead per frame),
+//     amortizing the poll cost over message bursts.
 //   - Completion is signalled through one-shot sim.Signals whose value is
 //     a Status (OK or an error code), like ucs_status_t.
 package ucx
@@ -68,9 +70,24 @@ func NewContext(net *fabric.Network) *Context { return &Context{Net: net} }
 // header is the sender-chosen 64-bit immediate; data is the payload.
 type AMHandler func(src *Endpoint, header uint64, data []byte)
 
-// IfuncSink consumes a delivered ifunc frame (installed by the
-// Three-Chains runtime).
-type IfuncSink func(srcWorker int, frame []byte)
+// IfuncDelivery is one ifunc frame handed to the polling drain: the raw
+// frame bytes plus the originating worker/node id.
+type IfuncDelivery struct {
+	SrcNode int
+	Frame   []byte
+
+	// done fires with a Status once the frame has been handed to the
+	// drain (transport-level completion, owned by the worker).
+	done *sim.Signal
+}
+
+// IfuncDrain consumes a batch of delivered ifunc frames — every frame
+// the polling loop found queued for this node on one poll (installed by
+// the Three-Chains runtime). Draining the whole queue per poll is what
+// amortizes the fixed poll cost over message bursts: the batch is
+// charged one IfuncPoll plus a per-frame pickup cost (RecvOverhead)
+// before the drain is invoked, instead of IfuncPoll per frame.
+type IfuncDrain func(batch []IfuncDelivery)
 
 // memRegion is a registered memory window.
 type memRegion struct {
@@ -92,16 +109,42 @@ type Worker struct {
 	Node *fabric.Node
 
 	amHandlers map[uint32]AMHandler
-	ifuncSink  IfuncSink
+	ifuncDrain IfuncDrain
 	regions    map[uint32]memRegion
 	nextKey    uint32
+
+	// ifuncQ buffers frames written into the node's message buffer by
+	// the NIC until the polling loop picks them up; pollPending is set
+	// while a poll wakeup is scheduled on the node core.
+	ifuncQ      []IfuncDelivery
+	pollPending bool
 
 	// AMDispatch is the extra CPU cost of dispatching an AM through the
 	// handler pointer table (calibrated per testbed).
 	AMDispatch sim.Time
-	// IfuncPoll is the extra CPU cost for the polling loop to pick up and
-	// frame-check one ifunc message (calibrated per testbed).
+	// IfuncPoll is the fixed CPU cost of one ifunc poll: noticing queued
+	// messages and entering the pickup loop (calibrated per testbed).
+	// Each drained frame additionally costs the fabric's RecvOverhead —
+	// so a single-frame drain charges exactly what the paper's
+	// one-message-per-poll runtime charged, and every further frame in
+	// the same drain amortizes the poll.
 	IfuncPoll sim.Time
+	// MaxDrain caps how many frames one poll picks up; 0 means drain the
+	// whole queue (the default batched pipeline). The paper-fidelity
+	// benchmarks pin it to 1 to reproduce the §V one-message-per-poll
+	// methodology.
+	MaxDrain int
+
+	// Stats counts ifunc polling activity.
+	Stats WorkerStats
+}
+
+// WorkerStats aggregates polling-loop activity.
+type WorkerStats struct {
+	// IfuncPolls counts poll pickups (drains) that found frames.
+	IfuncPolls uint64
+	// IfuncFrames counts frames handed to the drain.
+	IfuncFrames uint64
 }
 
 // NewWorker creates a worker on the node.
@@ -118,9 +161,10 @@ func (c *Context) NewWorker(n *fabric.Node) *Worker {
 // predeployed function table of the Active Message baseline.
 func (w *Worker) SetAMHandler(id uint32, h AMHandler) { w.amHandlers[id] = h }
 
-// SetIfuncSink installs the ifunc frame consumer (the Three-Chains
-// polling function).
-func (w *Worker) SetIfuncSink(sink IfuncSink) { w.ifuncSink = sink }
+// SetIfuncDrain installs the ifunc batch consumer (the Three-Chains
+// polling function). Each poll hands the drain every frame queued for
+// the node (bounded by MaxDrain), already charged for pickup.
+func (w *Worker) SetIfuncDrain(d IfuncDrain) { w.ifuncDrain = d }
 
 // RegisterMem exposes [base, base+size) for remote one-sided access and
 // returns the packed key.
@@ -262,9 +306,10 @@ func (ep *Endpoint) SendAM(id uint32, header uint64, payload []byte) *sim.Signal
 }
 
 // SendIfunc delivers an ifunc message frame to the peer's polling loop:
-// a NIC-level write into the message buffer followed by a CPU-side poll
-// pickup (the paper's Figure 1 target-side flow). The signal fires with a
-// Status once the frame has been handed to the sink.
+// a NIC-level write into the message buffer, an enqueue, and a CPU-side
+// poll that drains the queue (the paper's Figure 1 target-side flow,
+// batched). The signal fires with a Status once the frame has been
+// handed to the drain.
 func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
 	eng := ep.W.Ctx.Net.Eng
 	params := ep.W.Ctx.Net.Params
@@ -272,17 +317,70 @@ func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
 	srcID := ep.W.Node.ID
 	ep.W.Node.Send(ep.Peer.Node, frame, nil, func(msg *fabric.Message) {
 		eng.After(params.NICOverhead, func() {
-			if ep.Peer.ifuncSink == nil {
+			if ep.Peer.ifuncDrain == nil {
 				done.Fire(uint64(ErrRejected))
 				return
 			}
-			ep.Peer.Node.ExecCPU(params.RecvOverhead+ep.Peer.IfuncPoll, func() {
-				ep.Peer.ifuncSink(srcID, msg.Data)
-				done.Fire(uint64(OK))
-			})
+			ep.Peer.enqueueIfunc(IfuncDelivery{SrcNode: srcID, Frame: msg.Data, done: done})
 		})
 	})
 	return done
+}
+
+// enqueueIfunc appends a NIC-written frame to the message buffer and
+// makes sure a poll wakeup is scheduled on the node core.
+func (w *Worker) enqueueIfunc(d IfuncDelivery) {
+	w.ifuncQ = append(w.ifuncQ, d)
+	w.schedulePoll()
+}
+
+// schedulePoll arms the next poll pickup. The wakeup is a zero-cost CPU
+// event: it lands when the core is next free, so frames that arrive
+// while the core is busy accumulate and are drained together — the
+// batching emerges from backpressure, exactly like a real polling loop
+// that finds several messages after a long handler.
+func (w *Worker) schedulePoll() {
+	if w.pollPending || len(w.ifuncQ) == 0 {
+		return
+	}
+	w.pollPending = true
+	w.Node.ExecCPU(0, w.drainIfuncs)
+}
+
+// drainIfuncs is the poll pickup: it takes every queued frame (bounded
+// by MaxDrain), charges one IfuncPoll plus RecvOverhead per frame, and
+// hands the batch to the drain.
+func (w *Worker) drainIfuncs() {
+	w.pollPending = false
+	n := len(w.ifuncQ)
+	if n == 0 {
+		return
+	}
+	if w.MaxDrain > 0 && n > w.MaxDrain {
+		n = w.MaxDrain
+	}
+	batch := w.ifuncQ[:n:n]
+	if n == len(w.ifuncQ) {
+		// Full drain: hand over the backing array; the next arrival
+		// starts a fresh queue.
+		w.ifuncQ = nil
+	} else {
+		rest := make([]IfuncDelivery, len(w.ifuncQ)-n)
+		copy(rest, w.ifuncQ[n:])
+		w.ifuncQ = rest
+	}
+	w.Stats.IfuncPolls++
+	w.Stats.IfuncFrames += uint64(n)
+	cost := w.IfuncPoll + sim.Time(n)*w.Ctx.Net.Params.RecvOverhead
+	w.Node.ExecCPU(cost, func() {
+		w.ifuncDrain(batch)
+		for i := range batch {
+			batch[i].done.Fire(uint64(OK))
+		}
+	})
+	// Frames beyond MaxDrain wait for the next poll, which starts after
+	// this batch's pickup charge.
+	w.schedulePoll()
 }
 
 // Flush returns a signal that fires when all previously posted operations

@@ -179,13 +179,15 @@ func TestAMReplyPath(t *testing.T) {
 	}
 }
 
-func TestIfuncSinkDelivery(t *testing.T) {
+func TestIfuncDrainDelivery(t *testing.T) {
 	w := newWorld(t)
 	var got []byte
 	var from int
-	w.wb.SetIfuncSink(func(src int, frame []byte) {
-		from = src
-		got = append([]byte(nil), frame...)
+	w.wb.SetIfuncDrain(func(batch []IfuncDelivery) {
+		for _, d := range batch {
+			from = d.SrcNode
+			got = append([]byte(nil), d.Frame...)
+		}
 	})
 	sig := w.ab.SendIfunc([]byte{0xAA, 1, 2, 3, 0xBB})
 	w.eng.Run()
@@ -193,16 +195,100 @@ func TestIfuncSinkDelivery(t *testing.T) {
 		t.Fatalf("status %v", Status(sig.Value()))
 	}
 	if from != w.wa.Node.ID || len(got) != 5 || got[0] != 0xAA {
-		t.Fatalf("sink saw from=%d frame=%v", from, got)
+		t.Fatalf("drain saw from=%d frame=%v", from, got)
+	}
+	if w.wb.Stats.IfuncPolls != 1 || w.wb.Stats.IfuncFrames != 1 {
+		t.Fatalf("poll stats %+v", w.wb.Stats)
 	}
 }
 
-func TestIfuncWithoutSinkRejected(t *testing.T) {
+func TestIfuncWithoutDrainRejected(t *testing.T) {
 	w := newWorld(t)
 	sig := w.ab.SendIfunc([]byte{1})
 	w.eng.Run()
 	if Status(sig.Value()) != ErrRejected {
 		t.Fatalf("status %v", Status(sig.Value()))
+	}
+}
+
+// TestIfuncSingleFrameDrainCost pins the cost calibration contract: a
+// drain that picks up one frame charges exactly RecvOverhead+IfuncPoll
+// of CPU — the same per-message charge as the paper's
+// one-message-per-poll runtime, so the §V latency fits are unchanged.
+func TestIfuncSingleFrameDrainCost(t *testing.T) {
+	w := newWorld(t)
+	w.wb.IfuncPoll = 200 * sim.Nanosecond
+	w.wb.SetIfuncDrain(func([]IfuncDelivery) {})
+	w.ab.SendIfunc([]byte{1, 2, 3})
+	w.eng.Run()
+	want := testParams().RecvOverhead + w.wb.IfuncPoll
+	if got := w.wb.Node.Stats.CPUBusy; got != want {
+		t.Fatalf("single-frame drain charged %v of CPU, want %v", got, want)
+	}
+}
+
+// TestIfuncBatchDrainAmortizesPoll delivers a burst that queues while
+// the receiver core is busy and checks (a) one poll drains all of it and
+// (b) the CPU charge is IfuncPoll + n*RecvOverhead — (n-1) polls cheaper
+// than one-at-a-time delivery.
+func TestIfuncBatchDrainAmortizesPoll(t *testing.T) {
+	w := newWorld(t)
+	w.wb.IfuncPoll = 200 * sim.Nanosecond
+	var batches [][]IfuncDelivery
+	w.wb.SetIfuncDrain(func(batch []IfuncDelivery) {
+		batches = append(batches, batch)
+	})
+	// Park the receiver core so all frames land in the queue before the
+	// first poll runs.
+	w.wb.Node.ExecCPU(10*sim.Microsecond, func() {})
+	const n = 5
+	for i := 0; i < n; i++ {
+		w.ab.SendIfunc([]byte{byte(i)})
+	}
+	w.eng.Run()
+	if len(batches) != 1 {
+		t.Fatalf("drains = %d, want 1 drain of %d", len(batches), n)
+	}
+	if len(batches[0]) != n {
+		t.Fatalf("first drain carried %d frames, want %d", len(batches[0]), n)
+	}
+	for i, d := range batches[0] {
+		if d.Frame[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %v", i, d.Frame)
+		}
+	}
+	want := 10*sim.Microsecond + w.wb.IfuncPoll + n*testParams().RecvOverhead
+	if got := w.wb.Node.Stats.CPUBusy; got != want {
+		t.Fatalf("batched drain charged %v of CPU, want %v", got, want)
+	}
+}
+
+// TestIfuncMaxDrainBoundsBatch pins the paper-fidelity knob: MaxDrain=1
+// reproduces one-message-per-poll delivery (with its per-message
+// IfuncPoll charge) even when frames are queued.
+func TestIfuncMaxDrainBoundsBatch(t *testing.T) {
+	w := newWorld(t)
+	w.wb.IfuncPoll = 200 * sim.Nanosecond
+	w.wb.MaxDrain = 1
+	var sizes []int
+	w.wb.SetIfuncDrain(func(batch []IfuncDelivery) { sizes = append(sizes, len(batch)) })
+	w.wb.Node.ExecCPU(10*sim.Microsecond, func() {})
+	const n = 4
+	for i := 0; i < n; i++ {
+		w.ab.SendIfunc([]byte{byte(i)})
+	}
+	w.eng.Run()
+	if len(sizes) != n {
+		t.Fatalf("drains = %d, want %d", len(sizes), n)
+	}
+	for _, s := range sizes {
+		if s != 1 {
+			t.Fatalf("drain sizes %v, want all 1", sizes)
+		}
+	}
+	want := 10*sim.Microsecond + n*(w.wb.IfuncPoll+testParams().RecvOverhead)
+	if got := w.wb.Node.Stats.CPUBusy; got != want {
+		t.Fatalf("MaxDrain=1 charged %v of CPU, want %v", got, want)
 	}
 }
 

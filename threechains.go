@@ -59,14 +59,27 @@ import (
 //     once, so steady-state dispatch is a single indirect call. This is
 //     the fast path for heavy per-message traffic.
 //   - EngineInterp: the reference switch interpreter — the semantic
-//     oracle both engines are differentially tested against.
+//     oracle every other engine is differentially tested against.
+//   - EngineAdaptive: starts every registration on the interpreter (zero
+//     prepare cost, right for types that execute a handful of times) and
+//     promotes it to the closure artifact once observed traffic crosses
+//     the compile-amortization threshold — the per-node heterogeneous
+//     choice for clusters whose nodes see very different message rates.
 //
-// Both engines produce bit-identical results, operation counts and
+// All engines produce bit-identical results, operation counts and
 // virtual-time charges, so simulated metrics never depend on the engine;
 // only host wall-clock speed does.
+//
+// Delivery is batch-aware regardless of engine: each ifunc poll drains
+// every frame queued for the node (one poll charge plus a per-frame
+// pickup), and the runtime groups the drained frames by (type, entry) so
+// registry lookup, payload staging and execution setup are paid once per
+// group (executed as one Machine.RunBatch). Pin ucx.Worker.MaxDrain to 1
+// to reproduce the paper's one-message-per-poll runtime.
 const (
-	EngineClosure = mcode.EngineNameClosure
-	EngineInterp  = mcode.EngineNameInterp
+	EngineClosure  = mcode.EngineNameClosure
+	EngineInterp   = mcode.EngineNameInterp
+	EngineAdaptive = mcode.EngineNameAdaptive
 )
 
 // Core runtime types.
