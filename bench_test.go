@@ -414,7 +414,7 @@ func BenchmarkInfraVMExecution(b *testing.B) {
 // records the measured baseline.
 func BenchmarkEngineInterpVsClosure(b *testing.B) {
 	for _, k := range bench.EngineCorpus() {
-		for _, eng := range []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}} {
+		for _, eng := range []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}, mcode.SuperblockEngine{}} {
 			b.Run(k.Name+"/"+eng.Name(), func(b *testing.B) {
 				cm, err := mcode.Lower(k.Mod, isa.XeonE5())
 				if err != nil {
@@ -488,6 +488,24 @@ func BenchmarkEngineRunBatch(b *testing.B) {
 			// ns/op is per batch; scale mentally by batch size (each op
 			// executes bs guest activations).
 		})
+	}
+}
+
+// BenchmarkSuperblockBatchSweep runs the superblock engine's RunBatch
+// sweep on a reduced grid — the CI regression smoke for the superblock
+// backend (one iteration exercises formation, native loops, the direct
+// RMW runner and the batch trampoline end to end) and the quick local
+// view of the sweep recorded in BENCH_engines.json.
+func BenchmarkSuperblockBatchSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range bench.EngineCorpus() {
+			s, err := bench.SweepBatch(isa.XeonE5(), mcode.SuperblockEngine{}, k, []int{1, 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last := s.Points[len(s.Points)-1]
+			b.ReportMetric(last.Gain, k.Name+"-b8-gain")
+		}
 	}
 }
 

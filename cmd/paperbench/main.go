@@ -73,7 +73,11 @@ type engineRow struct {
 	Steps     int64   `json:"steps"`
 	InterpNs  float64 `json:"interp_ns"`
 	ClosureNs float64 `json:"closure_ns"`
+	// SuperNs is the superblock engine (PR 3); SBSpeedup is its win over
+	// the plain closure backend (closure_ns / super_ns).
+	SuperNs   float64 `json:"super_ns"`
 	Speedup   float64 `json:"speedup"`
+	SBSpeedup float64 `json:"sb_speedup"`
 }
 
 // engineReport collects the interpreter-vs-closure wall-clock comparison
@@ -91,19 +95,21 @@ func engineReport(print bool) *enginesReport {
 	}
 
 	printf("--- Execution engines (host wall-clock per guest execution) ---\n")
-	printf("%-16s %-12s %8s %12s %12s %9s\n",
-		"march", "kernel", "steps", "interp", "closure", "speedup")
+	printf("%-16s %-12s %8s %12s %12s %12s %9s %9s\n",
+		"march", "kernel", "steps", "interp", "closure", "superblock", "i/c", "c/sb")
 	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
 		rows, err := bench.CompareEngines(march)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, r := range rows {
-			printf("%-16s %-12s %8d %10.1fns %10.1fns %8.2fx\n",
-				march.Name, r.Kernel, r.Steps, r.InterpNs, r.ClosureNs, r.Speedup)
+			printf("%-16s %-12s %8d %10.1fns %10.1fns %10.1fns %8.2fx %8.2fx\n",
+				march.Name, r.Kernel, r.Steps, r.InterpNs, r.ClosureNs, r.SuperNs,
+				r.Speedup, r.SuperSpeedup)
 			rep.Engines = append(rep.Engines, engineRow{
 				March: march.Name, Kernel: r.Kernel, Steps: r.Steps,
-				InterpNs: r.InterpNs, ClosureNs: r.ClosureNs, Speedup: r.Speedup,
+				InterpNs: r.InterpNs, ClosureNs: r.ClosureNs, SuperNs: r.SuperNs,
+				Speedup: r.Speedup, SBSpeedup: r.SuperSpeedup,
 			})
 		}
 	}

@@ -113,15 +113,19 @@ func SweepBatch(march *isa.MicroArch, eng mcode.Engine, k EngineKernel, sizes []
 }
 
 // SweepBatches runs the default sweep grid: the engine-comparison corpus
-// under the closure engine (the shipped default) on one µarch.
+// under the closure engine and the superblock engine (the shipped
+// default) on one µarch — the superblock rows are the new PR 3 sweep
+// tracked in BENCH_engines.json.
 func SweepBatches(march *isa.MicroArch) ([]BatchSweep, error) {
 	var out []BatchSweep
-	for _, k := range EngineCorpus() {
-		s, err := SweepBatch(march, mcode.ClosureEngine{}, k, nil)
-		if err != nil {
-			return nil, err
+	for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.SuperblockEngine{}} {
+		for _, k := range EngineCorpus() {
+			s, err := SweepBatch(march, eng, k, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
 		}
-		out = append(out, s)
 	}
 	return out, nil
 }
@@ -139,7 +143,11 @@ func DeliverySweep(p testbed.Profile, sizes []int) (BatchSweep, error) {
 	if len(sizes) == 0 {
 		sizes = BatchSizes
 	}
-	sweep := BatchSweep{March: p.March().Name, Kernel: "tsi-delivery", Engine: "closure"}
+	engine := p.Engine
+	if engine == "" {
+		engine = mcode.DefaultEngine.Name()
+	}
+	sweep := BatchSweep{March: p.March().Name, Kernel: "tsi-delivery", Engine: engine}
 
 	const rounds = 5
 	const msgs = 2048

@@ -20,12 +20,16 @@ type EngineResult struct {
 	Kernel string
 	// Steps is the dynamic instruction count of one execution.
 	Steps int64
-	// InterpNs and ClosureNs are the mean wall-clock nanoseconds per
-	// execution under each engine.
+	// InterpNs, ClosureNs and SuperNs are the mean wall-clock
+	// nanoseconds per execution under each engine.
 	InterpNs  float64
 	ClosureNs float64
-	// Speedup is InterpNs / ClosureNs.
-	Speedup float64
+	SuperNs   float64
+	// Speedup is InterpNs / ClosureNs; SuperSpeedup is ClosureNs /
+	// SuperNs (the superblock engine's win over the plain closure
+	// backend — the PR 3 acceptance metric).
+	Speedup      float64
+	SuperSpeedup float64
 }
 
 // EngineKernel is one workload of the engine comparison corpus (shared
@@ -116,11 +120,11 @@ func (et *engineTimer) batch(iters int) (float64, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
 }
 
-// CompareEngines measures the interpreter-vs-closure wall-clock cost of
-// the comparison corpus on one µarch. Batches alternate between the two
-// engines and the fastest batch per engine is kept, so transient host
-// noise (frequency ramp-up, cache warmth, scheduling) cannot bias one
-// side.
+// CompareEngines measures the interp-vs-closure-vs-superblock wall-clock
+// cost of the comparison corpus on one µarch. Rounds interleave the
+// three engines and the fastest round per engine is kept, so transient
+// host noise (frequency ramp-up, cache warmth, scheduling) cannot bias
+// one side.
 func CompareEngines(march *isa.MicroArch) ([]EngineResult, error) {
 	const rounds = 5
 	var out []EngineResult
@@ -129,34 +133,31 @@ func CompareEngines(march *isa.MicroArch) ([]EngineResult, error) {
 		if k.Name != "tsi" {
 			iters = 1000
 		}
-		it, err := newEngineTimer(mcode.InterpEngine{}, k, march)
-		if err != nil {
-			return nil, fmt.Errorf("bench: engine interp/%s: %w", k.Name, err)
+		engines := []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}, mcode.SuperblockEngine{}}
+		timers := make([]*engineTimer, len(engines))
+		for i, eng := range engines {
+			et, err := newEngineTimer(eng, k, march)
+			if err != nil {
+				return nil, fmt.Errorf("bench: engine %s/%s: %w", eng.Name(), k.Name, err)
+			}
+			timers[i] = et
 		}
-		ct, err := newEngineTimer(mcode.ClosureEngine{}, k, march)
-		if err != nil {
-			return nil, fmt.Errorf("bench: engine closure/%s: %w", k.Name, err)
-		}
-		ins, cns := 0.0, 0.0
+		best := [3]float64{}
 		for r := 0; r < rounds; r++ {
-			in, err := it.batch(iters)
-			if err != nil {
-				return nil, fmt.Errorf("bench: engine interp/%s: %w", k.Name, err)
-			}
-			cn, err := ct.batch(iters)
-			if err != nil {
-				return nil, fmt.Errorf("bench: engine closure/%s: %w", k.Name, err)
-			}
-			if r == 0 || in < ins {
-				ins = in
-			}
-			if r == 0 || cn < cns {
-				cns = cn
+			for i, et := range timers {
+				ns, err := et.batch(iters)
+				if err != nil {
+					return nil, fmt.Errorf("bench: engine %s/%s: %w", engines[i].Name(), k.Name, err)
+				}
+				if r == 0 || ns < best[i] {
+					best[i] = ns
+				}
 			}
 		}
 		out = append(out, EngineResult{
-			Kernel: k.Name, Steps: it.steps,
-			InterpNs: ins, ClosureNs: cns, Speedup: ins / cns,
+			Kernel: k.Name, Steps: timers[0].steps,
+			InterpNs: best[0], ClosureNs: best[1], SuperNs: best[2],
+			Speedup: best[0] / best[1], SuperSpeedup: best[1] / best[2],
 		})
 	}
 	return out, nil

@@ -15,8 +15,11 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"threechains/internal/bitcode"
 	"threechains/internal/elfx"
@@ -47,12 +50,12 @@ type NodeSpec struct {
 	// MemBytes is the node heap size (0 = 16 MiB default).
 	MemBytes int
 	// Engine selects the node's execution backend by mcode registry name
-	// ("closure", "interp", "adaptive"; "" = mcode.DefaultEngine).
-	// Heterogeneous clusters may mix engines per node — a constrained DPU
-	// core can run a different backend than a wide host core, and
-	// "adaptive" starts each registration on the interpreter and promotes
-	// it to the closure artifact once observed traffic amortizes the
-	// compile. Engines never perturb virtual-time metrics (differentially
+	// ("superblock", "closure", "interp", "adaptive"; "" =
+	// mcode.DefaultEngine, the superblock backend). Heterogeneous
+	// clusters may mix engines per node — a constrained DPU core can run
+	// a different backend than a wide host core, and "adaptive" starts
+	// each registration on the interpreter and promotes it to the
+	// superblock artifact once observed traffic amortizes the compile. Engines never perturb virtual-time metrics (differentially
 	// tested), only host wall-clock speed. An unknown name panics in
 	// NewCluster (a deployment configuration bug).
 	Engine string
@@ -142,11 +145,11 @@ func (h *Handle) CodeSize(arch isa.Arch) int {
 type ExecObserver func(name, entry string, result uint64, when sim.Time)
 
 // pendingSend is an outbound message buffered during guest execution and
-// flushed when the execution's CPU time has elapsed.
+// flushed when the execution's CPU time has elapsed. The frame holds
+// exactly the transmitted bytes, in a pooled per-destination buffer.
 type pendingSend struct {
-	dst     int
-	frame   []byte
-	sentLen int
+	dst   int
+	frame []byte
 }
 
 // pendingPut is a guest-issued one-sided write, likewise buffered.
@@ -198,6 +201,14 @@ type Runtime struct {
 
 	handles map[string]*Handle
 	eps     []*ucx.Endpoint // lazily created endpoints per destination
+
+	// Zero-alloc send fast path: per-destination pools of frame buffers
+	// (recycled once the receiver is done with the bytes, via the
+	// per-destination release hook handed to ucx) and the interning
+	// table that deduplicates received code sections by content hash.
+	framePool  [][][]byte
+	frameRel   []ucx.FrameRelease
+	codeIntern map[uint64][]byte
 
 	heapKey  ucx.RKey   // this node's whole-heap window
 	heapKeys []ucx.RKey // everyone's windows (rkey exchange)
@@ -299,6 +310,39 @@ func (r *Runtime) ep(dst int) *ucx.Endpoint {
 		r.eps[dst] = r.Worker.Connect(r.Cluster.Runtimes[dst].Worker)
 	}
 	return r.eps[dst]
+}
+
+// getFrameBuf pops a recycled frame buffer for destination dst (zero
+// length, capacity from its previous use), or nil when the pool is
+// empty — AppendBuild then allocates, and the buffer enters the pool
+// when the receiver releases it.
+func (r *Runtime) getFrameBuf(dst int) []byte {
+	if r.framePool == nil {
+		r.framePool = make([][][]byte, len(r.Cluster.Runtimes))
+	}
+	p := r.framePool[dst]
+	if n := len(p); n > 0 {
+		b := p[n-1][:0]
+		r.framePool[dst] = p[:n-1]
+		return b
+	}
+	return nil
+}
+
+// frameRelease returns the (memoized, so sends stay allocation-free)
+// release hook that returns a frame buffer to dst's pool. It is invoked
+// by the receiving runtime once the frame bytes are dead; the simulation
+// is single-threaded, so the cross-runtime call needs no synchronization.
+func (r *Runtime) frameRelease(dst int) ucx.FrameRelease {
+	if r.frameRel == nil {
+		r.frameRel = make([]ucx.FrameRelease, len(r.Cluster.Runtimes))
+	}
+	if r.frameRel[dst] == nil {
+		r.frameRel[dst] = func(b []byte) {
+			r.framePool[dst] = append(r.framePool[dst], b)
+		}
+	}
+	return r.frameRel[dst]
 }
 
 // Mem implements ir.Env.
@@ -457,19 +501,22 @@ func (r *Runtime) Send(dst int, h *Handle, fn string, payload []byte) (*sim.Sign
 	if err != nil {
 		return nil, err
 	}
-	frame, sentLen, err := r.buildFrame(dst, h, entry, payload)
+	frame, err := r.buildFrame(dst, h, entry, payload)
 	if err != nil {
 		return nil, err
 	}
 	r.Stats.IfuncsSent++
-	return r.ep(dst).SendIfunc(frame[:sentLen]), nil
+	return r.ep(dst).SendIfuncPooled(frame, r.frameRelease(dst)), nil
 }
 
-// buildFrame constructs the full frame and decides the transmitted length
-// per the caching protocol.
-func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) ([]byte, int, error) {
+// buildFrame encodes exactly the bytes the caching protocol transmits —
+// the truncated form for cache hits (the code section is never even
+// copied), the full frame otherwise — into a pooled per-destination
+// buffer. The warm cached path allocates nothing: the buffer cycles back
+// through the release hook once the receiver has consumed it.
+func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) ([]byte, error) {
 	if len(payload) > payloadArena {
-		return nil, 0, fmt.Errorf("%w: %d bytes", ErrBadPayload, len(payload))
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadPayload, len(payload))
 	}
 	var code []byte
 	switch h.Kind {
@@ -479,7 +526,7 @@ func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) (
 		arch := r.Cluster.Runtimes[dst].Node.March.Triple.Arch
 		obj, ok := h.Objects[arch]
 		if !ok {
-			return nil, 0, fmt.Errorf("%w: %s for %s", ErrNoBinary, h.Name, arch)
+			return nil, fmt.Errorf("%w: %s for %s", ErrNoBinary, h.Name, arch)
 		}
 		code = obj
 	}
@@ -488,14 +535,14 @@ func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) (
 		Kind: h.Kind, NameHash: h.Hash, Entry: entry,
 		SrcNode: uint16(r.Node.ID), Seq: r.seq,
 	}
-	frame := ifunc.Build(hdr, payload, code)
+	buf := r.getFrameBuf(dst)
 	if r.Sent.Seen(dst, h.Hash) && !r.DisableSendCache {
 		r.Stats.TruncatedFrames++
-		return frame, ifunc.TruncatedLen(len(payload)), nil
+		return ifunc.AppendTruncated(buf, hdr, payload), nil
 	}
 	r.Sent.Mark(dst, h.Hash)
 	r.Stats.FullFrames++
-	return frame, len(frame), nil
+	return ifunc.AppendBuild(buf, hdr, payload, code), nil
 }
 
 // PredeployAM installs the module as an Active Message handler under
@@ -538,6 +585,9 @@ type frameGroup struct {
 	// drain, one registry lookup otherwise.
 	cost     sim.Time
 	payloads [][]byte
+	// frames retains the group's deliveries so their (sender-pooled)
+	// buffers can be released once the run has consumed the payloads.
+	frames []ucx.IfuncDelivery
 }
 
 // drainSink is the ifunc polling function: it receives every frame the
@@ -551,20 +601,54 @@ type frameGroup struct {
 // the paper's Tables IV-VI message rates are dominated by.
 //
 // Ordering contract: frames of one (type, entry) always execute in
-// arrival order, and groups run in order of their first frame's arrival,
-// but interleaved frames of *different* types within one drain are
-// reordered by the grouping (A1 B1 A2 runs as A1 A2 B1). Cooperating
-// ifunc types that need cross-type FIFO within a burst should pin
-// Worker.MaxDrain = 1, which restores strict per-message delivery.
+// arrival order, but interleaved frames of *different* types within one
+// drain are reordered by the grouping (A1 B1 A2 runs as A1 A2 B1), and
+// groups themselves run cheapest first — ordered by the registration's
+// measured mean steps per message (shortest-job-first, which minimizes
+// mean message latency within the drain), with ties and unmeasured types
+// in first-arrival order and never-executed types last (they also carry
+// the registration charge). Cooperating ifunc types that need cross-type
+// FIFO within a burst should pin Worker.MaxDrain = 1, which restores
+// strict per-message delivery (a one-frame drain has one group, so the
+// cost-aware order is vacuous on the paper-fidelity path).
 func (r *Runtime) drainSink(batch []ucx.IfuncDelivery) {
 	r.Stats.Drains++
-	for _, g := range r.groupFrames(batch) {
+	groups := r.groupFrames(batch)
+	orderGroupsByCost(groups)
+	for _, g := range groups {
 		g := g
 		r.Stats.GroupRuns++
 		r.Node.ExecCPU(g.cost, func() {
 			r.executeBatch(g.reg, g.entry, g.payloads)
 			r.releaseGroup(g)
 		})
+	}
+}
+
+// estSteps is the group's per-message cost estimate: the measured mean
+// dynamic step count of its registration. Types with no execution
+// history (including ones registered in this very drain) estimate as
+// +inf and run last.
+func (g *frameGroup) estSteps() float64 {
+	if g.reg.Executions == 0 {
+		return math.MaxFloat64
+	}
+	return float64(g.reg.TotalSteps) / float64(g.reg.Executions)
+}
+
+// orderGroupsByCost sorts a drain's groups cheapest-estimate first.
+// Insertion sort: drains hold a handful of groups, the sort is stable
+// (ties keep first-arrival order) and allocation-free.
+func orderGroupsByCost(groups []*frameGroup) {
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		e := g.estSteps()
+		j := i
+		for j > 0 && groups[j-1].estSteps() > e {
+			groups[j] = groups[j-1]
+			j--
+		}
+		groups[j] = g
 	}
 }
 
@@ -575,13 +659,21 @@ func (r *Runtime) drainSink(batch []ucx.IfuncDelivery) {
 // drains; the group objects stay live until their run dispatches.
 func (r *Runtime) groupFrames(batch []ucx.IfuncDelivery) []*frameGroup {
 	r.groups = r.groups[:0]
+	// One stack frame struct decodes every delivery in place (ParseInto):
+	// the warm decode stage allocates nothing.
+	var f ifunc.Frame
+	drop := func(i int, err error) {
+		r.Stats.DroppedFrames++
+		r.LastDropErr = err
+		if batch[i].Release != nil {
+			batch[i].Release(batch[i].Frame)
+		}
+	}
 	for i := range batch {
-		f, err := ifunc.Parse(batch[i].Frame)
-		if err != nil {
+		if err := f.ParseInto(batch[i].Frame); err != nil {
 			// Malformed frames are dropped and counted; a production
 			// runtime would log them.
-			r.Stats.DroppedFrames++
-			r.LastDropErr = err
+			drop(i, err)
 			continue
 		}
 		// Batches are a handful of frames of very few types, so a linear
@@ -590,6 +682,7 @@ func (r *Runtime) groupFrames(batch []ucx.IfuncDelivery) []*frameGroup {
 		for _, g := range r.groups {
 			if g.reg.Hash == f.NameHash && g.entry == f.Entry {
 				g.payloads = append(g.payloads, f.Payload)
+				g.frames = append(g.frames, batch[i])
 				joined = true
 				break
 			}
@@ -604,20 +697,20 @@ func (r *Runtime) groupFrames(batch []ucx.IfuncDelivery) []*frameGroup {
 				// Truncated frame for an unknown type: protocol violation
 				// (sender cache out of sync, e.g. after local
 				// deregistration).
-				r.Stats.DroppedFrames++
-				r.LastDropErr = fmt.Errorf("%w: type %016x", ErrNotRunnable, f.NameHash)
+				drop(i, fmt.Errorf("%w: type %016x", ErrNotRunnable, f.NameHash))
 				continue
 			}
-			reg, cost, err = r.registerFromWire(f)
+			var err error
+			reg, cost, err = r.registerFromWire(&f)
 			if err != nil {
-				r.Stats.DroppedFrames++
-				r.LastDropErr = err
+				drop(i, err)
 				continue
 			}
 		}
 		g := r.acquireGroup()
 		g.reg, g.entry, g.cost = reg, f.Entry, cost
 		g.payloads = append(g.payloads, f.Payload)
+		g.frames = append(g.frames, batch[i])
 		r.groups = append(r.groups, g)
 	}
 	return r.groups
@@ -633,23 +726,52 @@ func (r *Runtime) acquireGroup() *frameGroup {
 	return &frameGroup{}
 }
 
-// releaseGroup returns a dispatched group to the pool, dropping its
-// frame references so a burst's payload buffers (and the code sections
-// they share backing arrays with) do not stay pinned by pool capacity.
+// releaseGroup returns a dispatched group to the pool, releasing the
+// consumed frame buffers back to their sender pools and dropping all
+// frame references so a burst's buffers do not stay pinned by pool
+// capacity.
 func (r *Runtime) releaseGroup(g *frameGroup) {
 	g.reg = nil
 	for i := range g.payloads {
 		g.payloads[i] = nil
 	}
 	g.payloads = g.payloads[:0]
+	for i := range g.frames {
+		if g.frames[i].Release != nil {
+			g.frames[i].Release(g.frames[i].Frame)
+		}
+		g.frames[i] = ucx.IfuncDelivery{}
+	}
+	g.frames = g.frames[:0]
 	r.groupPool = append(r.groupPool, g)
+}
+
+// internCode returns a stable, runtime-owned copy of a wire code
+// section, deduplicated by content hash: the copy out of the (recycled)
+// frame buffer is paid once per distinct module on this node, not once
+// per full-frame registration — re-registrations after deregistration
+// and identical modules under different type names share one buffer.
+// Hash collisions degrade to a fresh copy (never to wrong code).
+func (r *Runtime) internCode(wire []byte) []byte {
+	h := fnv.New64a()
+	h.Write(wire)
+	sum := h.Sum64()
+	if c, ok := r.codeIntern[sum]; ok && bytes.Equal(c, wire) {
+		return c
+	}
+	c := append([]byte(nil), wire...)
+	if r.codeIntern == nil {
+		r.codeIntern = make(map[uint64][]byte)
+	}
+	r.codeIntern[sum] = c
+	return c
 }
 
 // registerFromWire registers an unseen ifunc type from a full frame,
 // returning the registration and the virtual time the registration step
 // costs (JIT compile for bitcode, load+GOT-patch for binary).
 func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Time, error) {
-	code := append([]byte(nil), f.Code...)
+	code := r.internCode(f.Code)
 	reg := &ifunc.Registration{
 		Name:      fmt.Sprintf("wire-%016x", f.NameHash),
 		Hash:      f.NameHash,
@@ -794,6 +916,7 @@ func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [
 	r.current = nil
 
 	reg.Executions += uint64(n)
+	reg.TotalSteps += uint64(ma.Steps())
 	r.Stats.Executions += uint64(n)
 	for k := 0; k < ran; k++ {
 		if out[k].Err != nil {
@@ -837,7 +960,7 @@ func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [
 		for _, ps := range sends {
 			r.Stats.IfuncsSent++
 			r.Stats.GuestSends++
-			r.ep(ps.dst).SendIfunc(ps.frame[:ps.sentLen])
+			r.ep(ps.dst).SendIfuncPooled(ps.frame, r.frameRelease(ps.dst))
 		}
 		for _, pa := range ams {
 			r.Stats.IfuncsSent++

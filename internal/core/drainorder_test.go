@@ -1,0 +1,161 @@
+package core
+
+// Tests for the cost-aware group ordering in Runtime.drainSink: within
+// one drain, groups run cheapest-measured-mean-steps first; the
+// paper-fidelity MaxDrain=1 path keeps strict arrival order.
+
+import (
+	"fmt"
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/sim"
+)
+
+// buildHeavyLoop returns an ifunc that spins a counted loop of iters
+// before bumping the target counter — a message type whose measured mean
+// steps dwarf TSI's.
+func buildHeavyLoop(iters int64) *ir.Module {
+	m := ir.NewModule("heavyloop")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	i := b.Alloca(8)
+	b.Store(ir.I64, b.Const64(0), i, 0)
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	iv := b.Load(ir.I64, i, 0)
+	b.CondBr(b.ICmp(ir.PredSLT, iv, b.Const64(iters)), body, exit)
+	b.SetBlock(body)
+	b.Store(ir.I64, b.Add(iv, b.Const64(1)), i, 0)
+	b.Br(head)
+	b.SetBlock(exit)
+	old := b.Load(ir.I64, b.Param(2), 0)
+	b.Store(ir.I64, b.Add(old, b.Const64(1)), b.Param(2), 0)
+	b.Ret(old)
+	return m
+}
+
+// orderWorld warms a two-node cluster with one cheap (TSI) and one heavy
+// (long loop) type so both registrations carry measured mean steps, then
+// returns everything needed to observe a burst's execution order.
+func orderWorld(t *testing.T) (c *Cluster, src, dst *Runtime, hCheap, hHeavy *Handle) {
+	t.Helper()
+	c = twoNodes()
+	src, dst = c.Runtime(0), c.Runtime(1)
+	counter := dst.Node.Alloc(8)
+	dst.TargetPtr = counter
+
+	var err error
+	hCheap, err = src.RegisterBitcode("cheap-tsi", BuildTSI(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hHeavy, err = src.RegisterBitcode("heavy-loop", buildHeavyLoop(400), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*Handle{hCheap, hHeavy} {
+		if _, err := src.Send(1, h, "main", []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run()
+	if dst.LastExecErr != nil {
+		t.Fatal(dst.LastExecErr)
+	}
+	return c, src, dst, hCheap, hHeavy
+}
+
+func wireName(h *Handle) string { return fmt.Sprintf("wire-%016x", h.Hash) }
+
+// TestDrainCostAwareOrder posts heavy-then-cheap into one drain and
+// checks the cheap group executes first: shortest-job-first on the
+// measured mean steps, independent of arrival order.
+func TestDrainCostAwareOrder(t *testing.T) {
+	c, src, dst, hCheap, hHeavy := orderWorld(t)
+
+	var order []string
+	dst.Observer = func(name, entry string, result uint64, when sim.Time) {
+		order = append(order, name)
+	}
+	drains := dst.Stats.Drains
+	// Park the receiver core so both frames queue and drain together.
+	dst.Node.ExecCPU(50*sim.Microsecond, func() {})
+	if _, err := src.Send(1, hHeavy, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Send(1, hCheap, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+
+	if got := dst.Stats.Drains - drains; got != 1 {
+		t.Fatalf("burst took %d drains, want 1 (frames did not batch)", got)
+	}
+	want := []string{wireName(hCheap), wireName(hHeavy)}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want cheap before heavy %v", order, want)
+	}
+}
+
+// TestDrainMaxDrain1KeepsArrivalOrder pins the paper-fidelity path:
+// with MaxDrain=1 every drain carries one frame, so cost-aware ordering
+// never reorders and strict per-message FIFO is preserved.
+func TestDrainMaxDrain1KeepsArrivalOrder(t *testing.T) {
+	c, src, dst, hCheap, hHeavy := orderWorld(t)
+	dst.Worker.MaxDrain = 1
+
+	var order []string
+	dst.Observer = func(name, entry string, result uint64, when sim.Time) {
+		order = append(order, name)
+	}
+	drains := dst.Stats.Drains
+	dst.Node.ExecCPU(50*sim.Microsecond, func() {})
+	if _, err := src.Send(1, hHeavy, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Send(1, hCheap, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+
+	if got := dst.Stats.Drains - drains; got != 2 {
+		t.Fatalf("burst took %d drains, want 2 under MaxDrain=1", got)
+	}
+	want := []string{wireName(hHeavy), wireName(hCheap)}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want arrival order %v", order, want)
+	}
+}
+
+// TestDrainOrderUnmeasuredLast checks a type with no execution history
+// (registered in the same drain) runs after a measured cheap type, since
+// it also carries the registration charge.
+func TestDrainOrderUnmeasuredLast(t *testing.T) {
+	c, src, dst, hCheap, _ := orderWorld(t)
+
+	hNew, err := src.RegisterBitcode("new-type", buildHeavyLoop(10), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	dst.Observer = func(name, entry string, result uint64, when sim.Time) {
+		order = append(order, name)
+	}
+	dst.Node.ExecCPU(50*sim.Microsecond, func() {})
+	if _, err := src.Send(1, hNew, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Send(1, hCheap, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+
+	want := []string{wireName(hCheap), wireName(hNew)}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want measured-cheap first %v", order, want)
+	}
+}

@@ -130,22 +130,27 @@ func (r *Runtime) guestSendSelf(dst int, entry uint16, payloadPtr, payloadLen ui
 				ErrNoBinary, r.Node.March.Triple.Arch, dstArch)
 		}
 	}
-	payload := append([]byte(nil), mem[payloadPtr:payloadPtr+payloadLen]...)
+	// The frame is encoded (and the payload snapshotted out of node
+	// memory) at send_self time, directly into a pooled buffer: the
+	// caching protocol decides the encoded form up front, so a cached
+	// forward never copies the code section at all.
+	payload := mem[payloadPtr : payloadPtr+payloadLen]
 	r.seq++
 	hdr := ifunc.Header{
 		Kind: reg.Kind, NameHash: reg.Hash, Entry: entry,
 		SrcNode: uint16(r.Node.ID), Seq: r.seq,
 	}
-	frame := ifunc.Build(hdr, payload, reg.CodeBytes)
-	sentLen := len(frame)
+	buf := r.getFrameBuf(dst)
+	var frame []byte
 	if r.Sent.Seen(dst, reg.Hash) && !r.DisableSendCache {
-		sentLen = ifunc.TruncatedLen(len(payload))
+		frame = ifunc.AppendTruncated(buf, hdr, payload)
 		r.Stats.TruncatedFrames++
 	} else {
 		r.Sent.Mark(dst, reg.Hash)
+		frame = ifunc.AppendBuild(buf, hdr, payload, reg.CodeBytes)
 		r.Stats.FullFrames++
 	}
-	r.pendingSends = append(r.pendingSends, pendingSend{dst: dst, frame: frame, sentLen: sentLen})
+	r.pendingSends = append(r.pendingSends, pendingSend{dst: dst, frame: frame})
 	return 0, nil
 }
 

@@ -93,20 +93,41 @@ func NameHash(name string) uint64 {
 // Build constructs the full frame bytes. Senders keep this buffer and
 // transmit either all of it or just the truncated prefix (TruncatedLen).
 func Build(h Header, payload, code []byte) []byte {
+	return AppendBuild(nil, h, payload, code)
+}
+
+// AppendBuild appends the full frame encoding to dst and returns the
+// extended slice — the allocation-free form of Build for senders that
+// recycle frame buffers (pass dst with spare capacity, typically
+// buf[:0] of a pooled buffer).
+func AppendBuild(dst []byte, h Header, payload, code []byte) []byte {
+	dst = appendTruncated(dst, h, payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(code)))
+	dst = append(dst, code...)
+	dst = append(dst, Magic2)
+	return dst
+}
+
+// AppendTruncated appends the truncated (cache-hit) frame encoding —
+// header, payload, MAGIC1, no code section — to dst and returns the
+// extended slice. Cached-path senders use it to skip copying the code
+// section entirely: the transmitted bytes are identical to the leading
+// TruncatedLen bytes of the full frame.
+func AppendTruncated(dst []byte, h Header, payload []byte) []byte {
+	return appendTruncated(dst, h, payload)
+}
+
+func appendTruncated(dst []byte, h Header, payload []byte) []byte {
 	h.PayloadLen = uint32(len(payload))
-	buf := make([]byte, 0, HeaderLen+len(payload)+1+4+len(code)+1)
-	buf = append(buf, Magic0, byte(h.Kind), h.Version, 0)
-	buf = binary.LittleEndian.AppendUint64(buf, h.NameHash)
-	buf = binary.LittleEndian.AppendUint16(buf, h.Entry)
-	buf = binary.LittleEndian.AppendUint16(buf, h.SrcNode)
-	buf = binary.LittleEndian.AppendUint32(buf, h.Seq)
-	buf = binary.LittleEndian.AppendUint32(buf, h.PayloadLen)
-	buf = append(buf, payload...)
-	buf = append(buf, Magic1)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(code)))
-	buf = append(buf, code...)
-	buf = append(buf, Magic2)
-	return buf
+	dst = append(dst, Magic0, byte(h.Kind), h.Version, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, h.NameHash)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Entry)
+	dst = binary.LittleEndian.AppendUint16(dst, h.SrcNode)
+	dst = binary.LittleEndian.AppendUint32(dst, h.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, h.PayloadLen)
+	dst = append(dst, payload...)
+	dst = append(dst, Magic1)
+	return dst
 }
 
 // TruncatedLen returns how many bytes of a full frame the sender
@@ -122,16 +143,28 @@ func FullLen(payloadLen, codeLen int) int {
 // Parse decodes a frame (full or truncated). The returned frame aliases
 // data; callers that retain it must copy.
 func Parse(data []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := f.ParseInto(data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseInto decodes a frame (full or truncated) into f in place,
+// overwriting every field — the allocation-free form of Parse for
+// receivers that reuse one Frame per polling loop. The parsed frame
+// aliases data; callers that retain payload or code must copy.
+func (f *Frame) ParseInto(data []byte) error {
+	f.Payload, f.Code = nil, nil
 	if len(data) < HeaderLen+1 {
-		return nil, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(data))
+		return fmt.Errorf("%w: %d bytes", ErrShortFrame, len(data))
 	}
 	if data[0] != Magic0 {
-		return nil, fmt.Errorf("%w: bad start magic %#x", ErrBadFrame, data[0])
+		return fmt.Errorf("%w: bad start magic %#x", ErrBadFrame, data[0])
 	}
-	var f Frame
 	f.Kind = CodeKind(data[1])
 	if f.Kind != KindBitcode && f.Kind != KindBinary {
-		return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, data[1])
+		return fmt.Errorf("%w: kind %d", ErrBadFrame, data[1])
 	}
 	f.Version = data[2]
 	f.NameHash = binary.LittleEndian.Uint64(data[4:])
@@ -142,28 +175,28 @@ func Parse(data []byte) (*Frame, error) {
 
 	pEnd := HeaderLen + int(f.PayloadLen)
 	if pEnd+1 > len(data) {
-		return nil, fmt.Errorf("%w: payload %d exceeds frame %d", ErrBadFrame, f.PayloadLen, len(data))
+		return fmt.Errorf("%w: payload %d exceeds frame %d", ErrBadFrame, f.PayloadLen, len(data))
+	}
+	if data[pEnd] != Magic1 {
+		return fmt.Errorf("%w: bad separator magic %#x", ErrBadFrame, data[pEnd])
 	}
 	f.Payload = data[HeaderLen:pEnd]
-	if data[pEnd] != Magic1 {
-		return nil, fmt.Errorf("%w: bad separator magic %#x", ErrBadFrame, data[pEnd])
-	}
 	if len(data) == pEnd+1 {
 		// Truncated frame: code elided by the caching protocol.
-		return &f, nil
+		return nil
 	}
 	if pEnd+5 > len(data) {
-		return nil, fmt.Errorf("%w: dangling code length", ErrBadFrame)
+		return fmt.Errorf("%w: dangling code length", ErrBadFrame)
 	}
 	codeLen := binary.LittleEndian.Uint32(data[pEnd+1:])
 	cStart := pEnd + 5
 	cEnd := cStart + int(codeLen)
 	if cEnd+1 != len(data) {
-		return nil, fmt.Errorf("%w: code %d bytes does not fill frame %d", ErrBadFrame, codeLen, len(data))
+		return fmt.Errorf("%w: code %d bytes does not fill frame %d", ErrBadFrame, codeLen, len(data))
 	}
 	if data[cEnd] != Magic2 {
-		return nil, fmt.Errorf("%w: bad trailer magic %#x", ErrBadFrame, data[cEnd])
+		return fmt.Errorf("%w: bad trailer magic %#x", ErrBadFrame, data[cEnd])
 	}
 	f.Code = data[cStart:cEnd]
-	return &f, nil
+	return nil
 }

@@ -27,6 +27,11 @@ type Registration struct {
 	EntryNames []string
 	// Executions counts invocations on this node.
 	Executions uint64
+	// TotalSteps accumulates the dynamic machine instructions those
+	// invocations executed; TotalSteps/Executions is the measured mean
+	// cost of one message of this type, which the runtime's cost-aware
+	// drain ordering uses to run cheap groups first.
+	TotalSteps uint64
 	// Machine is the reusable execution context the runtime binds to this
 	// registration on first execution. Reusing it (with its pooled
 	// register files) keeps the per-message hot path allocation-free;

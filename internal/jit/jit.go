@@ -65,9 +65,12 @@ type Session struct {
 	// OptLevel is the optimization pipeline applied before lowering.
 	OptLevel passes.Level
 	// Engine is the execution backend artifacts are compiled for
-	// (mcode.DefaultEngine unless the node selects otherwise). Set it
-	// before the first Compile/LoadBinary; cached artifacts are not
-	// recompiled on change.
+	// (mcode.DefaultEngine — the superblock backend — unless the node
+	// selects otherwise). Set it before the first Compile/LoadBinary;
+	// cached artifacts are not recompiled on change. The engine artifact
+	// (Compiled.Art) is cached alongside the lowered module, so the
+	// superblock form of a module is built once per node and shared by
+	// every registration that resolves to the same content hash.
 	Engine mcode.Engine
 
 	cache map[string]*Compiled

@@ -2,9 +2,9 @@ package mcode
 
 // AdaptiveEngine is the traffic-driven execution backend: modules start
 // on the reference interpreter (zero prepare cost — right for types that
-// execute a handful of times) and are promoted to the closure-compiled
-// artifact once observed traffic shows the one-time closure compilation
-// will amortize. This is the per-node heterogeneous choice the paper's
+// execute a handful of times) and are promoted to the superblock-compiled
+// artifact (the fastest backend) once observed traffic shows the one-time
+// compilation will amortize. This is the per-node heterogeneous choice the paper's
 // model motivates: a node that sees two messages of a type should not pay
 // threaded-code compilation for it, while a node sustaining the Tables
 // IV-VI message rates should not interpret.
@@ -17,7 +17,7 @@ package mcode
 // speed changes (asserted by the engine differential tests).
 type AdaptiveEngine struct {
 	// Threshold is the execution count at which a module is promoted to
-	// the closure artifact; 0 means DefaultAdaptiveThreshold.
+	// the superblock artifact; 0 means DefaultAdaptiveThreshold.
 	Threshold uint64
 }
 
@@ -44,8 +44,8 @@ func (e AdaptiveEngine) Prepare(cm *CompiledModule) (Artifact, error) {
 }
 
 // adaptiveArtifact delegates to the interpreter until promoted, then to
-// the closure artifact. Execution is single-threaded per simulation, so
-// the counter needs no synchronization.
+// the superblock artifact. Execution is single-threaded per simulation,
+// so the counter needs no synchronization.
 type adaptiveArtifact struct {
 	cm   *CompiledModule
 	cold interpArtifact
@@ -70,7 +70,7 @@ func (a *adaptiveArtifact) observe(n uint64) {
 	if a.hot != nil || a.promoteFailed || a.execs < a.threshold {
 		return
 	}
-	art, err := ClosureEngine{}.Prepare(a.cm)
+	art, err := SuperblockEngine{}.Prepare(a.cm)
 	if err != nil {
 		a.promoteFailed = true
 		return

@@ -23,11 +23,22 @@ func (ClosureEngine) Name() string { return EngineNameClosure }
 
 // Prepare implements Engine.
 func (ClosureEngine) Prepare(cm *CompiledModule) (Artifact, error) {
-	a := &closureArtifact{cm: cm, progs: make([]*cprog, len(cm.Funcs))}
+	return prepareClosureArtifact(cm, false)
+}
+
+// prepareClosureArtifact compiles the module for the closure backend; in
+// superblock mode (superblock.go) blocks are merged into extended basic
+// blocks and the widened fusion set applies.
+func prepareClosureArtifact(cm *CompiledModule, super bool) (Artifact, error) {
+	kind := EngineNameClosure
+	if super {
+		kind = EngineNameSuperblock
+	}
+	a := &closureArtifact{cm: cm, super: super, progs: make([]*cprog, len(cm.Funcs))}
 	for i, p := range cm.Funcs {
 		cp, err := a.compileProg(p)
 		if err != nil {
-			return nil, fmt.Errorf("mcode: closure-compile %s.%s: %w", cm.Name, p.Name, err)
+			return nil, fmt.Errorf("mcode: %s-compile %s.%s: %w", kind, cm.Name, p.Name, err)
 		}
 		a.progs[i] = cp
 	}
@@ -83,19 +94,52 @@ type cprog struct {
 	// prog is the lowered source the blocks were compiled from, kept for
 	// the exact-abort interpreter fallback.
 	prog *Program
+	// fast marks a single-block, ret-terminated function (superblock
+	// mode): the activation runs through callFast, which skips the
+	// trampoline loop entirely — the dominant shape of tiny message
+	// kernels like TSI.
+	fast bool
+	// direct, when non-nil, is the whole-function superinstruction
+	// (superblock mode, compileDirectRMW): it executes the entire
+	// activation without a frame or register file. It handles only the
+	// happy path — before any state is mutated it bails out (ok=false)
+	// on budget or bounds deviations, and the activation re-runs through
+	// the ordinary chain, which reproduces aborts and faults with exact
+	// accounting.
+	direct func(ma *Machine, args []uint64) (v uint64, err error, ok bool)
 }
 
-// closureArtifact is a module compiled by ClosureEngine.
+// closureArtifact is a module compiled by ClosureEngine — or, with super
+// set, by SuperblockEngine, which shares the whole execution machinery
+// and differs only in how blocks are formed and fused (superblock.go).
 type closureArtifact struct {
 	cm    *CompiledModule
 	progs []*cprog
+	super bool
+	// merged and loops count multi-segment superblocks and native
+	// self-loops formed at compile time (SuperblockStats).
+	merged, loops int
 }
 
 // Module implements Artifact.
 func (a *closureArtifact) Module() *CompiledModule { return a.cm }
 
 func (a *closureArtifact) run(ma *Machine, fi int, args []uint64) (uint64, error) {
-	return a.call(ma, a.progs[fi], args)
+	return a.invoke(ma, a.progs[fi], args)
+}
+
+// invoke dispatches one activation through the trampoline or, for
+// single-block ret-terminated functions, the fast paths.
+func (a *closureArtifact) invoke(ma *Machine, cp *cprog, args []uint64) (uint64, error) {
+	if cp.direct != nil {
+		if v, err, ok := cp.direct(ma, args); ok {
+			return v, err
+		}
+	}
+	if cp.fast {
+		return a.callFast(ma, cp, args)
+	}
+	return a.call(ma, cp, args)
 }
 
 // runBatch is the native batched entry: the block graph, frame pool and
@@ -110,7 +154,7 @@ func (a *closureArtifact) runBatch(ma *Machine, fi int, argvs [][]uint64, out []
 	for i, argv := range argvs {
 		start := ma.steps
 		ma.Limits.MaxSteps = start + budget
-		v, err := a.call(ma, cp, argv)
+		v, err := a.invoke(ma, cp, argv)
 		out[i] = BatchResult{Value: v, Steps: ma.steps - start, Err: err}
 	}
 	ma.Limits.MaxSteps = budget
@@ -199,6 +243,37 @@ func (a *closureArtifact) call(ma *Machine, cp *cprog, args []uint64) (uint64, e
 			break
 		}
 		blk = nblk
+	}
+	ma.sp = frameSP
+	ma.putFrame(f)
+	return v, err
+}
+
+// callFast runs one activation of a single-block, ret-terminated
+// function: the block chain can only end the activation (there is no
+// other block a transfer could reach), so the trampoline loop collapses
+// to one pre-charge, one chain call and one delta retirement. The
+// exact-abort contract is identical to call's.
+func (a *closureArtifact) callFast(ma *Machine, cp *cprog, args []uint64) (uint64, error) {
+	f := ma.getFrame()
+	f.ma, f.art = ma, a
+	f.regs = f.frameRegs(cp.numRegs, args)
+	f.mem = ma.Env.Mem()
+	f.counts = &ma.Counts
+	frameSP := ma.sp
+
+	blk := &cp.blocks[0]
+	var v uint64
+	var err error
+	ma.steps += blk.steps
+	if ma.steps > ma.Limits.MaxSteps {
+		ma.steps -= blk.steps
+		v, err = ma.execFrom(cp.prog, f.regs, blk.start)
+	} else if _, err = blk.run(f); err == nil {
+		for _, d := range blk.deltas {
+			f.counts[d.op] += d.n
+		}
+		v = f.ret
 	}
 	ma.sp = frameSP
 	ma.putFrame(f)
@@ -360,7 +435,19 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 		}
 		return &cp.blocks[blockOf[pc]]
 	}
+	if a.super && nblocks == 1 && code[len(code)-1].Op == MRet {
+		cp.fast = true
+		cp.direct = compileDirectRMW(p)
+	}
 	for b := range starts {
+		if a.super {
+			blk, err := a.compileSuper(p, b, starts, blockOf, tgt, &cp.blocks[b])
+			if err != nil {
+				return nil, err
+			}
+			cp.blocks[b] = blk
+			continue
+		}
 		start := starts[b]
 		end := len(code)
 		if b+1 < len(starts) {
@@ -998,7 +1085,7 @@ func (a *closureArtifact) compileInstr(in *MInstr, next bclosure, fx *faultFix) 
 			return nil, fmt.Errorf("local callee %d out of range", callee)
 		}
 		return func(f *cframe) (*cblock, error) {
-			v, err := f.art.call(f.ma, f.art.progs[callee], f.regs[base:base+cnt])
+			v, err := f.art.invoke(f.ma, f.art.progs[callee], f.regs[base:base+cnt])
 			if err != nil {
 				return fx.fail(f, err)
 			}

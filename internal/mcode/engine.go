@@ -13,17 +13,25 @@ import (
 // execution, so the per-µarch backend must be swappable — a wimpy DPU
 // core and a wide host core may want different execution strategies.
 //
-// Three engines ship today:
+// Four engines ship today:
 //
 //   - InterpEngine ("interp"): the reference giant-switch interpreter.
 //     Zero prepare cost, highest per-step cost. The semantic oracle.
 //   - ClosureEngine ("closure"): pre-compiles every instruction into a
 //     Go closure with registers, immediates and branch targets resolved
 //     at prepare time (threaded-code style), batching step/op-count
-//     accounting per basic block. Default engine.
+//     accounting per basic block.
+//   - SuperblockEngine ("superblock"): the closure backend with blocks
+//     merged into extended basic blocks at prepare time — unconditional
+//     chains flattened, self-loops run as native Go loops, and a widened
+//     superinstruction fusion set (load+op+store, read-modify-write,
+//     store-to-load forwarding, compare+branch and counted-loop
+//     back-edge tails). Amortizes dispatch *within* one activation.
+//     Default engine (superblock.go).
 //   - AdaptiveEngine ("adaptive"): starts every module on the
-//     interpreter and promotes it to the closure artifact once observed
-//     traffic crosses the compile-amortization threshold (adaptive.go).
+//     interpreter and promotes it to the superblock artifact once
+//     observed traffic crosses the compile-amortization threshold
+//     (adaptive.go).
 //
 // All engines produce bit-identical results, dynamic operation counts,
 // step totals, memory effects and errors — including on ir.ErrMaxSteps
@@ -67,19 +75,21 @@ type Artifact interface {
 
 // Engine registry names.
 const (
-	EngineNameInterp   = "interp"
-	EngineNameClosure  = "closure"
-	EngineNameAdaptive = "adaptive"
+	EngineNameInterp     = "interp"
+	EngineNameClosure    = "closure"
+	EngineNameSuperblock = "superblock"
+	EngineNameAdaptive   = "adaptive"
 )
 
 // DefaultEngine executes modules when no engine is selected explicitly.
-// The closure engine wins on every measured workload (see
-// BenchmarkEngineInterpVsClosure), so it is the default.
-var DefaultEngine Engine = ClosureEngine{}
+// The superblock engine wins on every measured workload (see
+// BenchmarkEngineInterpVsClosure and BENCH_engines.json), so it is the
+// default.
+var DefaultEngine Engine = SuperblockEngine{}
 
 // EngineNames lists the registered engine names.
 func EngineNames() []string {
-	return []string{EngineNameClosure, EngineNameInterp, EngineNameAdaptive}
+	return []string{EngineNameSuperblock, EngineNameClosure, EngineNameInterp, EngineNameAdaptive}
 }
 
 // EngineByName resolves an engine registry name. The empty string picks
@@ -90,6 +100,8 @@ func EngineByName(name string) (Engine, error) {
 		return DefaultEngine, nil
 	case EngineNameClosure:
 		return ClosureEngine{}, nil
+	case EngineNameSuperblock:
+		return SuperblockEngine{}, nil
 	case EngineNameInterp:
 		return InterpEngine{}, nil
 	case EngineNameAdaptive:

@@ -208,6 +208,7 @@ func enginesUnderTest() []struct {
 		eng   mcode.Engine
 	}{
 		{"closure", mcode.ClosureEngine{}},
+		{"superblock", mcode.SuperblockEngine{}},
 		{"adaptive-cold", mcode.AdaptiveEngine{}},
 		{"adaptive-hot", mcode.AdaptiveEngine{Threshold: 1}},
 	}
@@ -412,7 +413,7 @@ func TestEngineByName(t *testing.T) {
 func TestEngineMachineReuseAllocFree(t *testing.T) {
 	// The adaptive engine uses threshold 1 so promotion (a one-time
 	// compile) happens during warm-up, outside the measured window.
-	for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.InterpEngine{}, mcode.AdaptiveEngine{Threshold: 1}} {
+	for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.SuperblockEngine{}, mcode.InterpEngine{}, mcode.AdaptiveEngine{Threshold: 1}} {
 		t.Run(eng.Name(), func(t *testing.T) {
 			cm, err := mcode.Lower(core.BuildTSI(), isa.XeonE5())
 			if err != nil {
@@ -452,7 +453,7 @@ func TestEnginePastEndBranch(t *testing.T) {
 		}},
 	}
 	var errs []string
-	for _, eng := range []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}} {
+	for _, eng := range []mcode.Engine{mcode.InterpEngine{}, mcode.ClosureEngine{}, mcode.SuperblockEngine{}} {
 		env := ir.NewSimpleEnv(1 << 12)
 		ma, err := mcode.NewMachineFor(eng, cm, env, nil, ir.ExecLimits{})
 		if err != nil {
@@ -467,7 +468,9 @@ func TestEnginePastEndBranch(t *testing.T) {
 		}
 		errs = append(errs, err.Error())
 	}
-	if errs[0] != errs[1] {
-		t.Errorf("error text diverges:\n interp:  %s\n closure: %s", errs[0], errs[1])
+	for i := 1; i < len(errs); i++ {
+		if errs[0] != errs[i] {
+			t.Errorf("error text diverges:\n interp: %s\n other:  %s", errs[0], errs[i])
+		}
 	}
 }

@@ -118,11 +118,16 @@ func (ma *Machine) Steps() int64 { return ma.steps }
 
 // EngineName reports which engine's artifact the machine executes.
 func (ma *Machine) EngineName() string {
-	switch ma.art.(type) {
+	switch art := ma.art.(type) {
 	case interpArtifact:
 		return EngineNameInterp
 	case *adaptiveArtifact:
 		return EngineNameAdaptive
+	case *closureArtifact:
+		if art.super {
+			return EngineNameSuperblock
+		}
+		return EngineNameClosure
 	default:
 		return EngineNameClosure
 	}

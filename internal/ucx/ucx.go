@@ -70,11 +70,25 @@ func NewContext(net *fabric.Network) *Context { return &Context{Net: net} }
 // header is the sender-chosen 64-bit immediate; data is the payload.
 type AMHandler func(src *Endpoint, header uint64, data []byte)
 
+// FrameRelease returns a frame buffer to its sender-side pool once the
+// receiver is completely done with the bytes (payload staged, code
+// copied). In this single-process simulation the release is a direct
+// call back into the sender's runtime; a real transport would recycle
+// its registered send buffers at the matching completion event.
+type FrameRelease func(frame []byte)
+
 // IfuncDelivery is one ifunc frame handed to the polling drain: the raw
 // frame bytes plus the originating worker/node id.
 type IfuncDelivery struct {
 	SrcNode int
 	Frame   []byte
+
+	// Release, when non-nil, must be called by the drain consumer once
+	// Frame's bytes are dead (payloads staged into node memory, code
+	// sections copied): the buffer returns to the sender's pool. Not
+	// calling it is safe — the buffer is simply garbage collected — but
+	// defeats the zero-allocation send path.
+	Release FrameRelease
 
 	// done fires with a Status once the frame has been handed to the
 	// drain (transport-level completion, owned by the worker).
@@ -87,6 +101,13 @@ type IfuncDelivery struct {
 // amortizes the fixed poll cost over message bursts: the batch is
 // charged one IfuncPoll plus a per-frame pickup cost (RecvOverhead)
 // before the drain is invoked, instead of IfuncPoll per frame.
+//
+// The batch slice is only valid for the duration of the call: the worker
+// may recycle its backing array once the drain returns (the
+// allocation-free steady state of the polling loop). Consumers that
+// defer work must copy the IfuncDelivery values they retain — the frame
+// bytes themselves stay valid until the consumer invokes the delivery's
+// Release hook.
 type IfuncDrain func(batch []IfuncDelivery)
 
 // memRegion is a registered memory window.
@@ -115,8 +136,12 @@ type Worker struct {
 
 	// ifuncQ buffers frames written into the node's message buffer by
 	// the NIC until the polling loop picks them up; pollPending is set
-	// while a poll wakeup is scheduled on the node core.
+	// while a poll wakeup is scheduled on the node core. qFree recycles
+	// the backing arrays of fully drained queues once their batch has
+	// been consumed, keeping the steady-state polling loop
+	// allocation-free.
 	ifuncQ      []IfuncDelivery
+	qFree       [][]IfuncDelivery
 	pollPending bool
 
 	// AMDispatch is the extra CPU cost of dispatching an AM through the
@@ -311,6 +336,14 @@ func (ep *Endpoint) SendAM(id uint32, header uint64, payload []byte) *sim.Signal
 // batched). The signal fires with a Status once the frame has been
 // handed to the drain.
 func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
+	return ep.SendIfuncPooled(frame, nil)
+}
+
+// SendIfuncPooled is SendIfunc for senders that recycle frame buffers:
+// release (which may be nil) is delivered alongside the frame and called
+// by the drain consumer once the bytes are dead. The fabric does not
+// copy message data, so the sender must not touch the buffer until then.
+func (ep *Endpoint) SendIfuncPooled(frame []byte, release FrameRelease) *sim.Signal {
 	eng := ep.W.Ctx.Net.Eng
 	params := ep.W.Ctx.Net.Params
 	done := eng.NewSignal()
@@ -321,7 +354,7 @@ func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
 				done.Fire(uint64(ErrRejected))
 				return
 			}
-			ep.Peer.enqueueIfunc(IfuncDelivery{SrcNode: srcID, Frame: msg.Data, done: done})
+			ep.Peer.enqueueIfunc(IfuncDelivery{SrcNode: srcID, Frame: msg.Data, Release: release, done: done})
 		})
 	})
 	return done
@@ -360,10 +393,16 @@ func (w *Worker) drainIfuncs() {
 		n = w.MaxDrain
 	}
 	batch := w.ifuncQ[:n:n]
-	if n == len(w.ifuncQ) {
+	full := n == len(w.ifuncQ)
+	if full {
 		// Full drain: hand over the backing array; the next arrival
-		// starts a fresh queue.
-		w.ifuncQ = nil
+		// starts from a recycled queue (or a fresh one).
+		if k := len(w.qFree); k > 0 {
+			w.ifuncQ = w.qFree[k-1][:0]
+			w.qFree = w.qFree[:k-1]
+		} else {
+			w.ifuncQ = nil
+		}
 	} else {
 		rest := make([]IfuncDelivery, len(w.ifuncQ)-n)
 		copy(rest, w.ifuncQ[n:])
@@ -376,6 +415,16 @@ func (w *Worker) drainIfuncs() {
 		w.ifuncDrain(batch)
 		for i := range batch {
 			batch[i].done.Fire(uint64(OK))
+		}
+		// Recycle only fully drained queues — such a batch owns its whole
+		// backing array. (A partial batch is a prefix view of a larger
+		// array; keeping it would pin the array and feed the GC.) Bound
+		// the free list so a one-off storm cannot park memory forever.
+		if full && len(w.qFree) < 4 {
+			for i := range batch {
+				batch[i] = IfuncDelivery{} // drop frame refs
+			}
+			w.qFree = append(w.qFree, batch[:0])
 		}
 	})
 	// Frames beyond MaxDrain wait for the next poll, which starts after

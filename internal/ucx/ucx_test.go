@@ -236,7 +236,8 @@ func TestIfuncBatchDrainAmortizesPoll(t *testing.T) {
 	w.wb.IfuncPoll = 200 * sim.Nanosecond
 	var batches [][]IfuncDelivery
 	w.wb.SetIfuncDrain(func(batch []IfuncDelivery) {
-		batches = append(batches, batch)
+		// The batch slice is only valid during the call: copy to retain.
+		batches = append(batches, append([]IfuncDelivery(nil), batch...))
 	})
 	// Park the receiver core so all frames land in the queue before the
 	// first poll runs.
