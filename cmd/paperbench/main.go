@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	paperbench           # full paper grid (several minutes of CPU)
-//	paperbench -quick    # reduced grids
-//	paperbench -json     # also write BENCH_engines.json (engine + batch
-//	                     # sweeps in machine-readable form, for tracking
-//	                     # the perf trajectory across PRs)
+//	paperbench             # full paper grid (several minutes of CPU)
+//	paperbench -quick      # reduced grids
+//	paperbench -placement  # include the placement-policy sweep (on by
+//	                       # default): ship-code vs pull-data vs the
+//	                       # cost-model planner on generated scenarios
+//	paperbench -json       # also write BENCH_engines.json (engine, batch
+//	                       # and placement sweeps in machine-readable
+//	                       # form, for tracking the perf trajectory
+//	                       # across PRs)
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "reduced DAPC grids")
 	engines := flag.Bool("engines", true, "include the execution-engine comparison")
+	placement := flag.Bool("placement", true, "include the placement-policy sweep")
 	jsonOut := flag.Bool("json", false, "write BENCH_engines.json with the engine and batch sweeps")
 	jsonPath := flag.String("json-path", "BENCH_engines.json", "output path for -json")
 	flag.Parse()
@@ -39,6 +44,12 @@ func main() {
 	if *engines || *jsonOut {
 		// -engines=false still collects (quietly) when -json needs the data.
 		rep = engineReport(*engines)
+	}
+	if *placement || *jsonOut {
+		rows := placementReport(*placement)
+		if rep != nil {
+			rep.Placement = rows
+		}
 	}
 	if *jsonOut {
 		if err := writeJSON(*jsonPath, rep); err != nil {
@@ -65,6 +76,10 @@ type enginesReport struct {
 	// BatchSweeps holds the engine-level RunBatch sweep (per kernel) and
 	// the end-to-end delivery-pipeline sweep ("tsi-delivery").
 	BatchSweeps []bench.BatchSweep `json:"batch_sweeps"`
+	// Placement is the compute/data placement policy sweep: per scenario,
+	// the total virtual time of ship-code vs pull-data vs the cost-model
+	// planner (internal/place), with the planner's route mix.
+	Placement []bench.PlacementResult `json:"placement,omitempty"`
 }
 
 type engineRow struct {
@@ -134,6 +149,31 @@ func engineReport(print bool) *enginesReport {
 	}
 	printf("\n")
 	return rep
+}
+
+// placementReport runs the placement-policy sweep on the Thor-Xeon
+// profile: generated heterogeneous scenarios offloaded under every
+// routing policy, total virtual time compared (the §V tables measure a
+// fixed ship-code pipeline; this measures the choice the paper leaves to
+// the caller). When print is true the table goes to stdout.
+func placementReport(print bool) []bench.PlacementResult {
+	rows, err := bench.PlacementSweep(testbed.ThorXeon(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if print {
+		fmt.Printf("--- Placement policies (total virtual time, sequential offload stream) ---\n")
+		fmt.Printf("%-14s %6s %12s %12s %12s %7s %18s\n",
+			"scenario", "ops", "ship", "pull", "cost-model", "win", "cost-model routes")
+		for _, r := range rows {
+			cm := r.Points[2]
+			fmt.Printf("%-14s %6d %10.1fµs %10.1fµs %10.1fµs %6.1f%% ship=%d pull=%d local=%d\n",
+				r.Scenario, r.Ops, r.Points[0].TotalUS, r.Points[1].TotalUS,
+				r.CostModelUS, r.WinPct, cm.ShipOps, cm.PullOps, cm.LocalOps)
+		}
+		fmt.Printf("\n")
+	}
+	return rows
 }
 
 // writeJSON dumps the engines report for cross-PR trajectory tracking.

@@ -1,0 +1,154 @@
+package bench
+
+// Differential and acceptance tests for the placement planner at the
+// cluster level: every policy produces bit-identical execution results,
+// cost-model decisions are deterministic across runs and execution
+// engines (virtual-time invariance extended to routed offloads), and on
+// the mixed heterogeneous scenario the planner beats both static
+// policies.
+
+import (
+	"testing"
+
+	"threechains/internal/place"
+	"threechains/internal/testbed"
+)
+
+// acceptanceScenario is the mixed-hetero workload of the default grid.
+func acceptanceScenario() place.WorkloadParams {
+	return PlacementScenarios()[0].Params
+}
+
+// TestPlacementPoliciesBitIdentical runs every scenario of the default
+// grid under all three policies: identical result hashes are asserted
+// inside PlacementSweep (it errors on divergence), so this test is the
+// check that the whole grid actually completes and stays comparable.
+func TestPlacementPoliciesBitIdentical(t *testing.T) {
+	rows, err := PlacementSweep(testbed.ThorXeon(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range rows {
+		for _, pt := range r.Points[1:] {
+			if pt.ResultHash != r.Points[0].ResultHash {
+				t.Errorf("%s: %s hash %s != %s hash %s", r.Scenario,
+					pt.Policy, pt.ResultHash, r.Points[0].Policy, r.Points[0].ResultHash)
+			}
+		}
+	}
+}
+
+// TestPlacementCostModelWins pins the acceptance criterion: on the
+// mixed-hetero scenario (mixed payload/region sizes, asymmetric node
+// speeds) the cost model achieves lower total virtual time than both
+// static policies, with a genuinely mixed route choice.
+func TestPlacementCostModelWins(t *testing.T) {
+	p := testbed.ThorXeon()
+	sc := PlacementScenarios()[:1]
+	rows, err := PlacementSweep(p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	ship, pull, cost := r.Points[0].TotalUS, r.Points[1].TotalUS, r.Points[2].TotalUS
+	if cost >= ship || cost >= pull {
+		t.Fatalf("cost model %0.1fus does not beat ship %0.1fus and pull %0.1fus", cost, ship, pull)
+	}
+	cm := r.Points[2]
+	if cm.ShipOps == 0 || cm.PullOps == 0 {
+		t.Errorf("degenerate route mix: ship=%d pull=%d local=%d (a static policy in disguise)",
+			cm.ShipOps, cm.PullOps, cm.LocalOps)
+	}
+	t.Logf("mixed-hetero: ship=%.0fus pull=%.0fus cost=%.0fus win=%.1f%% (routes s=%d p=%d l=%d)",
+		ship, pull, cost, r.WinPct, cm.ShipOps, cm.PullOps, cm.LocalOps)
+}
+
+// TestPlacementDeterministicAcrossRunsAndEngines runs the cost-model
+// policy on the acceptance scenario twice on the default engine and once
+// per alternative engine: total virtual time, route mix and result hash
+// must be identical everywhere — decisions consume only engine-invariant
+// virtual-time state, so engine choice (host wall-clock) can never leak
+// into placement.
+func TestPlacementDeterministicAcrossRunsAndEngines(t *testing.T) {
+	params := acceptanceScenario()
+	type run struct {
+		label string
+		prof  testbed.Profile
+	}
+	base := testbed.ThorXeon()
+	interp := testbed.ThorXeon()
+	interp.Engine = "interp"
+	closure := testbed.ThorXeon()
+	closure.Engine = "closure"
+	runs := []run{
+		{"superblock-1", base},
+		{"superblock-2", base},
+		{"interp", interp},
+		{"closure", closure},
+	}
+	total0, stats0, hash0, err := RunPlacementScenario(runs[0].prof, params, place.PolicyCostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rn := range runs[1:] {
+		total, stats, hash, err := RunPlacementScenario(rn.prof, params, place.PolicyCostModel)
+		if err != nil {
+			t.Fatalf("%s: %v", rn.label, err)
+		}
+		if total != total0 {
+			t.Errorf("%s: total virtual time %v != %v", rn.label, total, total0)
+		}
+		if stats != stats0 {
+			t.Errorf("%s: route stats %+v != %+v", rn.label, stats, stats0)
+		}
+		if hash != hash0 {
+			t.Errorf("%s: result hash %016x != %016x", rn.label, hash, hash0)
+		}
+	}
+}
+
+// TestPlacementSweepSanity checks the sweep rows carry coherent derived
+// fields (fingerprint present, best-static/win arithmetic).
+func TestPlacementSweepSanity(t *testing.T) {
+	rows, err := PlacementSweep(testbed.ThorXeon(), PlacementScenarios()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Fingerprint == "" || len(r.Points) != 3 {
+		t.Fatalf("row shape: %+v", r)
+	}
+	want := r.Points[0].TotalUS
+	if r.Points[1].TotalUS < want {
+		want = r.Points[1].TotalUS
+	}
+	if r.BestStaticUS != want {
+		t.Errorf("best static %v, want %v", r.BestStaticUS, want)
+	}
+}
+
+// BenchmarkPlacementPolicies drives a small generated scenario under all
+// three routing policies per iteration — the CI -benchtime=1x smoke for
+// the placement subsystem (crashes, divergence and policy errors surface
+// without timing noise; virtual-time outcomes are tracked in
+// BENCH_engines.json, not asserted here).
+func BenchmarkPlacementPolicies(b *testing.B) {
+	p := testbed.ThorXeon()
+	params := place.WorkloadParams{Seed: 46, Nodes: 3, Types: 4, Ops: 16}
+	for i := 0; i < b.N; i++ {
+		var hashes []uint64
+		for _, pol := range []place.Policy{place.PolicyShipCode, place.PolicyPullData, place.PolicyCostModel} {
+			_, _, hash, err := RunPlacementScenario(p, params, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hashes = append(hashes, hash)
+		}
+		if hashes[0] != hashes[1] || hashes[1] != hashes[2] {
+			b.Fatalf("policies diverged: %x", hashes)
+		}
+	}
+}

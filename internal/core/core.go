@@ -30,6 +30,7 @@ import (
 	"threechains/internal/jit"
 	"threechains/internal/linker"
 	"threechains/internal/mcode"
+	"threechains/internal/place"
 	"threechains/internal/sim"
 	"threechains/internal/ucx"
 )
@@ -214,6 +215,16 @@ type Runtime struct {
 	heapKeys []ucx.RKey // everyone's windows (rkey exchange)
 
 	payloadBuf uint64 // arena for inbound payloads
+	pullBuf    uint64 // staging arena for pulled operand regions (lazy)
+
+	// Planner routes Offload requests (the policy comes per call from
+	// OffloadOpts); its Stats accumulate this node's route mix.
+	Planner place.Planner
+
+	// adaptiveClock is the adaptive engine's per-node traffic clock (nil
+	// for other engines); the drain loop sweeps it periodically so
+	// promoted artifacts of types whose traffic never returns are freed.
+	adaptiveClock *mcode.AdaptiveClock
 
 	seq uint32
 
@@ -287,6 +298,7 @@ func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
 	r.Worker = c.Ctx.NewWorker(node)
 	r.Session = jit.NewSession(node.March, r.Loader, r.allocGlobal)
 	r.Session.Engine = eng
+	r.adaptiveClock, _ = mcode.AdaptiveClockOf(eng)
 	r.payloadBuf = node.Alloc(payloadArena)
 	r.heapKey = r.Worker.RegisterMem(0, uint64(len(node.Mem())))
 	r.Worker.SetIfuncDrain(r.drainSink)
@@ -509,6 +521,24 @@ func (r *Runtime) Send(dst int, h *Handle, fn string, payload []byte) (*sim.Sign
 	return r.ep(dst).SendIfuncPooled(frame, r.frameRelease(dst)), nil
 }
 
+// SendQuiet is Send without a transport-completion signal: the warm
+// streaming path for callers that drive the cluster to idle anyway
+// (benchmarks, scenario drivers). Skipping the two per-message completion
+// signals keeps the send path allocation-free; timing is identical.
+func (r *Runtime) SendQuiet(dst int, h *Handle, fn string, payload []byte) error {
+	entry, err := h.EntryIndex(fn)
+	if err != nil {
+		return err
+	}
+	frame, err := r.buildFrame(dst, h, entry, payload)
+	if err != nil {
+		return err
+	}
+	r.Stats.IfuncsSent++
+	r.ep(dst).SendIfuncQuiet(frame, r.frameRelease(dst))
+	return nil
+}
+
 // buildFrame encodes exactly the bytes the caching protocol transmits —
 // the truncated form for cache hits (the code section is never even
 // copied), the full frame otherwise — into a pooled per-destination
@@ -611,8 +641,16 @@ type frameGroup struct {
 // FIFO within a burst should pin Worker.MaxDrain = 1, which restores
 // strict per-message delivery (a one-frame drain has one group, so the
 // cost-aware order is vacuous on the paper-fidelity path).
+// adaptiveSweepInterval is the drain cadence of the idle-artifact sweep:
+// rare enough to stay off the hot path, frequent enough that a dead
+// type's superblock artifact does not outlive its idle window by much.
+const adaptiveSweepInterval = 1024
+
 func (r *Runtime) drainSink(batch []ucx.IfuncDelivery) {
 	r.Stats.Drains++
+	if r.adaptiveClock != nil && r.Stats.Drains%adaptiveSweepInterval == 0 {
+		r.adaptiveClock.SweepIdle()
+	}
 	groups := r.groupFrames(batch)
 	orderGroupsByCost(groups)
 	for _, g := range groups {
@@ -625,15 +663,17 @@ func (r *Runtime) drainSink(batch []ucx.IfuncDelivery) {
 	}
 }
 
-// estSteps is the group's per-message cost estimate: the measured mean
-// dynamic step count of its registration. Types with no execution
-// history (including ones registered in this very drain) estimate as
-// +inf and run last.
+// estSteps is the group's per-message cost estimate: the decayed mean
+// dynamic step count of its registration (Registration.MeanSteps — the
+// same signal the placement planner's cost model prices). Types with no
+// execution history (including ones registered in this very drain)
+// estimate as +inf and run last.
 func (g *frameGroup) estSteps() float64 {
-	if g.reg.Executions == 0 {
+	mean, ok := g.reg.MeanSteps()
+	if !ok {
 		return math.MaxFloat64
 	}
-	return float64(g.reg.TotalSteps) / float64(g.reg.Executions)
+	return mean
 }
 
 // orderGroupsByCost sorts a drain's groups cheapest-estimate first.
@@ -833,15 +873,23 @@ func (r *Runtime) execute(reg *ifunc.Registration, entry uint16, payload []byte)
 	r.onePayload[0] = nil
 }
 
-// executeBatch is the run stage: it executes one (registration, entry)
-// group of payloads as a single Machine.RunBatch, charging the batch's
-// total dynamic cost as one virtual-time block and flushing guest-issued
-// communication at the batch completion time. Entry resolution, machine
-// setup and payload-arena staging happen once per group instead of once
-// per message; per-element observables (fresh MaxSteps budget, errors,
+// executeBatch runs a group against the node's own target pointer (the
+// delivery path; the placement planner's pull/local routes substitute a
+// request-specific region via executeBatchAt).
+func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [][]byte) {
+	r.executeBatchAt(reg, entry, payloads, r.TargetPtr)
+}
+
+// executeBatchAt is the run stage: it executes one (registration, entry)
+// group of payloads as a single Machine.RunBatch with target as the
+// entries' third argument, charging the batch's total dynamic cost as
+// one virtual-time block and flushing guest-issued communication at the
+// batch completion time. Entry resolution, machine setup and
+// payload-arena staging happen once per group instead of once per
+// message; per-element observables (fresh MaxSteps budget, errors,
 // observer callbacks) keep the exact semantics of one-at-a-time
 // delivery, which the engine differential tests pin bit for bit.
-func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [][]byte) {
+func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads [][]byte, target uint64) {
 	entryName, err := reg.EntryName(entry)
 	if err != nil {
 		r.LastExecErr = fmt.Errorf("core: %s: %w", reg.Name, err)
@@ -903,7 +951,7 @@ func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [
 			argv := r.argvFlat[3*j : 3*j+3]
 			argv[0] = r.payloadBuf + off
 			argv[1] = uint64(len(payloads[j]))
-			argv[2] = r.TargetPtr
+			argv[2] = target
 			argvs[j] = argv
 			off += sz
 			j++
@@ -915,8 +963,7 @@ func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [
 	}
 	r.current = nil
 
-	reg.Executions += uint64(n)
-	reg.TotalSteps += uint64(ma.Steps())
+	reg.ObserveExec(uint64(n), uint64(ma.Steps()))
 	r.Stats.Executions += uint64(n)
 	for k := 0; k < ran; k++ {
 		if out[k].Err != nil {
@@ -960,7 +1007,9 @@ func (r *Runtime) executeBatch(reg *ifunc.Registration, entry uint16, payloads [
 		for _, ps := range sends {
 			r.Stats.IfuncsSent++
 			r.Stats.GuestSends++
-			r.ep(ps.dst).SendIfuncPooled(ps.frame, r.frameRelease(ps.dst))
+			// Guest sends never observe transport completion; the quiet
+			// path skips the per-message completion signals entirely.
+			r.ep(ps.dst).SendIfuncQuiet(ps.frame, r.frameRelease(ps.dst))
 		}
 		for _, pa := range ams {
 			r.Stats.IfuncsSent++

@@ -1,0 +1,304 @@
+package core
+
+// Runtime.Offload: the cost-model-driven compute/data placement entry
+// point. Where Send always moves the compute to the data (the paper's
+// mechanism), Offload asks the placement planner (internal/place) which
+// of three routes is cheapest for this request and executes it:
+//
+//   - ship-code: the existing ifunc send — cheap when the code is already
+//     interned at the destination (26-byte truncated frame);
+//   - pull-data: a one-sided GET of the operand region, local execution
+//     against the staged copy, and a one-sided PUT of the region back
+//     when the kernel writes — cheap for small regions, fast local
+//     cores, and modules whose remote registration would pay a JIT;
+//   - run-local: in-place execution when the region already lives here.
+//
+// Every leg is charged with the same virtual-time discipline as ifunc
+// delivery (the GET/PUT legs are the calibrated ucx one-sided ops; local
+// execution charges the same per-operation costs the drain path does),
+// so simulated results and times are deterministic and engine-invariant.
+
+import (
+	"fmt"
+
+	"threechains/internal/ifunc"
+	"threechains/internal/jit"
+	"threechains/internal/place"
+	"threechains/internal/sim"
+	"threechains/internal/ucx"
+)
+
+// pullArena is the staging arena for pulled operand regions; regions
+// larger than this are not pull-viable (the planner ships instead).
+const pullArena = 32 << 10
+
+// ErrBadRegion reports an Offload region the chosen route cannot serve.
+var ErrBadRegion = fmt.Errorf("core: offload region not serviceable")
+
+// OffloadOpts parameterizes one Offload request.
+type OffloadOpts struct {
+	// Policy selects the routing policy (place.PolicyCostModel by
+	// default: price the routes and take the cheapest).
+	Policy place.Policy
+	// DataAddr/DataSize describe the operand region in the destination
+	// node's heap — the bytes the kernel's target pointer addresses.
+	// Ship-code executes against the destination's TargetPtr, so callers
+	// must keep the two in agreement (the scenario harness sets each
+	// node's TargetPtr to its region base).
+	DataAddr uint64
+	DataSize uint64
+	// WriteBack marks the kernel as mutating the region: the pull route
+	// must PUT the staged bytes back after execution.
+	WriteBack bool
+}
+
+// Offload executes (h, fn, payload) against the operand region on node
+// dst, routed by the placement planner. The returned signal fires with a
+// ucx.Status at route completion: for ship-code that is transport-level
+// completion (frame handed to the destination's polling loop, exactly
+// like Send); for pull-data and run-local it is execution completion
+// (including the put-back). Drive the cluster to idle for makespans.
+func (r *Runtime) Offload(dst int, h *Handle, fn string, payload []byte, opts OffloadOpts) (*sim.Signal, error) {
+	if dst < 0 || dst >= len(r.Cluster.Runtimes) {
+		return nil, fmt.Errorf("core: offload to bad node %d", dst)
+	}
+	entry, err := h.EntryIndex(fn)
+	if err != nil {
+		return nil, err
+	}
+	req, model := r.buildRequest(dst, h, payload, opts)
+	r.Planner.Policy = opts.Policy
+	d, err := r.Planner.Decide(model, req)
+	if err != nil {
+		return nil, err
+	}
+	switch d.Route {
+	case place.RouteShipCode:
+		frame, err := r.buildFrame(dst, h, entry, payload)
+		if err != nil {
+			return nil, err
+		}
+		r.Stats.IfuncsSent++
+		return r.ep(dst).SendIfuncPooled(frame, r.frameRelease(dst)), nil
+	case place.RouteLocal:
+		return r.offloadLocal(h, entry, snapshotPayload(payload), opts)
+	default:
+		return r.offloadPull(dst, h, entry, snapshotPayload(payload), opts)
+	}
+}
+
+// snapshotPayload copies a caller payload for the pull/local routes,
+// which consume it at a later virtual time. The ship route (like Send)
+// encodes the payload into the frame before returning, so callers may
+// reuse their buffer after any Offload returns — route choice must not
+// change that contract.
+func snapshotPayload(p []byte) []byte {
+	if len(p) == 0 {
+		return p
+	}
+	return append([]byte(nil), p...)
+}
+
+// buildRequest digests one offload into the planner's pure inputs plus
+// the (local, dst) cost model. Everything read here is virtual-time
+// state — sent-cache and registry contents, calibrated costs, decayed
+// step estimates — so the resulting decision is deterministic across
+// runs and engines.
+func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadOpts) (place.Request, place.CostModel) {
+	rdst := r.Cluster.Runtimes[dst]
+	req := place.Request{
+		DstIsLocal: dst == r.Node.ID,
+		PayloadLen: len(payload),
+		DataBytes:  int(opts.DataSize),
+		WriteBack:  opts.WriteBack,
+	}
+
+	// Caching-protocol amortization: the frame a ship would transmit.
+	arch := rdst.Node.March.Triple.Arch
+	if r.Sent.Contains(dst, h.Hash) && !r.DisableSendCache {
+		req.FrameBytes = ifunc.TruncatedLen(len(payload))
+	} else {
+		req.FrameBytes = ifunc.FullLen(len(payload), h.CodeSize(arch))
+	}
+
+	// Registration amortization on both sides: registered types cost a
+	// lookup; unknown ones pay the JIT/load — unless the content is still
+	// warm in the side's session cache (re-registration after churn).
+	remoteReg, remoteKnown := rdst.Reg.Get(h.Hash)
+	req.RemoteRegistered = remoteKnown
+	if !remoteKnown {
+		req.RemoteRegCost = regCostOn(rdst, h)
+	}
+	localReg, ok := r.Reg.Get(h.Hash)
+	req.LocalRegistered = ok
+	if !ok {
+		req.LocalRegCost = regCostOn(r, h)
+	}
+
+	// Mean-steps estimate: prefer the measurement where the route would
+	// execute (the decayed drain-ordering signal), then the local side,
+	// then any node that has run the type (measurements propagate — in a
+	// real deployment this piggybacks on completion acks; here the
+	// registries are directly readable and the scan order is fixed, so
+	// the estimate stays deterministic). Never-executed types fall back
+	// to a static code-size prediction, flagged unmeasured so the
+	// planner routes them conservatively.
+	if remoteKnown {
+		if m, ok := remoteReg.MeanSteps(); ok {
+			req.MeanSteps, req.Measured = m, true
+		}
+	}
+	if !req.Measured && localReg != nil {
+		if m, ok := localReg.MeanSteps(); ok {
+			req.MeanSteps, req.Measured = m, true
+		}
+	}
+	if !req.Measured {
+		for _, rt := range r.Cluster.Runtimes {
+			if reg, ok := rt.Reg.Get(h.Hash); ok {
+				if m, ok := reg.MeanSteps(); ok {
+					req.MeanSteps, req.Measured = m, true
+					break
+				}
+			}
+		}
+	}
+	if !req.Measured && h.Module != nil {
+		req.MeanSteps = float64(h.Module.NumInstrs())
+	}
+
+	req.LocalRegFanout = len(r.Cluster.Runtimes) - 1
+
+	req.PullViable = opts.DataSize > 0 && opts.DataSize <= pullArena &&
+		dst < len(r.heapKeys)
+
+	model := place.CostModel{
+		Net:    r.Cluster.Net.Params,
+		Local:  place.NodeTraits{March: r.Node.March, ExecMult: r.ExecCostMultiplier, IfuncPoll: r.Worker.IfuncPoll},
+		Remote: place.NodeTraits{March: rdst.Node.March, ExecMult: rdst.ExecCostMultiplier, IfuncPoll: rdst.Worker.IfuncPoll},
+	}
+	return req, model
+}
+
+// regCostOn estimates what registering h on node rt would charge: a
+// cache lookup when the content is already compiled in rt's JIT session
+// (re-registration after churn), the full compile/load otherwise.
+func regCostOn(rt *Runtime, h *Handle) sim.Time {
+	var key string
+	switch h.Kind {
+	case ifunc.KindBitcode:
+		key = jit.CacheKey(h.ArchiveBytes)
+	case ifunc.KindBinary:
+		obj, ok := h.Objects[rt.Node.March.Triple.Arch]
+		if !ok {
+			return 0
+		}
+		key = jit.CacheKey(obj)
+	}
+	if _, ok := rt.Session.Lookup(key); ok {
+		return jit.LookupCost
+	}
+	if h.Kind == ifunc.KindBinary {
+		// Load + GOT patch, far below JIT cost (jit.LoadBinary charges
+		// per slot; a handful of slots is typical).
+		return 500 * sim.Nanosecond
+	}
+	if h.Module == nil {
+		return 0
+	}
+	return rt.Session.CompileCost(h.Module)
+}
+
+// ensureLocalReg returns this node's registration for h (registering it
+// like a locally received type if needed) plus the virtual-time charge
+// the lookup or registration costs.
+func (r *Runtime) ensureLocalReg(h *Handle) (*ifunc.Registration, sim.Time, error) {
+	if reg, ok := r.Reg.Get(h.Hash); ok {
+		return reg, jit.LookupCost, nil
+	}
+	var code []byte
+	switch h.Kind {
+	case ifunc.KindBitcode:
+		code = h.ArchiveBytes
+	case ifunc.KindBinary:
+		obj, ok := h.Objects[r.Node.March.Triple.Arch]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: %s on local %s", ErrNoBinary, h.Name, r.Node.March.Triple.Arch)
+		}
+		code = obj
+	}
+	f := &ifunc.Frame{Header: ifunc.Header{Kind: h.Kind, NameHash: h.Hash}, Code: code}
+	reg, cost, err := r.registerFromWire(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	reg.Name = h.Name
+	return reg, cost, nil
+}
+
+// offloadLocal is the run-local route: registration lookup plus in-place
+// execution against the region, all on this node's core.
+func (r *Runtime) offloadLocal(h *Handle, entry uint16, payload []byte, opts OffloadOpts) (*sim.Signal, error) {
+	reg, regCost, err := r.ensureLocalReg(h)
+	if err != nil {
+		return nil, err
+	}
+	done := r.Cluster.Eng.NewSignal()
+	r.Node.ExecCPU(regCost, func() {
+		r.onePayload[0] = payload
+		r.executeBatchAt(reg, entry, r.onePayload[:], opts.DataAddr)
+		r.onePayload[0] = nil
+		// Queue the completion behind the execution's cost charge.
+		r.Node.ExecCPU(0, func() { done.Fire(uint64(ucx.OK)) })
+	})
+	return done, nil
+}
+
+// offloadPull is the pull-data route: GET the region, execute against
+// the staged copy, PUT it back when the kernel writes. Every leg rides
+// the calibrated one-sided ops, so the route is charged exactly what an
+// RDMA read-modify-write of the region costs plus local compute.
+func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, opts OffloadOpts) (*sim.Signal, error) {
+	if opts.DataSize == 0 || opts.DataSize > pullArena {
+		return nil, fmt.Errorf("%w: %d bytes (pull arena %d)", ErrBadRegion, opts.DataSize, pullArena)
+	}
+	reg, regCost, err := r.ensureLocalReg(h)
+	if err != nil {
+		return nil, err
+	}
+	if r.pullBuf == 0 {
+		r.pullBuf = r.Node.Alloc(pullArena)
+	}
+	done := r.Cluster.Eng.NewSignal()
+	ep := r.ep(dst)
+	key := r.heapKeys[dst]
+	op := ep.Get(opts.DataAddr, int(opts.DataSize), key)
+	op.Done.OnFire(func() {
+		if st := ucx.Status(op.Done.Value()); st != ucx.OK {
+			r.LastExecErr = fmt.Errorf("core: offload pull %s: %v", h.Name, st)
+			r.Stats.ExecErrors++
+			done.Fire(uint64(st))
+			return
+		}
+		r.Node.ExecCPU(regCost, func() {
+			mem := r.Node.Mem()
+			copy(mem[r.pullBuf:], op.Data)
+			r.onePayload[0] = payload
+			r.executeBatchAt(reg, entry, r.onePayload[:], r.pullBuf)
+			r.onePayload[0] = nil
+			if !opts.WriteBack {
+				r.Node.ExecCPU(0, func() { done.Fire(uint64(ucx.OK)) })
+				return
+			}
+			// The guest has mutated the staged copy (memory effects are
+			// immediate; the cost charge is queued): snapshot it now and
+			// issue the put-back once the execution charge has elapsed.
+			back := append([]byte(nil), mem[r.pullBuf:r.pullBuf+opts.DataSize]...)
+			r.Node.ExecCPU(0, func() {
+				ps := ep.Put(back, opts.DataAddr, key)
+				ps.OnFire(func() { done.Fire(ps.Value()) })
+			})
+		})
+	})
+	return done, nil
+}

@@ -1,0 +1,228 @@
+package core
+
+// Unit tests for Runtime.Offload's three routes: pull-data mutates the
+// remote region via GET + local execution + put-back exactly like a ship
+// executes it in place, run-local handles self-offloads, and the policy
+// edge cases (oversized regions, PolicyLocal on remote data) behave.
+
+import (
+	"testing"
+
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+	"threechains/internal/place"
+	"threechains/internal/sim"
+	"threechains/internal/ucx"
+)
+
+// offloadWorld is a warm two-node TSI setup: counter region on dst,
+// handle registered on src.
+func offloadWorld(t *testing.T) (*Cluster, *Runtime, *Runtime, *Handle, uint64) {
+	t.Helper()
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	counter := dst.Node.Alloc(8)
+	dst.TargetPtr = counter
+	h, err := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, src, dst, h, counter
+}
+
+func offloadOnce(t *testing.T, c *Cluster, src *Runtime, dst int, h *Handle, opts OffloadOpts) uint64 {
+	t.Helper()
+	sig, err := src.Offload(dst, h, "main", []byte{0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	return sig.Value()
+}
+
+// TestOffloadPullMatchesShip runs the same increment through a ship and
+// through a pull with write-back: both must leave the remote counter
+// bumped, and the pull's completion signal reports OK.
+func TestOffloadPullMatchesShip(t *testing.T) {
+	c, src, dst, h, counter := offloadWorld(t)
+	opts := OffloadOpts{DataAddr: counter, DataSize: 8, WriteBack: true}
+
+	opts.Policy = place.PolicyShipCode
+	offloadOnce(t, c, src, 1, h, opts)
+	if got := readU64(dst, counter); got != 1 {
+		t.Fatalf("after ship: counter = %d, want 1", got)
+	}
+
+	opts.Policy = place.PolicyPullData
+	if v := offloadOnce(t, c, src, 1, h, opts); ucx.Status(v) != ucx.OK {
+		t.Fatalf("pull completion status %v", ucx.Status(v))
+	}
+	if got := readU64(dst, counter); got != 2 {
+		t.Fatalf("after pull+writeback: counter = %d, want 2", got)
+	}
+	if src.Planner.Stats.Pull != 1 || src.Planner.Stats.Ship != 1 {
+		t.Fatalf("planner stats %+v, want 1 ship + 1 pull", src.Planner.Stats)
+	}
+	if dst.Stats.Executions != 1 || src.Stats.Executions != 1 {
+		t.Fatalf("executions dst=%d src=%d, want 1 each (ship ran remotely, pull locally)",
+			dst.Stats.Executions, src.Stats.Executions)
+	}
+}
+
+// TestOffloadPullNoWriteBack leaves the remote region untouched.
+func TestOffloadPullNoWriteBack(t *testing.T) {
+	c, src, dst, h, counter := offloadWorld(t)
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: counter, DataSize: 8}
+	offloadOnce(t, c, src, 1, h, opts)
+	if got := readU64(dst, counter); got != 0 {
+		t.Fatalf("read-only pull mutated the remote region: %d", got)
+	}
+	if src.Stats.Executions != 1 {
+		t.Fatalf("src executions = %d, want 1", src.Stats.Executions)
+	}
+}
+
+// TestOffloadLocalRoute: a self-offload executes in place with no wire
+// traffic under every policy.
+func TestOffloadLocalRoute(t *testing.T) {
+	c, src, _, h, _ := offloadWorld(t)
+	region := src.Node.Alloc(8)
+	msgs := src.Node.Stats.MsgsSent
+	opts := OffloadOpts{Policy: place.PolicyLocal, DataAddr: region, DataSize: 8, WriteBack: true}
+	if v := offloadOnce(t, c, src, 0, h, opts); ucx.Status(v) != ucx.OK {
+		t.Fatalf("local completion status %v", ucx.Status(v))
+	}
+	if got := readU64(src, region); got != 1 {
+		t.Fatalf("local region = %d, want 1", got)
+	}
+	if src.Node.Stats.MsgsSent != msgs {
+		t.Fatal("run-local route sent wire messages")
+	}
+	if src.Planner.Stats.Local != 1 {
+		t.Fatalf("planner stats %+v, want 1 local", src.Planner.Stats)
+	}
+}
+
+// TestOffloadPolicyLocalRejectsRemote: PolicyLocal on remote data is a
+// caller error, not a silent reroute.
+func TestOffloadPolicyLocalRejectsRemote(t *testing.T) {
+	_, src, _, h, counter := offloadWorld(t)
+	_, err := src.Offload(1, h, "main", []byte{0}, OffloadOpts{
+		Policy: place.PolicyLocal, DataAddr: counter, DataSize: 8,
+	})
+	if err == nil {
+		t.Fatal("PolicyLocal accepted a remote region")
+	}
+}
+
+// TestOffloadOversizedRegionFallsBack: a region beyond the pull arena is
+// not pull-viable — PolicyPullData ships instead and still completes.
+func TestOffloadOversizedRegionFallsBack(t *testing.T) {
+	c, src, dst, h, counter := offloadWorld(t)
+	opts := OffloadOpts{
+		Policy: place.PolicyPullData, DataAddr: counter,
+		DataSize: pullArena + 8, WriteBack: true,
+	}
+	offloadOnce(t, c, src, 1, h, opts)
+	if got := readU64(dst, counter); got != 1 {
+		t.Fatalf("fallback ship did not execute: counter = %d", got)
+	}
+	if src.Planner.Stats.Fallbacks != 1 || src.Planner.Stats.Ship != 1 {
+		t.Fatalf("planner stats %+v, want 1 ship fallback", src.Planner.Stats)
+	}
+}
+
+// TestOffloadPullVirtualTime pins the pull route's virtual-time
+// composition: it must cost at least a GET round trip plus the put-back
+// leg (the same calibrated one-sided ops any RDMA read-modify-write
+// pays), and complete strictly after a pure GET of the same region.
+func TestOffloadPullVirtualTime(t *testing.T) {
+	c, src, _, h, counter := offloadWorld(t)
+	start := c.Eng.Now()
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: counter, DataSize: 8, WriteBack: true}
+	offloadOnce(t, c, src, 1, h, opts)
+	elapsed := c.Eng.Now() - start
+
+	p := c.Net.Params
+	// Lower bound: request + response + put, each at least base latency.
+	min := 3 * p.BaseLatency
+	if elapsed < min {
+		t.Fatalf("pull route took %v, below the 3-leg wire minimum %v", elapsed, min)
+	}
+	if elapsed > sim.Second {
+		t.Fatalf("pull route took %v, absurd", elapsed)
+	}
+}
+
+// TestOffloadPayloadBufferReuse pins the route-independent payload
+// contract: callers may reuse their payload buffer as soon as Offload
+// returns, exactly as with Send, even though the pull route consumes the
+// payload at a later virtual time (it must snapshot).
+func TestOffloadPayloadBufferReuse(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	counter := dst.Node.Alloc(8)
+	dst.TargetPtr = counter
+	h, err := src.RegisterBitcode("payloadadd", buildPayloadAdder(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: counter, DataSize: 8, WriteBack: true}
+	buf[0] = 5
+	if _, err := src.Offload(1, h, "main", buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 9 // overwrite while the pull is in flight
+	c.Run()
+	if got := readU64(dst, counter); got != 5 {
+		t.Fatalf("counter = %d, want 5 (pull route read the reused buffer)", got)
+	}
+}
+
+// TestAdaptiveRuntimeSweep drives the drain-loop idle sweep end to end:
+// on adaptive-engine nodes, a promoted type whose traffic permanently
+// stops loses its superblock artifact once enough other traffic has
+// drained — without the dead type ever executing again.
+func TestAdaptiveRuntimeSweep(t *testing.T) {
+	c := NewCluster(testParams(), []NodeSpec{
+		{Name: "host", March: isa.XeonE5(), Engine: "adaptive"},
+		{Name: "dpu", March: isa.CortexA72(), Engine: "adaptive"},
+	})
+	src, dst := c.Runtime(0), c.Runtime(1)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	hA, err := src.RegisterBitcode("typeA", BuildTSI(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := src.RegisterBitcode("typeB", buildPayloadAdder(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(h *Handle, n int) {
+		for i := 0; i < n; i++ {
+			if err := src.SendQuiet(1, h, "main", make([]byte, 8)); err != nil {
+				t.Fatal(err)
+			}
+			c.Run()
+		}
+	}
+	send(hA, mcode.DefaultAdaptiveThreshold+1)
+	regA, ok := dst.Reg.Get(hA.Hash)
+	if !ok {
+		t.Fatal("typeA not registered")
+	}
+	if _, promoted, isAd := mcode.AdaptiveStatus(regA.Compiled.Art); !isAd || !promoted {
+		t.Fatalf("typeA not promoted (adaptive=%v promoted=%v)", isAd, promoted)
+	}
+
+	// A's traffic dies; B drains past the idle window and the sweep
+	// cadence (each send is one drain).
+	send(hB, mcode.DefaultAdaptiveIdleWindow+2*adaptiveSweepInterval)
+	if _, promoted, _ := mcode.AdaptiveStatus(regA.Compiled.Art); promoted {
+		t.Fatal("idle typeA kept its superblock artifact (runtime sweep never ran)")
+	}
+	if got := mcode.AdaptiveDemotions(regA.Compiled.Art); got != 1 {
+		t.Fatalf("typeA demotions = %d, want 1", got)
+	}
+}

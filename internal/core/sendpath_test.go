@@ -238,3 +238,33 @@ func BenchmarkDeliveryDecodeFastPath(b *testing.B) {
 		dst.releaseGroup(groups[0])
 	}
 }
+
+// TestWarmDeliveryAllocs pins the end-to-end warm delivery path — quiet
+// send, wire, poll, drain, group, execute — at a small per-message
+// allocation budget. With the sim event pool (events stored by value in
+// the reused heap array), closure-free completion fires, quiet sends (no
+// transport signals) and the memoized poll closure, the remaining
+// allocations are the per-message Message struct and a handful of
+// pipeline closures; regressions that reintroduce per-event boxing or
+// per-message signals blow this budget immediately.
+func TestWarmDeliveryAllocs(t *testing.T) {
+	c, src, _, h, _ := warmSendWorld(t)
+	payload := make([]byte, 8)
+	for i := 0; i < 32; i++ {
+		if err := src.SendQuiet(1, h, "main", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run()
+
+	msg := func() {
+		if err := src.SendQuiet(1, h, "main", payload); err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+	}
+	const budget = 8.0
+	if allocs := testing.AllocsPerRun(300, msg); allocs > budget {
+		t.Errorf("warm delivery allocates %.2f objects/msg, budget %.0f", allocs, budget)
+	}
+}

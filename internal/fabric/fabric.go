@@ -199,6 +199,20 @@ func (n *Node) CPUFreeAt() sim.Time {
 // onNIC runs in NIC context: one-sided operations do their memory access
 // there; two-sided paths must hop to the destination CPU via ExecCPU.
 func (n *Node) Send(dst *Node, data []byte, meta interface{}, onNIC Handler) *sim.Signal {
+	local := n.net.Eng.NewSignal()
+	n.send(dst, data, meta, onNIC, local)
+	return local
+}
+
+// SendNoCompletion is Send for callers that never observe local send
+// completion (the ifunc fast path): it skips the completion signal and
+// its fire event entirely, keeping the warm send path allocation-free.
+// Timing is identical to Send.
+func (n *Node) SendNoCompletion(dst *Node, data []byte, meta interface{}, onNIC Handler) {
+	n.send(dst, data, meta, onNIC, nil)
+}
+
+func (n *Node) send(dst *Node, data []byte, meta interface{}, onNIC Handler, local *sim.Signal) {
 	eng := n.net.Eng
 	p := n.net.Params
 	size := len(data)
@@ -214,8 +228,9 @@ func (n *Node) Send(dst *Node, data []byte, meta interface{}, onNIC Handler) *si
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += uint64(size)
 
-	local := eng.NewSignal()
-	eng.At(n.txFree, func() { local.Fire(0) })
+	if local != nil {
+		eng.AtFire(n.txFree, local, 0)
+	}
 
 	arrive := start + p.SendOverhead + p.BaseLatency + sim.Time(size)*p.LatPerByte
 	// Reliable-connection ordering: never overtake an earlier message to
@@ -233,7 +248,6 @@ func (n *Node) Send(dst *Node, data []byte, meta interface{}, onNIC Handler) *si
 		dst.Stats.BytesReceived += uint64(size)
 		onNIC(msg)
 	})
-	return local
 }
 
 // WriteMem copies data into node memory at addr with bounds checking —

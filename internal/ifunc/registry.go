@@ -2,6 +2,7 @@ package ifunc
 
 import (
 	"fmt"
+	"math"
 
 	"threechains/internal/jit"
 	"threechains/internal/mcode"
@@ -28,16 +29,58 @@ type Registration struct {
 	// Executions counts invocations on this node.
 	Executions uint64
 	// TotalSteps accumulates the dynamic machine instructions those
-	// invocations executed; TotalSteps/Executions is the measured mean
-	// cost of one message of this type, which the runtime's cost-aware
-	// drain ordering uses to run cheap groups first.
+	// invocations executed (lifetime total, kept for reports).
 	TotalSteps uint64
+	// stepEWMA is the decayed mean dynamic step count of one message of
+	// this type — the cost signal shared by the runtime's cost-aware
+	// drain ordering and the placement planner's cost model. Unlike the
+	// lifetime mean TotalSteps/Executions, it tracks phase changes in a
+	// type's behavior (a kernel whose per-message work grows or shrinks
+	// over time re-converges within ~2/stepAlpha messages).
+	stepEWMA float64
 	// Machine is the reusable execution context the runtime binds to this
 	// registration on first execution. Reusing it (with its pooled
 	// register files) keeps the per-message hot path allocation-free;
 	// it dies with the registration, matching the paper's compiled-code
 	// lifetime ("stays alive until the ifunc is de-registered").
 	Machine *mcode.Machine
+}
+
+// stepAlpha is the per-message weight of the decayed step estimate: an
+// effective window of ~2/alpha ≈ 32 messages, small enough to adapt to
+// phase changes within one busy drain sequence, large enough that one
+// outlier message cannot reorder a drain.
+const stepAlpha = 1.0 / 16
+
+// ObserveExec folds a batch of n executions totaling steps dynamic
+// machine instructions into the registration's cost statistics. The
+// decayed estimate weights the batch mean by 1-(1-alpha)^n, which is
+// exactly n sequential per-message updates with the same mean —
+// batch-size invariant, so MaxDrain never perturbs the estimate's
+// trajectory for a steady workload.
+func (r *Registration) ObserveExec(n, steps uint64) {
+	if n == 0 {
+		return
+	}
+	mean := float64(steps) / float64(n)
+	if r.Executions == 0 {
+		r.stepEWMA = mean
+	} else {
+		w := math.Pow(1-stepAlpha, float64(n))
+		r.stepEWMA += (1 - w) * (mean - r.stepEWMA)
+	}
+	r.Executions += n
+	r.TotalSteps += steps
+}
+
+// MeanSteps returns the decayed mean dynamic step count of one message
+// of this type; ok is false when the type has never executed here (no
+// measurement to decay).
+func (r *Registration) MeanSteps() (mean float64, ok bool) {
+	if r.Executions == 0 {
+		return 0, false
+	}
+	return r.stepEWMA, true
 }
 
 // EntryName resolves a frame entry index.
@@ -110,6 +153,13 @@ func (c *SentCache) Seen(dstNode int, hash uint64) bool {
 	}
 	c.Misses++
 	return false
+}
+
+// Contains reports whether dst has the code for hash without counting a
+// cache decision — the peek the placement planner uses to predict the
+// frame size a ship would transmit (only real sends count in Hits/Misses).
+func (c *SentCache) Contains(dstNode int, hash uint64) bool {
+	return c.m[sentKey{dstNode, hash}]
 }
 
 // Mark records that dst now has the code for hash.

@@ -1,0 +1,71 @@
+package ifunc
+
+// Tests for the decayed per-registration step estimate shared by the
+// runtime's cost-aware drain ordering and the placement planner.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStepsUnmeasured(t *testing.T) {
+	r := &Registration{Name: "t"}
+	if _, ok := r.MeanSteps(); ok {
+		t.Fatal("unexecuted registration reports a measurement")
+	}
+	r.ObserveExec(0, 0) // empty batch is a no-op
+	if _, ok := r.MeanSteps(); ok {
+		t.Fatal("empty batch created a measurement")
+	}
+}
+
+// TestMeanStepsBatchInvariance pins the batch fold: one ObserveExec of n
+// messages with a common mean equals n sequential single-message updates,
+// so the drain bound (MaxDrain) never changes the estimate's trajectory
+// for a steady workload.
+func TestMeanStepsBatchInvariance(t *testing.T) {
+	a := &Registration{Name: "a"}
+	b := &Registration{Name: "b"}
+	a.ObserveExec(1, 100)
+	b.ObserveExec(1, 100)
+	// Phase change to 500 steps/msg: one batch of 8 vs 8 singles.
+	a.ObserveExec(8, 8*500)
+	for i := 0; i < 8; i++ {
+		b.ObserveExec(1, 500)
+	}
+	ma, _ := a.MeanSteps()
+	mb, _ := b.MeanSteps()
+	if math.Abs(ma-mb) > 1e-9*mb {
+		t.Fatalf("batch fold %v != sequential fold %v", ma, mb)
+	}
+	if a.Executions != b.Executions || a.TotalSteps != b.TotalSteps {
+		t.Fatalf("lifetime counters diverged: %d/%d vs %d/%d",
+			a.Executions, a.TotalSteps, b.Executions, b.TotalSteps)
+	}
+}
+
+// TestMeanStepsTracksPhaseChange checks the decayed estimate converges to
+// a type's new behavior while the lifetime mean stays anchored to history
+// — the reason the drain ordering and the planner use the decayed form.
+func TestMeanStepsTracksPhaseChange(t *testing.T) {
+	r := &Registration{Name: "t"}
+	// Long cheap phase: 1000 messages of 10 steps.
+	for i := 0; i < 1000; i++ {
+		r.ObserveExec(1, 10)
+	}
+	// Phase change: the type becomes 100x more expensive.
+	for i := 0; i < 64; i++ {
+		r.ObserveExec(1, 1000)
+	}
+	mean, ok := r.MeanSteps()
+	if !ok {
+		t.Fatal("no measurement")
+	}
+	if mean < 900 {
+		t.Fatalf("decayed estimate %v still anchored to the old phase (want > 900)", mean)
+	}
+	lifetime := float64(r.TotalSteps) / float64(r.Executions)
+	if lifetime > 100 {
+		t.Fatalf("lifetime mean %v unexpectedly adapted", lifetime)
+	}
+}

@@ -19,6 +19,17 @@ type AdaptiveEngine struct {
 	// Threshold is the execution count at which a module is promoted to
 	// the superblock artifact; 0 means DefaultAdaptiveThreshold.
 	Threshold uint64
+	// IdleWindow is the demotion point: a promoted artifact that has not
+	// executed for this many node-wide adaptive executions (measured on
+	// Clock) decays back to the interpreter and frees its superblock
+	// artifact. 0 means DefaultAdaptiveIdleWindow; demotion requires a
+	// Clock (engines built by EngineByName carry one; zero-value engines
+	// never demote, preserving the PR 2 behavior for direct constructions).
+	IdleWindow uint64
+	// Clock is the shared traffic clock demotion ages against — one per
+	// node (all artifacts prepared through a node's JIT session share the
+	// session's engine value, so they share this clock).
+	Clock *AdaptiveClock
 }
 
 // DefaultAdaptiveThreshold is the promotion point used when
@@ -30,6 +41,65 @@ type AdaptiveEngine struct {
 // promoting anything resembling steady traffic almost immediately.
 const DefaultAdaptiveThreshold = 32
 
+// DefaultAdaptiveIdleWindow is the demotion point used when
+// AdaptiveEngine.IdleWindow is zero: a promoted type that sees none of
+// the node's next 4096 adaptive executions has plainly left the working
+// set (at the Tables IV-VI message rates that is a few ms of traffic),
+// so its superblock artifact is released and the type re-earns promotion
+// if it comes back.
+const DefaultAdaptiveIdleWindow = 4096
+
+// AdaptiveClock is a per-node count of adaptive-engine executions: the
+// traffic time base promoted artifacts age against. It also tracks every
+// promoted artifact so idle ones can be swept without waiting for their
+// next (possibly never-arriving) execution.
+type AdaptiveClock struct {
+	now      uint64
+	promoted []*adaptiveArtifact
+}
+
+// NewAdaptiveClock returns a fresh per-node traffic clock.
+func NewAdaptiveClock() *AdaptiveClock { return &AdaptiveClock{} }
+
+// AdaptiveClockOf returns the engine's traffic clock when e is an
+// adaptive engine carrying one — the runtime uses it to sweep idle
+// promoted artifacts at quiescent points (types whose traffic never
+// returns would otherwise keep their superblock artifacts forever).
+func AdaptiveClockOf(e Engine) (*AdaptiveClock, bool) {
+	a, ok := e.(AdaptiveEngine)
+	if !ok || a.Clock == nil {
+		return nil, false
+	}
+	return a.Clock, true
+}
+
+// Now returns the number of adaptive executions observed so far.
+func (c *AdaptiveClock) Now() uint64 { return c.now }
+
+// SweepIdle demotes every promoted artifact whose traffic has been idle
+// past its window, freeing the superblock artifacts, and reports how many
+// were demoted. The runtime can call this at any quiescent point; an
+// artifact that keeps executing is never swept.
+func (c *AdaptiveClock) SweepIdle() int {
+	n := 0
+	kept := c.promoted[:0]
+	for _, a := range c.promoted {
+		if a.hot != nil && c.now-a.lastUse >= a.idleWindow {
+			a.demote()
+			a.inClock = false
+			n++
+			continue
+		}
+		if a.hot != nil {
+			kept = append(kept, a)
+		} else {
+			a.inClock = false
+		}
+	}
+	c.promoted = kept
+	return n
+}
+
 // Name implements Engine.
 func (AdaptiveEngine) Name() string { return EngineNameAdaptive }
 
@@ -40,7 +110,14 @@ func (e AdaptiveEngine) Prepare(cm *CompiledModule) (Artifact, error) {
 	if th == 0 {
 		th = DefaultAdaptiveThreshold
 	}
-	return &adaptiveArtifact{cm: cm, cold: interpArtifact{cm: cm}, threshold: th}, nil
+	iw := e.IdleWindow
+	if iw == 0 {
+		iw = DefaultAdaptiveIdleWindow
+	}
+	return &adaptiveArtifact{
+		cm: cm, cold: interpArtifact{cm: cm},
+		threshold: th, idleWindow: iw, clock: e.Clock,
+	}, nil
 }
 
 // adaptiveArtifact delegates to the interpreter until promoted, then to
@@ -51,9 +128,22 @@ type adaptiveArtifact struct {
 	cold interpArtifact
 	// hot is non-nil after promotion.
 	hot *closureArtifact
-	// execs counts executions observed so far (batch elements included).
+	// execs counts executions observed since the last demotion (batch
+	// elements included) — the traffic that must re-amortize a compile.
 	execs     uint64
 	threshold uint64
+	// clock/lastUse/idleWindow drive demotion: lastUse is the clock
+	// reading at this artifact's most recent execution; once the gap
+	// exceeds idleWindow the promoted artifact decays back to the
+	// interpreter. A nil clock disables aging.
+	clock      *AdaptiveClock
+	lastUse    uint64
+	idleWindow uint64
+	// demotions counts hot->cold decays (diagnostics).
+	demotions uint64
+	// inClock marks the artifact as present in clock.promoted, so a
+	// demote/re-promote cycle does not append it twice.
+	inClock bool
 	// promoteFailed pins the artifact to the interpreter if closure
 	// compilation rejected the module (the interpreter already accepted
 	// it, so execution semantics are unaffected).
@@ -63,9 +153,28 @@ type adaptiveArtifact struct {
 // Module implements Artifact.
 func (a *adaptiveArtifact) Module() *CompiledModule { return a.cm }
 
-// observe advances the traffic counter by n executions and performs the
-// one-time promotion when the threshold is crossed.
+// demote releases the superblock artifact and resets the amortization
+// counter: the type runs on the interpreter again and must re-earn
+// promotion with fresh traffic.
+func (a *adaptiveArtifact) demote() {
+	a.hot = nil
+	a.execs = 0
+	a.demotions++
+}
+
+// observe advances the traffic counters by n executions, ages out a
+// promoted artifact whose traffic died (idle past the window on the
+// node-wide clock), and performs promotion when the threshold is crossed.
 func (a *adaptiveArtifact) observe(n uint64) {
+	if a.clock != nil {
+		if a.hot != nil && a.clock.now-a.lastUse >= a.idleWindow {
+			// Traffic died and came back rarely enough that the compile
+			// no longer pays for itself: decay to the interpreter.
+			a.demote()
+		}
+		a.clock.now += n
+		a.lastUse = a.clock.now
+	}
 	a.execs += n
 	if a.hot != nil || a.promoteFailed || a.execs < a.threshold {
 		return
@@ -76,17 +185,33 @@ func (a *adaptiveArtifact) observe(n uint64) {
 		return
 	}
 	a.hot = art.(*closureArtifact)
+	if a.clock != nil && !a.inClock {
+		a.inClock = true
+		a.clock.promoted = append(a.clock.promoted, a)
+	}
 }
 
 // AdaptiveStatus reports an adaptive artifact's observed traffic and
 // promotion state; ok is false when art is not adaptive. Diagnostics and
 // tests use it to see which tier a registration currently runs on.
+// execs counts executions since the last demotion (the traffic that
+// amortizes the current tier's compile).
 func AdaptiveStatus(art Artifact) (execs uint64, promoted bool, ok bool) {
 	a, isAdaptive := art.(*adaptiveArtifact)
 	if !isAdaptive {
 		return 0, false, false
 	}
 	return a.execs, a.hot != nil, true
+}
+
+// AdaptiveDemotions reports how many times an adaptive artifact decayed
+// from the superblock tier back to the interpreter (0 for non-adaptive
+// artifacts).
+func AdaptiveDemotions(art Artifact) uint64 {
+	if a, ok := art.(*adaptiveArtifact); ok {
+		return a.demotions
+	}
+	return 0
 }
 
 func (a *adaptiveArtifact) run(ma *Machine, fi int, args []uint64) (uint64, error) {

@@ -1,0 +1,154 @@
+package mcode_test
+
+// Tests for adaptive-engine demotion/aging: a promoted registration whose
+// traffic dies decays back to the interpreter (freeing its superblock
+// artifact) once it has been idle past the node-wide traffic window, and
+// re-earns promotion with fresh traffic.
+
+import (
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+// addOne builds a minimal kernel: return args[0] + 1.
+func addOne(name string) *ir.Module {
+	m := ir.NewModule(name)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Add(b.Param(0), b.Const64(1)))
+	return m
+}
+
+// adaptiveWorld prepares two modules through one adaptive engine sharing
+// a traffic clock (as one node's JIT session does) and returns a runner
+// per module plus the artifacts for status inspection.
+func adaptiveWorld(t *testing.T, threshold, window uint64) (runA, runB func(n int), artA, artB mcode.Artifact) {
+	t.Helper()
+	eng := mcode.AdaptiveEngine{
+		Threshold:  threshold,
+		IdleWindow: window,
+		Clock:      mcode.NewAdaptiveClock(),
+	}
+	march := isa.XeonE5()
+	mk := func(name string) (func(n int), mcode.Artifact) {
+		cm, err := mcode.Lower(addOne(name), march)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art, err := eng.Prepare(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := ir.NewSimpleEnv(1 << 12)
+		ma, err := mcode.NewMachineArt(art, env, mcode.NewLinkage(cm), ir.ExecLimits{
+			StackBase: 2 << 10, StackSize: 1 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(n int) {
+			for i := 0; i < n; i++ {
+				ma.Reset()
+				if res, err := ma.Run("main", 7); err != nil || res.Value != 8 {
+					t.Fatalf("%s: run = %d, %v (want 8)", name, res.Value, err)
+				}
+			}
+		}
+		return run, art
+	}
+	runA, artA = mk("modA")
+	runB, artB = mk("modB")
+	return runA, runB, artA, artB
+}
+
+// TestAdaptiveDemotionOnIdle drives promotion -> idle -> demotion: module
+// A is promoted by traffic, goes idle while module B carries the node's
+// stream past the idle window, and decays back to the interpreter on its
+// next execution — with correct results throughout and the amortization
+// counter reset so promotion must be re-earned.
+func TestAdaptiveDemotionOnIdle(t *testing.T) {
+	const threshold, window = 4, 32
+	runA, runB, artA, _ := adaptiveWorld(t, threshold, window)
+
+	runA(int(threshold))
+	if _, promoted, ok := mcode.AdaptiveStatus(artA); !ok || !promoted {
+		t.Fatalf("A not promoted after %d executions", threshold)
+	}
+
+	// A idles while B carries the stream past the window.
+	runB(window + 1)
+
+	// A's next execution notices the idle gap: demotion happens before
+	// the run, the run still returns the right value on the interpreter.
+	runA(1)
+	execs, promoted, _ := mcode.AdaptiveStatus(artA)
+	if promoted {
+		t.Fatal("A still promoted after idling past the window")
+	}
+	if got := mcode.AdaptiveDemotions(artA); got != 1 {
+		t.Fatalf("demotions = %d, want 1", got)
+	}
+	if execs != 1 {
+		t.Fatalf("post-demotion execs = %d, want 1 (amortization counter not reset)", execs)
+	}
+
+	// Fresh traffic re-earns promotion.
+	runA(int(threshold))
+	if _, promoted, _ := mcode.AdaptiveStatus(artA); !promoted {
+		t.Fatal("A not re-promoted by fresh traffic")
+	}
+}
+
+// TestAdaptiveClockSweep exercises AdaptiveClock.SweepIdle directly: only
+// the idle promoted artifact is demoted, active ones are kept.
+func TestAdaptiveClockSweep(t *testing.T) {
+	const threshold, window = 4, 32
+	clock := mcode.NewAdaptiveClock()
+	eng := mcode.AdaptiveEngine{Threshold: threshold, IdleWindow: window, Clock: clock}
+	march := isa.XeonE5()
+	mk := func(name string) (func(n int), mcode.Artifact) {
+		cm, err := mcode.Lower(addOne(name), march)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art, err := eng.Prepare(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := ir.NewSimpleEnv(1 << 12)
+		ma, err := mcode.NewMachineArt(art, env, mcode.NewLinkage(cm), ir.ExecLimits{
+			StackBase: 2 << 10, StackSize: 1 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				ma.Reset()
+				if _, err := ma.Run("main", 7); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}, art
+	}
+	runA, artA := mk("modA")
+	runB, artB := mk("modB")
+
+	runA(threshold)
+	runB(window + 1) // advances the clock; B ends hot and recently used
+	if n := clock.SweepIdle(); n != 1 {
+		t.Fatalf("sweep demoted %d artifacts, want 1 (idle A only)", n)
+	}
+	if _, promoted, _ := mcode.AdaptiveStatus(artA); promoted {
+		t.Fatal("idle A survived the sweep")
+	}
+	if _, promoted, _ := mcode.AdaptiveStatus(artB); !promoted {
+		t.Fatal("active B was demoted by the sweep")
+	}
+	if got := mcode.AdaptiveDemotions(artA); got != 1 {
+		t.Fatalf("A demotions = %d, want 1", got)
+	}
+}

@@ -105,7 +105,11 @@ func EngineByName(name string) (Engine, error) {
 	case EngineNameInterp:
 		return InterpEngine{}, nil
 	case EngineNameAdaptive:
-		return AdaptiveEngine{}, nil
+		// Each resolution carries a fresh traffic clock: a cluster node
+		// resolves its engine once, so artifacts prepared through that
+		// node's JIT session share one clock and age against the node's
+		// own message stream (demotion of idle promoted types).
+		return AdaptiveEngine{Clock: NewAdaptiveClock()}, nil
 	}
 	return nil, fmt.Errorf("mcode: unknown engine %q (have %s)",
 		name, strings.Join(EngineNames(), ", "))

@@ -1,0 +1,105 @@
+package place
+
+// The calibrated cost model: route-time estimates assembled from the same
+// parameters the simulation charges — the fabric's LogGP wire model
+// (fabric.NetParams), the per-µarch operation cost tables (isa.MicroArch,
+// priced per dynamic step the way mcode.Cycles prices executed counts),
+// the UCP protocol framing sizes (ucx header constants), and the JIT
+// session's registration costs. The estimates are not required to be
+// exact (queueing and batching effects are ignored); they only need to
+// rank routes correctly, and because every input is virtual-time state
+// they rank identically across runs, hosts and execution engines.
+
+import (
+	"threechains/internal/fabric"
+	"threechains/internal/isa"
+	"threechains/internal/jit"
+	"threechains/internal/sim"
+	"threechains/internal/ucx"
+)
+
+// NodeTraits is the per-node side of the model: how fast this node
+// executes guest steps and how expensive its polling pickup is.
+type NodeTraits struct {
+	March *isa.MicroArch
+	// ExecMult mirrors Runtime.ExecCostMultiplier (0 means 1): the knob
+	// heterogeneous scenarios use for asymmetric node speeds.
+	ExecMult float64
+	// IfuncPoll is the node's calibrated poll pickup cost
+	// (testbed.Profile.IfuncPoll).
+	IfuncPoll sim.Time
+}
+
+// CostModel prices the routes of one (local node, remote node) pair.
+type CostModel struct {
+	Net    fabric.NetParams
+	Local  NodeTraits
+	Remote NodeTraits
+}
+
+// stepSeconds is the modeled mean wall time of one dynamic guest step on
+// a µarch: a representative operation mix priced from the µarch's cost
+// table, with the same superscalar ALU discount mcode.Cycles applies.
+// Message kernels in this corpus are load/store-heavy (the TSI and DAPC
+// shapes), which the mix reflects.
+func stepSeconds(m *isa.MicroArch) float64 {
+	alu := m.Cost[isa.OpALU]
+	if m.IssueWidth > 1 {
+		alu /= float64(m.IssueWidth)
+	}
+	cycles := 0.45*alu + 0.25*m.Cost[isa.OpLoad] + 0.15*m.Cost[isa.OpStore] + 0.15*m.Cost[isa.OpBranch]
+	return m.CyclesToSeconds(cycles)
+}
+
+// ExecTime models executing steps dynamic instructions on a node.
+func (m CostModel) ExecTime(n NodeTraits, steps float64) sim.Time {
+	mult := n.ExecMult
+	if mult <= 0 {
+		mult = 1
+	}
+	return sim.FromSeconds(steps * stepSeconds(n.March) * mult)
+}
+
+// regTime is the registration charge a route pays on its executing side.
+func regTime(registered bool, regCost sim.Time) sim.Time {
+	if registered {
+		return jit.LookupCost
+	}
+	return regCost
+}
+
+// ShipCost models the ship-code route: post the frame (truncated or full,
+// req.FrameBytes carries the caching protocol's answer), cross the wire,
+// pay the receiver's NIC write + poll pickup, register if the code is not
+// interned at the destination yet, and execute on the destination core.
+func (m CostModel) ShipCost(req Request) sim.Time {
+	t := m.Net.SendOverhead + m.Net.WireTime(req.FrameBytes) + m.Net.NICOverhead
+	t += m.Remote.IfuncPoll + m.Net.RecvOverhead
+	t += regTime(req.RemoteRegistered, req.RemoteRegCost)
+	t += m.ExecTime(m.Remote, req.MeanSteps)
+	return t
+}
+
+// PullCost models the pull-data route: a one-sided GET round trip for the
+// operand region (request descriptor out, NIC read, response framing +
+// data back, initiator CQ poll — exactly the legs ucx.Endpoint.Get
+// charges), registration on the local side if needed, local execution,
+// and a one-sided PUT of the region when the kernel writes.
+func (m CostModel) PullCost(req Request) sim.Time {
+	t := m.Net.SendOverhead + m.Net.WireTime(ucx.GetReqBytes) + m.Net.NICOverhead
+	t += m.Net.SendOverhead + m.Net.WireTime(ucx.GetRespBytes+req.DataBytes) +
+		m.Net.NICOverhead + m.Net.RecvOverhead/2
+	// A cold local registration is an investment that serves pulls to
+	// every destination, unlike the remote JIT a cold ship pays per
+	// destination: amortize it over the fan-out.
+	fan := req.LocalRegFanout
+	if fan < 1 {
+		fan = 1
+	}
+	t += regTime(req.LocalRegistered, req.LocalRegCost/sim.Time(fan))
+	t += m.ExecTime(m.Local, req.MeanSteps)
+	if req.WriteBack {
+		t += m.Net.SendOverhead + m.Net.WireTime(ucx.PutHeaderBytes+req.DataBytes) + m.Net.NICOverhead
+	}
+	return t
+}

@@ -1,0 +1,232 @@
+// Package place is the compute/data placement planner: for every offload
+// request it decides whether to move the compute to the data (ship the
+// BitCODE, the paper's headline mechanism), move the data to the compute
+// (an RDMA-style pull of the operand region, local execution and an
+// optional put-back), or run in place when the data is already local.
+//
+// The paper hard-codes the first answer — `Runtime.Send` always ships
+// code — but on a heterogeneous testbed the right answer varies per
+// request: a 26-byte cached ifunc frame against a wimpy DPU core, or a
+// multi-KiB uncached archive plus a millisecond JIT against a region a
+// GET would fetch in two microseconds. The planner prices the three
+// routes with a calibrated cost model (cost.go) fed by the fabric's
+// LogGP parameters, per-node µarch step pricing, the registration
+// amortization state of the caching protocol, and the decayed
+// per-registration mean-steps estimate the drain ordering already
+// maintains (ifunc.Registration.MeanSteps) — and picks the cheapest.
+//
+// Everything the model consumes is virtual-time state, so decisions are
+// deterministic across runs and execution engines (step counts are
+// engine-invariant by the differential contract).
+package place
+
+import (
+	"fmt"
+
+	"threechains/internal/sim"
+)
+
+// Policy selects how offload requests are routed.
+type Policy int
+
+const (
+	// PolicyCostModel prices every route per request and takes the
+	// cheapest — the planner's reason to exist.
+	PolicyCostModel Policy = iota
+	// PolicyShipCode always moves the compute to the data (the paper's
+	// static baseline: an ifunc send).
+	PolicyShipCode
+	// PolicyPullData always moves the data to the compute (GET + local
+	// execution + optional put-back), falling back to ship-code when the
+	// pull leg is not viable for a request (oversized region).
+	PolicyPullData
+	// PolicyLocal requires the data to already be local; offloads to a
+	// remote destination are rejected.
+	PolicyLocal
+)
+
+// String names the policy as reports print it.
+func (p Policy) String() string {
+	switch p {
+	case PolicyCostModel:
+		return "cost-model"
+	case PolicyShipCode:
+		return "ship-code"
+	case PolicyPullData:
+		return "pull-data"
+	case PolicyLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Route is the transport decision for one offload request.
+type Route int
+
+const (
+	// RouteShipCode sends the ifunc to the data's node.
+	RouteShipCode Route = iota
+	// RoutePullData fetches the operand region, executes locally and
+	// optionally writes the region back.
+	RoutePullData
+	// RouteLocal executes in place (the data already lives here).
+	RouteLocal
+)
+
+// String names the route.
+func (r Route) String() string {
+	switch r {
+	case RouteShipCode:
+		return "ship"
+	case RoutePullData:
+		return "pull"
+	case RouteLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("route(%d)", int(r))
+	}
+}
+
+// Request is one offload decision's inputs, pre-digested by the runtime:
+// everything is plain virtual-time state, so Decide is a pure function
+// of the request and the model.
+type Request struct {
+	// DstIsLocal marks the degenerate case: the operand region lives on
+	// the requesting node.
+	DstIsLocal bool
+	// PayloadLen is the message payload size in bytes.
+	PayloadLen int
+	// DataBytes is the operand region size in bytes.
+	DataBytes int
+	// WriteBack reports whether the kernel mutates the region (the pull
+	// route must pay a put-back).
+	WriteBack bool
+	// FrameBytes is the exact wire size of the ship-code frame — the
+	// truncated form when the sender cache says dst already holds the
+	// code, the full frame otherwise (the caching protocol's
+	// amortization state).
+	FrameBytes int
+	// RemoteRegistered reports whether the module is already registered
+	// (code interned, JIT done) at the destination.
+	RemoteRegistered bool
+	// LocalRegistered is the same for the requesting node (the pull
+	// route executes here).
+	LocalRegistered bool
+	// RemoteRegCost and LocalRegCost are the one-time registration
+	// charges (JIT compile or binary load) on each side when the module
+	// is not yet registered there.
+	RemoteRegCost sim.Time
+	LocalRegCost  sim.Time
+	// LocalRegFanout is the number of destinations a local registration
+	// can serve (cluster size minus one). A remote registration only ever
+	// serves offloads to that one destination, while the local artifact
+	// the pull route compiles serves offloads to every peer — so the
+	// model amortizes LocalRegCost over this fan-out (the
+	// speed-proportional allocation argument of the heterogeneous coded
+	// computing literature, applied to compile investment). 0 means 1.
+	LocalRegFanout int
+	// MeanSteps is the best available per-message dynamic step estimate:
+	// the decayed Registration.MeanSteps when the type has executed
+	// somewhere, a static prediction from the module otherwise.
+	MeanSteps float64
+	// Measured reports whether MeanSteps is a real execution measurement
+	// (any node's decayed estimate) rather than a static code-size
+	// prediction. Static predictions cannot see loops, so the cost-model
+	// policy routes unmeasured types through the pull leg when it can:
+	// the first execution runs on the local core (bounding the damage a
+	// misprediction can do on a slow remote) and seeds the decayed
+	// estimate every later decision for the type will price.
+	Measured bool
+	// PullViable reports whether the pull leg can run at all (region
+	// fits the local staging arena and a remote key is known).
+	PullViable bool
+}
+
+// Decision is one routing decision with the estimates that produced it
+// (estimates are zero for forced policies, which never price routes).
+type Decision struct {
+	Route Route
+	// EstShip and EstPull are the modeled route times, set when the cost
+	// model ran (Priced).
+	EstShip, EstPull sim.Time
+	// Priced reports whether the cost model ran (PolicyCostModel).
+	Priced bool
+}
+
+// Stats counts planner activity per route.
+type Stats struct {
+	Ship, Pull, Local uint64
+	// Fallbacks counts pull-policy requests that had to ship because the
+	// pull leg was not viable.
+	Fallbacks uint64
+}
+
+// Planner routes offload requests on one node under a fixed policy.
+type Planner struct {
+	Policy Policy
+	// TraceEnabled records every decision in Trace (differential tests
+	// compare decision streams across runs and engines).
+	TraceEnabled bool
+	Trace        []Decision
+	Stats        Stats
+}
+
+// ErrRemoteLocal is returned when PolicyLocal meets a remote region.
+var ErrRemoteLocal = fmt.Errorf("place: PolicyLocal offload to a remote region")
+
+// ErrBadPolicy is returned for policy values outside the defined set.
+var ErrBadPolicy = fmt.Errorf("place: unknown policy")
+
+// Decide routes one request under the planner's policy, using the cost
+// model only for PolicyCostModel. It is deterministic: the same request
+// against the same model always yields the same decision.
+func (p *Planner) Decide(m CostModel, req Request) (Decision, error) {
+	if p.Policy < PolicyCostModel || p.Policy > PolicyLocal {
+		return Decision{}, fmt.Errorf("%w: %d", ErrBadPolicy, int(p.Policy))
+	}
+	var d Decision
+	switch {
+	case req.DstIsLocal:
+		// Every policy degenerates to in-place execution when the data
+		// already lives here: no transport can beat none.
+		d = Decision{Route: RouteLocal}
+	case p.Policy == PolicyLocal:
+		return Decision{}, ErrRemoteLocal
+	case p.Policy == PolicyShipCode:
+		d = Decision{Route: RouteShipCode}
+	case p.Policy == PolicyPullData:
+		if req.PullViable {
+			d = Decision{Route: RoutePullData}
+		} else {
+			d = Decision{Route: RouteShipCode}
+			p.Stats.Fallbacks++
+		}
+	case !req.Measured && req.PullViable:
+		// PolicyCostModel, never-executed type: explore via pull (see
+		// Request.Measured).
+		d = Decision{Route: RoutePullData}
+	default: // PolicyCostModel
+		d = Decision{
+			EstShip: m.ShipCost(req),
+			EstPull: m.PullCost(req),
+			Priced:  true,
+		}
+		d.Route = RouteShipCode
+		if req.PullViable && d.EstPull < d.EstShip {
+			d.Route = RoutePullData
+		}
+	}
+	switch d.Route {
+	case RouteShipCode:
+		p.Stats.Ship++
+	case RoutePullData:
+		p.Stats.Pull++
+	case RouteLocal:
+		p.Stats.Local++
+	}
+	if p.TraceEnabled {
+		p.Trace = append(p.Trace, d)
+	}
+	return d, nil
+}

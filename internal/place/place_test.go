@@ -1,0 +1,144 @@
+package place
+
+import (
+	"testing"
+
+	"threechains/internal/sim"
+	"threechains/internal/testbed"
+)
+
+// model builds a Thor-flavoured cost model: a fast Xeon host (local)
+// against a remote node scaled by mult (1 = symmetric, >1 = wimpy DPU).
+func model(mult float64) CostModel {
+	p := testbed.ThorXeon()
+	return CostModel{
+		Net:    p.Net,
+		Local:  NodeTraits{March: p.March(), ExecMult: 1, IfuncPoll: p.IfuncPoll},
+		Remote: NodeTraits{March: p.March(), ExecMult: mult, IfuncPoll: p.IfuncPoll},
+	}
+}
+
+// req is a baseline remote request: warm caches both sides, cheap kernel,
+// small region.
+func req() Request {
+	return Request{
+		PayloadLen: 8, DataBytes: 64, WriteBack: true,
+		FrameBytes: 33, RemoteRegistered: true, LocalRegistered: true,
+		MeanSteps: 8, PullViable: true,
+	}
+}
+
+// TestCostModelRanking checks the model ranks routes the way the
+// simulation's own charges do on the extremes the planner must get right.
+func TestCostModelRanking(t *testing.T) {
+	// Heavy kernel against an 8x-slower remote node, small region: the
+	// remote execution dominates — pull must win.
+	r := req()
+	r.MeanSteps = 20000
+	m := model(8)
+	if ship, pull := m.ShipCost(r), m.PullCost(r); pull >= ship {
+		t.Errorf("heavy/slow-remote/small-region: pull %v !< ship %v", pull, ship)
+	}
+
+	// Cheap cached kernel, large region, symmetric nodes: the region
+	// transfer dominates — ship (26-byte truncated frame) must win.
+	r = req()
+	r.DataBytes = 16 << 10
+	m = model(1)
+	if ship, pull := m.ShipCost(r), m.PullCost(r); ship >= pull {
+		t.Errorf("cheap/large-region: ship %v !< pull %v", ship, pull)
+	}
+
+	// Uncached module: ship pays the full frame + remote JIT; pull with a
+	// warm local registration skips both — pull must win even with a
+	// moderate region.
+	r = req()
+	r.RemoteRegistered = false
+	r.FrameBytes = 5200
+	r.RemoteRegCost = 800 * sim.Microsecond
+	r.DataBytes = 1024
+	if ship, pull := m.ShipCost(r), m.PullCost(r); pull >= ship {
+		t.Errorf("uncached-remote: pull %v !< ship %v", pull, ship)
+	}
+
+	// Write-back costs the pull route a PUT: a read-only request must
+	// price strictly cheaper than the same request with write-back.
+	r = req()
+	r.DataBytes = 4096
+	wb := m.PullCost(r)
+	r.WriteBack = false
+	if ro := m.PullCost(r); ro >= wb {
+		t.Errorf("read-only pull %v !< write-back pull %v", ro, wb)
+	}
+}
+
+// TestPlannerPolicies pins the forced policies and the fallback.
+func TestPlannerPolicies(t *testing.T) {
+	m := model(1)
+
+	p := &Planner{Policy: PolicyShipCode}
+	d, err := p.Decide(m, req())
+	if err != nil || d.Route != RouteShipCode {
+		t.Fatalf("ship policy: %v route %v", err, d.Route)
+	}
+
+	p = &Planner{Policy: PolicyPullData}
+	if d, _ = p.Decide(m, req()); d.Route != RoutePullData {
+		t.Fatalf("pull policy routed %v", d.Route)
+	}
+	r := req()
+	r.PullViable = false
+	if d, _ = p.Decide(m, r); d.Route != RouteShipCode {
+		t.Fatalf("non-viable pull routed %v, want ship fallback", d.Route)
+	}
+	if p.Stats.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", p.Stats.Fallbacks)
+	}
+
+	// Local data degenerates every policy to run-local.
+	for _, pol := range []Policy{PolicyCostModel, PolicyShipCode, PolicyPullData, PolicyLocal} {
+		p = &Planner{Policy: pol}
+		r = req()
+		r.DstIsLocal = true
+		if d, err = p.Decide(m, r); err != nil || d.Route != RouteLocal {
+			t.Fatalf("%v with local data: %v route %v", pol, err, d.Route)
+		}
+	}
+
+	// PolicyLocal rejects remote regions.
+	p = &Planner{Policy: PolicyLocal}
+	if _, err = p.Decide(m, req()); err == nil {
+		t.Fatal("PolicyLocal accepted a remote region")
+	}
+}
+
+// TestPlannerDeterminism: identical request streams yield identical
+// decision traces — the property the runtime-level differential tests
+// extend across engines.
+func TestPlannerDeterminism(t *testing.T) {
+	m := model(4)
+	mk := func() []Decision {
+		p := &Planner{Policy: PolicyCostModel, TraceEnabled: true}
+		w := Generate(WorkloadParams{Seed: 11, Ops: 40})
+		for _, op := range w.Ops {
+			r := req()
+			r.DstIsLocal = op.Dst == 0
+			r.PayloadLen = op.PayloadLen
+			r.DataBytes = w.RegionWords[op.Dst] * 8
+			r.MeanSteps = float64(10 + w.Types[op.Type].Iters*3)
+			if _, err := p.Decide(m, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Trace
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

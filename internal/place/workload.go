@@ -1,0 +1,234 @@
+package place
+
+// The workload scenario generator: seeded, deterministic descriptions of
+// heterogeneous offload streams for exercising and benchmarking the
+// placement planner — skewed type popularity (Zipf), mixed payload and
+// operand-region sizes, hot/cold module churn (deregistration resets the
+// caching protocol's amortization), asymmetric node speeds, and a mix of
+// read-only and mutating kernels of very different dynamic cost. The
+// generator emits a pure description (no simulation types): the bench
+// harness materializes it against a cluster, which keeps scenarios
+// replayable bit-for-bit under every policy and engine.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// WorkloadParams seeds one scenario. Zero fields take the documented
+// defaults, so tests can specify only what they constrain.
+type WorkloadParams struct {
+	Seed int64
+	// Nodes is the cluster size including the driver (node 0 issues
+	// every offload). Default 4.
+	Nodes int
+	// Types is the number of distinct ifunc types. Default 6.
+	Types int
+	// Ops is the number of offload requests. Default 64.
+	Ops int
+	// ZipfS is the type-popularity skew exponent (>1; 1.2 mild, 2 hot).
+	// Default 1.4 — a few hot types, a long cold tail.
+	ZipfS float64
+	// MinPayload/MaxPayload bound the per-op payload draw. Defaults 8/256.
+	MinPayload, MaxPayload int
+	// HeavyFrac is the fraction of types that are heavy compute kernels
+	// (long counted loops) rather than cheap increments. Default 0.5.
+	HeavyFrac float64
+	// ReadFrac is the fraction of types that are read-only (scan the
+	// region, no write-back). Default 0.33.
+	ReadFrac float64
+	// HeavyIters bounds a heavy type's loop iterations (drawn in
+	// [HeavyIters/4, HeavyIters]). Default 2048.
+	HeavyIters int
+	// MinRegionWords/MaxRegionWords bound the per-node operand-region
+	// size draw, in 8-byte words. Defaults 8/1024 — mixing 64 B regions
+	// a GET fetches for free with 8 KiB regions that dominate the wire.
+	MinRegionWords, MaxRegionWords int
+	// SpeedMin/SpeedMax bound the per-node ExecCostMultiplier draw
+	// (asymmetric node speeds; node 0, the driver, always gets SpeedMin —
+	// the "fast host next to wimpy DPUs" shape). Defaults 1/8.
+	SpeedMin, SpeedMax float64
+	// PredeployFrac is the fraction of types whose code is resident on
+	// every node before the stream starts (long-running services, the
+	// paper's Active-Message-like baseline) — the regime where ship-code
+	// is a 26-byte truncated frame with zero registration cost and can
+	// beat pulling the region. Default 0.33.
+	PredeployFrac float64
+	// ChurnEvery deregisters the op's type every N ops before issuing it
+	// (hot/cold module churn: the sent-cache and remote registration
+	// amortization reset, so the next ship pays full freight — a
+	// predeployed type that churns becomes cold like any other). 0
+	// disables.
+	ChurnEvery int
+	// SelfFrac is the fraction of ops whose region lives on the driver
+	// itself (the run-local degenerate route). Default 0.1.
+	SelfFrac float64
+}
+
+// withDefaults fills zero fields.
+func (p WorkloadParams) withDefaults() WorkloadParams {
+	if p.Nodes == 0 {
+		p.Nodes = 4
+	}
+	if p.Types == 0 {
+		p.Types = 6
+	}
+	if p.Ops == 0 {
+		p.Ops = 64
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.4
+	}
+	if p.MaxPayload == 0 {
+		p.MinPayload, p.MaxPayload = 8, 256
+	}
+	if p.HeavyFrac == 0 {
+		p.HeavyFrac = 0.5
+	}
+	if p.ReadFrac == 0 {
+		p.ReadFrac = 0.33
+	}
+	if p.HeavyIters == 0 {
+		p.HeavyIters = 2048
+	}
+	if p.MaxRegionWords == 0 {
+		p.MinRegionWords, p.MaxRegionWords = 8, 1024
+	}
+	if p.SpeedMax == 0 {
+		p.SpeedMin, p.SpeedMax = 1, 8
+	}
+	if p.PredeployFrac == 0 {
+		p.PredeployFrac = 0.33
+	}
+	if p.SelfFrac == 0 {
+		p.SelfFrac = 0.1
+	}
+	if p.MinPayload < 1 {
+		p.MinPayload = 1
+	}
+	if p.MinRegionWords < 1 {
+		p.MinRegionWords = 1
+	}
+	return p
+}
+
+// TypeSpec describes one generated ifunc type.
+type TypeSpec struct {
+	ID int
+	// Heavy types run a counted loop of Iters iterations; cheap types are
+	// single increments.
+	Heavy bool
+	// ReadOnly types scan the region and return a checksum without
+	// mutating it (no write-back on the pull route).
+	ReadOnly bool
+	// Predeployed types have their code registered on every node before
+	// the stream starts (resident services).
+	Predeployed bool
+	// Iters is the loop trip count for heavy and read-only kernels (the
+	// read-only scan length is additionally clamped to the region).
+	Iters int
+}
+
+// OpSpec is one offload request of the scenario.
+type OpSpec struct {
+	// Type indexes Workload.Types.
+	Type int
+	// Dst is the node owning the operand region (0 = the driver itself).
+	Dst int
+	// PayloadLen is the message payload size.
+	PayloadLen int
+	// Churn orders the driver to deregister + re-register the type before
+	// issuing this op.
+	Churn bool
+}
+
+// Workload is one fully materialized scenario description.
+type Workload struct {
+	Params WorkloadParams
+	Types  []TypeSpec
+	// RegionWords is each node's operand-region size in 8-byte words.
+	RegionWords []int
+	// SpeedMult is each node's ExecCostMultiplier (asymmetric speeds).
+	SpeedMult []float64
+	Ops       []OpSpec
+}
+
+// Generate builds the scenario for the seed, deterministically: the same
+// params always produce the same workload, on every host (golden-seed
+// tests pin fingerprints).
+func Generate(p WorkloadParams) *Workload {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &Workload{Params: p}
+
+	for i := 0; i < p.Types; i++ {
+		t := TypeSpec{ID: i}
+		t.Heavy = rng.Float64() < p.HeavyFrac
+		t.ReadOnly = rng.Float64() < p.ReadFrac
+		t.Predeployed = rng.Float64() < p.PredeployFrac
+		if t.Heavy || t.ReadOnly {
+			lo := p.HeavyIters / 4
+			if lo < 1 {
+				lo = 1
+			}
+			t.Iters = lo + rng.Intn(p.HeavyIters-lo+1)
+		}
+		w.Types = append(w.Types, t)
+	}
+
+	for n := 0; n < p.Nodes; n++ {
+		words := p.MinRegionWords
+		if p.MaxRegionWords > p.MinRegionWords {
+			words += rng.Intn(p.MaxRegionWords - p.MinRegionWords + 1)
+		}
+		w.RegionWords = append(w.RegionWords, words)
+		mult := p.SpeedMin + rng.Float64()*(p.SpeedMax-p.SpeedMin)
+		if n == 0 {
+			mult = p.SpeedMin // the driver is the fast host
+		}
+		w.SpeedMult = append(w.SpeedMult, mult)
+	}
+
+	var zipf *rand.Zipf
+	if p.ZipfS > 1 && p.Types > 1 {
+		zipf = rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Types-1))
+	}
+	for i := 0; i < p.Ops; i++ {
+		var op OpSpec
+		if zipf != nil {
+			op.Type = int(zipf.Uint64())
+		} else {
+			op.Type = rng.Intn(p.Types)
+		}
+		if p.Nodes > 1 && rng.Float64() >= p.SelfFrac {
+			op.Dst = 1 + rng.Intn(p.Nodes-1)
+		}
+		op.PayloadLen = p.MinPayload
+		if p.MaxPayload > p.MinPayload {
+			op.PayloadLen += rng.Intn(p.MaxPayload - p.MinPayload + 1)
+		}
+		op.Churn = p.ChurnEvery > 0 && i > 0 && i%p.ChurnEvery == 0
+		w.Ops = append(w.Ops, op)
+	}
+	return w
+}
+
+// Fingerprint hashes the full scenario content (FNV-1a over a stable
+// rendering): golden-seed tests pin it so generator drift — a reordered
+// rand draw, a changed default — is caught instead of silently changing
+// every downstream benchmark.
+func (w *Workload) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "nodes=%d types=%d ops=%d\n", len(w.RegionWords), len(w.Types), len(w.Ops))
+	for _, t := range w.Types {
+		fmt.Fprintf(h, "t%d heavy=%v ro=%v pre=%v iters=%d\n", t.ID, t.Heavy, t.ReadOnly, t.Predeployed, t.Iters)
+	}
+	for i := range w.RegionWords {
+		fmt.Fprintf(h, "n%d words=%d mult=%.6f\n", i, w.RegionWords[i], w.SpeedMult[i])
+	}
+	for i, op := range w.Ops {
+		fmt.Fprintf(h, "op%d type=%d dst=%d pay=%d churn=%v\n", i, op.Type, op.Dst, op.PayloadLen, op.Churn)
+	}
+	return h.Sum64()
+}

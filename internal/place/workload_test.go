@@ -1,0 +1,82 @@
+package place
+
+import "testing"
+
+// TestWorkloadGoldenSeeds pins the generator's output for fixed seeds:
+// any drift in the draw order, the defaults or the spec layout changes
+// these fingerprints and must be a conscious decision (it invalidates
+// cross-PR benchmark comparability).
+func TestWorkloadGoldenSeeds(t *testing.T) {
+	golden := []struct {
+		params WorkloadParams
+		want   uint64
+	}{
+		{WorkloadParams{Seed: 1}, 0x64210baadd9bed1b},
+		{WorkloadParams{Seed: 2}, 0xe668e5d2fa86b255},
+		{WorkloadParams{Seed: 42}, 0x2242a45b6b22848b},
+		{WorkloadParams{Seed: 7, Nodes: 6, Types: 8, Ops: 128, ChurnEvery: 16}, 0xe74551465110f5bd},
+	}
+	for _, g := range golden {
+		if got := Generate(g.params).Fingerprint(); got != g.want {
+			t.Errorf("seed %d: fingerprint %#016x, want %#016x", g.params.Seed, got, g.want)
+		}
+	}
+}
+
+// TestWorkloadShape sanity-checks the generated structure: bounds
+// respected, churn cadence honored, both kernel classes and at least one
+// self-op present at the defaults.
+func TestWorkloadShape(t *testing.T) {
+	w := Generate(WorkloadParams{Seed: 3, Ops: 200, ChurnEvery: 10})
+	p := w.Params
+	if len(w.Ops) != 200 || len(w.Types) != p.Types || len(w.RegionWords) != p.Nodes {
+		t.Fatalf("shape: ops=%d types=%d nodes=%d", len(w.Ops), len(w.Types), len(w.RegionWords))
+	}
+	var self, churn int
+	for i, op := range w.Ops {
+		if op.Type < 0 || op.Type >= p.Types {
+			t.Fatalf("op %d: type %d out of range", i, op.Type)
+		}
+		if op.Dst < 0 || op.Dst >= p.Nodes {
+			t.Fatalf("op %d: dst %d out of range", i, op.Dst)
+		}
+		if op.PayloadLen < p.MinPayload || op.PayloadLen > p.MaxPayload {
+			t.Fatalf("op %d: payload %d outside [%d,%d]", i, op.PayloadLen, p.MinPayload, p.MaxPayload)
+		}
+		if op.Churn != (i > 0 && i%10 == 0) {
+			t.Fatalf("op %d: churn = %v", i, op.Churn)
+		}
+		if op.Dst == 0 {
+			self++
+		}
+	}
+	if self == 0 {
+		t.Error("no self-ops generated")
+	}
+	_ = churn
+	var heavy, cheap int
+	for _, ts := range w.Types {
+		if ts.Heavy {
+			heavy++
+		} else {
+			cheap++
+		}
+		if (ts.Heavy || ts.ReadOnly) && ts.Iters <= 0 {
+			t.Errorf("type %d: no iterations", ts.ID)
+		}
+	}
+	if heavy == 0 || cheap == 0 {
+		t.Errorf("kernel mix degenerate: %d heavy, %d cheap", heavy, cheap)
+	}
+	for n, words := range w.RegionWords {
+		if words < p.MinRegionWords || words > p.MaxRegionWords {
+			t.Fatalf("node %d: region %d words outside bounds", n, words)
+		}
+		if w.SpeedMult[n] < p.SpeedMin || w.SpeedMult[n] > p.SpeedMax {
+			t.Fatalf("node %d: speed %v outside bounds", n, w.SpeedMult[n])
+		}
+	}
+	if w.SpeedMult[0] != p.SpeedMin {
+		t.Errorf("driver speed %v, want SpeedMin %v", w.SpeedMult[0], p.SpeedMin)
+	}
+}

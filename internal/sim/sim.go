@@ -19,7 +19,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -62,30 +61,71 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 func FromNanos(ns float64) Time { return Time(ns * float64(Nanosecond)) }
 
 // event is one scheduled callback. seq breaks ties at equal times so the
-// schedule is a strict total order (determinism).
+// schedule is a strict total order (determinism). An event is either a
+// closure (fn) or a closure-free signal fire (sig/val) — the latter lets
+// hot transport paths schedule completions without allocating.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	sig *Signal
+	val uint64
 }
 
+// eventHeap is a hand-rolled binary min-heap over the event array. The
+// standard container/heap would box every event into an interface{} on
+// Push/Pop — one heap allocation per scheduled event, which is the
+// dominant per-message host cost of the delivery pipeline. Storing events
+// by value in a reused backing array makes scheduling allocation-free in
+// steady state (the array is the event pool).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.before(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release closure/signal refs while the slot is pooled
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.before(l, min) {
+			min = l
+		}
+		if r < n && s.before(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is the event scheduler. The zero value is not usable; call New.
@@ -113,7 +153,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d after the current time.
@@ -124,16 +164,30 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AtFire schedules s.Fire(v) at absolute time t without allocating a
+// closure — the completion-event fast path for transport layers.
+func (e *Engine) AtFire(t Time, s *Signal, v uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, sig: s, val: v})
+}
+
 // Step dispatches the single next event; it reports false when the queue
 // is empty.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else if ev.sig != nil {
+		ev.sig.Fire(ev.val)
+	}
 	return true
 }
 

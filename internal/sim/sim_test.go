@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -229,5 +230,55 @@ func TestTimeFormatting(t *testing.T) {
 	}
 	if FromNanos(2.5) != 2500*Picosecond {
 		t.Error("FromNanos wrong")
+	}
+}
+
+// TestScheduleAllocFree pins the event pool: scheduling and dispatching
+// events in steady state (heap backing array warm) allocates nothing —
+// events are stored by value in the reused heap array, with no
+// container/heap interface boxing, and AtFire/AfterFire signal fires
+// carry no closure. This is the per-message host cost ROADMAP names as
+// the dominant remaining delivery overhead.
+func TestScheduleAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the heap backing array past any size this test reaches.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+
+	cycle := func() {
+		e.At(e.Now()+1, fn)
+		e.At(e.Now()+2, fn)
+		e.At(e.Now()+1, fn)
+		for e.Step() {
+		}
+	}
+	if allocs := testing.AllocsPerRun(500, cycle); allocs > 0 {
+		t.Errorf("warm schedule+dispatch allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestAtFireOrdering checks the closure-free fire event behaves exactly
+// like an At(func(){ s.Fire(v) }) — same timestamp, same tie-break order
+// relative to surrounding events, value delivered.
+func TestAtFireOrdering(t *testing.T) {
+	e := New()
+	var order []string
+	s := e.NewSignal()
+	s.OnFire(func() { order = append(order, "sig") })
+	e.At(5, func() { order = append(order, "before") })
+	e.AtFire(5, s, 42)
+	e.At(5, func() { order = append(order, "after") })
+	e.Run()
+	if s.Value() != 42 {
+		t.Fatalf("signal value = %d, want 42", s.Value())
+	}
+	// Fire defers subscribers via After(0), so the subscriber lands after
+	// the events already queued at t=5 — exactly like the closure form.
+	want := "[before after sig]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("dispatch order %v, want %v", got, want)
 	}
 }

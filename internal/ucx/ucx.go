@@ -91,7 +91,9 @@ type IfuncDelivery struct {
 	Release FrameRelease
 
 	// done fires with a Status once the frame has been handed to the
-	// drain (transport-level completion, owned by the worker).
+	// drain (transport-level completion, owned by the worker). Quiet
+	// sends (SendIfuncQuiet) leave it nil: no completion is observed, so
+	// no signal is allocated.
 	done *sim.Signal
 }
 
@@ -143,6 +145,9 @@ type Worker struct {
 	ifuncQ      []IfuncDelivery
 	qFree       [][]IfuncDelivery
 	pollPending bool
+	// drainFn memoizes the drainIfuncs method value so scheduling a poll
+	// wakeup does not allocate a fresh closure per arrival.
+	drainFn func()
 
 	// AMDispatch is the extra CPU cost of dispatching an AM through the
 	// handler pointer table (calibrated per testbed).
@@ -344,20 +349,34 @@ func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
 // by the drain consumer once the bytes are dead. The fabric does not
 // copy message data, so the sender must not touch the buffer until then.
 func (ep *Endpoint) SendIfuncPooled(frame []byte, release FrameRelease) *sim.Signal {
+	done := ep.W.Ctx.Net.Eng.NewSignal()
+	ep.sendIfunc(frame, release, done)
+	return done
+}
+
+// SendIfuncQuiet is SendIfuncPooled without a completion signal, for
+// senders that never observe transport-level completion (the runtime's
+// warm streaming path): two signal allocations (local + done) and their
+// fire bookkeeping are skipped per message. Timing is identical.
+func (ep *Endpoint) SendIfuncQuiet(frame []byte, release FrameRelease) {
+	ep.sendIfunc(frame, release, nil)
+}
+
+func (ep *Endpoint) sendIfunc(frame []byte, release FrameRelease, done *sim.Signal) {
 	eng := ep.W.Ctx.Net.Eng
 	params := ep.W.Ctx.Net.Params
-	done := eng.NewSignal()
 	srcID := ep.W.Node.ID
-	ep.W.Node.Send(ep.Peer.Node, frame, nil, func(msg *fabric.Message) {
+	ep.W.Node.SendNoCompletion(ep.Peer.Node, frame, nil, func(msg *fabric.Message) {
 		eng.After(params.NICOverhead, func() {
 			if ep.Peer.ifuncDrain == nil {
-				done.Fire(uint64(ErrRejected))
+				if done != nil {
+					done.Fire(uint64(ErrRejected))
+				}
 				return
 			}
 			ep.Peer.enqueueIfunc(IfuncDelivery{SrcNode: srcID, Frame: msg.Data, Release: release, done: done})
 		})
 	})
-	return done
 }
 
 // enqueueIfunc appends a NIC-written frame to the message buffer and
@@ -377,7 +396,10 @@ func (w *Worker) schedulePoll() {
 		return
 	}
 	w.pollPending = true
-	w.Node.ExecCPU(0, w.drainIfuncs)
+	if w.drainFn == nil {
+		w.drainFn = w.drainIfuncs
+	}
+	w.Node.ExecCPU(0, w.drainFn)
 }
 
 // drainIfuncs is the poll pickup: it takes every queued frame (bounded
@@ -414,7 +436,9 @@ func (w *Worker) drainIfuncs() {
 	w.Node.ExecCPU(cost, func() {
 		w.ifuncDrain(batch)
 		for i := range batch {
-			batch[i].done.Fire(uint64(OK))
+			if batch[i].done != nil {
+				batch[i].done.Fire(uint64(OK))
+			}
 		}
 		// Recycle only fully drained queues — such a batch owns its whole
 		// backing array. (A partial batch is a prefix view of a larger
@@ -441,6 +465,6 @@ func (w *Worker) Flush() *sim.Signal {
 	if t := eng.Now(); free < t {
 		free = t
 	}
-	eng.At(free, func() { s.Fire(uint64(OK)) })
+	eng.AtFire(free, s, uint64(OK))
 	return s
 }

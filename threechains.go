@@ -46,6 +46,7 @@ import (
 	"threechains/internal/isa"
 	"threechains/internal/mcode"
 	"threechains/internal/minilang"
+	"threechains/internal/place"
 	"threechains/internal/sim"
 	"threechains/internal/testbed"
 	"threechains/internal/toolchain"
@@ -159,6 +160,47 @@ func NewClusterN(p Profile, n int) *Cluster {
 		rt.Worker.IfuncPoll = p.IfuncPoll
 	}
 	return cl
+}
+
+// Compute/data placement (internal/place). Runtime.Offload routes each
+// request — ship the BitCODE to the data (the paper's mechanism), pull
+// the operand region to the compute (one-sided GET + local execution +
+// optional put-back), or run in place — under one of these policies.
+// PolicyCostModel prices the routes per request from the calibrated
+// fabric/µarch/registration state and the decayed per-type step
+// estimates; decisions are deterministic and engine-invariant, and all
+// policies produce bit-identical execution results (differentially
+// tested).
+const (
+	PolicyCostModel = place.PolicyCostModel
+	PolicyShipCode  = place.PolicyShipCode
+	PolicyPullData  = place.PolicyPullData
+	PolicyLocal     = place.PolicyLocal
+)
+
+// Placement types: offload options, the planner's policy/decision
+// vocabulary, and the seeded workload scenario generator.
+type (
+	// OffloadOpts parameterizes Runtime.Offload (policy + operand region).
+	OffloadOpts = core.OffloadOpts
+	// PlacementPolicy selects an offload routing policy.
+	PlacementPolicy = place.Policy
+	// WorkloadParams seeds a generated placement scenario.
+	WorkloadParams = place.WorkloadParams
+	// Workload is a generated placement scenario description.
+	Workload = place.Workload
+	// PlacementResult is one scenario row of the placement policy sweep.
+	PlacementResult = bench.PlacementResult
+)
+
+// GenerateWorkload builds the deterministic scenario for the params
+// (same seed, same workload, on every host).
+func GenerateWorkload(p WorkloadParams) *Workload { return place.Generate(p) }
+
+// PlacementSweep runs the default placement scenario grid under every
+// routing policy on a testbed profile (see cmd/paperbench -placement).
+func PlacementSweep(p Profile) ([]PlacementResult, error) {
+	return bench.PlacementSweep(p, nil)
 }
 
 // PaperTriples returns the fat-bitcode target list the paper ships
