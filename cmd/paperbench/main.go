@@ -151,11 +151,14 @@ func engineReport(print bool) *enginesReport {
 	return rep
 }
 
-// placementReport runs the placement-policy sweep on the Thor-Xeon
+// placementReport runs the placement-policy sweeps on the Thor-Xeon
 // profile: generated heterogeneous scenarios offloaded under every
 // routing policy, total virtual time compared (the §V tables measure a
 // fixed ship-code pipeline; this measures the choice the paper leaves to
-// the caller). When print is true the table goes to stdout.
+// the caller). The sequential sweep compares the statics against the
+// zero-load cost model; the concurrent sweep drives windowed offload
+// streams and adds the queueing-aware planner. When print is true the
+// tables go to stdout.
 func placementReport(print bool) []bench.PlacementResult {
 	rows, err := bench.PlacementSweep(testbed.ThorXeon(), nil)
 	if err != nil {
@@ -163,17 +166,33 @@ func placementReport(print bool) []bench.PlacementResult {
 	}
 	if print {
 		fmt.Printf("--- Placement policies (total virtual time, sequential offload stream) ---\n")
-		fmt.Printf("%-14s %6s %12s %12s %12s %7s %18s\n",
+		fmt.Printf("%-17s %6s %12s %12s %12s %7s %18s\n",
 			"scenario", "ops", "ship", "pull", "cost-model", "win", "cost-model routes")
 		for _, r := range rows {
 			cm := r.Points[2]
-			fmt.Printf("%-14s %6d %10.1fµs %10.1fµs %10.1fµs %6.1f%% ship=%d pull=%d local=%d\n",
+			fmt.Printf("%-17s %6d %10.1fµs %10.1fµs %10.1fµs %6.1f%% ship=%d pull=%d local=%d\n",
 				r.Scenario, r.Ops, r.Points[0].TotalUS, r.Points[1].TotalUS,
 				r.CostModelUS, r.WinPct, cm.ShipOps, cm.PullOps, cm.LocalOps)
 		}
 		fmt.Printf("\n")
 	}
-	return rows
+	conc, err := bench.ConcurrentPlacementSweep(testbed.ThorXeon(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if print {
+		fmt.Printf("--- Concurrent placement (makespan, windowed offload streams) ---\n")
+		fmt.Printf("%-17s %6s %6s %12s %12s %12s %12s %7s %18s\n",
+			"scenario", "ops", "depth", "ship", "pull", "zero-load", "queue", "win", "queue routes")
+		for _, r := range conc {
+			q := r.Points[3]
+			fmt.Printf("%-17s %6d %6d %10.1fµs %10.1fµs %10.1fµs %10.1fµs %6.1f%% ship=%d pull=%d local=%d\n",
+				r.Scenario, r.Ops, r.Depth, r.Points[0].TotalUS, r.Points[1].TotalUS,
+				r.CostModelUS, r.QueueUS, r.QueueWinPct, q.ShipOps, q.PullOps, q.LocalOps)
+		}
+		fmt.Printf("\n")
+	}
+	return append(rows, conc...)
 }
 
 // writeJSON dumps the engines report for cross-PR trajectory tracking.

@@ -43,6 +43,27 @@ func main() {
 	}
 	fmt.Printf("\nall policies computed identical results (hash %s)\n", r.Points[0].ResultHash)
 	fmt.Printf("cost model beats the best static policy by %.1f%%\n", r.WinPct)
+
+	// The same choice under pipelined load: a 16-deep offload stream
+	// (threechains.StreamOp / Runtime.StartOffloadStream) over nine
+	// remote nodes. Priced one request at a time the pull route wins
+	// almost everywhere, so the zero-load cost model herds onto the
+	// driver's core like always-pull; the queueing-aware planner
+	// (threechains.PolicyCostModelQueue) tracks busy-until horizons for
+	// the local core and NIC and spills the excess to idle remote cores.
+	conc, err := threechains.ConcurrentPlacementSweep(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := conc[0] // concurrent-hetero
+	fmt.Printf("\nconcurrent stream (depth %d, %d offloads, %d nodes):\n", c.Depth, c.Ops, c.Nodes)
+	fmt.Printf("%-18s %14s %28s\n", "policy", "makespan", "route mix (ship/pull/local)")
+	for _, pt := range c.Points {
+		fmt.Printf("%-18s %12.1fµs %17d/%d/%d\n",
+			pt.Policy, pt.TotalUS, pt.ShipOps, pt.PullOps, pt.LocalOps)
+	}
+	fmt.Printf("\nall policies again bit-identical (hash %s)\n", c.Points[0].ResultHash)
+	fmt.Printf("queueing-aware model beats the best alternative by %.1f%%\n", c.QueueWinPct)
 }
 
 func round2(xs []float64) []float64 {

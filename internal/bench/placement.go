@@ -25,7 +25,8 @@ import (
 // PlacementPoint is one policy's outcome on one scenario.
 type PlacementPoint struct {
 	Policy string `json:"policy"`
-	// TotalUS is the total virtual time of the sequential offload stream.
+	// TotalUS is the total virtual time of the offload stream (the
+	// makespan: issue of the first request to quiescence after the last).
 	TotalUS float64 `json:"total_us"`
 	// Route mix chosen by the policy.
 	ShipOps   uint64 `json:"ship_ops"`
@@ -54,6 +55,14 @@ type PlacementResult struct {
 	BestStaticUS float64 `json:"best_static_us"`
 	CostModelUS  float64 `json:"cost_model_us"`
 	WinPct       float64 `json:"win_pct"`
+	// Concurrent-mode fields (ConcurrentPlacementSweep): the stream
+	// window, the arrival-burst size, the queueing-aware planner's
+	// makespan and its improvement over the best of every other policy —
+	// the two statics and the zero-load cost model.
+	Depth       int     `json:"depth,omitempty"`
+	Burst       int     `json:"burst,omitempty"`
+	QueueUS     float64 `json:"queue_us,omitempty"`
+	QueueWinPct float64 `json:"queue_win_pct,omitempty"`
 }
 
 // PlacementScenario names one generated workload of the default sweep.
@@ -78,6 +87,36 @@ func PlacementScenarios() []PlacementScenario {
 		{Name: "uniform-cheap", Params: place.WorkloadParams{
 			Seed: 9, Nodes: 3, Types: 4, Ops: 64,
 			HeavyFrac: 0.01, SpeedMin: 1, SpeedMax: 1.5, MaxRegionWords: 64,
+		}},
+	}
+}
+
+// ConcurrentPlacementScenarios returns the concurrent sweep grid —
+// windowed offload streams against the queueing-aware planner.
+// "concurrent-hetero" is the acceptance scenario: a fast driver issues
+// 16-deep streams of mostly-heavy, mostly-resident kernels against nine
+// remote nodes 1-8x slower. Priced one request at a time the pull route
+// wins almost everywhere (a 4-8 KiB GET is cheap next to running a
+// heavy kernel on a slow core), so the zero-load cost model herds onto
+// the driver's core exactly like always-pull; the queueing-aware
+// planner watches its own busy-until horizons fill and spills the
+// excess to the idle remote cores, beating both statics and the
+// zero-load model on makespan.
+func ConcurrentPlacementScenarios() []PlacementScenario {
+	return []PlacementScenario{
+		{Name: "concurrent-hetero", Params: place.WorkloadParams{
+			Seed: 7, Nodes: 10, Types: 6, Ops: 160,
+			MinRegionWords: 512, MaxRegionWords: 1024,
+			HeavyIters: 16384, HeavyFrac: 0.9, PredeployFrac: 0.99,
+			SpeedMin: 1, SpeedMax: 8,
+			StreamDepth: 16,
+		}},
+		{Name: "concurrent-burst", Params: place.WorkloadParams{
+			Seed: 7, Nodes: 10, Types: 6, Ops: 160,
+			MinRegionWords: 512, MaxRegionWords: 1024,
+			HeavyIters: 16384, HeavyFrac: 0.9, PredeployFrac: 0.99,
+			SpeedMin: 1, SpeedMax: 8,
+			StreamDepth: 8, ArrivalBurst: 32,
 		}},
 	}
 }
@@ -207,15 +246,46 @@ func newPlacementWorld(p testbed.Profile, w *place.Workload, engine string) (*pl
 			}
 		}
 	}
-	// Record every execution's value in completion order (one op runs at
-	// a time, so the order is the op order regardless of route).
-	obs := func(_, _ string, result uint64, _ sim.Time) {
-		pw.results = append(pw.results, result)
-	}
-	for _, rt := range cl.Runtimes {
-		rt.Observer = obs
-	}
 	return pw, nil
+}
+
+// opRequest materializes op i: its handle, payload and offload options
+// (everything but the policy — shared by the sequential and stream
+// runners so both issue byte-identical requests).
+func (pw *placementWorld) opRequest(i int) (*core.Handle, []byte, core.OffloadOpts) {
+	w := pw.w
+	op := w.Ops[i]
+	h := pw.handles[op.Type]
+	ts := w.Types[op.Type]
+	payload := make([]byte, op.PayloadLen)
+	if ts.ReadOnly {
+		// Scan length: clamped to the destination region so ship and
+		// pull read exactly the same bytes.
+		words := ts.Iters
+		if words > w.RegionWords[op.Dst] {
+			words = w.RegionWords[op.Dst]
+		}
+		if op.PayloadLen < 8 {
+			payload = make([]byte, 8)
+		}
+		binary.LittleEndian.PutUint64(payload, uint64(words))
+	}
+	opts := core.OffloadOpts{
+		DataAddr:  pw.regions[op.Dst],
+		DataSize:  uint64(w.RegionWords[op.Dst] * 8),
+		WriteBack: !ts.ReadOnly,
+	}
+	return h, payload, opts
+}
+
+// execErr surfaces the first guest execution error on any node.
+func (pw *placementWorld) execErr() error {
+	for _, rt := range pw.cl.Runtimes {
+		if rt.LastExecErr != nil {
+			return fmt.Errorf("on %s: %w", rt.Node.Name, rt.LastExecErr)
+		}
+	}
+	return nil
 }
 
 // churn resets a type's deployment state everywhere: the driver
@@ -242,6 +312,14 @@ func (pw *placementWorld) churn(typ int) error {
 // planner's per-request estimates model). Returns the total virtual
 // time, the route stats and the result hash.
 func (pw *placementWorld) run(policy place.Policy) (sim.Time, place.Stats, uint64, error) {
+	// Record every execution's value in completion order (one op runs at
+	// a time, so the order is the op order regardless of route).
+	obs := func(_, _ string, result uint64, _ sim.Time) {
+		pw.results = append(pw.results, result)
+	}
+	for _, rt := range pw.cl.Runtimes {
+		rt.Observer = obs
+	}
 	w := pw.w
 	for i, op := range w.Ops {
 		if op.Churn {
@@ -249,39 +327,68 @@ func (pw *placementWorld) run(policy place.Policy) (sim.Time, place.Stats, uint6
 				return 0, place.Stats{}, 0, fmt.Errorf("op %d churn: %w", i, err)
 			}
 		}
-		h := pw.handles[op.Type]
-		ts := w.Types[op.Type]
-		payload := make([]byte, op.PayloadLen)
-		if ts.ReadOnly {
-			// Scan length: clamped to the destination region so ship and
-			// pull read exactly the same bytes.
-			words := ts.Iters
-			if words > w.RegionWords[op.Dst] {
-				words = w.RegionWords[op.Dst]
-			}
-			if op.PayloadLen < 8 {
-				payload = make([]byte, 8)
-			}
-			binary.LittleEndian.PutUint64(payload, uint64(words))
-		}
-		opts := core.OffloadOpts{
-			Policy:    policy,
-			DataAddr:  pw.regions[op.Dst],
-			DataSize:  uint64(w.RegionWords[op.Dst] * 8),
-			WriteBack: !ts.ReadOnly,
-		}
+		h, payload, opts := pw.opRequest(i)
+		opts.Policy = policy
 		if _, err := pw.drv.Offload(op.Dst, h, "main", payload, opts); err != nil {
 			return 0, place.Stats{}, 0, fmt.Errorf("op %d: %w", i, err)
 		}
 		pw.cl.Run()
-		if err := pw.drv.LastExecErr; err != nil {
-			return 0, place.Stats{}, 0, fmt.Errorf("op %d: %w", i, err)
+		if err := pw.execErr(); err != nil {
+			return 0, place.Stats{}, 0, fmt.Errorf("op %d %w", i, err)
 		}
-		for _, rt := range pw.cl.Runtimes {
-			if rt.LastExecErr != nil {
-				return 0, place.Stats{}, 0, fmt.Errorf("op %d on %s: %w", i, rt.Node.Name, rt.LastExecErr)
-			}
+	}
+	return pw.cl.Eng.Now(), pw.drv.Planner.Stats, pw.resultHash(), nil
+}
+
+// runStream drives the op stream under one policy through windowed
+// offload streams (core.OffloadStream): up to StreamDepth requests in
+// flight, requests to one destination serialized, ArrivalBurst-sized
+// arrival windows drained to a barrier. Per-op results come from the
+// stream (indexed by op, not by completion order), so the result hash is
+// directly comparable with the sequential runner's — per-destination
+// serialization makes every op's value identical across modes, depths
+// and policies. The planner trace is enabled for the determinism tests.
+func (pw *placementWorld) runStream(policy place.Policy) (sim.Time, place.Stats, uint64, error) {
+	w := pw.w
+	for _, op := range w.Ops {
+		if op.Churn {
+			return 0, place.Stats{}, 0, fmt.Errorf("bench: churn ops are sequential-only (deregistration races in-flight offloads)")
 		}
+	}
+	depth := w.Params.StreamDepth
+	if depth < 1 {
+		depth = 1
+	}
+	burst := w.Params.ArrivalBurst
+	if burst < 1 {
+		burst = len(w.Ops)
+	}
+	pw.drv.Planner.TraceEnabled = true
+	for start := 0; start < len(w.Ops); start += burst {
+		end := start + burst
+		if end > len(w.Ops) {
+			end = len(w.Ops)
+		}
+		ops := make([]core.StreamOp, 0, end-start)
+		for i := start; i < end; i++ {
+			h, payload, opts := pw.opRequest(i)
+			opts.Policy = policy
+			ops = append(ops, core.StreamOp{
+				Dst: w.Ops[i].Dst, H: h, Fn: "main", Payload: payload, Opts: opts,
+			})
+		}
+		s := pw.drv.StartOffloadStream(ops, depth)
+		pw.cl.Run()
+		if s.Err != nil {
+			return 0, place.Stats{}, 0, fmt.Errorf("burst at op %d: %w", start, s.Err)
+		}
+		if !s.Done.Fired() {
+			return 0, place.Stats{}, 0, fmt.Errorf("bench: stream stalled at op %d", start)
+		}
+		if err := pw.execErr(); err != nil {
+			return 0, place.Stats{}, 0, fmt.Errorf("burst at op %d %w", start, err)
+		}
+		pw.results = append(pw.results, s.Results...)
 	}
 	return pw.cl.Eng.Now(), pw.drv.Planner.Stats, pw.resultHash(), nil
 }
@@ -311,6 +418,20 @@ func RunPlacementScenario(p testbed.Profile, params place.WorkloadParams, policy
 		return 0, place.Stats{}, 0, err
 	}
 	return pw.run(policy)
+}
+
+// RunConcurrentPlacementScenario materializes one scenario and drives it
+// as windowed offload streams (params.StreamDepth/ArrivalBurst) under
+// one policy on a fresh cluster, additionally returning the planner's
+// committed decision trace (for run/engine determinism checks).
+func RunConcurrentPlacementScenario(p testbed.Profile, params place.WorkloadParams, policy place.Policy) (sim.Time, place.Stats, uint64, []place.Decision, error) {
+	w := place.Generate(params)
+	pw, err := newPlacementWorld(p, w, p.Engine)
+	if err != nil {
+		return 0, place.Stats{}, 0, nil, err
+	}
+	total, stats, hash, err := pw.runStream(policy)
+	return total, stats, hash, pw.drv.Planner.Trace, err
 }
 
 // placementPolicies is the sweep's policy grid.
@@ -359,6 +480,70 @@ func PlacementSweep(p testbed.Profile, scenarios []PlacementScenario) ([]Placeme
 		res.CostModelUS = cost
 		if res.BestStaticUS > 0 {
 			res.WinPct = (res.BestStaticUS - cost) / res.BestStaticUS * 100
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// concurrentPolicies is the concurrent sweep's policy grid: the two
+// statics, the PR 4 zero-load cost model, and the queueing-aware model.
+var concurrentPolicies = []place.Policy{
+	place.PolicyShipCode, place.PolicyPullData,
+	place.PolicyCostModel, place.PolicyCostModelQueue,
+}
+
+// ConcurrentPlacementSweep runs the concurrent scenario grid under every
+// policy — including the queueing-aware cost model — as windowed offload
+// streams, asserting cross-policy result equality exactly like the
+// sequential sweep. QueueUS/QueueWinPct report the queueing model's
+// makespan against the best of all other policies.
+func ConcurrentPlacementSweep(p testbed.Profile, scenarios []PlacementScenario) ([]PlacementResult, error) {
+	if scenarios == nil {
+		scenarios = ConcurrentPlacementScenarios()
+	}
+	var out []PlacementResult
+	for _, sc := range scenarios {
+		w := place.Generate(sc.Params)
+		res := PlacementResult{
+			Profile: p.Name, Scenario: sc.Name, Seed: sc.Params.Seed,
+			Nodes: len(w.RegionWords), Types: len(w.Types), Ops: len(w.Ops),
+			Fingerprint: fmt.Sprintf("%016x", w.Fingerprint()),
+			Depth:       sc.Params.StreamDepth, Burst: sc.Params.ArrivalBurst,
+		}
+		var hashes []uint64
+		for _, pol := range concurrentPolicies {
+			total, stats, hash, _, err := RunConcurrentPlacementScenario(p, sc.Params, pol)
+			if err != nil {
+				return nil, fmt.Errorf("bench: concurrent placement %s/%s/%v: %w", p.Name, sc.Name, pol, err)
+			}
+			hashes = append(hashes, hash)
+			res.Points = append(res.Points, PlacementPoint{
+				Policy: pol.String(), TotalUS: total.Micros(),
+				ShipOps: stats.Ship, PullOps: stats.Pull, LocalOps: stats.Local,
+				Fallbacks:  stats.Fallbacks,
+				ResultHash: fmt.Sprintf("%016x", hash),
+			})
+		}
+		for _, h := range hashes[1:] {
+			if h != hashes[0] {
+				return nil, fmt.Errorf("bench: concurrent placement %s/%s: policies diverged (hashes %x)", p.Name, sc.Name, hashes)
+			}
+		}
+		ship, pull := res.Points[0].TotalUS, res.Points[1].TotalUS
+		cost, queue := res.Points[2].TotalUS, res.Points[3].TotalUS
+		res.BestStaticUS = ship
+		if pull < ship {
+			res.BestStaticUS = pull
+		}
+		res.CostModelUS = cost
+		res.QueueUS = queue
+		best := res.BestStaticUS
+		if cost < best {
+			best = cost
+		}
+		if best > 0 {
+			res.QueueWinPct = (best - queue) / best * 100
 		}
 		out = append(out, res)
 	}

@@ -215,7 +215,23 @@ type Runtime struct {
 	heapKeys []ucx.RKey // everyone's windows (rkey exchange)
 
 	payloadBuf uint64 // arena for inbound payloads
-	pullBuf    uint64 // staging arena for pulled operand regions (lazy)
+
+	// Slotted staging arena for pulled operand regions: every in-flight
+	// pull holds its own pullArena-sized slot from GET issue until the
+	// staged bytes are dead, so overlapping pulls of a windowed offload
+	// stream can never corrupt each other's staging (a single shared
+	// buffer was fine when offloads ran one at a time). Slots are
+	// allocated lazily and recycled LIFO; the arena high-water mark is
+	// the stream's maximum pull concurrency.
+	pullSlots []uint64 // every slot ever allocated (for introspection)
+	pullFree  []uint64 // free slot base addresses
+
+	// execWatches are one-shot execution-completion hooks: the next
+	// completed execution of a matching type on this node fires the
+	// watch's signal with the kernel's return value (FIFO per type).
+	// OffloadStream uses them for execution-level completion of
+	// ship-routed requests, whose transport signal fires too early.
+	execWatches []execWatch
 
 	// Planner routes Offload requests (the policy comes per call from
 	// OffloadOpts); its Stats accumulate this node's route mix.
@@ -702,18 +718,26 @@ func (r *Runtime) groupFrames(batch []ucx.IfuncDelivery) []*frameGroup {
 	// One stack frame struct decodes every delivery in place (ParseInto):
 	// the warm decode stage allocates nothing.
 	var f ifunc.Frame
-	drop := func(i int, err error) {
+	// A dropped frame never reaches execution: fail the oldest watch of
+	// its type (if any) so a stream waiting on it completes instead of
+	// hanging with the destination marked busy. Malformed frames carry
+	// no trustworthy hash and pass 0 (an internally-built stream frame
+	// cannot be malformed, so no watch can be waiting on one).
+	drop := func(i int, hash uint64, err error) {
 		r.Stats.DroppedFrames++
 		r.LastDropErr = err
 		if batch[i].Release != nil {
 			batch[i].Release(batch[i].Frame)
+		}
+		if hash != 0 {
+			r.failExecWatches(hash, 1)
 		}
 	}
 	for i := range batch {
 		if err := f.ParseInto(batch[i].Frame); err != nil {
 			// Malformed frames are dropped and counted; a production
 			// runtime would log them.
-			drop(i, err)
+			drop(i, 0, err)
 			continue
 		}
 		// Batches are a handful of frames of very few types, so a linear
@@ -737,13 +761,13 @@ func (r *Runtime) groupFrames(batch []ucx.IfuncDelivery) []*frameGroup {
 				// Truncated frame for an unknown type: protocol violation
 				// (sender cache out of sync, e.g. after local
 				// deregistration).
-				drop(i, fmt.Errorf("%w: type %016x", ErrNotRunnable, f.NameHash))
+				drop(i, f.NameHash, fmt.Errorf("%w: type %016x", ErrNotRunnable, f.NameHash))
 				continue
 			}
 			var err error
 			reg, cost, err = r.registerFromWire(&f)
 			if err != nil {
-				drop(i, err)
+				drop(i, f.NameHash, err)
 				continue
 			}
 		}
@@ -894,6 +918,7 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 	if err != nil {
 		r.LastExecErr = fmt.Errorf("core: %s: %w", reg.Name, err)
 		r.Stats.ExecErrors += uint64(len(payloads))
+		r.failExecWatches(reg.Hash, len(payloads))
 		return
 	}
 
@@ -909,6 +934,7 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 		if err != nil {
 			r.LastExecErr = fmt.Errorf("core: %s: %w", reg.Name, err)
 			r.Stats.ExecErrors += uint64(len(payloads))
+			r.failExecWatches(reg.Hash, len(payloads))
 			return
 		}
 		reg.Machine = ma
@@ -991,6 +1017,31 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 		}
 	}
 
+	// Execution watches: matched synchronously (in execution order, so
+	// FIFO per type holds across groups) but fired at the completion
+	// time below, when the batch's memory effects are modeled settled.
+	// Elements that errored or never ran (a batch-level failure) fire
+	// their watch with 0, so a stream waiting on the execution always
+	// completes and reads the error from LastExecErr. The hot delivery
+	// path never pays for this — the slice is empty unless an offload
+	// stream is in flight.
+	var watchSigs []*sim.Signal
+	var watchVals []uint64
+	if len(r.execWatches) > 0 {
+		for k := 0; k < n; k++ {
+			sig := r.takeExecWatch(reg.Hash)
+			if sig == nil {
+				break
+			}
+			var v uint64
+			if k < ran && out[k].Err == nil {
+				v = out[k].Value
+			}
+			watchSigs = append(watchSigs, sig)
+			watchVals = append(watchVals, v)
+		}
+	}
+
 	// Charge the dynamic cost of the executed instructions, then flush
 	// buffered guest communication at the completion time.
 	mult := r.ExecCostMultiplier
@@ -1029,5 +1080,56 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 				r.Observer(reg.Name, entryName, v, r.Cluster.Eng.Now())
 			}
 		}
+		for i, sig := range watchSigs {
+			sig.Fire(watchVals[i])
+		}
 	})
+}
+
+// watchNextExec registers a one-shot execution watch: the returned
+// signal fires with the kernel's return value once this node's next
+// execution of type hash has completed (memory effects settled, dynamic
+// cost charged). Watches of one type are consumed FIFO, so a caller that
+// serializes its own requests per type can attribute each fire to one
+// request; concurrent foreign traffic of the same type on the same node
+// would race the attribution and is the caller's responsibility to
+// exclude.
+func (r *Runtime) watchNextExec(hash uint64) *sim.Signal {
+	sig := r.Cluster.Eng.NewSignal()
+	r.execWatches = append(r.execWatches, execWatch{hash: hash, sig: sig})
+	return sig
+}
+
+// takeExecWatch removes and returns the oldest watch for hash (nil if
+// none), preserving the order of the remaining watches.
+func (r *Runtime) takeExecWatch(hash uint64) *sim.Signal {
+	for i, w := range r.execWatches {
+		if w.hash == hash {
+			sig := w.sig
+			r.execWatches = append(r.execWatches[:i], r.execWatches[i+1:]...)
+			return sig
+		}
+	}
+	return nil
+}
+
+// failExecWatches fires up to n pending watches for hash with value 0 —
+// the execution they were waiting for failed before producing results.
+// Without this, a failed execution would strand its watch (stalling the
+// stream that owns it) and leave it to mis-attribute a later execution
+// of the same type.
+func (r *Runtime) failExecWatches(hash uint64, n int) {
+	for ; n > 0; n-- {
+		sig := r.takeExecWatch(hash)
+		if sig == nil {
+			return
+		}
+		sig.Fire(0)
+	}
+}
+
+// execWatch is one pending watchNextExec registration.
+type execWatch struct {
+	hash uint64
+	sig  *sim.Signal
 }

@@ -23,6 +23,7 @@ import (
 
 	"threechains/internal/ifunc"
 	"threechains/internal/jit"
+	"threechains/internal/mcode"
 	"threechains/internal/place"
 	"threechains/internal/sim"
 	"threechains/internal/ucx"
@@ -59,32 +60,61 @@ type OffloadOpts struct {
 // like Send); for pull-data and run-local it is execution completion
 // (including the put-back). Drive the cluster to idle for makespans.
 func (r *Runtime) Offload(dst int, h *Handle, fn string, payload []byte, opts OffloadOpts) (*sim.Signal, error) {
+	sig, _, _, err := r.offloadRouted(dst, h, fn, payload, opts, false)
+	return sig, err
+}
+
+// offloadRouted plans, launches and commits one offload. The planner's
+// persistent state is never clobbered: the per-request policy goes
+// through Plan without touching Planner.Policy, and the decision is
+// committed to stats/trace/horizons only after its route has actually
+// launched — a frame-build or registration failure leaves no record, so
+// the route mix the benchmarks report counts launched work only.
+//
+// When track is true the second returned signal fires with the kernel's
+// return value at execution-level completion (a watchNextExec on the
+// executing node); OffloadStream uses it for ship-routed requests, whose
+// transport signal fires before the remote execution.
+func (r *Runtime) offloadRouted(dst int, h *Handle, fn string, payload []byte, opts OffloadOpts, track bool) (*sim.Signal, *sim.Signal, place.Route, error) {
 	if dst < 0 || dst >= len(r.Cluster.Runtimes) {
-		return nil, fmt.Errorf("core: offload to bad node %d", dst)
+		return nil, nil, 0, fmt.Errorf("core: offload to bad node %d", dst)
 	}
 	entry, err := h.EntryIndex(fn)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	req, model := r.buildRequest(dst, h, payload, opts)
-	r.Planner.Policy = opts.Policy
-	d, err := r.Planner.Decide(model, req)
+	d, err := r.Planner.Plan(opts.Policy, model, req)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
+	var sig, execSig *sim.Signal
 	switch d.Route {
 	case place.RouteShipCode:
 		frame, err := r.buildFrame(dst, h, entry, payload)
 		if err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 		r.Stats.IfuncsSent++
-		return r.ep(dst).SendIfuncPooled(frame, r.frameRelease(dst)), nil
+		sig = r.ep(dst).SendIfuncPooled(frame, r.frameRelease(dst))
+		if track {
+			// Installed after the send but before any frame can execute
+			// (delivery is strictly later virtual time).
+			execSig = r.Cluster.Runtimes[dst].watchNextExec(h.Hash)
+		}
 	case place.RouteLocal:
-		return r.offloadLocal(h, entry, snapshotPayload(payload), opts)
+		sig, execSig, err = r.offloadLocal(h, entry, snapshotPayload(payload), opts, track)
+		if err != nil {
+			return nil, nil, 0, err
+		}
 	default:
-		return r.offloadPull(dst, h, entry, snapshotPayload(payload), opts)
+		sig, execSig, err = r.offloadPull(dst, h, entry, snapshotPayload(payload), opts, track)
+		if err != nil {
+			return nil, nil, 0, err
+		}
 	}
+	r.Planner.Commit(d)
+	return sig, execSig, d.Route, nil
 }
 
 // snapshotPayload copies a caller payload for the pull/local routes,
@@ -108,9 +138,24 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 	rdst := r.Cluster.Runtimes[dst]
 	req := place.Request{
 		DstIsLocal: dst == r.Node.ID,
+		Dst:        dst,
+		Now:        r.Cluster.Eng.Now(),
 		PayloadLen: len(payload),
 		DataBytes:  int(opts.DataSize),
 		WriteBack:  opts.WriteBack,
+	}
+
+	// Route viability. A binary handle can only ship where an object for
+	// the destination's architecture exists, and can only execute here
+	// (the pull and local routes) with an object for ours — the planner
+	// must route around a missing object, not price its registration as
+	// free (it used to, which sent exactly the unshippable requests down
+	// the ship route).
+	req.ShipViable = true
+	localRunnable := true
+	if h.Kind == ifunc.KindBinary {
+		_, req.ShipViable = h.Objects[rdst.Node.March.Triple.Arch]
+		_, localRunnable = h.Objects[r.Node.March.Triple.Arch]
 	}
 
 	// Caching-protocol amortization: the frame a ship would transmit.
@@ -169,7 +214,7 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 
 	req.LocalRegFanout = len(r.Cluster.Runtimes) - 1
 
-	req.PullViable = opts.DataSize > 0 && opts.DataSize <= pullArena &&
+	req.PullViable = localRunnable && opts.DataSize > 0 && opts.DataSize <= pullArena &&
 		dst < len(r.heapKeys)
 
 	model := place.CostModel{
@@ -182,7 +227,10 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 
 // regCostOn estimates what registering h on node rt would charge: a
 // cache lookup when the content is already compiled in rt's JIT session
-// (re-registration after churn), the full compile/load otherwise.
+// (re-registration after churn), the full compile/load otherwise. A
+// binary handle with no object for rt's architecture cannot register
+// there at all — buildRequest marks the corresponding routes unviable
+// (ShipViable/PullViable), so the 0 returned here is never priced.
 func regCostOn(rt *Runtime, h *Handle) sim.Time {
 	var key string
 	switch h.Kind {
@@ -237,68 +285,145 @@ func (r *Runtime) ensureLocalReg(h *Handle) (*ifunc.Registration, sim.Time, erro
 }
 
 // offloadLocal is the run-local route: registration lookup plus in-place
-// execution against the region, all on this node's core.
-func (r *Runtime) offloadLocal(h *Handle, entry uint16, payload []byte, opts OffloadOpts) (*sim.Signal, error) {
+// execution against the region, all on this node's core. With track set
+// it also returns an execution signal fired with the kernel's return
+// value at completion — captured directly from this request's own run,
+// so attribution survives any interleaving with other in-flight work.
+func (r *Runtime) offloadLocal(h *Handle, entry uint16, payload []byte, opts OffloadOpts, track bool) (*sim.Signal, *sim.Signal, error) {
 	reg, regCost, err := r.ensureLocalReg(h)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	done := r.Cluster.Eng.NewSignal()
+	var execSig *sim.Signal
+	if track {
+		execSig = r.Cluster.Eng.NewSignal()
+	}
 	r.Node.ExecCPU(regCost, func() {
-		r.onePayload[0] = payload
-		r.executeBatchAt(reg, entry, r.onePayload[:], opts.DataAddr)
-		r.onePayload[0] = nil
+		v := r.executeOne(reg, entry, payload, opts.DataAddr)
 		// Queue the completion behind the execution's cost charge.
-		r.Node.ExecCPU(0, func() { done.Fire(uint64(ucx.OK)) })
+		r.Node.ExecCPU(0, func() {
+			if execSig != nil {
+				execSig.Fire(v)
+			}
+			done.Fire(uint64(ucx.OK))
+		})
 	})
-	return done, nil
+	return done, execSig, nil
 }
+
+// executeOne runs a single tracked payload through the batch stage and
+// returns its result value (0 when the execution errored or never ran —
+// the error lands in LastExecErr/Stats as usual). The reused result
+// buffer is cleared first: a run that fails before writing its slot
+// must not leak the previous execution's value into this request's
+// attribution.
+func (r *Runtime) executeOne(reg *ifunc.Registration, entry uint16, payload []byte, target uint64) uint64 {
+	if len(r.batchOut) > 0 {
+		r.batchOut[0] = mcode.BatchResult{}
+	}
+	r.onePayload[0] = payload
+	r.executeBatchAt(reg, entry, r.onePayload[:], target)
+	r.onePayload[0] = nil
+	if len(r.batchOut) > 0 && r.batchOut[0].Err == nil {
+		return r.batchOut[0].Value
+	}
+	return 0
+}
+
+// acquirePullSlot hands out a free staging slot (allocating a fresh one
+// when every slot is in flight). The slot is owned by one pull from GET
+// issue until its staged bytes are dead.
+func (r *Runtime) acquirePullSlot() uint64 {
+	if n := len(r.pullFree); n > 0 {
+		slot := r.pullFree[n-1]
+		r.pullFree = r.pullFree[:n-1]
+		return slot
+	}
+	slot := r.Node.Alloc(pullArena)
+	r.pullSlots = append(r.pullSlots, slot)
+	return slot
+}
+
+// releasePullSlot recycles a slot once its pull no longer needs the
+// staged bytes (LIFO keeps the working set hot).
+func (r *Runtime) releasePullSlot(slot uint64) {
+	r.pullFree = append(r.pullFree, slot)
+}
+
+// PullSlotsAllocated reports the staging arena's high-water mark: the
+// number of pullArena-sized slots ever materialized, equal to the
+// maximum number of simultaneously in-flight pulls this runtime has
+// served.
+func (r *Runtime) PullSlotsAllocated() int { return len(r.pullSlots) }
 
 // offloadPull is the pull-data route: GET the region, execute against
 // the staged copy, PUT it back when the kernel writes. Every leg rides
 // the calibrated one-sided ops, so the route is charged exactly what an
-// RDMA read-modify-write of the region costs plus local compute.
-func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, opts OffloadOpts) (*sim.Signal, error) {
+// RDMA read-modify-write of the region costs plus local compute. The
+// staging slot is private to this pull — overlapping pulls of a windowed
+// stream each hold their own slot, so one pull's GET can never land in a
+// region another pull is still executing against.
+func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, opts OffloadOpts, track bool) (*sim.Signal, *sim.Signal, error) {
 	if opts.DataSize == 0 || opts.DataSize > pullArena {
-		return nil, fmt.Errorf("%w: %d bytes (pull arena %d)", ErrBadRegion, opts.DataSize, pullArena)
+		return nil, nil, fmt.Errorf("%w: %d bytes (pull arena %d)", ErrBadRegion, opts.DataSize, pullArena)
 	}
 	reg, regCost, err := r.ensureLocalReg(h)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if r.pullBuf == 0 {
-		r.pullBuf = r.Node.Alloc(pullArena)
-	}
+	slot := r.acquirePullSlot()
 	done := r.Cluster.Eng.NewSignal()
+	var execSig *sim.Signal
+	if track {
+		execSig = r.Cluster.Eng.NewSignal()
+	}
 	ep := r.ep(dst)
 	key := r.heapKeys[dst]
 	op := ep.Get(opts.DataAddr, int(opts.DataSize), key)
 	op.Done.OnFire(func() {
 		if st := ucx.Status(op.Done.Value()); st != ucx.OK {
+			r.releasePullSlot(slot)
 			r.LastExecErr = fmt.Errorf("core: offload pull %s: %v", h.Name, st)
 			r.Stats.ExecErrors++
+			if execSig != nil {
+				execSig.Fire(0)
+			}
 			done.Fire(uint64(st))
 			return
 		}
 		r.Node.ExecCPU(regCost, func() {
 			mem := r.Node.Mem()
-			copy(mem[r.pullBuf:], op.Data)
-			r.onePayload[0] = payload
-			r.executeBatchAt(reg, entry, r.onePayload[:], r.pullBuf)
-			r.onePayload[0] = nil
+			copy(mem[slot:], op.Data)
+			v := r.executeOne(reg, entry, payload, slot)
 			if !opts.WriteBack {
-				r.Node.ExecCPU(0, func() { done.Fire(uint64(ucx.OK)) })
+				// Release once the modeled execution window has elapsed —
+				// the slot is "in use" for as long as the core is charged
+				// as executing against it.
+				r.Node.ExecCPU(0, func() {
+					r.releasePullSlot(slot)
+					if execSig != nil {
+						execSig.Fire(v)
+					}
+					done.Fire(uint64(ucx.OK))
+				})
 				return
 			}
 			// The guest has mutated the staged copy (memory effects are
 			// immediate; the cost charge is queued): snapshot it now and
 			// issue the put-back once the execution charge has elapsed.
-			back := append([]byte(nil), mem[r.pullBuf:r.pullBuf+opts.DataSize]...)
+			// The snapshot frees the slot at that point — the put-back
+			// travels from its own buffer.
+			back := append([]byte(nil), mem[slot:slot+opts.DataSize]...)
 			r.Node.ExecCPU(0, func() {
+				r.releasePullSlot(slot)
+				if execSig != nil {
+					execSig.Fire(v)
+				}
 				ps := ep.Put(back, opts.DataAddr, key)
 				ps.OnFire(func() { done.Fire(ps.Value()) })
 			})
 		})
 	})
-	return done, nil
+	return done, execSig, nil
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"testing"
 
+	"threechains/internal/ir"
 	"threechains/internal/isa"
 	"threechains/internal/mcode"
 	"threechains/internal/place"
@@ -177,6 +178,273 @@ func TestOffloadPayloadBufferReuse(t *testing.T) {
 	c.Run()
 	if got := readU64(dst, counter); got != 5 {
 		t.Fatalf("counter = %d, want 5 (pull route read the reused buffer)", got)
+	}
+}
+
+// TestOffloadKeepsPlannerPolicy is the regression test for the planner
+// clobber: Offload used to write opts.Policy into Planner.Policy, so any
+// Offload with default opts silently reset a caller-configured planner
+// to PolicyCostModel (the zero value). The per-request policy must flow
+// through the decision without mutating the planner.
+func TestOffloadKeepsPlannerPolicy(t *testing.T) {
+	c, src, _, h, counter := offloadWorld(t)
+	src.Planner.Policy = place.PolicyShipCode
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: counter, DataSize: 8, WriteBack: true}
+	offloadOnce(t, c, src, 1, h, opts)
+	if src.Planner.Policy != place.PolicyShipCode {
+		t.Fatalf("Offload clobbered Planner.Policy: %v, want %v (configured)",
+			src.Planner.Policy, place.PolicyShipCode)
+	}
+	if src.Planner.Stats.Pull != 1 {
+		t.Fatalf("per-request pull policy not honored: stats %+v", src.Planner.Stats)
+	}
+	// The planner's own Decide must still follow the configured policy.
+	d, err := src.Planner.Plan(src.Planner.Policy, place.CostModel{}, place.Request{ShipViable: true})
+	if err != nil || d.Route != place.RouteShipCode {
+		t.Fatalf("configured policy lost: %v route %v", err, d.Route)
+	}
+}
+
+// TestOffloadBinaryShipUnviableRoutesPull is the regression test for the
+// mispriced unshippable route: a KindBinary handle with no object for
+// the destination's architecture used to price ship registration as 0 —
+// free precisely when ship-code cannot work there — so the cost model
+// picked ship and the offload failed in buildFrame after the decision.
+// The planner must see the inviability and route to pull instead.
+func TestOffloadBinaryShipUnviableRoutesPull(t *testing.T) {
+	c, src, dst, _, counter := offloadWorld(t)
+	// Binary form, compiled only for the source's Xeon — the CortexA72
+	// destination cannot receive it.
+	h, err := src.RegisterBinary("tsi-bin", BuildTSI(), []*isa.MicroArch{isa.XeonE5()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the mean-steps estimate so the cost model prices rather than
+	// explores (the pre-fix bug needs the priced branch to manifest).
+	region := src.Node.Alloc(8)
+	offloadOnce(t, c, src, 0, h, OffloadOpts{
+		Policy: place.PolicyCostModel, DataAddr: region, DataSize: 8, WriteBack: true,
+	})
+
+	opts := OffloadOpts{Policy: place.PolicyCostModel, DataAddr: counter, DataSize: 8, WriteBack: true}
+	if v := offloadOnce(t, c, src, 1, h, opts); ucx.Status(v) != ucx.OK {
+		t.Fatalf("unshippable offload status %v", ucx.Status(v))
+	}
+	if got := readU64(dst, counter); got != 1 {
+		t.Fatalf("counter = %d, want 1 (pull route must have executed)", got)
+	}
+	if src.Planner.Stats.Ship != 0 || src.Planner.Stats.Pull != 1 {
+		t.Fatalf("planner stats %+v, want the unshippable request routed pull", src.Planner.Stats)
+	}
+	// A forced ship of the same handle is a caller error, surfaced at
+	// decision time — not after.
+	if _, err := src.Offload(1, h, "main", []byte{0}, OffloadOpts{
+		Policy: place.PolicyShipCode, DataAddr: counter, DataSize: 8,
+	}); err == nil {
+		t.Fatal("forced ship of an unshippable binary succeeded")
+	}
+}
+
+// TestPlannerStatsCountLaunchedRoutesOnly is the regression test for
+// decision accounting: stats and trace used to record a decision before
+// its route launched, so a failure between Decide and launch (frame
+// build, local registration) skewed the route mix the benchmarks
+// report. A failed launch must leave no record.
+func TestPlannerStatsCountLaunchedRoutesOnly(t *testing.T) {
+	_, src, _, h, counter := offloadWorld(t)
+	src.Planner.TraceEnabled = true
+	// An over-arena payload passes the decision (payload size does not
+	// gate routing) and then fails the ship route's frame build.
+	huge := make([]byte, 1<<17)
+	_, err := src.Offload(1, h, "main", huge, OffloadOpts{
+		Policy: place.PolicyShipCode, DataAddr: counter, DataSize: 8,
+	})
+	if err == nil {
+		t.Fatal("oversized payload shipped")
+	}
+	if src.Planner.Stats != (place.Stats{}) {
+		t.Fatalf("failed launch was counted: stats %+v", src.Planner.Stats)
+	}
+	if len(src.Planner.Trace) != 0 {
+		t.Fatalf("failed launch was traced: %d entries", len(src.Planner.Trace))
+	}
+}
+
+// streamWorld builds an n-node Xeon cluster with a per-node counter
+// region and a registered TSI handle on the driver.
+func streamWorld(t *testing.T, n int) (*Cluster, *Runtime, *Handle, []uint64) {
+	t.Helper()
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Name: "n", March: isa.XeonE5()}
+	}
+	c := NewCluster(testParams(), specs)
+	src := c.Runtime(0)
+	regions := make([]uint64, n)
+	for i, rt := range c.Runtimes {
+		regions[i] = rt.Node.Alloc(8)
+		rt.TargetPtr = regions[i]
+	}
+	h, err := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, src, h, regions
+}
+
+// TestOffloadStreamSerializesPerDestination: W-deep streams keep ops to
+// one destination strictly ordered, whatever the route — the k-th op to
+// a region observes exactly k prior increments, and Results attributes
+// each value to its op.
+func TestOffloadStreamSerializesPerDestination(t *testing.T) {
+	for _, pol := range []place.Policy{
+		place.PolicyShipCode, place.PolicyPullData,
+		place.PolicyCostModel, place.PolicyCostModelQueue,
+	} {
+		c, src, h, regions := streamWorld(t, 2)
+		opts := OffloadOpts{Policy: pol, DataAddr: regions[1], DataSize: 8, WriteBack: true}
+		ops := make([]StreamOp, 4)
+		for i := range ops {
+			ops[i] = StreamOp{Dst: 1, H: h, Fn: "main", Payload: []byte{0}, Opts: opts}
+		}
+		s := src.StartOffloadStream(ops, 4)
+		c.Run()
+		if s.Err != nil || !s.Done.Fired() {
+			t.Fatalf("%v: stream err=%v done=%v", pol, s.Err, s.Done.Fired())
+		}
+		// TSI returns the post-increment value: the k-th op to the region
+		// must observe exactly k prior increments.
+		for i, v := range s.Results {
+			if v != uint64(i+1) {
+				t.Fatalf("%v: op %d returned %d, want %d (serialization or attribution broken)", pol, i, v, i+1)
+			}
+		}
+		if got := readU64(c.Runtime(1), regions[1]); got != 4 {
+			t.Fatalf("%v: counter = %d, want 4", pol, got)
+		}
+	}
+}
+
+// TestOffloadStreamConcurrentPulls: overlapping pulls to distinct
+// destinations each stage in their own arena slot (the shared-buffer
+// corruption fix) and the window genuinely overlaps requests.
+func TestOffloadStreamConcurrentPulls(t *testing.T) {
+	c, src, h, regions := streamWorld(t, 4)
+	var ops []StreamOp
+	for round := 0; round < 2; round++ {
+		for d := 1; d < 4; d++ {
+			ops = append(ops, StreamOp{
+				Dst: d, H: h, Fn: "main", Payload: []byte{0},
+				Opts: OffloadOpts{Policy: place.PolicyPullData, DataAddr: regions[d], DataSize: 8, WriteBack: true},
+			})
+		}
+	}
+	s := src.StartOffloadStream(ops, 6)
+	c.Run()
+	if s.Err != nil || !s.Done.Fired() {
+		t.Fatalf("stream err=%v done=%v", s.Err, s.Done.Fired())
+	}
+	// The arena high-water mark is the proof of genuine overlap:
+	// MaxInFlight counts admitted ops and is constant by construction,
+	// but a second slot only materializes while another pull actually
+	// holds the first.
+	if got := src.PullSlotsAllocated(); got < 2 {
+		t.Fatalf("overlapping pulls shared a staging slot: %d slots", got)
+	}
+	for d := 1; d < 4; d++ {
+		if got := readU64(c.Runtime(d), regions[d]); got != 2 {
+			t.Fatalf("node %d counter = %d, want 2", d, got)
+		}
+	}
+}
+
+// TestOffloadStreamExecFailureCompletes: a ship-routed stream op whose
+// destination-side execution fails (here: an entry with the wrong arity,
+// a batch-level RunBatch error) must still complete the stream — the
+// execution watch fires with 0 instead of stranding the op with Done
+// unfired, and the error surfaces through the destination's LastExecErr.
+func TestOffloadStreamExecFailureCompletes(t *testing.T) {
+	c, src, _, regions := streamWorld(t, 2)
+	bad := ir.NewModule("badarity")
+	b := ir.NewBuilder(bad)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64}, ir.I64) // 2 params; runtime passes 3
+	b.Ret(b.Const64(7))
+	h, err := src.RegisterBitcode("badarity", bad, allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []StreamOp{{
+		Dst: 1, H: h, Fn: "main", Payload: []byte{0},
+		Opts: OffloadOpts{Policy: place.PolicyShipCode, DataAddr: regions[1], DataSize: 8},
+	}}
+	s := src.StartOffloadStream(ops, 2)
+	c.Run()
+	if !s.Done.Fired() {
+		t.Fatal("stream stalled on a failed execution")
+	}
+	if s.Results[0] != 0 {
+		t.Fatalf("failed execution attributed value %d, want 0", s.Results[0])
+	}
+	if c.Runtime(1).LastExecErr == nil {
+		t.Fatal("execution failure not recorded")
+	}
+	if len(c.Runtime(1).execWatches) != 0 {
+		t.Fatalf("%d stranded watches left to mis-attribute later executions", len(c.Runtime(1).execWatches))
+	}
+}
+
+// TestOffloadStreamDroppedFrameCompletes: a ship-routed stream op whose
+// frame is dropped at the destination (here: the destination deregisters
+// the type mid-flight, so the truncated frame arrives for an unknown
+// type — the classic sender-cache desync) must still complete the
+// stream: the drop fails the execution watch instead of stranding it.
+func TestOffloadStreamDroppedFrameCompletes(t *testing.T) {
+	c, src, h, regions := streamWorld(t, 2)
+	// Warm the (type, dst) pair so the next ship is a truncated frame.
+	if _, err := src.Offload(1, h, "main", []byte{0}, OffloadOpts{
+		Policy: place.PolicyShipCode, DataAddr: regions[1], DataSize: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	// The destination drops its registration; the driver's sent-cache
+	// still believes the code is resident.
+	c.Runtime(1).DeregisterLocal(h.Hash)
+	ops := []StreamOp{{
+		Dst: 1, H: h, Fn: "main", Payload: []byte{0},
+		Opts: OffloadOpts{Policy: place.PolicyShipCode, DataAddr: regions[1], DataSize: 8},
+	}}
+	s := src.StartOffloadStream(ops, 2)
+	c.Run()
+	if !s.Done.Fired() {
+		t.Fatal("stream stalled on a dropped frame")
+	}
+	if s.Results[0] != 0 {
+		t.Fatalf("dropped frame attributed value %d, want 0", s.Results[0])
+	}
+	if c.Runtime(1).LastDropErr == nil {
+		t.Fatal("drop not recorded")
+	}
+}
+
+// TestOffloadStreamWindow: the stream never admits more than the window.
+func TestOffloadStreamWindow(t *testing.T) {
+	c, src, h, regions := streamWorld(t, 4)
+	var ops []StreamOp
+	for i := 0; i < 12; i++ {
+		d := 1 + i%3
+		ops = append(ops, StreamOp{
+			Dst: d, H: h, Fn: "main", Payload: []byte{0},
+			Opts: OffloadOpts{Policy: place.PolicyCostModelQueue, DataAddr: regions[d], DataSize: 8, WriteBack: true},
+		})
+	}
+	s := src.StartOffloadStream(ops, 2)
+	c.Run()
+	if s.Err != nil || !s.Done.Fired() {
+		t.Fatalf("stream err=%v done=%v", s.Err, s.Done.Fired())
+	}
+	if s.MaxInFlight > 2 {
+		t.Fatalf("window exceeded: %d in flight", s.MaxInFlight)
 	}
 }
 

@@ -1,0 +1,177 @@
+package core
+
+// Windowed offload streams: the concurrent issue mode of the placement
+// subsystem. Where Offload is one request at a time, an OffloadStream
+// keeps up to `window` requests of one issuing node in flight at once —
+// the pipelined regime in which the planner's queueing-aware cost model
+// (place.PolicyCostModelQueue) earns its keep, because ten simultaneous
+// pulls queue on the local NIC and core while ship-code requests would
+// spread across the destinations' cores.
+//
+// Ordering contract: requests that address the same destination node are
+// strictly serialized — request k+1 to node d launches only after
+// request k to d has fully completed (execution done and, for a
+// write-back pull, the PUT applied). Each destination region therefore
+// sees exactly the sequential subsequence of the stream's requests, in
+// issue order, whatever routes the policy picks — which is what keeps
+// results bit-identical across all policies and engines even at depth W.
+// Requests to different destinations overlap freely up to the window.
+
+import (
+	"fmt"
+
+	"threechains/internal/place"
+	"threechains/internal/sim"
+)
+
+// StreamOp is one request of a windowed offload stream.
+type StreamOp struct {
+	Dst     int
+	H       *Handle
+	Fn      string
+	Payload []byte
+	Opts    OffloadOpts
+}
+
+// OffloadStream is an in-flight windowed offload stream started by
+// StartOffloadStream. The caller drives the cluster (Cluster.Run) after
+// starting it; Done fires once every op has completed.
+type OffloadStream struct {
+	// Done fires with 0 once every op of the stream has completed, or
+	// with 1 when a launch failed (see Err).
+	Done *sim.Signal
+	// Results holds each op's kernel return value, indexed by op — the
+	// execution watches attribute completions to ops through the
+	// per-destination serialization. An op whose execution failed after
+	// launch (GET error, dropped frame, guest fault) still completes the
+	// stream but reads 0 here; such failures surface through each
+	// runtime's LastExecErr/LastDropErr and error stats, so callers that
+	// must distinguish a legitimate 0 should scan those after driving
+	// the cluster to idle (the bench harness does).
+	Results []uint64
+	// Err records the first launch failure; the stream stops admitting
+	// new ops when it is set (ops already in flight still complete).
+	Err error
+	// MaxInFlight is the high-water mark of simultaneously admitted ops
+	// (diagnostics; never exceeds the window).
+	MaxInFlight int
+
+	r        *Runtime
+	ops      []StreamOp
+	window   int
+	next     int // next op not yet admitted
+	inflight int // admitted ops not yet completed
+	dstBusy  []bool
+	dstQ     [][]int // admitted ops waiting for their destination
+	remain   int
+}
+
+// StartOffloadStream begins issuing ops with up to window in flight
+// (window < 1 issues sequentially). It returns immediately; drive the
+// cluster to idle and then check Done/Err/Results. Ops addressing the
+// same destination are serialized in op order (see the package comment
+// above); ops to distinct destinations pipeline.
+//
+// Precondition: while the stream is in flight, no other traffic of the
+// same ifunc type may execute on a destination the stream is using —
+// ship-routed completions are matched by (node, type) execution watches,
+// so a concurrent plain Send/Offload of the same handle to the same node
+// would be attributed to the stream's op (and vice versa). Issue foreign
+// traffic before the stream starts or after Done fires, or use distinct
+// types/destinations.
+func (r *Runtime) StartOffloadStream(ops []StreamOp, window int) *OffloadStream {
+	if window < 1 {
+		window = 1
+	}
+	s := &OffloadStream{
+		Done:    r.Cluster.Eng.NewSignal(),
+		Results: make([]uint64, len(ops)),
+		r:       r,
+		ops:     ops,
+		window:  window,
+		dstBusy: make([]bool, len(r.Cluster.Runtimes)),
+		dstQ:    make([][]int, len(r.Cluster.Runtimes)),
+		remain:  len(ops),
+	}
+	if len(ops) == 0 {
+		s.Done.Fire(0)
+		return s
+	}
+	s.pump()
+	return s
+}
+
+// pump admits ops in issue order while the window has room. An admitted
+// op whose destination is still busy parks in that destination's FIFO
+// (it holds its window slot — the window bounds admitted-incomplete
+// requests, not just wire traffic).
+func (s *OffloadStream) pump() {
+	for s.Err == nil && s.inflight < s.window && s.next < len(s.ops) {
+		i := s.next
+		s.next++
+		s.inflight++
+		if s.inflight > s.MaxInFlight {
+			s.MaxInFlight = s.inflight
+		}
+		d := s.ops[i].Dst
+		if d >= 0 && d < len(s.dstBusy) && s.dstBusy[d] {
+			s.dstQ[d] = append(s.dstQ[d], i)
+			continue
+		}
+		s.launch(i)
+	}
+}
+
+// launch issues one admitted op and wires its completion.
+func (s *OffloadStream) launch(i int) {
+	op := s.ops[i]
+	if op.Dst >= 0 && op.Dst < len(s.dstBusy) {
+		s.dstBusy[op.Dst] = true
+	}
+	routeSig, execSig, route, err := s.r.offloadRouted(op.Dst, op.H, op.Fn, op.Payload, op.Opts, true)
+	if err != nil {
+		s.fail(fmt.Errorf("core: stream op %d: %w", i, err))
+		return
+	}
+	execSig.OnFire(func() { s.Results[i] = execSig.Value() })
+	// The gating completion is the event after which the destination
+	// region has fully settled: for ship-routed requests the execution
+	// watch (the route signal is transport-level and fires before the
+	// remote execution); for pull and local routes the route signal (for
+	// a write-back pull it fires only after the PUT has applied at the
+	// destination).
+	completion := routeSig
+	if route == place.RouteShipCode {
+		completion = execSig
+	}
+	completion.OnFire(func() { s.opDone(i, op.Dst) })
+}
+
+// opDone retires one op: the destination frees, its FIFO launches the
+// next parked op, and the window admits new ones.
+func (s *OffloadStream) opDone(i, d int) {
+	s.inflight--
+	s.remain--
+	if d >= 0 && d < len(s.dstBusy) {
+		s.dstBusy[d] = false
+		if q := s.dstQ[d]; len(q) > 0 {
+			j := q[0]
+			s.dstQ[d] = q[1:]
+			s.launch(j)
+		}
+	}
+	if s.Err == nil {
+		s.pump()
+		if s.remain == 0 {
+			s.Done.Fire(0)
+		}
+	}
+}
+
+// fail stops the stream on a launch error.
+func (s *OffloadStream) fail(err error) {
+	if s.Err == nil {
+		s.Err = err
+		s.Done.Fire(1)
+	}
+}

@@ -6,9 +6,14 @@ package place
 // priced per dynamic step the way mcode.Cycles prices executed counts),
 // the UCP protocol framing sizes (ucx header constants), and the JIT
 // session's registration costs. The estimates are not required to be
-// exact (queueing and batching effects are ignored); they only need to
-// rank routes correctly, and because every input is virtual-time state
-// they rank identically across runs, hosts and execution engines.
+// exact; they only need to rank routes correctly, and because every
+// input is virtual-time state they rank identically across runs, hosts
+// and execution engines. ShipCost/PullCost price an idle fabric (the
+// sequential, latency-oriented regime); shipQueued/pullQueued add
+// queueing terms — per-resource busy-until horizons maintained by the
+// planner from its own committed decisions — for pipelined offload
+// streams, and reduce exactly to the zero-load estimates when every
+// horizon has expired.
 
 import (
 	"threechains/internal/fabric"
@@ -78,6 +83,86 @@ func (m CostModel) ShipCost(req Request) sim.Time {
 	t += regTime(req.RemoteRegistered, req.RemoteRegCost)
 	t += m.ExecTime(m.Remote, req.MeanSteps)
 	return t
+}
+
+// txTime is the sender-NIC occupancy of an n-byte message: posting
+// overhead plus the LogGP gap (1/bandwidth), the same occupancy the
+// fabric charges the sending NIC. Distinct from WireTime, which is the
+// one-way delivery latency.
+func (m CostModel) txTime(n int) sim.Time {
+	return m.Net.SendOverhead + sim.Time(n)*m.Net.GapPerByte
+}
+
+// rxGap is the receiving-NIC occupancy of an n-byte inbound message (the
+// per-byte gap only; the fixed NIC processing is part of the delivery
+// latency).
+func (m CostModel) rxGap(n int) sim.Time {
+	return sim.Time(n) * m.Net.GapPerByte
+}
+
+// shipQueued prices the ship-code route against the busy-until horizons
+// in q: the frame waits for the local NIC's outbound queue, and the
+// destination execution waits for that core's earlier offloads. The
+// returned claims are the absolute busy-until times committing this
+// route would establish. With all horizons expired (at or before
+// req.Now) the estimate equals ShipCost exactly.
+func (m CostModel) shipQueued(req Request, q *queueState) (sim.Time, claims) {
+	var c claims
+	sendStart := max(req.Now, q.nicOut)
+	c.nicOut = sendStart + m.txTime(req.FrameBytes)
+	arrive := sendStart + m.Net.SendOverhead + m.Net.WireTime(req.FrameBytes) + m.Net.NICOverhead
+	svc := m.Remote.IfuncPoll + m.Net.RecvOverhead +
+		regTime(req.RemoteRegistered, req.RemoteRegCost) +
+		m.ExecTime(m.Remote, req.MeanSteps)
+	execStart := max(arrive, q.remote(req.Dst))
+	c.remoteCore = execStart + svc
+	return c.remoteCore - req.Now, c
+}
+
+// pullQueued prices the pull-data route against the busy-until horizons
+// in q: the GET descriptor waits for the outbound NIC, the data response
+// waits for the inbound NIC (pipelined pulls serialize their multi-KiB
+// responses there), local execution waits for the local core, and the
+// put-back waits for the outbound NIC again. With all horizons expired
+// the estimate equals PullCost exactly.
+func (m CostModel) pullQueued(req Request, q *queueState) (sim.Time, claims) {
+	var c claims
+	reqStart := max(req.Now, q.nicOut)
+	c.nicOut = reqStart + m.txTime(ucx.GetReqBytes)
+	respAtNIC := reqStart + m.Net.SendOverhead + m.Net.WireTime(ucx.GetReqBytes) + m.Net.NICOverhead +
+		m.Net.SendOverhead + m.Net.WireTime(ucx.GetRespBytes+req.DataBytes)
+	inStart := max(respAtNIC, q.nicIn)
+	c.nicIn = inStart + m.rxGap(ucx.GetRespBytes+req.DataBytes)
+	dataReady := inStart + m.Net.NICOverhead + m.Net.RecvOverhead/2
+	fan := req.LocalRegFanout
+	if fan < 1 {
+		fan = 1
+	}
+	execStart := max(dataReady, q.localCore)
+	c.localCore = execStart + regTime(req.LocalRegistered, req.LocalRegCost/sim.Time(fan)) +
+		m.ExecTime(m.Local, req.MeanSteps)
+	end := c.localCore
+	if req.WriteBack {
+		putStart := max(end, q.nicOut, c.nicOut)
+		end = putStart + m.Net.SendOverhead + m.Net.WireTime(ucx.PutHeaderBytes+req.DataBytes) + m.Net.NICOverhead
+		// The put-back's NIC occupancy is deliberately NOT claimed: it
+		// lies beyond the local execution, and a scalar busy-until
+		// horizon cannot say "free now, busy later" — claiming it would
+		// block near-now frames on a NIC that is actually idle. Its
+		// occupancy (gap·bytes) is negligible next to the execution and
+		// wire terms it trails.
+	}
+	return end - req.Now, c
+}
+
+// localQueued claims the local core for a run-local decision (the
+// degenerate self-offload) so pipelined pulls behind it see the wait.
+func (m CostModel) localQueued(req Request, q *queueState) claims {
+	execStart := max(req.Now, q.localCore)
+	return claims{
+		localCore: execStart + regTime(req.LocalRegistered, req.LocalRegCost) +
+			m.ExecTime(m.Local, req.MeanSteps),
+	}
 }
 
 // PullCost models the pull-data route: a one-sided GET round trip for the

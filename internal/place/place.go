@@ -43,6 +43,15 @@ const (
 	// PolicyLocal requires the data to already be local; offloads to a
 	// remote destination are rejected.
 	PolicyLocal
+	// PolicyCostModelQueue prices every route with queueing terms: the
+	// planner tracks per-resource busy-until horizons (local core, each
+	// destination's core, local NIC in/out) from its own committed
+	// decisions and adds the modeled wait to each route estimate, so a
+	// burst of in-flight requests load-balances across ship/pull instead
+	// of herd-routing to whichever route is cheapest at zero load. With
+	// no requests in flight (all horizons expired) it decides exactly
+	// like PolicyCostModel.
+	PolicyCostModelQueue
 )
 
 // String names the policy as reports print it.
@@ -56,6 +65,8 @@ func (p Policy) String() string {
 		return "pull-data"
 	case PolicyLocal:
 		return "local"
+	case PolicyCostModelQueue:
+		return "cost-model-queue"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -95,6 +106,14 @@ type Request struct {
 	// DstIsLocal marks the degenerate case: the operand region lives on
 	// the requesting node.
 	DstIsLocal bool
+	// Dst is the destination node id (the queueing policy keys its
+	// per-destination core horizon by it).
+	Dst int
+	// Now is the virtual time the request is issued at — the reference
+	// point the queueing policy measures its busy-until horizons against.
+	// Horizons in the past cost nothing, so an idle planner prices
+	// exactly like the zero-load model.
+	Now sim.Time
 	// PayloadLen is the message payload size in bytes.
 	PayloadLen int
 	// DataBytes is the operand region size in bytes.
@@ -139,19 +158,46 @@ type Request struct {
 	// estimate every later decision for the type will price.
 	Measured bool
 	// PullViable reports whether the pull leg can run at all (region
-	// fits the local staging arena and a remote key is known).
+	// fits the local staging arena, a remote key is known, and — for
+	// binary handles — code for the local architecture exists).
 	PullViable bool
+	// ShipViable reports whether the ship leg can run at all: a binary
+	// handle with no object for the destination's architecture cannot be
+	// shipped, and the planner must route around it (not price the
+	// impossible registration as free).
+	ShipViable bool
+}
+
+// claims are the absolute busy-until horizons that committing a decision
+// establishes on the issuing node's resources (queueing policy only; a
+// zero field leaves that horizon untouched).
+type claims struct {
+	nicOut, nicIn, localCore, remoteCore sim.Time
 }
 
 // Decision is one routing decision with the estimates that produced it
 // (estimates are zero for forced policies, which never price routes).
 type Decision struct {
 	Route Route
-	// EstShip and EstPull are the modeled route times, set when the cost
-	// model ran (Priced).
+	// Dst is the destination node the request addressed (the queueing
+	// policy applies the remote-core claim to it at commit).
+	Dst int
+	// EstShip and EstPull are the modeled route times. PolicyCostModel
+	// sets them only when it compared the routes (Priced);
+	// PolicyCostModelQueue sets each viable route's estimate always —
+	// it needs the pricing for its horizon claims even on explore and
+	// single-viable-route decisions.
 	EstShip, EstPull sim.Time
-	// Priced reports whether the cost model ran (PolicyCostModel).
+	// Priced reports whether the estimates actually decided the route
+	// (PolicyCostModel's priced branch, or PolicyCostModelQueue with
+	// both routes viable and a measured step estimate).
 	Priced bool
+	// Fallback marks a pull-policy request that had to ship because the
+	// pull leg was not viable.
+	Fallback bool
+	// claims carries the chosen route's resource occupancy; Commit folds
+	// it into the planner's horizons.
+	claims claims
 }
 
 // Stats counts planner activity per route.
@@ -162,14 +208,45 @@ type Stats struct {
 	Fallbacks uint64
 }
 
-// Planner routes offload requests on one node under a fixed policy.
+// queueState is the queueing policy's view of the issuing node's
+// resources: the absolute virtual time each one is modeled busy until,
+// built exclusively from the planner's own committed decisions (the
+// planner never observes the fabric — horizons in the past simply expire
+// against Request.Now).
+type queueState struct {
+	nicOut, nicIn, localCore sim.Time
+	remoteCore               []sim.Time
+}
+
+func (q *queueState) remote(dst int) sim.Time {
+	if dst >= 0 && dst < len(q.remoteCore) {
+		return q.remoteCore[dst]
+	}
+	return 0
+}
+
+func (q *queueState) setRemote(dst int, t sim.Time) {
+	for len(q.remoteCore) <= dst {
+		q.remoteCore = append(q.remoteCore, 0)
+	}
+	q.remoteCore[dst] = t
+}
+
+// Planner routes offload requests on one node. Policy is the default for
+// Decide; per-request policies go through Plan/Commit without touching
+// it. Stats and Trace record committed (actually launched) decisions
+// only, so the route mix the benchmarks report never counts a request
+// whose route then failed to launch.
 type Planner struct {
 	Policy Policy
-	// TraceEnabled records every decision in Trace (differential tests
-	// compare decision streams across runs and engines).
+	// TraceEnabled records every committed decision in Trace
+	// (differential tests compare decision streams across runs and
+	// engines).
 	TraceEnabled bool
 	Trace        []Decision
 	Stats        Stats
+
+	queue queueState
 }
 
 // ErrRemoteLocal is returned when PolicyLocal meets a remote region.
@@ -178,45 +255,133 @@ var ErrRemoteLocal = fmt.Errorf("place: PolicyLocal offload to a remote region")
 // ErrBadPolicy is returned for policy values outside the defined set.
 var ErrBadPolicy = fmt.Errorf("place: unknown policy")
 
-// Decide routes one request under the planner's policy, using the cost
-// model only for PolicyCostModel. It is deterministic: the same request
-// against the same model always yields the same decision.
+// ErrShipUnviable is returned when a forced ship-code route cannot work
+// (binary handle with no object for the destination architecture).
+var ErrShipUnviable = fmt.Errorf("place: ship-code route not viable for destination")
+
+// ErrNoViableRoute is returned when neither ship nor pull can serve a
+// remote request.
+var ErrNoViableRoute = fmt.Errorf("place: no viable route for request")
+
+// Decide routes one request under the planner's configured policy and
+// immediately commits it — the single-phase form for callers whose
+// launch cannot fail. Callers that may still abort the route (the
+// runtime: frame build, local registration) use Plan and call Commit
+// only once the route is actually launched.
 func (p *Planner) Decide(m CostModel, req Request) (Decision, error) {
-	if p.Policy < PolicyCostModel || p.Policy > PolicyLocal {
-		return Decision{}, fmt.Errorf("%w: %d", ErrBadPolicy, int(p.Policy))
+	d, err := p.Plan(p.Policy, m, req)
+	if err != nil {
+		return Decision{}, err
 	}
-	var d Decision
+	p.Commit(d)
+	return d, nil
+}
+
+// Plan routes one request under an explicit per-request policy without
+// recording anything: no stats, no trace, no horizon movement, and no
+// change to the planner's configured Policy. It is deterministic and
+// side-effect free — the same request against the same model and horizon
+// state always yields the same decision.
+func (p *Planner) Plan(pol Policy, m CostModel, req Request) (Decision, error) {
+	if pol < PolicyCostModel || pol > PolicyCostModelQueue {
+		return Decision{}, fmt.Errorf("%w: %d", ErrBadPolicy, int(pol))
+	}
+	d := Decision{Dst: req.Dst}
 	switch {
 	case req.DstIsLocal:
 		// Every policy degenerates to in-place execution when the data
 		// already lives here: no transport can beat none.
-		d = Decision{Route: RouteLocal}
-	case p.Policy == PolicyLocal:
-		return Decision{}, ErrRemoteLocal
-	case p.Policy == PolicyShipCode:
-		d = Decision{Route: RouteShipCode}
-	case p.Policy == PolicyPullData:
-		if req.PullViable {
-			d = Decision{Route: RoutePullData}
-		} else {
-			d = Decision{Route: RouteShipCode}
-			p.Stats.Fallbacks++
+		d.Route = RouteLocal
+		if pol == PolicyCostModelQueue {
+			d.claims = m.localQueued(req, &p.queue)
 		}
+	case pol == PolicyLocal:
+		return Decision{}, ErrRemoteLocal
+	case pol == PolicyShipCode:
+		if !req.ShipViable {
+			return Decision{}, ErrShipUnviable
+		}
+		d.Route = RouteShipCode
+	case pol == PolicyPullData:
+		switch {
+		case req.PullViable:
+			d.Route = RoutePullData
+		case req.ShipViable:
+			d.Route = RouteShipCode
+			d.Fallback = true
+		default:
+			return Decision{}, ErrNoViableRoute
+		}
+	case pol == PolicyCostModelQueue:
+		return p.planQueued(m, req)
+	case !req.ShipViable:
+		// PolicyCostModel with an unshippable module: the cost of a route
+		// that cannot work is not 0, it is infinite — route around it.
+		if !req.PullViable {
+			return Decision{}, ErrNoViableRoute
+		}
+		d.Route = RoutePullData
 	case !req.Measured && req.PullViable:
 		// PolicyCostModel, never-executed type: explore via pull (see
 		// Request.Measured).
-		d = Decision{Route: RoutePullData}
+		d.Route = RoutePullData
 	default: // PolicyCostModel
-		d = Decision{
-			EstShip: m.ShipCost(req),
-			EstPull: m.PullCost(req),
-			Priced:  true,
-		}
+		d.EstShip = m.ShipCost(req)
+		d.EstPull = m.PullCost(req)
+		d.Priced = true
 		d.Route = RouteShipCode
 		if req.PullViable && d.EstPull < d.EstShip {
 			d.Route = RoutePullData
 		}
 	}
+	return d, nil
+}
+
+// planQueued is the PolicyCostModelQueue branch of Plan: price both
+// viable routes against the current busy-until horizons and keep the
+// chosen route's resource claims in the decision for Commit.
+func (p *Planner) planQueued(m CostModel, req Request) (Decision, error) {
+	d := Decision{Dst: req.Dst}
+	var shipC, pullC claims
+	if req.ShipViable {
+		d.EstShip, shipC = m.shipQueued(req, &p.queue)
+	}
+	if req.PullViable {
+		d.EstPull, pullC = m.pullQueued(req, &p.queue)
+	}
+	switch {
+	case !req.ShipViable && !req.PullViable:
+		return Decision{}, ErrNoViableRoute
+	case !req.ShipViable:
+		d.Route = RoutePullData
+	case !req.PullViable:
+		d.Route = RouteShipCode
+	case !req.Measured:
+		// The explore-then-exploit rule of PolicyCostModel, unchanged:
+		// the first execution of a type runs on the local core.
+		d.Route = RoutePullData
+	default:
+		d.Priced = true
+		d.Route = RouteShipCode
+		if d.EstPull < d.EstShip {
+			d.Route = RoutePullData
+		}
+	}
+	if d.Route == RoutePullData {
+		d.claims = pullC
+	} else {
+		d.claims = shipC
+	}
+	return d, nil
+}
+
+// Commit records a planned decision whose route has actually been
+// launched: route-mix stats, the optional trace entry, and — for the
+// queueing policy — the chosen route's busy-until claims. A planned
+// decision that is never committed leaves no trace anywhere, so launch
+// failures (frame build, local registration) cannot skew the route mix
+// or the horizons.
+func (p *Planner) Commit(d Decision) {
 	switch d.Route {
 	case RouteShipCode:
 		p.Stats.Ship++
@@ -225,8 +390,23 @@ func (p *Planner) Decide(m CostModel, req Request) (Decision, error) {
 	case RouteLocal:
 		p.Stats.Local++
 	}
+	if d.Fallback {
+		p.Stats.Fallbacks++
+	}
+	c := d.claims
+	if c.nicOut > p.queue.nicOut {
+		p.queue.nicOut = c.nicOut
+	}
+	if c.nicIn > p.queue.nicIn {
+		p.queue.nicIn = c.nicIn
+	}
+	if c.localCore > p.queue.localCore {
+		p.queue.localCore = c.localCore
+	}
+	if c.remoteCore > p.queue.remote(d.Dst) {
+		p.queue.setRemote(d.Dst, c.remoteCore)
+	}
 	if p.TraceEnabled {
 		p.Trace = append(p.Trace, d)
 	}
-	return d, nil
 }

@@ -24,7 +24,7 @@ func req() Request {
 	return Request{
 		PayloadLen: 8, DataBytes: 64, WriteBack: true,
 		FrameBytes: 33, RemoteRegistered: true, LocalRegistered: true,
-		MeanSteps: 8, PullViable: true,
+		MeanSteps: 8, Measured: true, PullViable: true, ShipViable: true,
 	}
 }
 
@@ -114,15 +114,19 @@ func TestPlannerPolicies(t *testing.T) {
 
 // TestPlannerDeterminism: identical request streams yield identical
 // decision traces — the property the runtime-level differential tests
-// extend across engines.
+// extend across engines. Covered for both the zero-load cost model and
+// the stateful queueing policy (whose horizons evolve with every
+// committed decision).
 func TestPlannerDeterminism(t *testing.T) {
 	m := model(4)
-	mk := func() []Decision {
-		p := &Planner{Policy: PolicyCostModel, TraceEnabled: true}
+	mk := func(pol Policy) []Decision {
+		p := &Planner{Policy: pol, TraceEnabled: true}
 		w := Generate(WorkloadParams{Seed: 11, Ops: 40})
-		for _, op := range w.Ops {
+		for i, op := range w.Ops {
 			r := req()
 			r.DstIsLocal = op.Dst == 0
+			r.Dst = op.Dst
+			r.Now = sim.Time(i) * 3 * sim.Microsecond
 			r.PayloadLen = op.PayloadLen
 			r.DataBytes = w.RegionWords[op.Dst] * 8
 			r.MeanSteps = float64(10 + w.Types[op.Type].Iters*3)
@@ -132,13 +136,151 @@ func TestPlannerDeterminism(t *testing.T) {
 		}
 		return p.Trace
 	}
-	a, b := mk(), mk()
-	if len(a) != len(b) {
-		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+	for _, pol := range []Policy{PolicyCostModel, PolicyCostModelQueue} {
+		a, b := mk(pol), mk(pol)
+		if len(a) != len(b) {
+			t.Fatalf("%v: trace lengths differ: %d vs %d", pol, len(a), len(b))
 		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: decision %d differs: %+v vs %+v", pol, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPlanCommitSplit: Plan records nothing; Commit records everything —
+// the contract that keeps launch failures out of the route mix.
+func TestPlanCommitSplit(t *testing.T) {
+	m := model(1)
+	p := &Planner{TraceEnabled: true}
+	d, err := p.Plan(PolicyShipCode, m, req())
+	if err != nil || d.Route != RouteShipCode {
+		t.Fatalf("plan: %v route %v", err, d.Route)
+	}
+	if p.Stats != (Stats{}) || len(p.Trace) != 0 {
+		t.Fatalf("Plan recorded: stats %+v trace %d", p.Stats, len(p.Trace))
+	}
+	p.Commit(d)
+	if p.Stats.Ship != 1 || len(p.Trace) != 1 {
+		t.Fatalf("Commit did not record: stats %+v trace %d", p.Stats, len(p.Trace))
+	}
+	// Plan must not touch the configured policy either.
+	if p.Policy != PolicyCostModel {
+		t.Fatalf("Plan changed Policy to %v", p.Policy)
+	}
+}
+
+// TestQueuePolicyIdleMatchesZeroLoad: with every horizon expired the
+// queueing policy's estimates and route equal the zero-load model's —
+// queueing terms are a strict extension, not a different model.
+func TestQueuePolicyIdleMatchesZeroLoad(t *testing.T) {
+	cases := []func(*Request){
+		func(r *Request) {},
+		func(r *Request) { r.MeanSteps = 20000 },
+		func(r *Request) { r.DataBytes = 16 << 10 },
+		func(r *Request) {
+			r.RemoteRegistered = false
+			r.FrameBytes = 5200
+			r.RemoteRegCost = 800 * sim.Microsecond
+		},
+		func(r *Request) { r.WriteBack = false },
+		func(r *Request) { r.Now = 5 * sim.Millisecond }, // late issue, still idle
+	}
+	for mult := 1; mult <= 8; mult *= 2 {
+		m := model(float64(mult))
+		for i, mut := range cases {
+			r := req()
+			mut(&r)
+			pq := &Planner{}
+			dq, err := pq.Plan(PolicyCostModelQueue, m, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pz := &Planner{}
+			dz, err := pz.Plan(PolicyCostModel, m, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dq.Route != dz.Route {
+				t.Errorf("mult %d case %d: queue route %v != zero-load %v", mult, i, dq.Route, dz.Route)
+			}
+			if dq.EstShip != m.ShipCost(r) || dq.EstPull != m.PullCost(r) {
+				t.Errorf("mult %d case %d: idle queue estimates (%v, %v) != zero-load costs (%v, %v)",
+					mult, i, dq.EstShip, dq.EstPull, m.ShipCost(r), m.PullCost(r))
+			}
+		}
+	}
+}
+
+// TestQueuePolicyDivertsUnderLoad: a request the zero-load model routes
+// pull diverts to ship once enough committed pulls have filled the local
+// core's horizon — and reverts once the horizons have expired.
+func TestQueuePolicyDivertsUnderLoad(t *testing.T) {
+	m := model(3) // remote 3x slower: pull wins at zero load
+	r := req()
+	r.MeanSteps = 20000
+	r.DataBytes = 1024
+	p := &Planner{}
+	d, err := p.Plan(PolicyCostModelQueue, m, r)
+	if err != nil || d.Route != RoutePullData {
+		t.Fatalf("zero load: %v route %v, want pull", err, d.Route)
+	}
+	shipped := -1
+	for i := 0; i < 64; i++ {
+		d, err := p.Plan(PolicyCostModelQueue, m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Route == RouteShipCode {
+			shipped = i
+			break
+		}
+		p.Commit(d)
+	}
+	if shipped < 0 {
+		t.Fatal("64 committed pulls never diverted a request to ship")
+	}
+	if shipped == 0 {
+		t.Fatal("diverted before any load existed")
+	}
+	// Far enough in the future every horizon has expired: pull again.
+	r2 := r
+	r2.Now = 10 * sim.Second
+	if d, _ := p.Plan(PolicyCostModelQueue, m, r2); d.Route != RoutePullData {
+		t.Fatalf("expired horizons still divert: route %v", d.Route)
+	}
+}
+
+// TestRouteViability pins the planner's handling of unshippable and
+// unpullable requests under every policy.
+func TestRouteViability(t *testing.T) {
+	m := model(1)
+	noShip := req()
+	noShip.ShipViable = false
+	nothing := noShip
+	nothing.PullViable = false
+
+	for _, pol := range []Policy{PolicyCostModel, PolicyCostModelQueue} {
+		p := &Planner{}
+		if d, err := p.Plan(pol, m, noShip); err != nil || d.Route != RoutePullData {
+			t.Errorf("%v unshippable: %v route %v, want pull", pol, err, d.Route)
+		}
+		if _, err := p.Plan(pol, m, nothing); err == nil {
+			t.Errorf("%v accepted a request with no viable route", pol)
+		}
+	}
+	p := &Planner{}
+	if _, err := p.Plan(PolicyShipCode, m, noShip); err == nil {
+		t.Error("forced ship of an unshippable request accepted")
+	}
+	if _, err := p.Plan(PolicyPullData, m, nothing); err == nil {
+		t.Error("pull fallback shipped an unshippable request")
+	}
+	// Pull-policy fallback still ships when ship is viable.
+	noPull := req()
+	noPull.PullViable = false
+	if d, err := p.Plan(PolicyPullData, m, noPull); err != nil || d.Route != RouteShipCode || !d.Fallback {
+		t.Errorf("pull fallback: %v route %v fallback %v", err, d.Route, d.Fallback)
 	}
 }

@@ -64,6 +64,19 @@ type WorkloadParams struct {
 	// SelfFrac is the fraction of ops whose region lives on the driver
 	// itself (the run-local degenerate route). Default 0.1.
 	SelfFrac float64
+	// StreamDepth is the concurrency dimension: the offload stream's
+	// issue window (maximum requests in flight at once; requests to one
+	// destination always serialize). 0 or 1 means sequential issue — the
+	// PR 4 latency-oriented regime. Pure materialization parameter: it
+	// consumes no generator draws, so a scenario's op stream is identical
+	// at every depth.
+	StreamDepth int
+	// ArrivalBurst splits the op stream into arrival windows of this
+	// many ops: a burst's ops are all available at once, and the next
+	// burst arrives only when the previous one has fully drained (a
+	// barrier). 0 means the whole stream is one window. Like StreamDepth
+	// it consumes no generator draws.
+	ArrivalBurst int
 }
 
 // withDefaults fills zero fields.
@@ -229,6 +242,11 @@ func (w *Workload) Fingerprint() uint64 {
 	}
 	for i, op := range w.Ops {
 		fmt.Fprintf(h, "op%d type=%d dst=%d pay=%d churn=%v\n", i, op.Type, op.Dst, op.PayloadLen, op.Churn)
+	}
+	// The concurrency dimension is appended only when set, so every
+	// pre-existing (sequential) golden fingerprint is unchanged.
+	if w.Params.StreamDepth > 1 || w.Params.ArrivalBurst > 0 {
+		fmt.Fprintf(h, "stream depth=%d burst=%d\n", w.Params.StreamDepth, w.Params.ArrivalBurst)
 	}
 	return h.Sum64()
 }

@@ -23,6 +23,29 @@ func TestWorkloadGoldenSeeds(t *testing.T) {
 	}
 }
 
+// TestWorkloadConcurrencyDimension: StreamDepth/ArrivalBurst are pure
+// materialization parameters — the generated op stream is identical at
+// every depth (no generator draws consumed), while the fingerprint
+// distinguishes concurrent scenarios from sequential ones.
+func TestWorkloadConcurrencyDimension(t *testing.T) {
+	seq := Generate(WorkloadParams{Seed: 5})
+	conc := Generate(WorkloadParams{Seed: 5, StreamDepth: 8, ArrivalBurst: 16})
+	if len(seq.Ops) != len(conc.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(seq.Ops), len(conc.Ops))
+	}
+	for i := range seq.Ops {
+		if seq.Ops[i] != conc.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v (concurrency params consumed a draw)", i, seq.Ops[i], conc.Ops[i])
+		}
+	}
+	if seq.Fingerprint() == conc.Fingerprint() {
+		t.Error("fingerprint blind to the concurrency dimension")
+	}
+	if Generate(WorkloadParams{Seed: 5, StreamDepth: 1}).Fingerprint() != seq.Fingerprint() {
+		t.Error("depth 1 (sequential) changed the fingerprint")
+	}
+}
+
 // TestWorkloadShape sanity-checks the generated structure: bounds
 // respected, churn cadence honored, both kernel classes and at least one
 // self-op present at the defaults.

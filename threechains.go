@@ -168,14 +168,18 @@ func NewClusterN(p Profile, n int) *Cluster {
 // optional put-back), or run in place — under one of these policies.
 // PolicyCostModel prices the routes per request from the calibrated
 // fabric/µarch/registration state and the decayed per-type step
-// estimates; decisions are deterministic and engine-invariant, and all
-// policies produce bit-identical execution results (differentially
-// tested).
+// estimates; PolicyCostModelQueue additionally tracks per-resource
+// busy-until horizons from its own issued decisions, so pipelined
+// offload streams (Runtime.StartOffloadStream) load-balance across
+// ship/pull/local instead of herd-routing to the zero-load optimum.
+// Decisions are deterministic and engine-invariant, and all policies
+// produce bit-identical execution results (differentially tested).
 const (
-	PolicyCostModel = place.PolicyCostModel
-	PolicyShipCode  = place.PolicyShipCode
-	PolicyPullData  = place.PolicyPullData
-	PolicyLocal     = place.PolicyLocal
+	PolicyCostModel      = place.PolicyCostModel
+	PolicyShipCode       = place.PolicyShipCode
+	PolicyPullData       = place.PolicyPullData
+	PolicyLocal          = place.PolicyLocal
+	PolicyCostModelQueue = place.PolicyCostModelQueue
 )
 
 // Placement types: offload options, the planner's policy/decision
@@ -191,6 +195,12 @@ type (
 	Workload = place.Workload
 	// PlacementResult is one scenario row of the placement policy sweep.
 	PlacementResult = bench.PlacementResult
+	// StreamOp is one request of a windowed offload stream.
+	StreamOp = core.StreamOp
+	// OffloadStream is an in-flight windowed offload stream
+	// (Runtime.StartOffloadStream): up to W requests in flight, requests
+	// to one destination serialized in issue order.
+	OffloadStream = core.OffloadStream
 )
 
 // GenerateWorkload builds the deterministic scenario for the params
@@ -201,6 +211,13 @@ func GenerateWorkload(p WorkloadParams) *Workload { return place.Generate(p) }
 // routing policy on a testbed profile (see cmd/paperbench -placement).
 func PlacementSweep(p Profile) ([]PlacementResult, error) {
 	return bench.PlacementSweep(p, nil)
+}
+
+// ConcurrentPlacementSweep runs the concurrent placement grid — windowed
+// offload streams under both statics, the zero-load cost model and the
+// queueing-aware planner — on a testbed profile.
+func ConcurrentPlacementSweep(p Profile) ([]PlacementResult, error) {
+	return bench.ConcurrentPlacementSweep(p, nil)
 }
 
 // PaperTriples returns the fat-bitcode target list the paper ships
