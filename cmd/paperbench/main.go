@@ -34,6 +34,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced DAPC grids")
 	engines := flag.Bool("engines", true, "include the execution-engine comparison")
 	placement := flag.Bool("placement", true, "include the placement-policy sweep")
+	scale := flag.Bool("scale", true, "include the sharded-engine scale sweep")
 	jsonOut := flag.Bool("json", false, "write BENCH_engines.json with the engine and batch sweeps")
 	jsonPath := flag.String("json-path", "BENCH_engines.json", "output path for -json")
 	flag.Parse()
@@ -49,6 +50,12 @@ func main() {
 		rows := placementReport(*placement)
 		if rep != nil {
 			rep.Placement = rows
+		}
+	}
+	if *scale || *jsonOut {
+		rows := scaleReport(*scale)
+		if rep != nil {
+			rep.Scale = rows
 		}
 	}
 	if *jsonOut {
@@ -70,6 +77,10 @@ func main() {
 type enginesReport struct {
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	// Gomaxprocs is the scheduler parallelism the sweeps actually ran
+	// with — the number a reader needs to interpret the scale section's
+	// wall-clock speedups (NumCPU alone says nothing about parallel runs).
+	Gomaxprocs int `json:"gomaxprocs"`
 	// Engines is the interpreter-vs-closure wall-clock comparison, one
 	// row per (µarch, kernel).
 	Engines []engineRow `json:"engines"`
@@ -80,6 +91,11 @@ type enginesReport struct {
 	// the total virtual time of ship-code vs pull-data vs the cost-model
 	// planner (internal/place), with the planner's route mix.
 	Placement []bench.PlacementResult `json:"placement,omitempty"`
+	// Scale is the sharded-engine scaling sweep: grouped 256- and
+	// 1000-node scenarios run at shard counts 1/2/4/NumCPU, wall clock
+	// and wall-per-virtual ratio per shard count, with the bit-identity
+	// invariant re-asserted on every run.
+	Scale []bench.ScaleResult `json:"scale,omitempty"`
 }
 
 type engineRow struct {
@@ -102,7 +118,10 @@ type engineRow struct {
 // (virtual-time metrics are engine- and batch-invariant by contract).
 // When print is true the tables also go to stdout.
 func engineReport(print bool) *enginesReport {
-	rep := &enginesReport{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+	rep := &enginesReport{
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+	}
 	printf := func(format string, args ...any) {
 		if print {
 			fmt.Printf(format, args...)
@@ -193,6 +212,33 @@ func placementReport(print bool) []bench.PlacementResult {
 		fmt.Printf("\n")
 	}
 	return append(rows, conc...)
+}
+
+// scaleReport runs the sharded-engine scale sweep on the Thor-Xeon
+// profile: grouped scale scenarios (256 and 1000 nodes) at shard counts
+// 1/2/4/NumCPU. The sweep fails hard if any shard count diverges from
+// the single-heap outcome, so a printed row is also a passed
+// differential. Wall-clock speedups are only meaningful when
+// GOMAXPROCS > 1; the JSON records it so readers can tell.
+func scaleReport(print bool) []bench.ScaleResult {
+	rows, err := bench.ScaleSweep(testbed.ThorXeon(), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if print {
+		fmt.Printf("--- Sharded-engine scale sweep (GOMAXPROCS=%d) ---\n", runtime.GOMAXPROCS(0))
+		fmt.Printf("%-12s %6s %8s %7s %10s %12s %10s %8s\n",
+			"scenario", "nodes", "ops", "shards", "wall", "virtual", "wall/virt", "speedup")
+		for _, r := range rows {
+			for _, run := range r.Runs {
+				fmt.Printf("%-12s %6d %8d %7d %8.1fms %10.1fµs %9.1fx %7.2fx\n",
+					r.Scenario, r.Nodes, r.Ops, run.Shards, run.WallMS,
+					run.VirtualUS, run.WallPerVirtual, run.Speedup)
+			}
+		}
+		fmt.Printf("\n")
+	}
+	return rows
 }
 
 // writeJSON dumps the engines report for cross-PR trajectory tracking.

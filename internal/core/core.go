@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"threechains/internal/bitcode"
 	"threechains/internal/elfx"
@@ -73,7 +74,23 @@ type Cluster struct {
 
 // NewCluster builds a cluster over the given network parameters.
 func NewCluster(params fabric.NetParams, nodes []NodeSpec) *Cluster {
-	eng := sim.New()
+	return NewShardedCluster(params, nodes, 1, nil)
+}
+
+// NewShardedCluster builds a cluster on a sharded simulation engine:
+// node n's event domain runs on shard shardOf(n) (nil = everything on
+// shard 0). The fabric proposes the conservative lookahead — its LogGP
+// latency floor SendOverhead+BaseLatency — so cross-shard traffic
+// synchronizes at fabric boundaries and the engine's horizon protocol
+// guarantees bit-identical execution at every shard count. shardOf must
+// keep nodes that share non-fabric state (completion signals, offload
+// streams, planner registry reads — see Runtime.ScopeNodes) on one
+// shard; the grouped scale scenarios assign whole workload groups.
+func NewShardedCluster(params fabric.NetParams, nodes []NodeSpec, shards int, shardOf func(node int) int) *Cluster {
+	eng := sim.NewSharded(shards)
+	if shardOf != nil {
+		eng.SetShardOf(shardOf)
+	}
 	net := fabric.New(eng, params)
 	ctx := ucx.NewContext(net)
 	c := &Cluster{Eng: eng, Net: net, Ctx: ctx}
@@ -207,9 +224,10 @@ type Runtime struct {
 	// (recycled once the receiver is done with the bytes, via the
 	// per-destination release hook handed to ucx) and the interning
 	// table that deduplicates received code sections by content hash.
-	framePool  [][][]byte
-	frameRel   []ucx.FrameRelease
-	codeIntern map[uint64][]byte
+	framePool   [][][]byte
+	frameRel    []ucx.FrameRelease
+	framePoolMu sync.Mutex
+	codeIntern  map[uint64][]byte
 
 	heapKey  ucx.RKey   // this node's whole-heap window
 	heapKeys []ucx.RKey // everyone's windows (rkey exchange)
@@ -262,6 +280,18 @@ type Runtime struct {
 	argvBuf    [][]uint64
 	batchOut   []mcode.BatchResult
 	onePayload [1][]byte
+
+	// ScopeNodes, when non-nil, restricts the planner's cross-node
+	// registry scan (measurement propagation in buildRequest) to the
+	// listed node IDs. Sharded scale scenarios set it to the runtime's
+	// own partition so the scan — an omniscient virtual-time read —
+	// never touches state owned by another shard. The scan order stays
+	// fixed, so scoping keeps the estimate deterministic.
+	ScopeNodes []int
+
+	// flushPool recycles batch-flush carriers (several can be in flight
+	// when one drain dispatches multiple groups).
+	flushPool []*batchFlush
 
 	// completion hook for tc.complete.
 	completeSig *sim.Signal
@@ -322,6 +352,11 @@ func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
 	return r
 }
 
+// eng returns this node's engine view. All runtime scheduling must go
+// through it (not the cluster's root engine) so events carry the right
+// domain key and shard routing under sharded execution.
+func (r *Runtime) eng() *sim.Engine { return r.Node.Eng() }
+
 // allocGlobal places a module global in node heap (JIT loader callback).
 func (r *Runtime) allocGlobal(g ir.Global) uint64 {
 	addr := r.Node.Alloc(g.Size)
@@ -348,26 +383,34 @@ func (r *Runtime) getFrameBuf(dst int) []byte {
 	if r.framePool == nil {
 		r.framePool = make([][][]byte, len(r.Cluster.Runtimes))
 	}
+	r.framePoolMu.Lock()
 	p := r.framePool[dst]
 	if n := len(p); n > 0 {
 		b := p[n-1][:0]
 		r.framePool[dst] = p[:n-1]
+		r.framePoolMu.Unlock()
 		return b
 	}
+	r.framePoolMu.Unlock()
 	return nil
 }
 
 // frameRelease returns the (memoized, so sends stay allocation-free)
 // release hook that returns a frame buffer to dst's pool. It is invoked
-// by the receiving runtime once the frame bytes are dead; the simulation
-// is single-threaded, so the cross-runtime call needs no synchronization.
+// by the receiving runtime once the frame bytes are dead — under sharded
+// execution that can be a different shard's worker (a cross-shard quiet
+// send), so the pool is mutex-guarded. Pool order only decides which
+// buffer is reused, never any simulated outcome, so the cross-shard
+// timing of releases cannot perturb results.
 func (r *Runtime) frameRelease(dst int) ucx.FrameRelease {
 	if r.frameRel == nil {
 		r.frameRel = make([]ucx.FrameRelease, len(r.Cluster.Runtimes))
 	}
 	if r.frameRel[dst] == nil {
 		r.frameRel[dst] = func(b []byte) {
+			r.framePoolMu.Lock()
 			r.framePool[dst] = append(r.framePool[dst], b)
+			r.framePoolMu.Unlock()
 		}
 	}
 	return r.frameRel[dst]
@@ -398,7 +441,7 @@ func (r *Runtime) CallExtern(sym string, args []uint64) (uint64, error) {
 // code fires it via the tc.complete intrinsic (how DAPC's ReturnResult
 // notifies the waiting client).
 func (r *Runtime) SetCompletion() *sim.Signal {
-	r.completeSig = r.Cluster.Eng.NewSignal()
+	r.completeSig = r.eng().NewSignal()
 	return r.completeSig
 }
 
@@ -624,6 +667,10 @@ func (r *Runtime) PredeployAM(amID uint32, name string, m *ir.Module) error {
 // RunBatch after a single pre-run charge. Groups are pooled on the
 // Runtime and released once their run has been dispatched.
 type frameGroup struct {
+	// r/runFn tie the group to its runtime with a memoized dispatch
+	// body, so scheduling a group run allocates no per-drain closure.
+	r     *Runtime
+	runFn func()
 	reg   *ifunc.Registration
 	entry uint16
 	// cost is the group's pre-run CPU charge: the one-time registration
@@ -670,12 +717,8 @@ func (r *Runtime) drainSink(batch []ucx.IfuncDelivery) {
 	groups := r.groupFrames(batch)
 	orderGroupsByCost(groups)
 	for _, g := range groups {
-		g := g
 		r.Stats.GroupRuns++
-		r.Node.ExecCPU(g.cost, func() {
-			r.executeBatch(g.reg, g.entry, g.payloads)
-			r.releaseGroup(g)
-		})
+		r.Node.ExecCPU(g.cost, g.runFn)
 	}
 }
 
@@ -787,7 +830,15 @@ func (r *Runtime) acquireGroup() *frameGroup {
 		r.groupPool = r.groupPool[:n-1]
 		return g
 	}
-	return &frameGroup{}
+	g := &frameGroup{r: r}
+	g.runFn = g.run
+	return g
+}
+
+// run executes the group and recycles it (the memoized ExecCPU body).
+func (g *frameGroup) run() {
+	g.r.executeBatch(g.reg, g.entry, g.payloads)
+	g.r.releaseGroup(g)
 }
 
 // releaseGroup returns a dispatched group to the pool, releasing the
@@ -1004,15 +1055,25 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 		r.Stats.ExecErrors += uint64(n - ran)
 	}
 
+	// Snapshot everything the completion-time flush needs into a pooled
+	// carrier (several flushes can be in flight when one drain dispatches
+	// multiple groups, so the carriers are pooled, not a single slot).
+	// The carrier's slices and its memoized event body are recycled with
+	// it: a warm-path batch flush allocates nothing.
+	fl := r.acquireFlush()
+	fl.reg, fl.entryName, fl.amID = reg, entryName, r.currentAMID
+	fl.sends = append(fl.sends[:0], r.pendingSends...)
+	fl.ams = append(fl.ams[:0], r.pendingAMs...)
+	fl.puts = append(fl.puts[:0], r.pendingPuts...)
+	fl.dones = append(fl.dones[:0], r.pendingDone...)
+
 	// Values for the observer, snapshotted before the reusable result
 	// buffer is handed to the next group (only charged when an observer
 	// is installed).
-	var obsVals []uint64
 	if r.Observer != nil {
-		obsVals = make([]uint64, 0, ran)
 		for k := 0; k < ran; k++ {
 			if out[k].Err == nil {
-				obsVals = append(obsVals, out[k].Value)
+				fl.obsVals = append(fl.obsVals, out[k].Value)
 			}
 		}
 	}
@@ -1025,8 +1086,6 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 	// completes and reads the error from LastExecErr. The hot delivery
 	// path never pays for this — the slice is empty unless an offload
 	// stream is in flight.
-	var watchSigs []*sim.Signal
-	var watchVals []uint64
 	if len(r.execWatches) > 0 {
 		for k := 0; k < n; k++ {
 			sig := r.takeExecWatch(reg.Hash)
@@ -1037,8 +1096,8 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 			if k < ran && out[k].Err == nil {
 				v = out[k].Value
 			}
-			watchSigs = append(watchSigs, sig)
-			watchVals = append(watchVals, v)
+			fl.watchSigs = append(fl.watchSigs, sig)
+			fl.watchVals = append(fl.watchVals, v)
 		}
 	}
 
@@ -1049,41 +1108,94 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 		mult = 1
 	}
 	cost := sim.FromSeconds(mcode.Seconds(&ma.Counts, r.Node.March) * mult)
-	sends := append([]pendingSend(nil), r.pendingSends...)
-	ams := append([]pendingAM(nil), r.pendingAMs...)
-	amID := r.currentAMID
-	puts := append([]pendingPut(nil), r.pendingPuts...)
-	dones := append([]uint64(nil), r.pendingDone...)
-	r.Node.ExecCPU(cost, func() {
-		for _, ps := range sends {
-			r.Stats.IfuncsSent++
-			r.Stats.GuestSends++
-			// Guest sends never observe transport completion; the quiet
-			// path skips the per-message completion signals entirely.
-			r.ep(ps.dst).SendIfuncQuiet(ps.frame, r.frameRelease(ps.dst))
+	r.Node.ExecCPU(cost, fl.fn)
+}
+
+// batchFlush carries one batch's buffered guest communication and
+// completion observables from execution time to completion time. It is
+// pooled per runtime; fn memoizes the run method so the completion event
+// is closure-free.
+type batchFlush struct {
+	r         *Runtime
+	fn        func()
+	reg       *ifunc.Registration
+	entryName string
+	amID      int32
+	sends     []pendingSend
+	ams       []pendingAM
+	puts      []pendingPut
+	dones     []uint64
+	obsVals   []uint64
+	watchSigs []*sim.Signal
+	watchVals []uint64
+}
+
+// acquireFlush pops a recycled flush carrier (or allocates one).
+func (r *Runtime) acquireFlush() *batchFlush {
+	if n := len(r.flushPool); n > 0 {
+		fl := r.flushPool[n-1]
+		r.flushPool = r.flushPool[:n-1]
+		return fl
+	}
+	fl := &batchFlush{r: r}
+	fl.fn = fl.run
+	return fl
+}
+
+// run is the completion-time flush (the memoized ExecCPU body).
+func (fl *batchFlush) run() {
+	r := fl.r
+	for _, ps := range fl.sends {
+		r.Stats.IfuncsSent++
+		r.Stats.GuestSends++
+		// Guest sends never observe transport completion; the quiet
+		// path skips the per-message completion signals entirely.
+		r.ep(ps.dst).SendIfuncQuiet(ps.frame, r.frameRelease(ps.dst))
+	}
+	for _, pa := range fl.ams {
+		r.Stats.IfuncsSent++
+		r.Stats.GuestSends++
+		r.ep(pa.dst).SendAM(uint32(fl.amID), uint64(pa.entry), pa.payload)
+	}
+	for _, pp := range fl.puts {
+		r.ep(pp.dst).Put(pp.data, pp.addr, r.heapKeys[pp.dst])
+	}
+	for _, v := range fl.dones {
+		if r.completeSig != nil && !r.completeSig.Fired() {
+			r.completeSig.Fire(v)
 		}
-		for _, pa := range ams {
-			r.Stats.IfuncsSent++
-			r.Stats.GuestSends++
-			r.ep(pa.dst).SendAM(uint32(amID), uint64(pa.entry), pa.payload)
+	}
+	if r.Observer != nil {
+		for _, v := range fl.obsVals {
+			r.Observer(fl.reg.Name, fl.entryName, v, r.eng().Now())
 		}
-		for _, pp := range puts {
-			r.ep(pp.dst).Put(pp.data, pp.addr, r.heapKeys[pp.dst])
-		}
-		for _, v := range dones {
-			if r.completeSig != nil && !r.completeSig.Fired() {
-				r.completeSig.Fire(v)
-			}
-		}
-		if r.Observer != nil {
-			for _, v := range obsVals {
-				r.Observer(reg.Name, entryName, v, r.Cluster.Eng.Now())
-			}
-		}
-		for i, sig := range watchSigs {
-			sig.Fire(watchVals[i])
-		}
-	})
+	}
+	for i, sig := range fl.watchSigs {
+		sig.Fire(fl.watchVals[i])
+	}
+	// Recycle: drop every reference so pooled carriers pin nothing.
+	fl.reg = nil
+	fl.entryName = ""
+	for i := range fl.sends {
+		fl.sends[i] = pendingSend{}
+	}
+	fl.sends = fl.sends[:0]
+	for i := range fl.ams {
+		fl.ams[i] = pendingAM{}
+	}
+	fl.ams = fl.ams[:0]
+	for i := range fl.puts {
+		fl.puts[i] = pendingPut{}
+	}
+	fl.puts = fl.puts[:0]
+	fl.dones = fl.dones[:0]
+	fl.obsVals = fl.obsVals[:0]
+	for i := range fl.watchSigs {
+		fl.watchSigs[i] = nil
+	}
+	fl.watchSigs = fl.watchSigs[:0]
+	fl.watchVals = fl.watchVals[:0]
+	r.flushPool = append(r.flushPool, fl)
 }
 
 // watchNextExec registers a one-shot execution watch: the returned
@@ -1095,7 +1207,7 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 // would race the attribution and is the caller's responsibility to
 // exclude.
 func (r *Runtime) watchNextExec(hash uint64) *sim.Signal {
-	sig := r.Cluster.Eng.NewSignal()
+	sig := r.eng().NewSignal()
 	r.execWatches = append(r.execWatches, execWatch{hash: hash, sig: sig})
 	return sig
 }

@@ -41,7 +41,7 @@ func (r *Runtime) installRuntimeLibs() {
 		return uint64(len(r.Cluster.Runtimes)), nil
 	}
 	tc.Funcs[SymNowNS] = func([]uint64) (uint64, error) {
-		return uint64(r.Cluster.Eng.Now() / 1000), nil
+		return uint64(r.eng().Now() / 1000), nil
 	}
 	tc.Funcs[SymLog] = func(args []uint64) (uint64, error) {
 		r.GuestLog = append(r.GuestLog, args...)

@@ -139,7 +139,7 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 	req := place.Request{
 		DstIsLocal: dst == r.Node.ID,
 		Dst:        dst,
-		Now:        r.Cluster.Eng.Now(),
+		Now:        r.eng().Now(),
 		PayloadLen: len(payload),
 		DataBytes:  int(opts.DataSize),
 		WriteBack:  opts.WriteBack,
@@ -199,11 +199,25 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 		}
 	}
 	if !req.Measured {
-		for _, rt := range r.Cluster.Runtimes {
-			if reg, ok := rt.Reg.Get(h.Hash); ok {
-				if m, ok := reg.MeanSteps(); ok {
-					req.MeanSteps, req.Measured = m, true
-					break
+		if r.ScopeNodes != nil {
+			// Sharded scale scenarios: the propagation scan may only
+			// read registries inside this runtime's own partition, so
+			// the read never crosses a shard boundary mid-window.
+			for _, id := range r.ScopeNodes {
+				if reg, ok := r.Cluster.Runtimes[id].Reg.Get(h.Hash); ok {
+					if m, ok := reg.MeanSteps(); ok {
+						req.MeanSteps, req.Measured = m, true
+						break
+					}
+				}
+			}
+		} else {
+			for _, rt := range r.Cluster.Runtimes {
+				if reg, ok := rt.Reg.Get(h.Hash); ok {
+					if m, ok := reg.MeanSteps(); ok {
+						req.MeanSteps, req.Measured = m, true
+						break
+					}
 				}
 			}
 		}
@@ -294,10 +308,10 @@ func (r *Runtime) offloadLocal(h *Handle, entry uint16, payload []byte, opts Off
 	if err != nil {
 		return nil, nil, err
 	}
-	done := r.Cluster.Eng.NewSignal()
+	done := r.eng().NewSignal()
 	var execSig *sim.Signal
 	if track {
-		execSig = r.Cluster.Eng.NewSignal()
+		execSig = r.eng().NewSignal()
 	}
 	r.Node.ExecCPU(regCost, func() {
 		v := r.executeOne(reg, entry, payload, opts.DataAddr)
@@ -373,10 +387,10 @@ func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, 
 		return nil, nil, err
 	}
 	slot := r.acquirePullSlot()
-	done := r.Cluster.Eng.NewSignal()
+	done := r.eng().NewSignal()
 	var execSig *sim.Signal
 	if track {
-		execSig = r.Cluster.Eng.NewSignal()
+		execSig = r.eng().NewSignal()
 	}
 	ep := r.ep(dst)
 	key := r.heapKeys[dst]

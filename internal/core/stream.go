@@ -84,7 +84,7 @@ func (r *Runtime) StartOffloadStream(ops []StreamOp, window int) *OffloadStream 
 		window = 1
 	}
 	s := &OffloadStream{
-		Done:    r.Cluster.Eng.NewSignal(),
+		Done:    r.eng().NewSignal(),
 		Results: make([]uint64, len(ops)),
 		r:       r,
 		ops:     ops,

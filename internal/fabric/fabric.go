@@ -20,6 +20,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
 
 	"threechains/internal/isa"
 	"threechains/internal/sim"
@@ -54,18 +55,57 @@ func (p NetParams) WireTime(n int) sim.Time {
 	return p.BaseLatency + sim.Time(n)*p.LatPerByte
 }
 
-// Message is one fabric-level delivery.
+// Message is one fabric-level delivery. Messages are pooled: a *Message
+// is valid only for the duration of the Handler call unless the handler
+// takes ownership with Retain (and later returns it with Free). The Data
+// slice is NOT pooled with the message — its lifetime is the upper
+// layer's (frame buffers have their own pool) — so deferred work must
+// capture Data, never the Message.
 type Message struct {
 	Src  *Node
+	Dst  *Node
 	Size int
 	Data []byte
 	// Meta carries structured payload for upper layers (frame headers
 	// stay as real bytes in Data; Meta holds decoded routing info).
 	Meta interface{}
+	// Sig and Rel are optional per-delivery completion carriers for
+	// transports (ucx): a completion signal to fire and a buffer-release
+	// hook to run once the payload is consumed. Keeping them on the
+	// pooled message lets a transport use one memoized arrival handler
+	// for every send instead of allocating a closure per message.
+	Sig *sim.Signal
+	Rel func([]byte)
+
+	hnd      Handler
+	retained bool
 }
+
+// Retain transfers message ownership to the handler: the fabric will not
+// recycle it when the handler returns. The owner must call Free.
+func (m *Message) Retain() { m.retained = true }
+
+// Free returns a retained message to the pool. The message must not be
+// touched afterwards.
+func (m *Message) Free() { m.Dst.net.freeMsg(m) }
 
 // Handler consumes a delivered message on the destination node.
 type Handler func(msg *Message)
+
+// deliverMsg is the shared arrival event body: one memoized func for
+// every send keeps the per-message event closure-free (the *Message is
+// the event argument).
+func deliverMsg(a any) {
+	msg := a.(*Message)
+	dst := msg.Dst
+	dst.Stats.MsgsReceived++
+	dst.Stats.BytesReceived += uint64(msg.Size)
+	h := msg.hnd
+	h(msg)
+	if !msg.retained {
+		dst.net.freeMsg(msg)
+	}
+}
 
 // Node is one machine (or one DPU subsystem) on the fabric.
 type Node struct {
@@ -73,6 +113,10 @@ type Node struct {
 	Name  string
 	March *isa.MicroArch
 	net   *Network
+	// eng is the node's per-domain engine view: Now() reads the node's
+	// shard clock and At/After execute as this node, so the ordering key
+	// and shard routing are correct under sharded execution.
+	eng *sim.Engine
 
 	mem      []byte
 	heapNext uint64
@@ -104,14 +148,29 @@ type NodeStats struct {
 
 // Network is the cluster: an engine, shared wire parameters and nodes.
 type Network struct {
-	Eng    *sim.Engine
-	Params NetParams
-	nodes  []*Node
+	Eng     *sim.Engine
+	Params  NetParams
+	nodes   []*Node
+	msgPool sync.Pool
 }
 
-// New creates an empty network on the engine.
+// New creates an empty network on the engine. The wire's latency floor
+// (SendOverhead + BaseLatency — no delivery can beat it) is proposed to
+// the engine as the conservative cross-shard lookahead, which is what
+// lets a sharded engine run nodes in parallel windows of exactly that
+// width.
 func New(eng *sim.Engine, params NetParams) *Network {
-	return &Network{Eng: eng, Params: params}
+	eng.ProposeLookahead(params.SendOverhead + params.BaseLatency)
+	nw := &Network{Eng: eng, Params: params}
+	nw.msgPool.New = func() any { return new(Message) }
+	return nw
+}
+
+func (nw *Network) allocMsg() *Message { return nw.msgPool.Get().(*Message) }
+
+func (nw *Network) freeMsg(m *Message) {
+	*m = Message{}
+	nw.msgPool.Put(m)
 }
 
 // Nodes returns all nodes in creation order.
@@ -137,9 +196,16 @@ func (nw *Network) AddNode(name string, march *isa.MicroArch, memSize int) *Node
 		stackBase: uint64(memSize) - stack,
 		stackSize: stack,
 	}
+	n.eng = nw.Eng.Domain(n.ID)
 	nw.nodes = append(nw.nodes, n)
 	return n
 }
+
+// Eng returns the node's engine view (domain-bound: Now() is the node's
+// shard clock, At/After execute as this node). Transports and runtimes
+// must schedule node-context work through this view, not the network's
+// root engine, or sharded runs would mis-key and mis-route events.
+func (n *Node) Eng() *sim.Engine { return n.eng }
 
 // Mem returns the node heap. IR pointers index this slice.
 func (n *Node) Mem() []byte { return n.mem }
@@ -172,7 +238,7 @@ func (n *Node) HeapUsed() uint64 { return n.heapNext }
 // completion time. Use cost 0 for bookkeeping that still must serialize
 // with node compute.
 func (n *Node) ExecCPU(cost sim.Time, fn func()) sim.Time {
-	eng := n.net.Eng
+	eng := n.eng
 	start := eng.Now()
 	if n.cpuFree > start {
 		start = n.cpuFree
@@ -186,7 +252,7 @@ func (n *Node) ExecCPU(cost sim.Time, fn func()) sim.Time {
 
 // CPUFreeAt returns when the core frees up (≥ now).
 func (n *Node) CPUFreeAt() sim.Time {
-	if t := n.net.Eng.Now(); n.cpuFree < t {
+	if t := n.eng.Now(); n.cpuFree < t {
 		return t
 	}
 	return n.cpuFree
@@ -199,8 +265,8 @@ func (n *Node) CPUFreeAt() sim.Time {
 // onNIC runs in NIC context: one-sided operations do their memory access
 // there; two-sided paths must hop to the destination CPU via ExecCPU.
 func (n *Node) Send(dst *Node, data []byte, meta interface{}, onNIC Handler) *sim.Signal {
-	local := n.net.Eng.NewSignal()
-	n.send(dst, data, meta, onNIC, local)
+	local := n.eng.NewSignal()
+	n.send(dst, data, meta, onNIC, nil, nil, local)
 	return local
 }
 
@@ -209,11 +275,19 @@ func (n *Node) Send(dst *Node, data []byte, meta interface{}, onNIC Handler) *si
 // its fire event entirely, keeping the warm send path allocation-free.
 // Timing is identical to Send.
 func (n *Node) SendNoCompletion(dst *Node, data []byte, meta interface{}, onNIC Handler) {
-	n.send(dst, data, meta, onNIC, nil)
+	n.send(dst, data, meta, onNIC, nil, nil, nil)
 }
 
-func (n *Node) send(dst *Node, data []byte, meta interface{}, onNIC Handler, local *sim.Signal) {
-	eng := n.net.Eng
+// SendCarrying is SendNoCompletion with per-delivery completion carriers:
+// sig and rel ride on the pooled message (msg.Sig / msg.Rel), so a
+// transport can use one memoized handler for every send on an endpoint
+// instead of allocating a closure capturing the pair per message.
+func (n *Node) SendCarrying(dst *Node, data []byte, meta interface{}, sig *sim.Signal, rel func([]byte), onNIC Handler) {
+	n.send(dst, data, meta, onNIC, sig, rel, nil)
+}
+
+func (n *Node) send(dst *Node, data []byte, meta interface{}, onNIC Handler, sig *sim.Signal, rel func([]byte), local *sim.Signal) {
+	eng := n.eng
 	p := n.net.Params
 	size := len(data)
 
@@ -242,12 +316,13 @@ func (n *Node) send(dst *Node, data []byte, meta interface{}, onNIC Handler, loc
 		arrive = la
 	}
 	n.lastArrive[dst.ID] = arrive
-	msg := &Message{Src: n, Size: size, Data: data, Meta: meta}
-	eng.At(arrive, func() {
-		dst.Stats.MsgsReceived++
-		dst.Stats.BytesReceived += uint64(size)
-		onNIC(msg)
-	})
+	msg := n.net.allocMsg()
+	msg.Src, msg.Dst, msg.Size, msg.Data, msg.Meta = n, dst, size, data, meta
+	msg.Sig, msg.Rel, msg.hnd = sig, rel, onNIC
+	// The arrival executes as the destination domain: on a sharded
+	// engine this is the cross-shard hop, and arrive ≥ now + SendOverhead
+	// + BaseLatency ≥ the conservative horizon by construction.
+	eng.AtDomainCall(dst.ID, arrive, deliverMsg, msg)
 }
 
 // WriteMem copies data into node memory at addr with bounds checking —

@@ -250,3 +250,87 @@ func (w *Workload) Fingerprint() uint64 {
 	}
 	return h.Sum64()
 }
+
+// ScaleParams describes a grouped scale scenario: Groups independent
+// partitions of GroupNodes nodes each, every group driven by its own
+// driver node with a per-group offload stream drawn from a derived
+// seed. Groups never share operand regions or offload destinations, so
+// a group is the atomic placement unit for simulator sharding: any
+// assignment of whole groups to shards replays the identical virtual
+// timeline. 1000-node / 1M-request shapes are just Groups=125,
+// GroupNodes=8, OpsPerGroup=8000.
+type ScaleParams struct {
+	Seed int64
+	// Groups is the number of independent partitions. Default 8.
+	Groups int
+	// GroupNodes is the cluster size of one partition, including its
+	// driver. Default 8.
+	GroupNodes int
+	// OpsPerGroup is the offload-stream length of one partition.
+	// Default 128.
+	OpsPerGroup int
+	// Template supplies every other workload knob (skew, payloads,
+	// speeds, churn, stream depth). Its Seed, Nodes and Ops fields are
+	// overridden per group.
+	Template WorkloadParams
+}
+
+// withDefaults fills zero fields.
+func (p ScaleParams) withDefaults() ScaleParams {
+	if p.Groups == 0 {
+		p.Groups = 8
+	}
+	if p.GroupNodes == 0 {
+		p.GroupNodes = 8
+	}
+	if p.OpsPerGroup == 0 {
+		p.OpsPerGroup = 128
+	}
+	return p
+}
+
+// ScaleWorkload is a materialized grouped scenario. Group g owns the
+// contiguous global node IDs [g*GroupNodes, (g+1)*GroupNodes); each
+// group's Workload uses group-local node indices (0 = that group's
+// driver).
+type ScaleWorkload struct {
+	Params ScaleParams
+	Groups []*Workload
+}
+
+// GenerateScale builds the grouped scenario deterministically: per-group
+// seeds are derived from the scenario seed with a splitmix-style odd
+// multiplier, so group g's stream is a pure function of (Seed, g) —
+// independent of how many groups surround it or how shards are assigned.
+func GenerateScale(p ScaleParams) *ScaleWorkload {
+	p = p.withDefaults()
+	w := &ScaleWorkload{Params: p}
+	for g := 0; g < p.Groups; g++ {
+		gp := p.Template
+		gp.Seed = p.Seed + int64(g+1)*-0x61c8864680b583eb // golden-ratio odd step
+		gp.Nodes = p.GroupNodes
+		gp.Ops = p.OpsPerGroup
+		w.Groups = append(w.Groups, Generate(gp))
+	}
+	return w
+}
+
+// TotalNodes is the global cluster size.
+func (w *ScaleWorkload) TotalNodes() int { return w.Params.Groups * w.Params.GroupNodes }
+
+// TotalOps is the global request count.
+func (w *ScaleWorkload) TotalOps() int { return w.Params.Groups * w.Params.OpsPerGroup }
+
+// Fingerprint hashes the grouped scenario content: the shape plus every
+// group's own fingerprint, in group order. Golden-seed tests pin it so
+// generator drift is caught before it silently re-prices every scale
+// benchmark.
+func (w *ScaleWorkload) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scale groups=%d gnodes=%d gops=%d\n",
+		w.Params.Groups, w.Params.GroupNodes, w.Params.OpsPerGroup)
+	for g, gw := range w.Groups {
+		fmt.Fprintf(h, "g%d fp=%016x\n", g, gw.Fingerprint())
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// traceWorld builds a K-shard engine with doms domains (round-robin
+// shard assignment), a fixed lookahead, and a per-domain trace: every
+// dispatched event appends (virtual time, a value) to its own domain's
+// slice, so traces are written only from the owning shard (race-free)
+// and can be compared across shard counts.
+type traceWorld struct {
+	eng    *Engine
+	views  []*Engine
+	traces [][]string
+	L      Time
+}
+
+func newTraceWorld(shards, doms int, lookahead Time) *traceWorld {
+	w := &traceWorld{L: lookahead}
+	w.eng = NewSharded(shards)
+	w.eng.SetShardOf(func(d int) int { return d % shards })
+	w.eng.SetLookahead(lookahead)
+	w.traces = make([][]string, doms)
+	for d := 0; d < doms; d++ {
+		w.views = append(w.views, w.eng.Domain(d))
+	}
+	return w
+}
+
+func (w *traceWorld) record(dom int, tag string, v uint64) {
+	w.traces[dom] = append(w.traces[dom],
+		fmt.Sprintf("%d@%v=%d", dom, w.views[dom].Now(), v))
+	_ = tag
+}
+
+func (w *traceWorld) dump() string {
+	var b strings.Builder
+	for d, tr := range w.traces {
+		fmt.Fprintf(&b, "dom%d: %s\n", d, strings.Join(tr, " "))
+	}
+	return b.String()
+}
+
+// seedCrossTraffic schedules a deterministic pseudo-random event storm:
+// every event does local work and, with some probability, reschedules
+// onto another domain at a delay ≥ the lookahead — including delays of
+// exactly L, the horizon boundary (an event landing precisely on the
+// next window's start is the classic off-by-one in conservative
+// engines). The recursion depth bounds total events.
+func (w *traceWorld) seedCrossTraffic(seed int64, events, depth int) {
+	rng := rand.New(rand.NewSource(seed))
+	doms := len(w.views)
+	var step func(dom, depth int, v uint64) func()
+	step = func(dom, depth int, v uint64) func() {
+		return func() {
+			w.record(dom, "step", v)
+			if depth == 0 {
+				return
+			}
+			switch c := v * 2862933555777941757 % 100; {
+			case c < 45:
+				// Local hop: any delay, including zero.
+				w.views[dom].After(Time(v%7)*Nanosecond, step(dom, depth-1, v*3+1))
+			case c < 85:
+				// Cross-domain hop at L + jitter (jitter hits 0 often:
+				// exact horizon landings).
+				peer := int(v % uint64(doms))
+				w.views[dom].AtDomainCall(peer,
+					w.views[dom].Now()+w.L+Time(v%3)*Nanosecond,
+					func(a any) {
+						vv := a.(uint64)
+						w.record(peer, "hop", vv)
+						if depth > 1 {
+							w.views[peer].After(Time(vv%5)*Nanosecond, step(peer, depth-2, vv*5+3))
+						}
+					}, v*7+5)
+			default:
+				// Same-time local fan-out: exercises the (time, dom,
+				// seq) tiebreak.
+				w.views[dom].After(0, step(dom, depth-1, v*9+7))
+				w.views[dom].After(0, step(dom, depth-1, v*11+13))
+			}
+		}
+	}
+	for i := 0; i < events; i++ {
+		dom := rng.Intn(doms)
+		at := Time(rng.Intn(50)) * Nanosecond
+		w.views[dom].At(at, step(dom, 3+rng.Intn(3), uint64(rng.Int63())))
+	}
+}
+
+// TestShardedMatchesSingleHeap fuzzes the cross-shard horizon protocol:
+// the same seeded event storm must produce byte-identical per-domain
+// traces and the same final virtual time at every shard count,
+// including exact horizon-boundary landings.
+func TestShardedMatchesSingleHeap(t *testing.T) {
+	const L = 100 * Nanosecond
+	for seed := int64(1); seed <= 8; seed++ {
+		ref := newTraceWorld(1, 6, L)
+		ref.seedCrossTraffic(seed, 12, 4)
+		ref.eng.Run()
+		for _, k := range []int{2, 3, 4, 6} {
+			w := newTraceWorld(k, 6, L)
+			w.seedCrossTraffic(seed, 12, 4)
+			w.eng.Run()
+			if got, want := w.dump(), ref.dump(); got != want {
+				t.Fatalf("seed %d shards=%d diverged from single heap:\n got:\n%s\nwant:\n%s",
+					seed, k, got, want)
+			}
+			if w.eng.Now() != ref.eng.Now() {
+				t.Fatalf("seed %d shards=%d: final time %v, want %v", seed, k, w.eng.Now(), ref.eng.Now())
+			}
+			if w.eng.Executed() != ref.eng.Executed() {
+				t.Fatalf("seed %d shards=%d: executed %d, want %d",
+					seed, k, w.eng.Executed(), ref.eng.Executed())
+			}
+		}
+	}
+}
+
+// TestShardedStepMatchesRun pins the sequential fallback: Step-ping a
+// sharded engine to exhaustion produces the same trace as Run.
+func TestShardedStepMatchesRun(t *testing.T) {
+	const L = 100 * Nanosecond
+	ref := newTraceWorld(2, 4, L)
+	ref.seedCrossTraffic(42, 8, 4)
+	ref.eng.Run()
+
+	w := newTraceWorld(2, 4, L)
+	w.seedCrossTraffic(42, 8, 4)
+	for w.eng.Step() {
+	}
+	if got, want := w.dump(), ref.dump(); got != want {
+		t.Fatalf("Step trace diverged from Run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCrossShardBelowHorizonPanics pins the causality guard: an event
+// that schedules onto another shard below the conservative horizon is a
+// lookahead-contract violation and must panic, not silently reorder.
+func TestCrossShardBelowHorizonPanics(t *testing.T) {
+	eng := NewSharded(2)
+	eng.SetShardOf(func(d int) int { return d % 2 })
+	eng.SetLookahead(100 * Nanosecond)
+	d0 := eng.Domain(0) // shard 0: runs inline on the coordinator
+	d1 := eng.Domain(1) // shard 1
+	_ = d1
+	d0.At(10*Nanosecond, func() {
+		// 1 ns < 100 ns lookahead: below every possible horizon.
+		d0.AtDomainCall(1, d0.Now()+1*Nanosecond, func(any) {}, nil)
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("sub-lookahead cross-shard schedule did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+// TestShardOfAfterViewsPanics pins the binding rule: shard assignment is
+// frozen once any domain view exists.
+func TestShardOfAfterViewsPanics(t *testing.T) {
+	eng := NewSharded(2)
+	eng.Domain(0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("SetShardOf after Domain() did not panic")
+		}
+	}()
+	eng.SetShardOf(func(d int) int { return 0 })
+}
+
+// TestHostContextInterleavesWithDomains pins host-context scheduling
+// (tests, setup code) against domain events: host events sort before
+// node-domain events at equal times (HostDomain = -1) regardless of
+// shard count.
+func TestHostContextInterleavesWithDomains(t *testing.T) {
+	run := func(k int) []string {
+		eng := NewSharded(k)
+		if k > 1 {
+			eng.SetShardOf(func(d int) int { return d % k })
+			eng.SetLookahead(10 * Nanosecond)
+		}
+		var order []string
+		d0 := eng.Domain(0)
+		d0.At(5*Nanosecond, func() { order = append(order, "dom0") })
+		eng.At(5*Nanosecond, func() { order = append(order, "host") })
+		eng.Run()
+		return order
+	}
+	want := fmt.Sprint(run(1))
+	for _, k := range []int{2, 4} {
+		if got := fmt.Sprint(run(k)); got != want {
+			t.Fatalf("shards=%d: order %v, want %v", k, got, want)
+		}
+	}
+}

@@ -145,9 +145,15 @@ type Worker struct {
 	ifuncQ      []IfuncDelivery
 	qFree       [][]IfuncDelivery
 	pollPending bool
-	// drainFn memoizes the drainIfuncs method value so scheduling a poll
-	// wakeup does not allocate a fresh closure per arrival.
-	drainFn func()
+	// drainFn/consumeFn memoize the drainIfuncs/consumeBatch method
+	// values so neither scheduling a poll wakeup nor handing a batch to
+	// the drain allocates a fresh closure. pendBatch/pendFull carry the
+	// picked-up batch from drainIfuncs to consumeBatch; the node core
+	// serializes the two, so at most one batch is ever in flight.
+	drainFn   func()
+	consumeFn func()
+	pendBatch []IfuncDelivery
+	pendFull  bool
 
 	// AMDispatch is the extra CPU cost of dispatching an AM through the
 	// handler pointer table (calibrated per testbed).
@@ -218,11 +224,21 @@ func (w *Worker) checkAccess(key RKey, addr uint64, size int) bool {
 type Endpoint struct {
 	W    *Worker
 	Peer *Worker
+
+	// onNIC/hopFn memoize the ifunc arrival pipeline: one handler pair
+	// per endpoint instead of two closures per message. Per-send state
+	// (the completion signal and the frame-release hook) rides on the
+	// pooled fabric.Message instead.
+	onNIC fabric.Handler
+	hopFn func(any)
 }
 
 // Connect creates an endpoint to peer.
 func (w *Worker) Connect(peer *Worker) *Endpoint {
-	return &Endpoint{W: w, Peer: peer}
+	ep := &Endpoint{W: w, Peer: peer}
+	ep.onNIC = ep.ifuncArrive
+	ep.hopFn = ep.ifuncEnqueue
+	return ep
 }
 
 // Protocol header sizes model UCP's wire framing. AMHeaderBytes is sized
@@ -239,15 +255,15 @@ const (
 // Put writes data into remote memory at addr (one-sided). The returned
 // signal fires with a Status when the remote write has completed.
 func (ep *Endpoint) Put(data []byte, addr uint64, key RKey) *sim.Signal {
-	eng := ep.W.Ctx.Net.Eng
-	done := eng.NewSignal()
+	done := ep.W.Node.Eng().NewSignal()
 	wire := make([]byte, PutHeaderBytes+len(data))
 	copy(wire[PutHeaderBytes:], data)
 	params := ep.W.Ctx.Net.Params
 	ep.W.Node.Send(ep.Peer.Node, wire, nil, func(msg *fabric.Message) {
-		// NIC-side write after NIC processing; no target CPU.
-		eng.After(params.NICOverhead, func() {
-			payload := msg.Data[PutHeaderBytes:]
+		// NIC-side write after NIC processing; no target CPU. The pooled
+		// message dies with this handler: capture the payload slice.
+		payload := msg.Data[PutHeaderBytes:]
+		msg.Dst.Eng().After(params.NICOverhead, func() {
 			if !ep.Peer.checkAccess(key, addr, len(payload)) {
 				done.Fire(uint64(ErrAccess))
 				return
@@ -272,12 +288,11 @@ type GetOp struct {
 // Get fetches size bytes from remote memory at addr (one-sided
 // request/response through the target NIC).
 func (ep *Endpoint) Get(addr uint64, size int, key RKey) *GetOp {
-	eng := ep.W.Ctx.Net.Eng
 	params := ep.W.Ctx.Net.Params
-	op := &GetOp{Done: eng.NewSignal()}
+	op := &GetOp{Done: ep.W.Node.Eng().NewSignal()}
 	req := make([]byte, GetReqBytes)
-	ep.W.Node.Send(ep.Peer.Node, req, nil, func(*fabric.Message) {
-		eng.After(params.NICOverhead, func() {
+	ep.W.Node.Send(ep.Peer.Node, req, nil, func(msg *fabric.Message) {
+		msg.Dst.Eng().After(params.NICOverhead, func() {
 			if !ep.Peer.checkAccess(key, addr, size) {
 				// Error response travels back as a small message.
 				ep.Peer.Node.Send(ep.W.Node, make([]byte, 16), nil, func(*fabric.Message) {
@@ -297,10 +312,12 @@ func (ep *Endpoint) Get(addr uint64, size int, key RKey) *GetOp {
 			ep.Peer.Node.Send(ep.W.Node, resp, nil, func(m *fabric.Message) {
 				// RDMA READ completion: response NIC processing plus the
 				// initiator's CQ poll — the reason READ round trips cost
-				// more than twice a WRITE's one-way latency.
-				eng.After(params.NICOverhead, func() {
+				// more than twice a WRITE's one-way latency. The pooled
+				// message dies with this handler: capture the data slice.
+				fetched := m.Data[GetRespBytes:]
+				m.Dst.Eng().After(params.NICOverhead, func() {
 					ep.W.Node.ExecCPU(params.RecvOverhead/2, func() {
-						op.Data = m.Data[GetRespBytes:]
+						op.Data = fetched
 						op.Done.Fire(uint64(OK))
 					})
 				})
@@ -313,14 +330,15 @@ func (ep *Endpoint) Get(addr uint64, size int, key RKey) *GetOp {
 // SendAM delivers an active message to the peer's registered handler.
 // The signal fires with a Status after the remote handler dispatch.
 func (ep *Endpoint) SendAM(id uint32, header uint64, payload []byte) *sim.Signal {
-	eng := ep.W.Ctx.Net.Eng
 	params := ep.W.Ctx.Net.Params
-	done := eng.NewSignal()
+	done := ep.W.Node.Eng().NewSignal()
 	wire := make([]byte, AMHeaderBytes+len(payload))
 	copy(wire[AMHeaderBytes:], payload)
 	src := ep
 	ep.W.Node.Send(ep.Peer.Node, wire, nil, func(msg *fabric.Message) {
-		// Two-sided: receiver CPU runs the dispatch + handler.
+		// Two-sided: receiver CPU runs the dispatch + handler. The pooled
+		// message dies with this handler: capture the payload slice.
+		data := msg.Data[AMHeaderBytes:]
 		ep.Peer.Node.ExecCPU(params.RecvOverhead+ep.Peer.AMDispatch, func() {
 			h, ok := ep.Peer.amHandlers[id]
 			if !ok {
@@ -328,7 +346,7 @@ func (ep *Endpoint) SendAM(id uint32, header uint64, payload []byte) *sim.Signal
 				return
 			}
 			back := ep.Peer.Connect(src.W)
-			h(back, header, msg.Data[AMHeaderBytes:])
+			h(back, header, data)
 			done.Fire(uint64(OK))
 		})
 	})
@@ -349,7 +367,7 @@ func (ep *Endpoint) SendIfunc(frame []byte) *sim.Signal {
 // by the drain consumer once the bytes are dead. The fabric does not
 // copy message data, so the sender must not touch the buffer until then.
 func (ep *Endpoint) SendIfuncPooled(frame []byte, release FrameRelease) *sim.Signal {
-	done := ep.W.Ctx.Net.Eng.NewSignal()
+	done := ep.W.Node.Eng().NewSignal()
 	ep.sendIfunc(frame, release, done)
 	return done
 }
@@ -363,20 +381,34 @@ func (ep *Endpoint) SendIfuncQuiet(frame []byte, release FrameRelease) {
 }
 
 func (ep *Endpoint) sendIfunc(frame []byte, release FrameRelease, done *sim.Signal) {
-	eng := ep.W.Ctx.Net.Eng
-	params := ep.W.Ctx.Net.Params
-	srcID := ep.W.Node.ID
-	ep.W.Node.SendNoCompletion(ep.Peer.Node, frame, nil, func(msg *fabric.Message) {
-		eng.After(params.NICOverhead, func() {
-			if ep.Peer.ifuncDrain == nil {
-				if done != nil {
-					done.Fire(uint64(ErrRejected))
-				}
-				return
-			}
-			ep.Peer.enqueueIfunc(IfuncDelivery{SrcNode: srcID, Frame: msg.Data, Release: release, done: done})
-		})
-	})
+	// The per-send varying state (completion signal, release hook) rides
+	// on the pooled message; the arrival pipeline is the endpoint's
+	// memoized handler pair — nothing here allocates.
+	ep.W.Node.SendCarrying(ep.Peer.Node, frame, nil, done, release, ep.onNIC)
+}
+
+// ifuncArrive is the NIC-arrival stage: it holds the message across the
+// NIC processing delay and hands it to the enqueue stage.
+func (ep *Endpoint) ifuncArrive(msg *fabric.Message) {
+	msg.Retain()
+	msg.Dst.Eng().AfterCall(ep.W.Ctx.Net.Params.NICOverhead, ep.hopFn, msg)
+}
+
+// ifuncEnqueue is the post-NIC stage: the frame enters the polled
+// message buffer and the message returns to the fabric pool.
+func (ep *Endpoint) ifuncEnqueue(a any) {
+	msg := a.(*fabric.Message)
+	done := msg.Sig
+	if ep.Peer.ifuncDrain == nil {
+		msg.Free()
+		if done != nil {
+			done.Fire(uint64(ErrRejected))
+		}
+		return
+	}
+	d := IfuncDelivery{SrcNode: msg.Src.ID, Frame: msg.Data, Release: FrameRelease(msg.Rel), done: done}
+	msg.Free()
+	ep.Peer.enqueueIfunc(d)
 }
 
 // enqueueIfunc appends a NIC-written frame to the message buffer and
@@ -433,33 +465,48 @@ func (w *Worker) drainIfuncs() {
 	w.Stats.IfuncPolls++
 	w.Stats.IfuncFrames += uint64(n)
 	cost := w.IfuncPoll + sim.Time(n)*w.Ctx.Net.Params.RecvOverhead
-	w.Node.ExecCPU(cost, func() {
-		w.ifuncDrain(batch)
-		for i := range batch {
-			if batch[i].done != nil {
-				batch[i].done.Fire(uint64(OK))
-			}
-		}
-		// Recycle only fully drained queues — such a batch owns its whole
-		// backing array. (A partial batch is a prefix view of a larger
-		// array; keeping it would pin the array and feed the GC.) Bound
-		// the free list so a one-off storm cannot park memory forever.
-		if full && len(w.qFree) < 4 {
-			for i := range batch {
-				batch[i] = IfuncDelivery{} // drop frame refs
-			}
-			w.qFree = append(w.qFree, batch[:0])
-		}
-	})
+	if w.pendBatch != nil {
+		panic("ucx: overlapping ifunc batch consumption")
+	}
+	if w.consumeFn == nil {
+		w.consumeFn = w.consumeBatch
+	}
+	w.pendBatch, w.pendFull = batch, full
+	w.Node.ExecCPU(cost, w.consumeFn)
 	// Frames beyond MaxDrain wait for the next poll, which starts after
 	// this batch's pickup charge.
 	w.schedulePoll()
 }
 
+// consumeBatch hands the picked-up batch to the installed drain and
+// fires per-frame completions. It runs on the node core right after the
+// pickup charge; the next poll is already queued behind it, so the
+// single pending-batch slot can never be overwritten.
+func (w *Worker) consumeBatch() {
+	batch, full := w.pendBatch, w.pendFull
+	w.pendBatch = nil
+	w.ifuncDrain(batch)
+	for i := range batch {
+		if batch[i].done != nil {
+			batch[i].done.Fire(uint64(OK))
+		}
+	}
+	// Recycle only fully drained queues — such a batch owns its whole
+	// backing array. (A partial batch is a prefix view of a larger
+	// array; keeping it would pin the array and feed the GC.) Bound
+	// the free list so a one-off storm cannot park memory forever.
+	if full && len(w.qFree) < 4 {
+		for i := range batch {
+			batch[i] = IfuncDelivery{} // drop frame refs
+		}
+		w.qFree = append(w.qFree, batch[:0])
+	}
+}
+
 // Flush returns a signal that fires when all previously posted operations
 // from this worker have left the sender NIC (local flush semantics).
 func (w *Worker) Flush() *sim.Signal {
-	eng := w.Ctx.Net.Eng
+	eng := w.Node.Eng()
 	s := eng.NewSignal()
 	free := w.Node.CPUFreeAt()
 	if t := eng.Now(); free < t {

@@ -162,6 +162,32 @@ func NewClusterN(p Profile, n int) *Cluster {
 	return cl
 }
 
+// NewShardedClusterN builds an n-node homogeneous cluster on a sharded
+// simulation engine: node i's events run on shard shardOf(i) (nil maps
+// contiguous blocks of n/shards nodes per shard), shards execute on
+// parallel Go workers, and cross-shard fabric sends synchronize through
+// the engine's conservative LogGP horizon. Results are bit-identical to
+// NewClusterN at every shard count (the differential suites pin this);
+// only host wall-clock changes. Nodes that share non-fabric state —
+// completion signals, offload streams, planner registry scans (see
+// Runtime.ScopeNodes) — must map to one shard.
+func NewShardedClusterN(p Profile, n, shards int, shardOf func(node int) int) *Cluster {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Name: p.Name, March: p.March(), Engine: p.Engine}
+	}
+	if shardOf == nil && shards > 1 {
+		per := (n + shards - 1) / shards
+		shardOf = func(node int) int { return node / per }
+	}
+	cl := core.NewShardedCluster(p.Net, specs, shards, shardOf)
+	for _, rt := range cl.Runtimes {
+		rt.Worker.AMDispatch = p.AMDispatch
+		rt.Worker.IfuncPoll = p.IfuncPoll
+	}
+	return cl
+}
+
 // Compute/data placement (internal/place). Runtime.Offload routes each
 // request — ship the BitCODE to the data (the paper's mechanism), pull
 // the operand region to the compute (one-sided GET + local execution +
@@ -201,6 +227,15 @@ type (
 	// (Runtime.StartOffloadStream): up to W requests in flight, requests
 	// to one destination serialized in issue order.
 	OffloadStream = core.OffloadStream
+	// ScaleParams seeds a grouped scale scenario (independent node
+	// groups — the sharding atom — each with its own driver and stream).
+	ScaleParams = place.ScaleParams
+	// ScaleWorkload is a generated grouped scale scenario.
+	ScaleWorkload = place.ScaleWorkload
+	// ScaleScenario names one grouped scale workload of the scale sweep.
+	ScaleScenario = bench.ScaleScenario
+	// ScaleResult is one scenario row of the shard-count scaling sweep.
+	ScaleResult = bench.ScaleResult
 )
 
 // GenerateWorkload builds the deterministic scenario for the params
@@ -218,6 +253,19 @@ func PlacementSweep(p Profile) ([]PlacementResult, error) {
 // queueing-aware planner — on a testbed profile.
 func ConcurrentPlacementSweep(p Profile) ([]PlacementResult, error) {
 	return bench.ConcurrentPlacementSweep(p, nil)
+}
+
+// GenerateScaleWorkload builds the deterministic grouped scale scenario
+// for the params (1000-node / 1M-request shapes are plain parameter
+// choices).
+func GenerateScaleWorkload(p ScaleParams) *ScaleWorkload { return place.GenerateScale(p) }
+
+// ScaleSweep runs the default grouped scale scenarios (256 and 1000
+// nodes) at shard counts 1/2/4/NumCPU on a testbed profile, asserting
+// bit-identical outcomes across shard counts and reporting wall-clock
+// speedup per count (see cmd/paperbench -scale).
+func ScaleSweep(p Profile) ([]ScaleResult, error) {
+	return bench.ScaleSweep(p, nil, nil)
 }
 
 // PaperTriples returns the fat-bitcode target list the paper ships
