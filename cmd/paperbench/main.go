@@ -35,6 +35,7 @@ func main() {
 	engines := flag.Bool("engines", true, "include the execution-engine comparison")
 	placement := flag.Bool("placement", true, "include the placement-policy sweep")
 	scale := flag.Bool("scale", true, "include the sharded-engine scale sweep")
+	dedup := flag.Bool("dedup", true, "include the content-addressed dedup and delta write-back sweeps")
 	jsonOut := flag.Bool("json", false, "write BENCH_engines.json with the engine and batch sweeps")
 	jsonPath := flag.String("json-path", "BENCH_engines.json", "output path for -json")
 	flag.Parse()
@@ -56,6 +57,13 @@ func main() {
 		rows := scaleReport(*scale)
 		if rep != nil {
 			rep.Scale = rows
+		}
+	}
+	if *dedup || *jsonOut {
+		rows, deltas := dedupReport(*dedup)
+		if rep != nil {
+			rep.Dedup = rows
+			rep.Delta = deltas
 		}
 	}
 	if *jsonOut {
@@ -96,6 +104,13 @@ type enginesReport struct {
 	// and wall-per-virtual ratio per shard count, with the bit-identity
 	// invariant re-asserted on every run.
 	Scale []bench.ScaleResult `json:"scale,omitempty"`
+	// Dedup is the content-addressed transfer-cache sweep: 64-way fan-in
+	// cold-send bytes under pairwise vs cluster-wide negotiation, with
+	// the guest-outcome hash asserted equal between modes.
+	Dedup []bench.DedupResult `json:"dedup,omitempty"`
+	// Delta is the delta write-back sweep: pull-route PUT bytes vs the
+	// whole-region baseline across dirty-span sizes.
+	Delta []bench.DeltaPoint `json:"delta,omitempty"`
 }
 
 type engineRow struct {
@@ -239,6 +254,49 @@ func scaleReport(print bool) []bench.ScaleResult {
 		fmt.Printf("\n")
 	}
 	return rows
+}
+
+// dedupReport runs the content-addressed dedup sweep (64-way fan-in,
+// pairwise vs cluster-wide negotiation) and the delta write-back sweep
+// (pull-route PUT bytes across dirty spans) on the Thor-Xeon profile.
+// Guest outcomes are asserted mode-invariant inside the sweep; only
+// bytes and virtual time may move. When print is true the tables go to
+// stdout.
+func dedupReport(print bool) ([]bench.DedupResult, []bench.DeltaPoint) {
+	const senders = 64
+	rows, err := bench.DedupSweep(testbed.ThorXeon(), senders)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if print {
+		fmt.Printf("--- Content-addressed dedup (%d-way fan-in, cold-send bytes) ---\n", senders)
+		fmt.Printf("%-18s %6s %14s %14s %8s %24s\n",
+			"scenario", "nodes", "pairwise", "cas", "savings", "cas frame mix")
+		for _, r := range rows {
+			if r.CAS.ResultHash != r.Pairwise.ResultHash {
+				log.Fatalf("%s: guest outcome diverged between modes", r.Scenario)
+			}
+			fmt.Printf("%-18s %6d %13dB %13dB %7.2f%% full=%d trunc=%d hashref=%d\n",
+				r.Scenario, r.Nodes, r.Pairwise.ColdCodeBytes, r.CAS.ColdCodeBytes,
+				r.SavingsPct, r.CAS.FullFrames, r.CAS.CASTruncated, r.CAS.HashRefFrames)
+		}
+		fmt.Printf("\n")
+	}
+	deltas, err := bench.DeltaSweep(testbed.ThorXeon())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if print {
+		fmt.Printf("--- Delta write-back (pull route, %d-word regions) ---\n", deltas[0].RegionWords)
+		fmt.Printf("%-12s %6s %14s %14s %8s\n",
+			"dirty words", "ops", "put bytes", "full bytes", "put/full")
+		for _, p := range deltas {
+			fmt.Printf("%-12d %6d %13dB %13dB %7.2f%%\n",
+				p.DirtyWords, p.Ops, p.PutBytes, p.FullBytes, p.PutPct)
+		}
+		fmt.Printf("\n")
+	}
+	return rows, deltas
 }
 
 // writeJSON dumps the engines report for cross-PR trajectory tracking.

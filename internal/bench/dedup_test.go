@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"testing"
+
+	"threechains/internal/mcode"
+	"threechains/internal/testbed"
+)
+
+// TestDedupSweepFaninSavings pins the acceptance bound: at 64-way
+// fan-in the content-addressed protocol ships the code section once,
+// so cold-send bytes drop by at least (N-1)/N against pairwise — and
+// the guest-visible outcome is byte-identical between the two modes.
+func TestDedupSweepFaninSavings(t *testing.T) {
+	const senders = 64
+	rows, err := DedupSweep(testbed.ThorXeon(), senders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		want := 100 * float64(senders-1) / float64(senders)
+		if r.SavingsPct < want {
+			t.Errorf("%s: savings %.2f%%, want >= %.2f%%", r.Scenario, r.SavingsPct, want)
+		}
+		if r.Pairwise.FullFrames != senders {
+			t.Errorf("%s: pairwise full frames = %d, want %d", r.Scenario, r.Pairwise.FullFrames, senders)
+		}
+		if r.CAS.FullFrames != 1 {
+			t.Errorf("%s: cas full frames = %d, want 1", r.Scenario, r.CAS.FullFrames)
+		}
+		if r.CAS.ResultHash != r.Pairwise.ResultHash {
+			t.Errorf("%s: result hash %s (cas) != %s (pairwise)", r.Scenario, r.CAS.ResultHash, r.Pairwise.ResultHash)
+		}
+		switch r.Scenario {
+		case "fanin-multitenant":
+			// Distinct type names: only the store can match, so waves
+			// 2..N are hash-refs.
+			if r.CAS.HashRefFrames != senders-1 {
+				t.Errorf("multitenant: hash-ref frames = %d, want %d", r.CAS.HashRefFrames, senders-1)
+			}
+		case "fanin-shared":
+			// Shared type name: wave 1's send registers the type at the
+			// service node, so waves 2..N truncate.
+			if r.CAS.CASTruncated != senders-1 {
+				t.Errorf("shared: truncated frames = %d, want %d", r.CAS.CASTruncated, senders-1)
+			}
+		}
+	}
+}
+
+// TestDedupSweepEngineInvariant: the dedup outcome — frame mix, byte
+// counts and result hash — is identical on every execution engine.
+func TestDedupSweepEngineInvariant(t *testing.T) {
+	const senders = 8
+	p := testbed.ThorXeon()
+	base, err := DedupSweep(p, senders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range mcode.EngineNames() {
+		pe := p
+		pe.Engine = name
+		rows, err := DedupSweep(pe, senders)
+		if err != nil {
+			t.Fatalf("engine %s: %v", name, err)
+		}
+		for i, r := range rows {
+			b := base[i]
+			if r.CAS != b.CAS || r.Pairwise != b.Pairwise {
+				t.Errorf("engine %s %s: %+v, want %+v", name, r.Scenario, r, b)
+			}
+		}
+	}
+}
+
+// BenchmarkDedupSweep runs the fan-in dedup sweep end to end — CI's
+// -benchtime=1x smoke; the sweep fails itself if frames are dropped or
+// guest outcomes diverge.
+func BenchmarkDedupSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := DedupSweep(testbed.ThorXeon(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.CAS.ResultHash != r.Pairwise.ResultHash {
+				b.Fatalf("%s: guest outcome diverged between modes", r.Scenario)
+			}
+		}
+	}
+}
+
+// BenchmarkDeltaSweep runs the delta write-back sweep end to end —
+// CI's -benchtime=1x smoke.
+func BenchmarkDeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DeltaSweep(testbed.ThorXeon()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDeltaSweepProportionalToDirtyFraction pins delta write-back
+// economics: PUT bytes grow monotonically with the dirty span, stay
+// proportional to the dirty fraction (within segment-descriptor
+// overhead), and meet the whole-region fallback when everything is
+// dirty. The workload result is unchanged by how write-back is framed.
+func TestDeltaSweepProportionalToDirtyFraction(t *testing.T) {
+	pts, err := DeltaSweep(testbed.ThorXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(DeltaDirtySweep()) {
+		t.Fatalf("got %d points, want %d", len(pts), len(DeltaDirtySweep()))
+	}
+	for i, pt := range pts {
+		if pt.FullBytes == 0 {
+			t.Fatalf("dirty=%d: no write-back happened", pt.DirtyWords)
+		}
+		if i > 0 && pt.PutBytes <= pts[i-1].PutBytes {
+			t.Errorf("dirty=%d: put bytes %d not above dirty=%d's %d",
+				pt.DirtyWords, pt.PutBytes, pts[i-1].DirtyWords, pts[i-1].PutBytes)
+		}
+	}
+	// The single-word bump must be a sliver of the 8 KiB region...
+	if first := pts[0]; first.PutPct > 2 {
+		t.Errorf("dirty=0: put %.2f%% of full, want ~0.3%%", first.PutPct)
+	}
+	// ...and the all-dirty row must take the whole-region fallback
+	// (vectored framing would cost more than the plain PUT).
+	last := pts[len(pts)-1]
+	if last.DirtyWords != 1024 || last.PutBytes != last.FullBytes {
+		t.Errorf("dirty=1024: put %d, want full %d", last.PutBytes, last.FullBytes)
+	}
+}

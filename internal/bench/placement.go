@@ -170,8 +170,18 @@ func buildWorkloadKernel(t place.TypeSpec) *ir.Module {
 		return m
 	}
 
+	// Mutating kernels: optionally spin the compute loop, bump the
+	// target word, and — for dirty-write types — overwrite the next
+	// DirtyWords-1 words (the delta write-back dimension; the count
+	// arrives in the payload, clamped per op to the destination region,
+	// so both routes touch exactly the same bytes).
+	var dirty ir.Reg
+	if t.DirtyWords > 1 {
+		dirty = b.Alloca(8)
+		b.Store(ir.I64, b.Const64(1), dirty, 0)
+	}
 	if t.Heavy {
-		// Spin a counted loop (the compute weight), then bump the target.
+		// Spin a counted loop (the compute weight) before touching memory.
 		i := b.Alloca(8)
 		b.Store(ir.I64, b.Const64(0), i, 0)
 		head := b.NewBlock("head")
@@ -185,17 +195,31 @@ func buildWorkloadKernel(t place.TypeSpec) *ir.Module {
 		b.Store(ir.I64, b.Add(iv, b.Const64(1)), i, 0)
 		b.Br(head)
 		b.SetBlock(exit)
-		old := b.Load(ir.I64, target, 0)
-		b.Store(ir.I64, b.Add(old, b.Const64(1)), target, 0)
-		b.Ret(old)
-		return m
 	}
-
-	// Cheap write: add the payload's first byte count + 1 into target[0].
 	old := b.Load(ir.I64, target, 0)
 	inc := b.Add(old, b.Const64(1))
 	b.Store(ir.I64, inc, target, 0)
-	b.Ret(inc)
+	if t.DirtyWords > 1 {
+		// words = payload[0]; target[j] = old + j for j in [1, words).
+		words := b.Load(ir.I64, payload, 0)
+		dh := b.NewBlock("dhead")
+		db := b.NewBlock("dbody")
+		dx := b.NewBlock("dexit")
+		b.Br(dh)
+		b.SetBlock(dh)
+		jv := b.Load(ir.I64, dirty, 0)
+		b.CondBr(b.ICmp(ir.PredSLT, jv, words), db, dx)
+		b.SetBlock(db)
+		b.Store(ir.I64, b.Add(old, jv), b.PtrAdd(target, jv, 8, 0), 0)
+		b.Store(ir.I64, b.Add(jv, b.Const64(1)), dirty, 0)
+		b.Br(dh)
+		b.SetBlock(dx)
+	}
+	if t.Heavy {
+		b.Ret(old)
+	} else {
+		b.Ret(inc)
+	}
 	return m
 }
 
@@ -262,6 +286,17 @@ func (pw *placementWorld) opRequest(i int) (*core.Handle, []byte, core.OffloadOp
 		// Scan length: clamped to the destination region so ship and
 		// pull read exactly the same bytes.
 		words := ts.Iters
+		if words > w.RegionWords[op.Dst] {
+			words = w.RegionWords[op.Dst]
+		}
+		if op.PayloadLen < 8 {
+			payload = make([]byte, 8)
+		}
+		binary.LittleEndian.PutUint64(payload, uint64(words))
+	} else if ts.DirtyWords > 1 {
+		// Dirty-write span: clamped to the destination region so both
+		// routes overwrite exactly the same bytes.
+		words := ts.DirtyWords
 		if words > w.RegionWords[op.Dst] {
 			words = w.RegionWords[op.Dst]
 		}

@@ -97,7 +97,7 @@ func TestScaleGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := o.Hash, uint64(0xedaa4119f0ff6305); got != want {
+	if got, want := o.Hash, uint64(0xb460dec34fb93591); got != want {
 		t.Errorf("scale-256 result hash %016x, want %016x", got, want)
 	}
 }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"threechains/internal/ifunc"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+// This file covers the cluster-wide content-addressed caching protocol:
+// hash-ref framing against third-party "have"s, refcount-routed
+// invalidation on deregistration, and deterministic budget eviction.
+
+// buildIncBy returns a TSI-shaped kernel that increments by k. Distinct
+// k, distinct archive bytes, distinct content hash — churn fodder for
+// the eviction tests.
+func buildIncBy(k int64) *ir.Module {
+	m := ir.NewModule(fmt.Sprintf("inc%d", k))
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	old := b.Load(ir.I64, b.Param(2), 0)
+	inc := b.Add(old, b.Const64(k))
+	b.Store(ir.I64, inc, b.Param(2), 0)
+	b.Ret(inc)
+	return m
+}
+
+func threeNodes() *Cluster {
+	return NewCluster(testParams(), []NodeSpec{
+		{Name: "a", March: isa.XeonE5()},
+		{Name: "b", March: isa.XeonE5()},
+		{Name: "c", March: isa.XeonE5()},
+	})
+}
+
+func TestHashRefServesThirdPartyContent(t *testing.T) {
+	// C has never received type "m", but registered the same *content*
+	// under a different name — its store pins the archive. A's cold send
+	// of "m" to C therefore ships a 43-byte hash-ref instead of the
+	// multi-KiB full frame; C resolves the bytes from its own store.
+	c := threeNodes()
+	a, dst := c.Runtime(0), c.Runtime(2)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h, err := a.RegisterBitcode("m", BuildTSI(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RegisterBitcode("m2", BuildTSI(), allTriples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send(2, h, "main", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if a.Stats.HashRefFrames != 1 || a.Stats.FullFrames != 0 {
+		t.Fatalf("sender stats %+v", a.Stats)
+	}
+	if a.Stats.ColdCodeBytes != 0 {
+		t.Fatalf("code bytes crossed the wire: %+v", a.Stats)
+	}
+	if dst.Stats.Executions != 1 || readU64(dst, dst.TargetPtr) != 1 {
+		t.Fatalf("hash-ref frame did not execute: %+v", dst.Stats)
+	}
+}
+
+func TestCASTruncatesAgainstThirdPartyRegistration(t *testing.T) {
+	// A's send registered "m" at C; B — who never sent C anything —
+	// then sends the same type with identical content and gets the
+	// 26-byte truncated frame on its very first message: the negotiation
+	// matched C's registration by content hash, not by B's own pairwise
+	// history.
+	c := threeNodes()
+	a, b, dst := c.Runtime(0), c.Runtime(1), c.Runtime(2)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	ha, _ := a.RegisterBitcode("m", BuildTSI(), allTriples)
+	hb, _ := b.RegisterBitcode("m", BuildTSI(), allTriples)
+	a.Send(2, ha, "main", []byte{0})
+	c.Run()
+	b.Send(2, hb, "main", []byte{0})
+	c.Run()
+	if b.Stats.CASTruncated != 1 || b.Stats.FullFrames != 0 || b.Stats.ColdCodeBytes != 0 {
+		t.Fatalf("second sender stats %+v", b.Stats)
+	}
+	if dst.Stats.Executions != 2 || dst.Stats.JITCompiles != 1 {
+		t.Fatalf("dst stats %+v", dst.Stats)
+	}
+}
+
+func TestDeregisterLocalRevokesThirdPartyHave(t *testing.T) {
+	// The satellite-2 regression: once C deregisters the type, its store
+	// copy loses the registration's pin — it is now an evictable cache
+	// entry that may vanish at any moment, so no sender may truncate or
+	// hash-ref against it. Before refcount-routed invalidation ("have" =
+	// pinned, not merely resident), B's first send below went out as a
+	// hash-ref, and because C's budget had meanwhile evicted the
+	// unpinned blob, the frame was dropped on delivery.
+	c := threeNodes()
+	a, b, dst := c.Runtime(0), c.Runtime(1), c.Runtime(2)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	ha, _ := a.RegisterBitcode("m", BuildTSI(), allTriples)
+	hb, _ := b.RegisterBitcode("m", BuildTSI(), allTriples)
+	a.Send(2, ha, "main", []byte{0})
+	c.Run()
+	if !dst.DeregisterLocal(ha.Hash) {
+		t.Fatal("deregister local failed")
+	}
+	// Budget pressure evicts the now-unpinned archive: register an
+	// unrelated module at C (its intern triggers the eviction scan).
+	dst.Store.Budget = int64(len(ha.ArchiveBytes)) + 64
+	if _, err := dst.RegisterBitcode("filler", buildIncBy(7), allTriples); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Store.Contains(ifunc.ContentHash(ha.ArchiveBytes)) {
+		t.Fatal("unpinned archive survived budget pressure; test scenario broken")
+	}
+	b.Send(2, hb, "main", []byte{0})
+	c.Run()
+	if b.Stats.FullFrames != 1 || b.Stats.HashRefFrames != 0 || b.Stats.CASTruncated != 0 {
+		t.Fatalf("sender stats %+v (deregistered content must ship full)", b.Stats)
+	}
+	if dst.Stats.DroppedFrames != 0 || dst.Stats.Executions != 2 {
+		t.Fatalf("dst stats %+v", dst.Stats)
+	}
+}
+
+// casChurn drives registration/deregistration churn through a 4-node
+// cluster with tight store budgets and fingerprints everything the
+// protocol touched: final counters, per-node store stats, and the full
+// eviction logs (hash, size and virtual time of every victim, in order).
+func casChurn(t *testing.T, engine string) uint64 {
+	t.Helper()
+	specs := make([]NodeSpec, 4)
+	for i := range specs {
+		specs[i] = NodeSpec{Name: "n", March: isa.XeonE5(), Engine: engine}
+	}
+	c := NewCluster(testParams(), specs)
+	src := c.Runtime(0)
+	handles := make([]*Handle, 6)
+	for j := range handles {
+		h, err := src.RegisterBitcode(fmt.Sprintf("inc%d", j+1), buildIncBy(int64(j+1)), allTriples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[j] = h
+	}
+	for i := 1; i < 4; i++ {
+		r := c.Runtime(i)
+		r.TargetPtr = r.Node.Alloc(8)
+		// Room for roughly one archive: every wave's intern pushes the
+		// previous wave's deregistered blob out.
+		r.Store.Budget = int64(len(handles[0].ArchiveBytes)) + 128
+	}
+	for _, h := range handles {
+		for i := 1; i < 4; i++ {
+			if _, err := src.Send(i, h, "main", []byte{0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Run()
+		for i := 1; i < 4; i++ {
+			if !c.Runtime(i).DeregisterLocal(h.Hash) {
+				t.Fatalf("node %d: deregister %s failed", i, h.Name)
+			}
+		}
+	}
+	hs := ifunc.NewHasher()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		hs.Write(buf[:])
+	}
+	for i := 1; i < 4; i++ {
+		r := c.Runtime(i)
+		w64(readU64(r, r.TargetPtr))
+		st := r.Store.Stats
+		w64(st.Puts)
+		w64(st.Hits)
+		w64(st.Evictions)
+		w64(st.EvictedBytes)
+		w64(uint64(r.Store.Bytes()))
+		for _, ev := range r.Store.EvictLog {
+			w64(ev.Hash)
+			w64(uint64(ev.Bytes))
+			w64(uint64(ev.At))
+		}
+		if r.Store.Stats.Evictions == 0 {
+			t.Fatalf("node %d: churn under tight budget evicted nothing", i)
+		}
+		if r.Store.Bytes() > r.Store.Budget {
+			// Only the current wave's registration is pinned, so the
+			// budget bound holds strictly at quiesce.
+			t.Fatalf("node %d: resident %d bytes over budget %d", i, r.Store.Bytes(), r.Store.Budget)
+		}
+		// Every module ran once per node: counters sum 1+2+...+6.
+		if got := readU64(r, r.TargetPtr); got != 21 {
+			t.Fatalf("node %d: counter = %d, want 21", i, got)
+		}
+	}
+	return hs.Sum64()
+}
+
+func TestEvictionDeterministicAcrossRunsAndEngines(t *testing.T) {
+	// The satellite-4 pin: seeded churn under a tight budget produces a
+	// byte-identical fingerprint — counters, store stats and the exact
+	// eviction order — on every run and every execution engine.
+	base := casChurn(t, "")
+	if again := casChurn(t, ""); again != base {
+		t.Fatalf("rerun fingerprint %016x, want %016x", again, base)
+	}
+	for _, name := range mcode.EngineNames() {
+		if got := casChurn(t, name); got != base {
+			t.Fatalf("engine %s fingerprint %016x, want %016x", name, got, base)
+		}
+	}
+}

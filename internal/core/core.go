@@ -15,11 +15,10 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
+	"sort"
 	"sync"
 
 	"threechains/internal/bitcode"
@@ -61,6 +60,10 @@ type NodeSpec struct {
 	// tested), only host wall-clock speed. An unknown name panics in
 	// NewCluster (a deployment configuration bug).
 	Engine string
+	// StoreBudget bounds the node's content-addressed store (bytes;
+	// 0 = unlimited). Pinned content (live registrations and handles)
+	// never evicts; the budget bounds the evictable cache tail.
+	StoreBudget int64
 }
 
 // Cluster is a simulated Three-Chains deployment: an engine, a fabric and
@@ -100,7 +103,9 @@ func NewShardedCluster(params fabric.NetParams, nodes []NodeSpec, shards int, sh
 			mem = 16 << 20
 		}
 		node := net.AddNode(spec.Name, spec.March, mem)
-		c.Runtimes = append(c.Runtimes, newRuntime(c, node, mcode.MustEngine(spec.Engine)))
+		rt := newRuntime(c, node, mcode.MustEngine(spec.Engine))
+		rt.Store.Budget = spec.StoreBudget
+		c.Runtimes = append(c.Runtimes, rt)
 	}
 	// Out-of-band rkey exchange: every runtime learns every heap window
 	// (the bootstrap step a launcher like mpirun would perform).
@@ -138,6 +143,22 @@ type Handle struct {
 	// entries maps function name -> entry index.
 	entries map[string]uint16
 	names   []string
+	// Content hashes of the shipped representations, memoized at
+	// registration so the send-path negotiation never re-hashes:
+	// archiveHash keys the fat archive (bitcode kind), objectHash keys
+	// each per-ISA object (binary kind).
+	archiveHash uint64
+	objectHash  map[isa.Arch]uint64
+}
+
+// ContentHash returns the content key of the code section this handle
+// ships to a node of the given arch (0 when the representation is
+// missing or the handle was built outside the registration APIs).
+func (h *Handle) ContentHash(arch isa.Arch) uint64 {
+	if h.Kind == ifunc.KindBitcode {
+		return h.archiveHash
+	}
+	return h.objectHash[arch]
 }
 
 // EntryIndex resolves a function name to the frame entry index.
@@ -194,6 +215,14 @@ type Runtime struct {
 	Reg     *ifunc.Registry
 	Sent    *ifunc.SentCache
 
+	// Store is the node's content-addressed store: every code section
+	// (and staged pull snapshot) resides here exactly once, keyed by
+	// ifunc.ContentHash and pinned by the registrations/handles that
+	// reference it. It is what the cluster-wide send negotiation reads
+	// ("does the destination already hold these bytes?") and what bounds
+	// cache memory via NodeSpec.StoreBudget.
+	Store *ifunc.Store
+
 	// Engine is this node's execution backend (NodeSpec.Engine).
 	Engine mcode.Engine
 
@@ -205,6 +234,13 @@ type Runtime struct {
 	// benchmark mode of §V (code section transmitted every time while the
 	// receiver's JIT cache stays warm, exactly the paper's methodology).
 	DisableSendCache bool
+
+	// DisableCAS turns off the cluster-wide content-addressed
+	// negotiation, restoring the paper's strictly pairwise sent-cache
+	// protocol — the baseline the dedup sweep compares against, and the
+	// mode the DAPC paper-fidelity harness pins so its tables keep
+	// modeling the published protocol.
+	DisableCAS bool
 
 	// ExecCostMultiplier scales guest execution cost on this node
 	// (default 1). The Julia DAPC mode uses it to model the unoptimized
@@ -222,12 +258,12 @@ type Runtime struct {
 
 	// Zero-alloc send fast path: per-destination pools of frame buffers
 	// (recycled once the receiver is done with the bytes, via the
-	// per-destination release hook handed to ucx) and the interning
-	// table that deduplicates received code sections by content hash.
+	// per-destination release hook handed to ucx). Received code
+	// sections are deduplicated through Store (the content-addressed
+	// generalization of the old per-runtime interning table).
 	framePool   [][][]byte
 	frameRel    []ucx.FrameRelease
 	framePoolMu sync.Mutex
-	codeIntern  map[uint64][]byte
 
 	heapKey  ucx.RKey   // this node's whole-heap window
 	heapKeys []ucx.RKey // everyone's windows (rkey exchange)
@@ -327,6 +363,27 @@ type RuntimeStats struct {
 	// GroupRuns counts (type, entry) execution groups dispatched from
 	// drains — the unit that pays one registry lookup and one RunBatch.
 	GroupRuns uint64
+	// HashRefFrames counts sends shipped in hash-ref form: the code
+	// section replaced by its content hash because the destination's
+	// store already held the bytes pinned (delivered there by any peer,
+	// possibly under a different type name).
+	HashRefFrames uint64
+	// CASTruncated counts truncated sends granted by the cluster-wide
+	// negotiation (the type already registered at the destination by a
+	// third party) rather than by this sender's own pairwise cache; they
+	// are also counted in TruncatedFrames.
+	CASTruncated uint64
+	// ColdCodeBytes accumulates code-section bytes shipped in full
+	// frames — the cluster-wide cold-send cost the content-addressed
+	// negotiation exists to amortize.
+	ColdCodeBytes uint64
+	// WriteBackPutBytes is the PUT payload the pull route actually
+	// transmitted (dirty segments + descriptors, or the whole region
+	// when that is smaller); WriteBackFullBytes is what whole-region
+	// write-back would have sent. Their ratio is the measured delta
+	// write-back win.
+	WriteBackPutBytes  uint64
+	WriteBackFullBytes uint64
 }
 
 func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
@@ -342,6 +399,7 @@ func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
 		currentAMID: -1,
 	}
 	r.Worker = c.Ctx.NewWorker(node)
+	r.Store = ifunc.NewStore(func() sim.Time { return r.eng().Now() })
 	r.Session = jit.NewSession(node.March, r.Loader, r.allocGlobal)
 	r.Session.Engine = eng
 	r.adaptiveClock, _ = mcode.AdaptiveClockOf(eng)
@@ -465,7 +523,7 @@ func (r *Runtime) RegisterBitcode(name string, m *ir.Module, triples []isa.Tripl
 		Module: m.Clone(), ArchiveBytes: raw,
 	}
 	h.index()
-	r.handles[name] = h
+	r.installHandle(h)
 	return h, nil
 }
 
@@ -491,7 +549,7 @@ func (r *Runtime) RegisterArchive(name string, raw []byte) (*Handle, error) {
 		Module: mod, ArchiveBytes: raw,
 	}
 	h.index()
-	r.handles[name] = h
+	r.installHandle(h)
 	return h, nil
 }
 
@@ -519,8 +577,52 @@ func (r *Runtime) RegisterBinary(name string, m *ir.Module, marchs []*isa.MicroA
 		h.Objects[march.Triple.Arch] = obj.Encode()
 	}
 	h.index()
-	r.handles[name] = h
+	r.installHandle(h)
 	return h, nil
+}
+
+// installHandle memoizes the handle's content hashes, pins its code
+// into the local content-addressed store (so third parties can
+// hash-ref-send this content here while the handle lives), and replaces
+// any previous handle of the same name, releasing its pins.
+func (r *Runtime) installHandle(h *Handle) {
+	if old, ok := r.handles[h.Name]; ok {
+		r.unpublishHandle(old)
+	}
+	if h.Kind == ifunc.KindBitcode {
+		h.archiveHash = ifunc.ContentHash(h.ArchiveBytes)
+		h.ArchiveBytes = r.Store.Intern(h.archiveHash, ifunc.BlobCode, h.ArchiveBytes, 1)
+	} else {
+		// Arch order is sorted: interning can evict, and the eviction log
+		// must never depend on map iteration order.
+		archs := make([]isa.Arch, 0, len(h.Objects))
+		for arch := range h.Objects {
+			archs = append(archs, arch)
+		}
+		sort.Slice(archs, func(i, j int) bool { return archs[i] < archs[j] })
+		h.objectHash = make(map[isa.Arch]uint64, len(h.Objects))
+		for _, arch := range archs {
+			obj := h.Objects[arch]
+			ch := ifunc.ContentHash(obj)
+			h.objectHash[arch] = ch
+			h.Objects[arch] = r.Store.Intern(ch, ifunc.BlobCode, obj, 1)
+		}
+	}
+	r.handles[h.Name] = h
+}
+
+// unpublishHandle releases the store pins installHandle took. The
+// content stays resident (budget permitting) for future dedup, but it
+// stops counting as a "have" in peer negotiations — the refcount-routed
+// invalidation that makes deregistration safe cluster-wide.
+func (r *Runtime) unpublishHandle(h *Handle) {
+	if h.Kind == ifunc.KindBitcode {
+		r.Store.Unpin(h.archiveHash)
+		return
+	}
+	for _, ch := range h.objectHash {
+		r.Store.Unpin(ch)
+	}
 }
 
 // index builds the entry table from the module's function order.
@@ -545,6 +647,12 @@ func (r *Runtime) Handle(name string) (*Handle, error) {
 // for its type, so a re-registration ships fresh code to every peer.
 // The paper ties compiled-code lifetime to registration: "the generated
 // machine code ... stays alive until the ifunc is de-registered".
+//
+// Invalidation is routed through the store's refcounts, not just the
+// pairwise cache: unpinning the handle's content is what stops *third
+// parties* — whose pairwise caches this node cannot see — from
+// truncated- or hash-ref-sending on the strength of a stale "have" for
+// content this node no longer serves.
 func (r *Runtime) Deregister(name string) error {
 	h, ok := r.handles[name]
 	if !ok {
@@ -552,13 +660,21 @@ func (r *Runtime) Deregister(name string) error {
 	}
 	delete(r.handles, name)
 	r.Sent.Forget(h.Hash)
+	r.unpublishHandle(h)
 	return nil
 }
 
 // DeregisterLocal drops a receiver-side registration: later truncated
 // frames of the type are dropped (protocol violation) until a full frame
-// re-registers it.
+// re-registers it. The registration's store pin is released with it, so
+// peers' content-addressed negotiation immediately stops seeing this
+// node as a "have" for the module's bytes.
 func (r *Runtime) DeregisterLocal(hash uint64) bool {
+	reg, ok := r.Reg.Get(hash)
+	if !ok {
+		return false
+	}
+	r.Store.Unpin(reg.CodeHash)
 	return r.Reg.Delete(hash)
 }
 
@@ -603,21 +719,31 @@ func (r *Runtime) SendQuiet(dst int, h *Handle, fn string, payload []byte) error
 // copied), the full frame otherwise — into a pooled per-destination
 // buffer. The warm cached path allocates nothing: the buffer cycles back
 // through the release hook once the receiver has consumed it.
+//
+// On a pairwise cold pair the cluster-wide negotiation consults the
+// destination's state directly (see casPeer): if the type is already
+// registered there (shipped by any peer, content matching), the frame
+// truncates exactly as a pairwise hit would; if only the *content* is
+// pinned there (same bytes under another type name), a hash-ref frame
+// ships the content hash instead of the code section. Either way the
+// pairwise cache is marked, so the cross-node read happens at most once
+// per (destination, type) and the warm path stays untouched.
 func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) ([]byte, error) {
 	if len(payload) > payloadArena {
 		return nil, fmt.Errorf("%w: %d bytes", ErrBadPayload, len(payload))
 	}
 	var code []byte
+	var ch uint64
 	switch h.Kind {
 	case ifunc.KindBitcode:
-		code = h.ArchiveBytes
+		code, ch = h.ArchiveBytes, h.archiveHash
 	case ifunc.KindBinary:
 		arch := r.Cluster.Runtimes[dst].Node.March.Triple.Arch
 		obj, ok := h.Objects[arch]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s for %s", ErrNoBinary, h.Name, arch)
 		}
-		code = obj
+		code, ch = obj, h.objectHash[arch]
 	}
 	r.seq++
 	hdr := ifunc.Header{
@@ -629,9 +755,88 @@ func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) (
 		r.Stats.TruncatedFrames++
 		return ifunc.AppendTruncated(buf, hdr, payload), nil
 	}
+	if !r.DisableSendCache && ch != 0 {
+		switch r.negotiate(dst, h.Hash, ch) {
+		case casTruncate:
+			r.Sent.Mark(dst, h.Hash)
+			r.Stats.TruncatedFrames++
+			r.Stats.CASTruncated++
+			return ifunc.AppendTruncated(buf, hdr, payload), nil
+		case casHashRef:
+			r.Sent.Mark(dst, h.Hash)
+			r.Stats.HashRefFrames++
+			return ifunc.AppendHashRef(buf, hdr, payload, ch, len(code)), nil
+		}
+	}
 	r.Sent.Mark(dst, h.Hash)
 	r.Stats.FullFrames++
+	r.Stats.ColdCodeBytes += uint64(len(code))
 	return ifunc.AppendBuild(buf, hdr, payload, code), nil
+}
+
+// casVerdict is the outcome of the cluster-wide have/want negotiation.
+type casVerdict uint8
+
+const (
+	casFull casVerdict = iota
+	casTruncate
+	casHashRef
+)
+
+// negotiate is the content-addressed have/want exchange for a pairwise
+// cold (dst, type) pair. In a real deployment this is a hash announce
+// piggybacked on the calibrated ops (the hash rides the frame the
+// destination answers with its store state); in the simulation it is an
+// omniscient virtual-time read of the destination's registry and store,
+// the same gated pattern the placement planner's buildRequest uses. The
+// verdict:
+//
+//   - casTruncate: dst has the type registered with matching content —
+//     a plain truncated frame is decodable there.
+//   - casHashRef: dst's store holds the content *pinned* (a live
+//     registration or handle references it) under some other type — a
+//     hash-ref frame resolves locally at dst. Unpinned (evictable)
+//     residency deliberately does not count: eviction between the
+//     negotiation and the delivery would otherwise drop the message.
+//   - casFull: dst has neither; ship the code.
+func (r *Runtime) negotiate(dst int, typeHash, contentHash uint64) casVerdict {
+	peer := r.casPeer(dst)
+	if peer == nil {
+		return casFull
+	}
+	if reg, ok := peer.Reg.Get(typeHash); ok && reg.CodeHash == contentHash {
+		return casTruncate
+	}
+	if peer.Store.HasPinned(contentHash) {
+		return casHashRef
+	}
+	return casFull
+}
+
+// casPeer returns the destination runtime when the negotiation may read
+// it: always under single-heap execution, and only for same-partition
+// destinations under sharding (ScopeNodes, the same gate the planner's
+// registry scan uses — cross-shard state must never be read mid-run).
+// Out-of-scope destinations degrade to the pairwise protocol, keeping
+// sharded runs bit-identical at every shard count. DisableCAS pins the
+// pairwise baseline unconditionally.
+func (r *Runtime) casPeer(dst int) *Runtime {
+	if r.DisableCAS {
+		return nil
+	}
+	if r.ScopeNodes != nil {
+		in := false
+		for _, n := range r.ScopeNodes {
+			if n == dst {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return nil
+		}
+	}
+	return r.Cluster.Runtimes[dst]
 }
 
 // PredeployAM installs the module as an Active Message handler under
@@ -800,6 +1005,19 @@ func (r *Runtime) groupFrames(batch []ucx.IfuncDelivery) []*frameGroup {
 		reg, known := r.Reg.Get(f.NameHash)
 		cost := jit.LookupCost
 		if !known {
+			if f.HashRef {
+				// Hash-ref frame: resolve the code section from the local
+				// content-addressed store (the sender verified residency at
+				// negotiation time; a miss here means the content was
+				// unpinned and evicted in flight — protocol violation,
+				// dropped like a stale truncated frame).
+				blob, ok := r.Store.Get(f.CodeHash)
+				if !ok || len(blob) != int(f.CodeLen) {
+					drop(i, f.NameHash, fmt.Errorf("%w: hash-ref %016x not in store", ErrNotRunnable, f.CodeHash))
+					continue
+				}
+				f.Code = blob
+			}
 			if f.Code == nil {
 				// Truncated frame for an unknown type: protocol violation
 				// (sender cache out of sync, e.g. after local
@@ -861,52 +1079,44 @@ func (r *Runtime) releaseGroup(g *frameGroup) {
 	r.groupPool = append(r.groupPool, g)
 }
 
-// internCode returns a stable, runtime-owned copy of a wire code
-// section, deduplicated by content hash: the copy out of the (recycled)
-// frame buffer is paid once per distinct module on this node, not once
-// per full-frame registration — re-registrations after deregistration
-// and identical modules under different type names share one buffer.
-// Hash collisions degrade to a fresh copy (never to wrong code).
-func (r *Runtime) internCode(wire []byte) []byte {
-	h := fnv.New64a()
-	h.Write(wire)
-	sum := h.Sum64()
-	if c, ok := r.codeIntern[sum]; ok && bytes.Equal(c, wire) {
-		return c
-	}
-	c := append([]byte(nil), wire...)
-	if r.codeIntern == nil {
-		r.codeIntern = make(map[uint64][]byte)
-	}
-	r.codeIntern[sum] = c
-	return c
-}
-
-// registerFromWire registers an unseen ifunc type from a full frame,
-// returning the registration and the virtual time the registration step
-// costs (JIT compile for bitcode, load+GOT-patch for binary).
+// registerFromWire registers an unseen ifunc type from a full (or
+// store-resolved hash-ref) frame, returning the registration and the
+// virtual time the registration step costs (JIT compile for bitcode,
+// load+GOT-patch for binary). The code section is interned through the
+// content-addressed store — the copy out of the (recycled) frame buffer
+// is paid once per distinct module on this node, re-registrations and
+// identical modules under different type names share one pinned buffer,
+// and hash collisions degrade to a fresh copy (never to wrong code).
 func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Time, error) {
-	code := r.internCode(f.Code)
+	ch := ifunc.ContentHash(f.Code)
+	code := r.Store.Intern(ch, ifunc.BlobCode, f.Code, 1)
 	reg := &ifunc.Registration{
 		Name:      fmt.Sprintf("wire-%016x", f.NameHash),
 		Hash:      f.NameHash,
 		Kind:      f.Kind,
 		CodeBytes: code,
+		CodeHash:  ch,
+	}
+	// A failed registration must release the pin Intern just took, or the
+	// broken content would count as a "have" forever.
+	fail := func(err error) (*ifunc.Registration, sim.Time, error) {
+		r.Store.Unpin(ch)
+		return nil, 0, err
 	}
 	var cost sim.Time
 	switch f.Kind {
 	case ifunc.KindBitcode:
 		arch, err := bitcode.DecodeArchive(code)
 		if err != nil {
-			return nil, 0, err
+			return fail(err)
 		}
 		mod, err := arch.Select(r.Node.March.Triple)
 		if err != nil {
-			return nil, 0, err
+			return fail(err)
 		}
 		c, jc, _, err := r.Session.Compile(jit.CacheKey(code), mod)
 		if err != nil {
-			return nil, 0, err
+			return fail(err)
 		}
 		cost = jc
 		reg.Compiled = c
@@ -917,15 +1127,15 @@ func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Tim
 	case ifunc.KindBinary:
 		obj, err := elfx.Decode(code)
 		if err != nil {
-			return nil, 0, err
+			return fail(err)
 		}
 		cm, err := obj.ToCompiled(r.Node.March.Triple.Arch)
 		if err != nil {
-			return nil, 0, err
+			return fail(err)
 		}
 		c, lc, _, err := r.Session.LoadBinary(jit.CacheKey(code), cm)
 		if err != nil {
-			return nil, 0, err
+			return fail(err)
 		}
 		cost = lc
 		reg.Compiled = c
@@ -934,7 +1144,11 @@ func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Tim
 		}
 		r.Stats.BinaryLoads++
 	default:
-		return nil, 0, fmt.Errorf("%w: kind %d", ifunc.ErrBadFrame, f.Kind)
+		return fail(fmt.Errorf("%w: kind %d", ifunc.ErrBadFrame, f.Kind))
+	}
+	if old, ok := r.Reg.Get(reg.Hash); ok {
+		// Replacing a registration of the same type releases its pin.
+		r.Store.Unpin(old.CodeHash)
 	}
 	r.Reg.Put(reg)
 	return reg, cost, nil

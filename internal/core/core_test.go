@@ -270,7 +270,12 @@ func TestSelfPropagation(t *testing.T) {
 
 func TestGuestSendSelfCachesPerDestination(t *testing.T) {
 	// Propagate twice around a 3-node ring: second lap sends truncated
-	// frames (guest-side caching).
+	// frames (guest-side caching). The closing hop of lap one (2->0)
+	// targets the originator, whose content store already pins the
+	// archive from registration — the cluster-wide negotiation turns
+	// what used to be a third full frame into a hash-ref, so the code
+	// bytes cross the wire exactly twice: once per node that has never
+	// held them.
 	specs := []NodeSpec{{Name: "a", March: isa.XeonE5()}, {Name: "b", March: isa.XeonE5()}, {Name: "c", March: isa.XeonE5()}}
 	c := NewCluster(testParams(), specs)
 	for _, r := range c.Runtimes {
@@ -283,16 +288,31 @@ func TestGuestSendSelfCachesPerDestination(t *testing.T) {
 	payload[8] = 1
 	src.Send(1, h, "main", payload)
 	c.Run()
-	var full, trunc uint64
+	var full, trunc, href uint64
 	for _, r := range c.Runtimes {
 		full += r.Stats.FullFrames
 		trunc += r.Stats.TruncatedFrames
+		href += r.Stats.HashRefFrames
 	}
-	if full != 3 { // 0->1 (host), 1->2, 2->0 ... then lap 2 cached; 0->1 guest resend cached too
-		t.Fatalf("full frames = %d, want 3 (one per new destination)", full)
+	if full != 2 { // 0->1 (host), 1->2; 2->0 resolves from node 0's store
+		t.Fatalf("full frames = %d, want 2 (one per destination without the bytes)", full)
+	}
+	if href != 1 {
+		t.Fatalf("hash-ref frames = %d, want 1 (the 2->0 closing hop)", href)
 	}
 	if trunc < 3 {
 		t.Fatalf("truncated frames = %d, want >= 3", trunc)
+	}
+	// The dedup changed framing only: every node still executed its laps
+	// (TTL 6 from node 1 lands the final hop back on node 1).
+	for i, r := range c.Runtimes {
+		want := uint64(2)
+		if i == 1 {
+			want = 3
+		}
+		if got := readU64(r, r.TargetPtr); got != want {
+			t.Fatalf("node %d visits = %d, want %d", i, got, want)
+		}
 	}
 }
 

@@ -142,13 +142,32 @@ func (r *Runtime) guestSendSelf(dst int, entry uint16, payloadPtr, payloadLen ui
 	}
 	buf := r.getFrameBuf(dst)
 	var frame []byte
-	if r.Sent.Seen(dst, reg.Hash) && !r.DisableSendCache {
+	switch {
+	case r.Sent.Seen(dst, reg.Hash) && !r.DisableSendCache:
 		frame = ifunc.AppendTruncated(buf, hdr, payload)
 		r.Stats.TruncatedFrames++
-	} else {
+	default:
+		// Pairwise cold: the cluster-wide negotiation applies to forwards
+		// exactly as to host-initiated sends (reg.CodeHash is memoized at
+		// registration, so no hashing happens here).
+		verdict := casFull
+		if !r.DisableSendCache && reg.CodeHash != 0 {
+			verdict = r.negotiate(dst, reg.Hash, reg.CodeHash)
+		}
 		r.Sent.Mark(dst, reg.Hash)
-		frame = ifunc.AppendBuild(buf, hdr, payload, reg.CodeBytes)
-		r.Stats.FullFrames++
+		switch verdict {
+		case casTruncate:
+			frame = ifunc.AppendTruncated(buf, hdr, payload)
+			r.Stats.TruncatedFrames++
+			r.Stats.CASTruncated++
+		case casHashRef:
+			frame = ifunc.AppendHashRef(buf, hdr, payload, reg.CodeHash, len(reg.CodeBytes))
+			r.Stats.HashRefFrames++
+		default:
+			frame = ifunc.AppendBuild(buf, hdr, payload, reg.CodeBytes)
+			r.Stats.FullFrames++
+			r.Stats.ColdCodeBytes += uint64(len(reg.CodeBytes))
+		}
 	}
 	r.pendingSends = append(r.pendingSends, pendingSend{dst: dst, frame: frame})
 	return 0, nil

@@ -158,12 +158,28 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 		_, localRunnable = h.Objects[r.Node.March.Triple.Arch]
 	}
 
-	// Caching-protocol amortization: the frame a ship would transmit.
+	// Caching-protocol amortization: the frame a ship would transmit,
+	// mirroring buildFrame's negotiation exactly — pairwise hit, then the
+	// cluster-wide content-addressed verdict (type registered at dst →
+	// truncated; content pinned at dst → hash-ref), full otherwise. A
+	// planner that still priced full frames here would misroute every
+	// request the CAS would have served for 26 or 43 bytes.
 	arch := rdst.Node.March.Triple.Arch
+	req.TypeHash = h.Hash
 	if r.Sent.Contains(dst, h.Hash) && !r.DisableSendCache {
 		req.FrameBytes = ifunc.TruncatedLen(len(payload))
 	} else {
 		req.FrameBytes = ifunc.FullLen(len(payload), h.CodeSize(arch))
+		if !r.DisableSendCache {
+			if ch := h.ContentHash(arch); ch != 0 {
+				switch r.negotiate(dst, h.Hash, ch) {
+				case casTruncate:
+					req.FrameBytes = ifunc.TruncatedLen(len(payload))
+				case casHashRef:
+					req.FrameBytes = ifunc.HashRefLen(len(payload))
+				}
+			}
+		}
 	}
 
 	// Registration amortization on both sides: registered types cost a
@@ -227,6 +243,19 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 	}
 
 	req.LocalRegFanout = len(r.Cluster.Runtimes) - 1
+
+	// Write-back pricing: predict the PUT payload a pull would transmit.
+	// Measured types use the decayed delta-write-back observation (what
+	// past executions actually dirtied, descriptors included); unmeasured
+	// ones conservatively price the whole region.
+	if opts.WriteBack {
+		req.PutBytes = int(opts.DataSize)
+		if localReg != nil {
+			if m, ok := localReg.MeanPutBytes(); ok && m < float64(req.PutBytes) {
+				req.PutBytes = int(m + 0.5)
+			}
+		}
+	}
 
 	req.PullViable = localRunnable && opts.DataSize > 0 && opts.DataSize <= pullArena &&
 		dst < len(r.heapKeys)
@@ -371,6 +400,66 @@ func (r *Runtime) releasePullSlot(slot uint64) {
 // served.
 func (r *Runtime) PullSlotsAllocated() int { return len(r.pullSlots) }
 
+// putMergeGap is the delta write-back coalescing distance: dirty runs
+// separated by fewer than this many clean bytes merge into one segment,
+// so descriptor overhead (PutSegHeaderBytes per segment) can never blow
+// up on interleaved write patterns.
+const putMergeGap = 32
+
+// diffSegments returns cur's dirty byte ranges relative to old (equal
+// lengths), coalesced across gaps smaller than putMergeGap. The
+// returned segments alias cur — snapshot before the buffer recycles.
+func diffSegments(old, cur []byte) []ucx.PutSeg {
+	var segs []ucx.PutSeg
+	n := len(cur)
+	i := 0
+	for i < n {
+		if cur[i] == old[i] {
+			i++
+			continue
+		}
+		start := i
+		end := i + 1
+		for end < n {
+			if cur[end] != old[end] {
+				end++
+				continue
+			}
+			// Clean byte: extend across it only if another dirty byte
+			// follows within the merge gap.
+			k := end
+			for k < n && k-end < putMergeGap && cur[k] == old[k] {
+				k++
+			}
+			if k < n && cur[k] != old[k] {
+				end = k + 1
+				continue
+			}
+			break
+		}
+		segs = append(segs, ucx.PutSeg{Off: start, Data: cur[start:end]})
+		i = end
+	}
+	return segs
+}
+
+// snapshotSegs copies segment data out of the (recycled) staging slot
+// into one backing buffer.
+func snapshotSegs(segs []ucx.PutSeg) []ucx.PutSeg {
+	total := 0
+	for _, s := range segs {
+		total += len(s.Data)
+	}
+	buf := make([]byte, 0, total)
+	out := make([]ucx.PutSeg, len(segs))
+	for i, s := range segs {
+		start := len(buf)
+		buf = append(buf, s.Data...)
+		out[i] = ucx.PutSeg{Off: s.Off, Data: buf[start:len(buf):len(buf)]}
+	}
+	return out
+}
+
 // offloadPull is the pull-data route: GET the region, execute against
 // the staged copy, PUT it back when the kernel writes. Every leg rides
 // the calibrated one-sided ops, so the route is charged exactly what an
@@ -423,19 +512,50 @@ func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, 
 				})
 				return
 			}
-			// The guest has mutated the staged copy (memory effects are
-			// immediate; the cost charge is queued): snapshot it now and
-			// issue the put-back once the execution charge has elapsed.
-			// The snapshot frees the slot at that point — the put-back
-			// travels from its own buffer.
-			back := append([]byte(nil), mem[slot:slot+opts.DataSize]...)
+			// Delta write-back: the guest has mutated the staged copy
+			// (memory effects are immediate; the cost charge is queued).
+			// Diff it against the GET snapshot — op.Data, which nothing
+			// mutates after staging — and PUT only the dirty ranges, in
+			// one vectored op. When the delta plus its descriptors would
+			// not undercut the region, fall back to the whole-region put;
+			// when the kernel dirtied nothing, skip the put entirely. The
+			// dirty bytes are snapshotted out of the slot now (the slot
+			// recycles at completion); the observation feeds the planner's
+			// write-back pricing.
+			staged := mem[slot : slot+opts.DataSize]
+			segs := diffSegments(op.Data, staged)
+			putWire := ucx.PutVWireBytes(segs)
+			r.Stats.WriteBackFullBytes += opts.DataSize
+			var back []byte
+			var vsegs []ucx.PutSeg
+			putPayload := 0
+			switch {
+			case len(segs) == 0:
+				// Clean region: nothing to write back.
+			case putWire >= int(opts.DataSize):
+				back = append([]byte(nil), staged...)
+				putPayload = int(opts.DataSize)
+			default:
+				vsegs = snapshotSegs(segs)
+				putPayload = putWire
+			}
+			r.Stats.WriteBackPutBytes += uint64(putPayload)
+			reg.ObservePutBytes(float64(putPayload))
 			r.Node.ExecCPU(0, func() {
 				r.releasePullSlot(slot)
 				if execSig != nil {
 					execSig.Fire(v)
 				}
-				ps := ep.Put(back, opts.DataAddr, key)
-				ps.OnFire(func() { done.Fire(ps.Value()) })
+				switch {
+				case back != nil:
+					ps := ep.Put(back, opts.DataAddr, key)
+					ps.OnFire(func() { done.Fire(ps.Value()) })
+				case vsegs != nil:
+					ps := ep.PutV(vsegs, opts.DataAddr, key)
+					ps.OnFire(func() { done.Fire(ps.Value()) })
+				default:
+					done.Fire(uint64(ucx.OK))
+				}
 			})
 		})
 	})

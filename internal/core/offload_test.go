@@ -494,3 +494,134 @@ func TestAdaptiveRuntimeSweep(t *testing.T) {
 		t.Fatalf("typeA demotions = %d, want 1", got)
 	}
 }
+
+// buildReader returns a kernel that only reads the region (returns its
+// first word) — the clean-region case for delta write-back.
+func buildReader() *ir.Module {
+	m := ir.NewModule("reader")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	b.Ret(b.Load(ir.I64, b.Param(2), 0))
+	return m
+}
+
+// buildScatterAll returns a kernel that overwrites all eight words of a
+// 64-byte region — the dirty-everything case where the vectored delta
+// cannot undercut a whole-region put.
+func buildScatterAll() *ir.Module {
+	m := ir.NewModule("scatterall")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.Ptr, ir.I64, ir.Ptr}, ir.I64)
+	for i := 0; i < 8; i++ {
+		b.Store(ir.I64, b.Const64(int64(1000+i)), b.Param(2), int64(i*8))
+	}
+	b.Ret(b.Const64(0))
+	return m
+}
+
+// pullRegion allocates and patterns an n-byte region on dst.
+func pullRegion(dst *Runtime, n int) uint64 {
+	addr := dst.Node.Alloc(n)
+	mem := dst.Node.Mem()
+	for i := 0; i < n; i++ {
+		mem[addr+uint64(i)] = byte(i*7 + 3)
+	}
+	return addr
+}
+
+// TestOffloadDeltaWriteBackPutsOnlyDirtyBytes pins the tentpole's delta
+// write-back: a kernel that touches one word of a 256-byte region pays a
+// PUT proportional to the dirty range (segment descriptor + bytes), not
+// to the region — and the untouched bytes land back untouched.
+func TestOffloadDeltaWriteBackPutsOnlyDirtyBytes(t *testing.T) {
+	c, src, dst, h, _ := offloadWorld(t)
+	const n = 256
+	region := pullRegion(dst, n)
+	before := append([]byte(nil), dst.Node.Mem()[region:region+n]...)
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: region, DataSize: n, WriteBack: true}
+	if v := offloadOnce(t, c, src, 1, h, opts); ucx.Status(v) != ucx.OK {
+		t.Fatalf("pull completion status %v", ucx.Status(v))
+	}
+	if got := readU64(dst, region); got != readLE(before[:8])+1 {
+		t.Fatalf("counter = %d, want %d", got, readLE(before[:8])+1)
+	}
+	for i := 8; i < n; i++ {
+		if dst.Node.Mem()[region+uint64(i)] != before[i] {
+			t.Fatalf("untouched byte %d changed", i)
+		}
+	}
+	if src.Stats.WriteBackFullBytes != n {
+		t.Fatalf("full-bytes baseline %d, want %d", src.Stats.WriteBackFullBytes, n)
+	}
+	put := src.Stats.WriteBackPutBytes
+	if put == 0 || put >= n {
+		t.Fatalf("delta put %d bytes, want in (0, %d)", put, n)
+	}
+	// The observation seeds the planner's write-back pricing.
+	reg, ok := src.Reg.Get(h.Hash)
+	if !ok {
+		t.Fatal("pull did not register locally")
+	}
+	if m, ok := reg.MeanPutBytes(); !ok || m != float64(put) {
+		t.Fatalf("MeanPutBytes = %v,%v, want %d", m, ok, put)
+	}
+}
+
+// TestOffloadDeltaWriteBackCleanRegionSkipsPut pins the clean case: a
+// read-only kernel under WriteBack pays no put at all.
+func TestOffloadDeltaWriteBackCleanRegionSkipsPut(t *testing.T) {
+	c, src, dst, _, _ := offloadWorld(t)
+	h, err := src.RegisterBitcode("reader", buildReader(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 128
+	region := pullRegion(dst, n)
+	before := append([]byte(nil), dst.Node.Mem()[region:region+n]...)
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: region, DataSize: n, WriteBack: true}
+	if v := offloadOnce(t, c, src, 1, h, opts); ucx.Status(v) != ucx.OK {
+		t.Fatalf("pull completion status %v", ucx.Status(v))
+	}
+	if src.Stats.WriteBackPutBytes != 0 {
+		t.Fatalf("clean region put %d bytes, want 0", src.Stats.WriteBackPutBytes)
+	}
+	for i := 0; i < n; i++ {
+		if dst.Node.Mem()[region+uint64(i)] != before[i] {
+			t.Fatalf("byte %d changed by a clean kernel", i)
+		}
+	}
+}
+
+// TestOffloadDeltaWriteBackFallsBackWhenAllDirty pins the fallback: when
+// the vectored delta (descriptors included) cannot undercut the region,
+// the write-back reverts to one whole-region put.
+func TestOffloadDeltaWriteBackFallsBackWhenAllDirty(t *testing.T) {
+	c, src, dst, _, _ := offloadWorld(t)
+	h, err := src.RegisterBitcode("scatterall", buildScatterAll(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	region := pullRegion(dst, n)
+	opts := OffloadOpts{Policy: place.PolicyPullData, DataAddr: region, DataSize: n, WriteBack: true}
+	if v := offloadOnce(t, c, src, 1, h, opts); ucx.Status(v) != ucx.OK {
+		t.Fatalf("pull completion status %v", ucx.Status(v))
+	}
+	if src.Stats.WriteBackPutBytes != n {
+		t.Fatalf("all-dirty put %d bytes, want the whole region %d", src.Stats.WriteBackPutBytes, n)
+	}
+	for i := 0; i < 8; i++ {
+		if got := readU64(dst, region+uint64(i*8)); got != uint64(1000+i) {
+			t.Fatalf("word %d = %d, want %d", i, got, 1000+i)
+		}
+	}
+}
+
+// readLE decodes a little-endian u64 (test-side mirror of the guest ABI).
+func readLE(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -35,13 +35,23 @@ func TestDeregisterInvalidatesSendCache(t *testing.T) {
 	if err := src.Deregister("tsi"); !errors.Is(err, ErrNoHandle) {
 		t.Fatal("double deregistration accepted")
 	}
-	// Re-register: the sent-cache was invalidated, so the next send is a
-	// full frame again.
+	// Re-register: the pairwise sent-cache was invalidated, so the send
+	// path renegotiates — and because the re-registered content is
+	// byte-identical and the peer's registration is still live, the
+	// content-addressed negotiation truncates instead of re-shipping the
+	// archive (code crossed the wire exactly once).
 	h2, _ := src.RegisterBitcode("tsi", BuildTSI(), allTriples)
+	coldBytes := src.Stats.ColdCodeBytes
 	src.Send(1, h2, "main", []byte{0})
 	c.Run()
-	if src.Stats.FullFrames != 2 {
-		t.Fatalf("re-registration did not resend code: %+v", src.Stats)
+	if src.Stats.FullFrames != 1 || src.Stats.CASTruncated != 1 {
+		t.Fatalf("re-registration renegotiation: %+v", src.Stats)
+	}
+	if src.Stats.ColdCodeBytes != coldBytes {
+		t.Fatalf("re-registration re-shipped code bytes: %+v", src.Stats)
+	}
+	if dst.Stats.Executions != 2 {
+		t.Fatalf("truncated resend did not execute: %+v", dst.Stats)
 	}
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"testing"
 
+	"threechains/internal/ifunc"
 	"threechains/internal/ir"
 	"threechains/internal/ucx"
 )
@@ -268,4 +269,88 @@ func TestWarmDeliveryAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(300, msg); allocs > budget {
 		t.Errorf("warm delivery allocates %.2f objects/msg, budget %.0f", allocs, budget)
 	}
+}
+
+// TestNegotiatedBuildAllocFree pins the cluster-wide negotiation path:
+// probing the destination's registry and content store and building the
+// hash-ref (or CAS-truncated) frame into the pooled per-destination
+// buffer allocates nothing in steady state. Content hashes are memoized
+// on handles and registrations at registration time, so the per-send
+// path never touches a hash state at all — hashing stays off the alloc
+// path by construction, and this test catches any regression that
+// reintroduces it (an allocating hash.Hash would show up immediately).
+func TestNegotiatedBuildAllocFree(t *testing.T) {
+	c := threeNodes()
+	src, dst := c.Runtime(0), c.Runtime(2)
+	dst.TargetPtr = dst.Node.Alloc(8)
+	h, err := src.RegisterBitcode("m", BuildTSI(), allTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The destination pins the same content under another name but has
+	// no registration for type "m": the negotiation answers hash-ref.
+	if _, err := dst.RegisterBitcode("m2", BuildTSI(), allTriples); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1)
+	rel := src.frameRelease(2)
+	buildHashRef := func() {
+		src.Sent.Forget(h.Hash)
+		frame, err := src.buildFrame(2, h, 0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frame) != ifunc.HashRefLen(len(payload)) {
+			t.Fatalf("frame = %d bytes, want hash-ref %d", len(frame), ifunc.HashRefLen(len(payload)))
+		}
+		rel(frame)
+	}
+	buildHashRef() // warm the pool with the (slightly larger) hash-ref size
+	if allocs := testing.AllocsPerRun(200, buildHashRef); allocs > 0 {
+		t.Errorf("hash-ref negotiation allocates %.2f objects/op, want 0", allocs)
+	}
+
+	// Deliver once so the type registers at the destination (forget the
+	// pairwise mark the loop above left behind, or the send would go out
+	// truncated and be dropped): the same forget-and-rebuild loop now
+	// exercises the CAS-truncate verdict.
+	src.Sent.Forget(h.Hash)
+	if _, err := src.Send(2, h, "main", payload); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if dst.Stats.Executions != 1 {
+		t.Fatalf("dst stats %+v", dst.Stats)
+	}
+	buildTruncated := func() {
+		src.Sent.Forget(h.Hash)
+		frame, err := src.buildFrame(2, h, 0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frame) != ifunc.TruncatedLen(len(payload)) {
+			t.Fatalf("frame = %d bytes, want truncated %d", len(frame), ifunc.TruncatedLen(len(payload)))
+		}
+		rel(frame)
+	}
+	if allocs := testing.AllocsPerRun(200, buildTruncated); allocs > 0 {
+		t.Errorf("CAS-truncate negotiation allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestContentHashAllocFree pins the hash itself: one pass over a
+// multi-KiB archive with the inlined FNV state allocates nothing (the
+// cold-path cost is pure CPU, never GC pressure).
+func TestContentHashAllocFree(t *testing.T) {
+	blob := make([]byte, 8192)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	var sink uint64
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink += ifunc.ContentHash(blob)
+	}); allocs > 0 {
+		t.Errorf("ContentHash allocates %.2f objects/op, want 0", allocs)
+	}
+	_ = sink
 }

@@ -7,6 +7,7 @@
 //
 //	full:      HEADER | PAYLOAD | MAGIC1 | CODELEN | CODE | MAGIC2
 //	truncated: HEADER | PAYLOAD | MAGIC1
+//	hash-ref:  HEADER | PAYLOAD | MAGIC1 | 0xFFFFFFFF | CODEHASH | CODELEN | MAGIC2
 //
 // The header is 24 bytes; a truncated (cached) frame with the TSI
 // benchmark's 1-byte payload is exactly 26 bytes, matching §V-A. The
@@ -14,6 +15,16 @@
 // time by sending fewer bytes — the frame itself is never modified, so it
 // can later be forwarded whole to a third process that has not seen the
 // code yet.
+//
+// The hash-ref form is this reproduction's cluster-wide extension of the
+// paper's pairwise protocol: when the destination's content-addressed
+// store already holds the code section (shipped there by *any* peer,
+// possibly under a different type name), the sender replaces the code
+// section with its 64-bit content hash — the CODELEN slot carries the
+// sentinel HashRefSentinel, followed by the 8-byte ContentHash and the
+// real code length as a resolution sanity check. The receiver resolves
+// the bytes from its local store, so the cold-send cost of a distinct
+// module is paid once cluster-wide instead of once per (src, dst, name).
 package ifunc
 
 import (
@@ -75,12 +86,22 @@ type Header struct {
 	PayloadLen uint32
 }
 
+// HashRefSentinel in the CODELEN slot marks a hash-ref frame: the code
+// section is replaced by (content hash, real code length).
+const HashRefSentinel uint32 = 0xFFFFFFFF
+
 // Frame is a parsed ifunc message.
 type Frame struct {
 	Header
 	Payload []byte
-	// Code is nil for truncated (cache-hit) frames.
+	// Code is nil for truncated (cache-hit) and hash-ref frames.
 	Code []byte
+	// HashRef marks a hash-ref frame; CodeHash/CodeLen then carry the
+	// content key and the declared code length the receiver must find in
+	// its store.
+	HashRef  bool
+	CodeHash uint64
+	CodeLen  uint32
 }
 
 // NameHash derives the 64-bit ifunc type id from its registered name.
@@ -130,10 +151,29 @@ func appendTruncated(dst []byte, h Header, payload []byte) []byte {
 	return dst
 }
 
+// AppendHashRef appends the hash-ref frame encoding — header, payload,
+// MAGIC1, the CODELEN sentinel, the 8-byte content hash, the real code
+// length and MAGIC2 — to dst and returns the extended slice. Used when
+// the destination's content-addressed store holds the code (pinned) but
+// the ifunc type itself is not registered there.
+func AppendHashRef(dst []byte, h Header, payload []byte, codeHash uint64, codeLen int) []byte {
+	dst = appendTruncated(dst, h, payload)
+	dst = binary.LittleEndian.AppendUint32(dst, HashRefSentinel)
+	dst = binary.LittleEndian.AppendUint64(dst, codeHash)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(codeLen))
+	dst = append(dst, Magic2)
+	return dst
+}
+
 // TruncatedLen returns how many bytes of a full frame the sender
 // transmits when the target already has the code: header + payload +
 // MAGIC1.
 func TruncatedLen(payloadLen int) int { return HeaderLen + payloadLen + 1 }
+
+// HashRefLen returns the hash-ref frame length for a given payload size:
+// the truncated prefix plus sentinel (4) + content hash (8) + code
+// length (4) + MAGIC2.
+func HashRefLen(payloadLen int) int { return TruncatedLen(payloadLen) + 17 }
 
 // FullLen returns the full frame length for given payload and code sizes.
 func FullLen(payloadLen, codeLen int) int {
@@ -156,6 +196,7 @@ func Parse(data []byte) (*Frame, error) {
 // aliases data; callers that retain payload or code must copy.
 func (f *Frame) ParseInto(data []byte) error {
 	f.Payload, f.Code = nil, nil
+	f.HashRef, f.CodeHash, f.CodeLen = false, 0, 0
 	if len(data) < HeaderLen+1 {
 		return fmt.Errorf("%w: %d bytes", ErrShortFrame, len(data))
 	}
@@ -190,6 +231,19 @@ func (f *Frame) ParseInto(data []byte) error {
 	}
 	codeLen := binary.LittleEndian.Uint32(data[pEnd+1:])
 	cStart := pEnd + 5
+	if codeLen == HashRefSentinel {
+		// Hash-ref frame: 8-byte content hash + 4-byte real code length.
+		if cStart+13 != len(data) {
+			return fmt.Errorf("%w: hash-ref section %d bytes", ErrBadFrame, len(data)-cStart)
+		}
+		if data[cStart+12] != Magic2 {
+			return fmt.Errorf("%w: bad trailer magic %#x", ErrBadFrame, data[cStart+12])
+		}
+		f.HashRef = true
+		f.CodeHash = binary.LittleEndian.Uint64(data[cStart:])
+		f.CodeLen = binary.LittleEndian.Uint32(data[cStart+8:])
+		return nil
+	}
 	cEnd := cStart + int(codeLen)
 	if cEnd+1 != len(data) {
 		return fmt.Errorf("%w: code %d bytes does not fill frame %d", ErrBadFrame, codeLen, len(data))

@@ -199,3 +199,63 @@ func TestSentCache(t *testing.T) {
 		t.Fatal("forget did not invalidate")
 	}
 }
+
+func TestHashRefFrameRoundTrip(t *testing.T) {
+	h := Header{Kind: KindBitcode, NameHash: NameHash("tsi"), Entry: 2,
+		SrcNode: 7, Seq: 11}
+	payload := []byte{9}
+	code := []byte("fat bitcode archive bytes")
+	ch := ContentHash(code)
+	frame := AppendHashRef(nil, h, payload, ch, len(code))
+	if len(frame) != HashRefLen(len(payload)) {
+		t.Fatalf("frame = %d bytes, want %d", len(frame), HashRefLen(len(payload)))
+	}
+	// The hash-ref form costs 17 bytes over the 26-byte cached frame —
+	// still independent of code size.
+	if got := HashRefLen(1); got != 43 {
+		t.Fatalf("hash-ref frame = %d bytes, want 43", got)
+	}
+	f, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HashRef || f.CodeHash != ch || int(f.CodeLen) != len(code) {
+		t.Fatalf("hash-ref round trip: %+v", f)
+	}
+	if f.Code != nil {
+		t.Fatal("hash-ref frame decoded with inline code")
+	}
+	if f.Entry != 2 || f.Seq != 11 || string(f.Payload) != string(payload) {
+		t.Fatalf("header/payload round trip: %+v", f)
+	}
+	// Re-parsing a truncated frame into the same Frame clears the
+	// hash-ref fields (pooled Frame reuse).
+	trunc := AppendTruncated(nil, h, payload)
+	if err := f.ParseInto(trunc); err != nil {
+		t.Fatal(err)
+	}
+	if f.HashRef || f.CodeHash != 0 || f.CodeLen != 0 {
+		t.Fatalf("stale hash-ref state after reuse: %+v", f)
+	}
+}
+
+func TestHashRefFrameRejectsCorruption(t *testing.T) {
+	h := Header{Kind: KindBitcode, NameHash: 1}
+	frame := AppendHashRef(nil, h, []byte{1}, 0xdeadbeef, 100)
+
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] = 0 // trailer magic
+	if _, err := Parse(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad trailer: %v", err)
+	}
+
+	// Truncated mid-hash: the sentinel promises 13 more bytes.
+	if _, err := Parse(frame[:len(frame)-4]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short hash-ref: %v", err)
+	}
+
+	// Extra trailing byte.
+	if _, err := Parse(append(append([]byte(nil), frame...), 0x5A)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized hash-ref: %v", err)
+	}
+}

@@ -22,8 +22,13 @@ type Registration struct {
 	Compiled *jit.Compiled
 	// CodeBytes is the original code section (fat-bitcode archive or
 	// per-ISA object) kept verbatim so this node can propagate the ifunc
-	// onward — the recursive-injection capability.
+	// onward — the recursive-injection capability. It is the canonical
+	// buffer of the node's content-addressed store, pinned for the
+	// registration's lifetime.
 	CodeBytes []byte
+	// CodeHash is ContentHash(CodeBytes) — the cluster-wide content key,
+	// memoized at registration so the send path never re-hashes.
+	CodeHash uint64
 	// EntryNames maps frame entry indices to function names.
 	EntryNames []string
 	// Executions counts invocations on this node.
@@ -38,6 +43,14 @@ type Registration struct {
 	// type's behavior (a kernel whose per-message work grows or shrinks
 	// over time re-converges within ~2/stepAlpha messages).
 	stepEWMA float64
+	// putEWMA is the decayed mean write-back PUT payload (bytes beyond
+	// the PUT header) of one pull-route execution of this type — what the
+	// delta write-back actually transmitted, segment descriptors
+	// included. The planner prices the PullCost write-back term with it,
+	// so a kernel that dirties 8 bytes of a 32 KiB region stops being
+	// charged for 32 KiB.
+	putEWMA float64
+	putObs  uint64
 	// Machine is the reusable execution context the runtime binds to this
 	// registration on first execution. Reusing it (with its pooled
 	// register files) keeps the per-message hot path allocation-free;
@@ -81,6 +94,27 @@ func (r *Registration) MeanSteps() (mean float64, ok bool) {
 		return 0, false
 	}
 	return r.stepEWMA, true
+}
+
+// ObservePutBytes folds one pull-route write-back's transmitted PUT
+// payload (0 when the kernel dirtied nothing) into the decayed
+// estimate, with the same window as the step estimate.
+func (r *Registration) ObservePutBytes(b float64) {
+	if r.putObs == 0 {
+		r.putEWMA = b
+	} else {
+		r.putEWMA += stepAlpha * (b - r.putEWMA)
+	}
+	r.putObs++
+}
+
+// MeanPutBytes returns the decayed mean write-back PUT payload of one
+// pull-route execution; ok is false before the first observation.
+func (r *Registration) MeanPutBytes() (mean float64, ok bool) {
+	if r.putObs == 0 {
+		return 0, false
+	}
+	return r.putEWMA, true
 }
 
 // EntryName resolves a frame entry index.

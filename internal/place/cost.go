@@ -73,6 +73,36 @@ func regTime(registered bool, regCost sim.Time) sim.Time {
 	return regCost
 }
 
+// shipRegTime is the ship route's registration charge. A cold remote
+// registration is an investment exactly like the pull route's local
+// compile: once installed (and pinned in the destination's content
+// store) it serves every later offload of the type to that destination
+// at LookupCost. The planner feeds the committed demand it has already
+// seen for the (type, dst) pair through Request.ShipFanout, and the
+// model amortizes the one-time charge over it — so a pair with real
+// fan-out stops mispricing ship by billing the whole JIT to the first
+// message.
+func shipRegTime(req Request) sim.Time {
+	if req.RemoteRegistered {
+		return jit.LookupCost
+	}
+	fan := req.ShipFanout
+	if fan < 1 {
+		fan = 1
+	}
+	return req.RemoteRegCost / sim.Time(fan)
+}
+
+// putBytesFor is the modeled write-back PUT payload: the measured delta
+// (Request.PutBytes, from the registration's dirty-segment EWMA) when
+// known and smaller than the region, the whole region otherwise.
+func putBytesFor(req Request) int {
+	if req.PutBytes > 0 && req.PutBytes < req.DataBytes {
+		return req.PutBytes
+	}
+	return req.DataBytes
+}
+
 // ShipCost models the ship-code route: post the frame (truncated or full,
 // req.FrameBytes carries the caching protocol's answer), cross the wire,
 // pay the receiver's NIC write + poll pickup, register if the code is not
@@ -80,7 +110,7 @@ func regTime(registered bool, regCost sim.Time) sim.Time {
 func (m CostModel) ShipCost(req Request) sim.Time {
 	t := m.Net.SendOverhead + m.Net.WireTime(req.FrameBytes) + m.Net.NICOverhead
 	t += m.Remote.IfuncPoll + m.Net.RecvOverhead
-	t += regTime(req.RemoteRegistered, req.RemoteRegCost)
+	t += shipRegTime(req)
 	t += m.ExecTime(m.Remote, req.MeanSteps)
 	return t
 }
@@ -112,7 +142,7 @@ func (m CostModel) shipQueued(req Request, q *queueState) (sim.Time, claims) {
 	c.nicOut = sendStart + m.txTime(req.FrameBytes)
 	arrive := sendStart + m.Net.SendOverhead + m.Net.WireTime(req.FrameBytes) + m.Net.NICOverhead
 	svc := m.Remote.IfuncPoll + m.Net.RecvOverhead +
-		regTime(req.RemoteRegistered, req.RemoteRegCost) +
+		shipRegTime(req) +
 		m.ExecTime(m.Remote, req.MeanSteps)
 	execStart := max(arrive, q.remote(req.Dst))
 	c.remoteCore = execStart + svc
@@ -144,7 +174,7 @@ func (m CostModel) pullQueued(req Request, q *queueState) (sim.Time, claims) {
 	end := c.localCore
 	if req.WriteBack {
 		putStart := max(end, q.nicOut, c.nicOut)
-		end = putStart + m.Net.SendOverhead + m.Net.WireTime(ucx.PutHeaderBytes+req.DataBytes) + m.Net.NICOverhead
+		end = putStart + m.Net.SendOverhead + m.Net.WireTime(ucx.PutHeaderBytes+putBytesFor(req)) + m.Net.NICOverhead
 		// The put-back's NIC occupancy is deliberately NOT claimed: it
 		// lies beyond the local execution, and a scalar busy-until
 		// horizon cannot say "free now, busy later" — claiming it would
@@ -184,7 +214,9 @@ func (m CostModel) PullCost(req Request) sim.Time {
 	t += regTime(req.LocalRegistered, req.LocalRegCost/sim.Time(fan))
 	t += m.ExecTime(m.Local, req.MeanSteps)
 	if req.WriteBack {
-		t += m.Net.SendOverhead + m.Net.WireTime(ucx.PutHeaderBytes+req.DataBytes) + m.Net.NICOverhead
+		// The delta write-back only puts the dirty segments; price the
+		// measured mean payload, not the whole region.
+		t += m.Net.SendOverhead + m.Net.WireTime(ucx.PutHeaderBytes+putBytesFor(req)) + m.Net.NICOverhead
 	}
 	return t
 }

@@ -121,6 +121,23 @@ type Request struct {
 	// WriteBack reports whether the kernel mutates the region (the pull
 	// route must pay a put-back).
 	WriteBack bool
+	// PutBytes is the predicted write-back PUT payload: the measured
+	// delta (dirty segments + descriptors, Registration.MeanPutBytes)
+	// when the type has pulled before, the whole region otherwise.
+	// 0 means unknown — the model falls back to DataBytes.
+	PutBytes int
+	// TypeHash identifies the ifunc type for the planner's per-(type,
+	// dst) demand tracking (investment-aware ship amortization). 0
+	// disables the tracking for this request.
+	TypeHash uint64
+	// ShipFanout is the modeled future fan-out a cold remote
+	// registration would serve — Plan fills it from the planner's
+	// committed demand for this (type, dst) pair, and the model divides
+	// RemoteRegCost by it (the same amortization argument LocalRegFanout
+	// makes for the pull route's compile investment, but driven by
+	// observed demand instead of cluster size). 0 means 1: no
+	// amortization.
+	ShipFanout int
 	// FrameBytes is the exact wire size of the ship-code frame — the
 	// truncated form when the sender cache says dst already holds the
 	// code, the full frame otherwise (the caching protocol's
@@ -198,6 +215,10 @@ type Decision struct {
 	// claims carries the chosen route's resource occupancy; Commit folds
 	// it into the planner's horizons.
 	claims claims
+	// typeHash carries Request.TypeHash so Commit can record demand for
+	// the (type, dst) pair — the observation stream behind the
+	// investment-aware ship amortization.
+	typeHash uint64
 }
 
 // Stats counts planner activity per route.
@@ -247,6 +268,39 @@ type Planner struct {
 	Stats        Stats
 
 	queue queueState
+	// demand counts committed remote decisions per (type, dst) pair.
+	// Plan feeds it into Request.ShipFanout so a cold remote
+	// registration is amortized over the demand the pair has actually
+	// shown (never iterated, so no map-order nondeterminism).
+	demand map[demandKey]uint32
+}
+
+// demandKey identifies a (type, destination) pair for the planner's
+// investment tracking.
+type demandKey struct {
+	hash uint64
+	dst  int
+}
+
+// investCap bounds the fan-out a speculative cold ship may amortize
+// over: past ~16 observed messages the per-message registration share is
+// already noise next to wire and execution terms, and an unbounded
+// divisor would let a hot pair price a multi-millisecond JIT at zero.
+const investCap = 16
+
+// shipFanout is the modeled future fan-out a remote registration at
+// req.Dst would serve: this request plus the committed demand already
+// observed for the (type, dst) pair, capped at investCap. Types that opt
+// out of tracking (TypeHash 0) get no amortization.
+func (p *Planner) shipFanout(req Request) int {
+	if req.TypeHash == 0 {
+		return 1
+	}
+	n := 1 + int(p.demand[demandKey{req.TypeHash, req.Dst}])
+	if n > investCap {
+		n = investCap
+	}
+	return n
 }
 
 // ErrRemoteLocal is returned when PolicyLocal meets a remote region.
@@ -286,7 +340,11 @@ func (p *Planner) Plan(pol Policy, m CostModel, req Request) (Decision, error) {
 	if pol < PolicyCostModel || pol > PolicyCostModelQueue {
 		return Decision{}, fmt.Errorf("%w: %d", ErrBadPolicy, int(pol))
 	}
-	d := Decision{Dst: req.Dst}
+	// Resolve the investment fan-out from committed demand before any
+	// pricing (planQueued inherits it through req). Reading the demand
+	// map keeps Plan side-effect free; only Commit moves it.
+	req.ShipFanout = p.shipFanout(req)
+	d := Decision{Dst: req.Dst, typeHash: req.TypeHash}
 	switch {
 	case req.DstIsLocal:
 		// Every policy degenerates to in-place execution when the data
@@ -341,7 +399,7 @@ func (p *Planner) Plan(pol Policy, m CostModel, req Request) (Decision, error) {
 // viable routes against the current busy-until horizons and keep the
 // chosen route's resource claims in the decision for Commit.
 func (p *Planner) planQueued(m CostModel, req Request) (Decision, error) {
-	d := Decision{Dst: req.Dst}
+	d := Decision{Dst: req.Dst, typeHash: req.TypeHash}
 	var shipC, pullC claims
 	if req.ShipViable {
 		d.EstShip, shipC = m.shipQueued(req, &p.queue)
@@ -392,6 +450,12 @@ func (p *Planner) Commit(d Decision) {
 	}
 	if d.Fallback {
 		p.Stats.Fallbacks++
+	}
+	if d.typeHash != 0 && d.Route != RouteLocal {
+		if p.demand == nil {
+			p.demand = make(map[demandKey]uint32)
+		}
+		p.demand[demandKey{d.typeHash, d.Dst}]++
 	}
 	c := d.claims
 	if c.nicOut > p.queue.nicOut {

@@ -5,6 +5,7 @@ import (
 
 	"threechains/internal/sim"
 	"threechains/internal/testbed"
+	"threechains/internal/ucx"
 )
 
 // model builds a Thor-flavoured cost model: a fast Xeon host (local)
@@ -282,5 +283,92 @@ func TestRouteViability(t *testing.T) {
 	noPull.PullViable = false
 	if d, err := p.Plan(PolicyPullData, m, noPull); err != nil || d.Route != RouteShipCode || !d.Fallback {
 		t.Errorf("pull fallback: %v route %v fallback %v", err, d.Route, d.Fallback)
+	}
+}
+
+// TestInvestmentAwareShipAmortizesColdRegistration pins satellite
+// behavior: as the planner commits demand for a (type, dst) pair, a cold
+// remote registration's price is divided across the modeled fan-out, so
+// a pair with real traffic eventually ships where a demand-blind model
+// kept pulling forever.
+func TestInvestmentAwareShipAmortizesColdRegistration(t *testing.T) {
+	m := model(1)
+	r := req()
+	r.TypeHash = 0x1234
+	r.Dst = 3
+	r.RemoteRegistered = false
+	r.FrameBytes = 5200
+	r.RemoteRegCost = 60 * sim.Microsecond
+	r.DataBytes = 16 << 10
+
+	p := &Planner{Policy: PolicyCostModel}
+	first, err := p.Plan(PolicyCostModel, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Route != RoutePullData {
+		t.Fatalf("cold pair with no demand routed %v, want pull (full JIT billed to one message)", first.Route)
+	}
+	// Commit a stream of decisions for the pair: every commit is an
+	// observation of demand.
+	for i := 0; i < investCap; i++ {
+		p.Commit(first)
+	}
+	later, err := p.Plan(PolicyCostModel, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !later.Priced || later.Route != RouteShipCode {
+		t.Fatalf("hot pair still routed %+v, want priced ship (JIT amortized over %d observed messages)", later, investCap)
+	}
+	if later.EstShip >= first.EstShip {
+		t.Fatalf("amortized ship %v !< unamortized %v", later.EstShip, first.EstShip)
+	}
+	// Types that opt out (TypeHash 0) never amortize: the estimate is
+	// independent of committed demand.
+	r0 := r
+	r0.TypeHash = 0
+	opted, err := p.Plan(PolicyCostModel, m, r0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opted.EstShip != first.EstShip {
+		t.Fatalf("untracked type amortized: %v, want %v", opted.EstShip, first.EstShip)
+	}
+	// Demand is per (type, dst): another destination starts cold.
+	r2 := r
+	r2.Dst = 7
+	other, err := p.Plan(PolicyCostModel, m, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.EstShip != first.EstShip {
+		t.Fatalf("demand leaked across destinations: %v, want %v", other.EstShip, first.EstShip)
+	}
+}
+
+// TestPullCostPricesMeasuredDelta pins the write-back pricing: a request
+// carrying a measured delta (PutBytes) prices the put leg by the delta,
+// not the region — and the fallback (PutBytes 0) prices the region.
+func TestPullCostPricesMeasuredDelta(t *testing.T) {
+	m := model(1)
+	r := req()
+	r.DataBytes = 16 << 10
+	whole := m.PullCost(r)
+	r.PutBytes = 20
+	delta := m.PullCost(r)
+	if delta >= whole {
+		t.Fatalf("delta-priced pull %v !< whole-region pull %v", delta, whole)
+	}
+	// The saving is the per-byte wire time of the elided bytes (the
+	// fixed latency term is paid either way).
+	if want := whole - (m.Net.WireTime(ucx.PutHeaderBytes+r.DataBytes) - m.Net.WireTime(ucx.PutHeaderBytes+r.PutBytes)); delta != want {
+		t.Fatalf("delta pull %v, want %v", delta, want)
+	}
+	// The queued estimate agrees at idle.
+	p := &Planner{}
+	qd, _ := m.pullQueued(r, &p.queue)
+	if qd != delta {
+		t.Fatalf("idle queued pull %v, want %v", qd, delta)
 	}
 }

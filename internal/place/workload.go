@@ -64,6 +64,14 @@ type WorkloadParams struct {
 	// SelfFrac is the fraction of ops whose region lives on the driver
 	// itself (the run-local degenerate route). Default 0.1.
 	SelfFrac float64
+	// DirtyWords bounds how many region words a mutating kernel
+	// overwrites (clamped per op to the destination region): the knob
+	// behind the delta write-back sweep, where the pull route's PUT pays
+	// for the dirty fraction instead of the whole region. 0 keeps the
+	// classic single-word bump. Pure materialization parameter: it
+	// consumes no generator draws, so a scenario's op stream is
+	// identical at every dirty fraction.
+	DirtyWords int
 	// StreamDepth is the concurrency dimension: the offload stream's
 	// issue window (maximum requests in flight at once; requests to one
 	// destination always serialize). 0 or 1 means sequential issue — the
@@ -141,6 +149,10 @@ type TypeSpec struct {
 	// Iters is the loop trip count for heavy and read-only kernels (the
 	// read-only scan length is additionally clamped to the region).
 	Iters int
+	// DirtyWords is how many region words this (mutating) type
+	// overwrites — WorkloadParams.DirtyWords copied through without
+	// consuming a generator draw. 0 means the single-word bump.
+	DirtyWords int
 }
 
 // OpSpec is one offload request of the scenario.
@@ -186,6 +198,9 @@ func Generate(p WorkloadParams) *Workload {
 				lo = 1
 			}
 			t.Iters = lo + rng.Intn(p.HeavyIters-lo+1)
+		}
+		if !t.ReadOnly {
+			t.DirtyWords = p.DirtyWords
 		}
 		w.Types = append(w.Types, t)
 	}
@@ -247,6 +262,10 @@ func (w *Workload) Fingerprint() uint64 {
 	// pre-existing (sequential) golden fingerprint is unchanged.
 	if w.Params.StreamDepth > 1 || w.Params.ArrivalBurst > 0 {
 		fmt.Fprintf(h, "stream depth=%d burst=%d\n", w.Params.StreamDepth, w.Params.ArrivalBurst)
+	}
+	// Same for the delta write-back dimension.
+	if w.Params.DirtyWords > 0 {
+		fmt.Fprintf(h, "dirty words=%d\n", w.Params.DirtyWords)
 	}
 	return h.Sum64()
 }

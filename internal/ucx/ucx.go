@@ -21,6 +21,7 @@
 package ucx
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"threechains/internal/fabric"
@@ -271,6 +272,80 @@ func (ep *Endpoint) Put(data []byte, addr uint64, key RKey) *sim.Signal {
 			if err := ep.Peer.Node.WriteMem(addr, payload); err != nil {
 				done.Fire(uint64(ErrAccess))
 				return
+			}
+			done.Fire(uint64(OK))
+		})
+	})
+	return done
+}
+
+// PutSeg is one segment of a vectored PutV: Off is the byte offset from
+// the operation's base address, Data the bytes to write there.
+type PutSeg struct {
+	Off  int
+	Data []byte
+}
+
+// PutSegHeaderBytes is the per-segment wire descriptor of PutV: a
+// 64-bit offset and a 32-bit length ahead of the segment's bytes.
+const PutSegHeaderBytes = 12
+
+// PutVWireBytes returns the wire payload of a vectored put carrying the
+// given segments (excluding the fixed PutHeaderBytes) — the quantity
+// the placement cost model prices and the runtime compares against a
+// whole-region Put when deciding whether a delta is worth it.
+func PutVWireBytes(segs []PutSeg) int {
+	n := 0
+	for _, s := range segs {
+		n += PutSegHeaderBytes + len(s.Data)
+	}
+	return n
+}
+
+// PutV writes several discontiguous segments into remote memory at
+// addr+seg.Off in one one-sided operation: a single message carries the
+// PUT header plus a (offset, length, bytes) descriptor per segment, and
+// the target NIC scatters the writes — one SendOverhead and one
+// NICOverhead regardless of segment count, which is what makes delta
+// write-back cheaper than a whole-region Put whenever the dirty bytes
+// (plus descriptors) undercut the region size. The returned signal
+// fires with a Status when every segment has been written (ErrAccess if
+// any segment fails validation; earlier segments may already be
+// applied, like a partially completed RDMA scatter).
+func (ep *Endpoint) PutV(segs []PutSeg, addr uint64, key RKey) *sim.Signal {
+	done := ep.W.Node.Eng().NewSignal()
+	wire := make([]byte, PutHeaderBytes+PutVWireBytes(segs))
+	off := PutHeaderBytes
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(wire[off:], uint64(s.Off))
+		binary.LittleEndian.PutUint32(wire[off+8:], uint32(len(s.Data)))
+		copy(wire[off+PutSegHeaderBytes:], s.Data)
+		off += PutSegHeaderBytes + len(s.Data)
+	}
+	params := ep.W.Ctx.Net.Params
+	ep.W.Node.Send(ep.Peer.Node, wire, nil, func(msg *fabric.Message) {
+		// NIC-side scatter after NIC processing; no target CPU. The pooled
+		// message dies with this handler: capture the payload slice.
+		payload := msg.Data[PutHeaderBytes:]
+		msg.Dst.Eng().After(params.NICOverhead, func() {
+			p := payload
+			for len(p) >= PutSegHeaderBytes {
+				segOff := binary.LittleEndian.Uint64(p)
+				segLen := int(binary.LittleEndian.Uint32(p[8:]))
+				if PutSegHeaderBytes+segLen > len(p) {
+					done.Fire(uint64(ErrAccess))
+					return
+				}
+				data := p[PutSegHeaderBytes : PutSegHeaderBytes+segLen]
+				if !ep.Peer.checkAccess(key, addr+segOff, len(data)) {
+					done.Fire(uint64(ErrAccess))
+					return
+				}
+				if err := ep.Peer.Node.WriteMem(addr+segOff, data); err != nil {
+					done.Fire(uint64(ErrAccess))
+					return
+				}
+				p = p[PutSegHeaderBytes+segLen:]
 			}
 			done.Fire(uint64(OK))
 		})
