@@ -1,0 +1,136 @@
+package bench
+
+// The region-cache sweep's own contract: exact GET-byte accounting on
+// every grid row (elision at dirty 0, chunk-proportional deltas in
+// between, whole-region fallback at full dirtiness), guest outcomes
+// bit-identical cache-on vs cache-off and across engines. The
+// differential test is covered by the CI fail-on-skip guard.
+
+import (
+	"testing"
+
+	"threechains/internal/ifunc"
+	"threechains/internal/mcode"
+	"threechains/internal/testbed"
+	"threechains/internal/ucx"
+)
+
+// TestRegionCacheSweepGrid pins the sweep's byte accounting: at dirty 0
+// repeat pulls cost nothing beyond the cold region, in between they cost
+// one framed chunk run proportional to the dirty span, and at full
+// dirtiness the vectored form degrades to the cache-off baseline.
+func TestRegionCacheSweepGrid(t *testing.T) {
+	res, err := RegionCacheSweep(testbed.ThorXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 0
+	for _, rw := range RegionCacheRegionWords() {
+		wantRows += len(RegionCacheDirtySweep(rw))
+	}
+	if len(res) != wantRows {
+		t.Fatalf("%d rows, want %d", len(res), wantRows)
+	}
+	for _, r := range res {
+		size := uint64(r.RegionWords * 8)
+		demand := uint64(r.Rounds) * size
+		repeats := uint64(r.Rounds - 1)
+		if r.Cache.DemandBytes != demand || r.NoCache.DemandBytes != demand {
+			t.Errorf("region=%d dirty=%d: demand %d/%d, want %d",
+				r.RegionWords, r.DirtyWords, r.Cache.DemandBytes, r.NoCache.DemandBytes, demand)
+		}
+		if r.NoCache.GetBytes != demand || r.NoCache.Elides != 0 || r.NoCache.DeltaPulls != 0 {
+			t.Errorf("region=%d dirty=%d: nocache GET=%d elides=%d deltas=%d, want %d/0/0",
+				r.RegionWords, r.DirtyWords, r.NoCache.GetBytes, r.NoCache.Elides, r.NoCache.DeltaPulls, demand)
+		}
+		if r.Cache.ResultHash != r.NoCache.ResultHash {
+			t.Errorf("region=%d dirty=%d: guest outcome diverged between modes",
+				r.RegionWords, r.DirtyWords)
+		}
+		if r.Cache.VirtTime > r.NoCache.VirtTime {
+			t.Errorf("region=%d dirty=%d: cache virtual time %d exceeds cache-off %d",
+				r.RegionWords, r.DirtyWords, r.Cache.VirtTime, r.NoCache.VirtTime)
+		}
+
+		var wantGet uint64
+		var wantElides, wantDeltas uint64
+		switch {
+		case r.DirtyWords == 0:
+			// One cold region; every repeat elides.
+			wantGet = size
+			wantElides, wantDeltas = repeats, 0
+		case r.DirtyWords >= r.RegionWords:
+			// Fully dirty: the framed form never pays — cache-off bytes.
+			wantGet = demand
+			wantElides, wantDeltas = 0, 0
+		default:
+			// One contiguous dirty run of ceil(dirtyBytes/chunk) chunks.
+			dirtyBytes := uint64(r.DirtyWords * 8)
+			chunks := (dirtyBytes + ifunc.RegionChunkBytes - 1) / ifunc.RegionChunkBytes
+			wire := uint64(ucx.GetSegHeaderBytes) + chunks*ifunc.RegionChunkBytes
+			wantGet = size + repeats*wire
+			wantElides, wantDeltas = 0, repeats
+		}
+		if r.Cache.GetBytes != wantGet {
+			t.Errorf("region=%d dirty=%d: cache GET bytes %d, want %d",
+				r.RegionWords, r.DirtyWords, r.Cache.GetBytes, wantGet)
+		}
+		if r.Cache.Elides != wantElides || r.Cache.DeltaPulls != wantDeltas {
+			t.Errorf("region=%d dirty=%d: elides=%d deltas=%d, want %d/%d",
+				r.RegionWords, r.DirtyWords, r.Cache.Elides, r.Cache.DeltaPulls, wantElides, wantDeltas)
+		}
+		if r.DirtyWords < r.RegionWords && r.SavingsPct <= 0 {
+			t.Errorf("region=%d dirty=%d: savings %.2f%%, want > 0",
+				r.RegionWords, r.DirtyWords, r.SavingsPct)
+		}
+	}
+}
+
+// TestRegionCacheSweepDifferential pins the sweep's guest outcomes
+// across engines and reruns: every row's result hash (already asserted
+// cache-mode-invariant inside the sweep) must be identical on every
+// execution engine.
+func TestRegionCacheSweepDifferential(t *testing.T) {
+	hashes := func(p testbed.Profile) []string {
+		res, err := RegionCacheSweep(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Engine, err)
+		}
+		out := make([]string, len(res))
+		for i, r := range res {
+			out[i] = r.Cache.ResultHash
+		}
+		return out
+	}
+	base := hashes(testbed.ThorXeon())
+	if again := hashes(testbed.ThorXeon()); len(again) != len(base) {
+		t.Fatalf("rerun row count %d, want %d", len(again), len(base))
+	} else {
+		for i := range base {
+			if again[i] != base[i] {
+				t.Fatalf("row %d: rerun hash %s, want %s", i, again[i], base[i])
+			}
+		}
+	}
+	for _, name := range mcode.EngineNames() {
+		p := testbed.ThorXeon()
+		p.Engine = name
+		got := hashes(p)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Errorf("engine %s row %d: hash %s, want %s", name, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// BenchmarkRegionCacheSweep is the CI bench smoke for the sweep (one
+// iteration in the bench job).
+func BenchmarkRegionCacheSweep(b *testing.B) {
+	p := testbed.ThorXeon()
+	for i := 0; i < b.N; i++ {
+		if _, err := RegionCacheSweep(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -97,7 +97,11 @@ func TestScaleGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := o.Hash, uint64(0xb460dec34fb93591); got != want {
+	// Re-pinned for the region cache (PR 8): the hash folds in planner
+	// stats and final virtual time, both of which legitimately move when
+	// repeat pulls elide their GETs. The guest-only outcome (per-op
+	// values + final region bytes) is unchanged from the PR 7 baseline.
+	if got, want := o.Hash, uint64(0xf7e15378d447e95a); got != want {
 		t.Errorf("scale-256 result hash %016x, want %016x", got, want)
 	}
 }

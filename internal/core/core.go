@@ -242,6 +242,21 @@ type Runtime struct {
 	// modeling the published protocol.
 	DisableCAS bool
 
+	// DisableRegionCache turns off the data-region cache on the pull
+	// route — no GET elision, no chunk-delta pulls, every pull a
+	// whole-region GET (the pre-cache behavior, and the baseline the
+	// regioncache sweep compares against). DisableCAS implies it: the
+	// region negotiation reads the owner through the same casPeer gate,
+	// so the pairwise-baseline mode stays free of every cluster-wide
+	// virtual-time peek.
+	DisableRegionCache bool
+
+	// regionClock tracks owner-side version counters for regions served
+	// to pullers (lazily, from the first pull); regionCache holds this
+	// node's puller-side staged entries (see region.go).
+	regionClock ifunc.RegionClock
+	regionCache map[regionKey]*regionEntry
+
 	// ExecCostMultiplier scales guest execution cost on this node
 	// (default 1). The Julia DAPC mode uses it to model the unoptimized
 	// runtime paths the paper observed but did not diagnose (§V-D).
@@ -384,6 +399,19 @@ type RuntimeStats struct {
 	// write-back win.
 	WriteBackPutBytes  uint64
 	WriteBackFullBytes uint64
+	// PullGetBytes is the GET response payload the pull route actually
+	// fetched once the region cache negotiated (0 for an elided pull, the
+	// chunk delta plus descriptors for a stale one, the whole region
+	// otherwise); PullGetFullBytes is what whole-region GETs would have
+	// fetched. Their ratio is the measured region-cache win, the pull
+	// mirror of the write-back pair above.
+	PullGetBytes     uint64
+	PullGetFullBytes uint64
+	// RegionElides counts pulls whose staged copy was current (the GET
+	// elided entirely); RegionDeltaPulls counts stale pulls served by a
+	// chunk-granular vectored GetV.
+	RegionElides     uint64
+	RegionDeltaPulls uint64
 }
 
 func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
@@ -400,6 +428,11 @@ func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
 	}
 	r.Worker = c.Ctx.NewWorker(node)
 	r.Store = ifunc.NewStore(func() sim.Time { return r.eng().Now() })
+	// Region version bumps for every NIC-side write (one-sided PUT/PutV
+	// application, including guest write-backs): the observer runs inside
+	// the write event, so bumps are deterministic, and the clock's empty
+	// fast path keeps nodes that never serve pulls free of it.
+	node.OnWrite = r.regionClock.TouchRange
 	r.Session = jit.NewSession(node.March, r.Loader, r.allocGlobal)
 	r.Session.Engine = eng
 	r.adaptiveClock, _ = mcode.AdaptiveClockOf(eng)
@@ -1253,6 +1286,16 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 		ran = j
 	}
 	r.current = nil
+
+	// Guest stores land during RunBatch (memory effects are immediate),
+	// so tracked regions containing the batch's target are versioned now,
+	// before any later virtual-time validity peek. Point containment is
+	// conservative — a read-only batch bumps too — which is safe: the
+	// puller's chunk diff revalidates, and an unchanged region diffs to
+	// zero stale chunks (version refresh at no wire cost).
+	if !r.regionClock.Empty() {
+		r.regionClock.TouchPoint(target)
+	}
 
 	reg.ObserveExec(uint64(n), uint64(ma.Steps()))
 	r.Stats.Executions += uint64(n)

@@ -135,6 +135,12 @@ type Node struct {
 
 	// Stats are cumulative counters for reports.
 	Stats NodeStats
+
+	// OnWrite, when set, observes every successful WriteMem — one-sided
+	// PUT/PutV application and any other NIC-side memory write. The
+	// runtime installs it to bump region version counters; it runs inside
+	// the write event, so observations are deterministic.
+	OnWrite func(addr uint64, n int)
 }
 
 // NodeStats aggregates per-node traffic and compute counters.
@@ -333,6 +339,9 @@ func (n *Node) WriteMem(addr uint64, data []byte) error {
 			addr, len(data), n.Name)
 	}
 	copy(n.mem[addr:], data)
+	if n.OnWrite != nil {
+		n.OnWrite(addr, len(data))
+	}
 	return nil
 }
 

@@ -1,0 +1,116 @@
+package ifunc
+
+// Region versioning and chunk hashing: the data-region half of the
+// content-addressed machinery. A node that owns operand regions tracks a
+// per-region version counter bumped on every write — one-sided PUT/PutV
+// application, guest kernel stores, local execution — so a remote staged
+// copy can be validated purely from deterministic simulation state: the
+// puller remembers the version it staged, compares against the owner's
+// current version, and knows without touching the wire whether its copy
+// is current. When stale, fixed-size chunk hashes (FNV-1a, the same
+// ContentHash as code blobs) localize the damage: only chunks whose hash
+// changed need re-fetching, via a vectored chunk-granular GET.
+
+// RegionChunkBytes is the fixed chunk size for region hashing. 256 B
+// balances hash-table overhead (8 B/chunk) against delta granularity:
+// a single dirtied word re-fetches 256 B, and the 12 B/segment GetV
+// descriptor overhead stays under 5% of the re-fetched payload.
+const RegionChunkBytes = 256
+
+// RegionChunks returns the number of chunks covering size bytes.
+func RegionChunks(size int) int {
+	return (size + RegionChunkBytes - 1) / RegionChunkBytes
+}
+
+// AppendChunkHashes appends the per-chunk FNV-1a hashes of b to dst
+// (reusing its capacity) and returns the extended slice. The final
+// partial chunk is hashed over its actual length.
+func AppendChunkHashes(dst []uint64, b []byte) []uint64 {
+	for off := 0; off < len(b); off += RegionChunkBytes {
+		end := off + RegionChunkBytes
+		if end > len(b) {
+			end = len(b)
+		}
+		dst = append(dst, ContentHash(b[off:end]))
+	}
+	return dst
+}
+
+// ChunkHashes returns the per-chunk FNV-1a hashes of b.
+func ChunkHashes(b []byte) []uint64 {
+	return AppendChunkHashes(make([]uint64, 0, RegionChunks(len(b))), b)
+}
+
+// TrackedRegion is one owner-side versioned region.
+type TrackedRegion struct {
+	Addr    uint64
+	Size    uint64
+	Version uint64
+}
+
+// RegionClock tracks the owner-side version counters. Tracking starts
+// lazily — the first remote pull of a region registers it — so nodes
+// that never serve pulls keep an empty clock and the write path stays
+// free. Version numbers are plain write-ordinal counters: write order
+// is deterministic in the simulation, so versions are bit-identical
+// across runs, engines and shard counts (a wall-clock-free "virtual
+// time" for the region).
+type RegionClock struct {
+	regions []TrackedRegion
+}
+
+// Track registers [addr, addr+size) for versioning (idempotent; the
+// version survives re-Track). Overlapping distinct regions each get
+// their own counter — a write into the overlap bumps both.
+func (c *RegionClock) Track(addr, size uint64) {
+	for i := range c.regions {
+		if c.regions[i].Addr == addr && c.regions[i].Size == size {
+			return
+		}
+	}
+	c.regions = append(c.regions, TrackedRegion{Addr: addr, Size: size, Version: 1})
+}
+
+// Version returns the current counter for the exact region, or false if
+// it is not tracked.
+func (c *RegionClock) Version(addr, size uint64) (uint64, bool) {
+	for i := range c.regions {
+		if c.regions[i].Addr == addr && c.regions[i].Size == size {
+			return c.regions[i].Version, true
+		}
+	}
+	return 0, false
+}
+
+// Empty reports whether no regions are tracked — the write path's fast
+// exit.
+func (c *RegionClock) Empty() bool { return len(c.regions) == 0 }
+
+// TouchRange bumps every tracked region overlapping [addr, addr+n).
+func (c *RegionClock) TouchRange(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	end := addr + uint64(n)
+	for i := range c.regions {
+		r := &c.regions[i]
+		if addr < r.Addr+r.Size && r.Addr < end {
+			r.Version++
+		}
+	}
+}
+
+// TouchPoint bumps every tracked region containing addr. Used by the
+// execution path, which knows the kernel's target pointer but not the
+// extent of its stores: bumping the whole containing region is
+// conservative — over-bumping is harmless because the chunk-hash diff
+// re-validates (an unchanged region diffs to zero stale chunks and the
+// puller refreshes its version at no wire cost).
+func (c *RegionClock) TouchPoint(addr uint64) {
+	for i := range c.regions {
+		r := &c.regions[i]
+		if addr >= r.Addr && addr < r.Addr+r.Size {
+			r.Version++
+		}
+	}
+}

@@ -78,7 +78,11 @@ type StoreStats struct {
 // determinism tests can compare eviction sequences bit-for-bit across
 // runs, engines and shard counts.
 type EvictRecord struct {
-	Hash  uint64
+	Hash uint64
+	// Kind distinguishes evicted code blobs from staged region snapshots
+	// — the two kinds share one LRU, and budget-interplay tests assert
+	// the mix, not just the sequence.
+	Kind  BlobKind
 	Bytes int
 	At    sim.Time
 }
@@ -186,6 +190,18 @@ func (s *Store) Get(hash uint64) ([]byte, bool) {
 	return bl.data, true
 }
 
+// Peek returns the canonical bytes for hash without touching LRU
+// recency — the pricing probe (the planner's what-would-a-pull-cost
+// question must not perturb the eviction order the way a real use
+// does).
+func (s *Store) Peek(hash uint64) ([]byte, bool) {
+	bl, ok := s.blobs[hash]
+	if !ok {
+		return nil, false
+	}
+	return bl.data, true
+}
+
 // Contains reports residency without touching recency.
 func (s *Store) Contains(hash uint64) bool {
 	_, ok := s.blobs[hash]
@@ -257,7 +273,7 @@ func (s *Store) evictOver() {
 		s.bytes -= int64(len(bl.data))
 		s.Stats.Evictions++
 		s.Stats.EvictedBytes += uint64(len(bl.data))
-		s.EvictLog = append(s.EvictLog, EvictRecord{Hash: bl.hash, Bytes: len(bl.data), At: s.now()})
+		s.EvictLog = append(s.EvictLog, EvictRecord{Hash: bl.hash, Kind: bl.kind, Bytes: len(bl.data), At: s.now()})
 		s.compact()
 	}
 }

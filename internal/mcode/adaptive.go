@@ -32,14 +32,51 @@ type AdaptiveEngine struct {
 	Clock *AdaptiveClock
 }
 
-// DefaultAdaptiveThreshold is the promotion point used when
-// AdaptiveEngine.Threshold is zero. Closure compilation costs on the
-// order of a few hundred ns per instruction and saves roughly half the
-// interpreter's per-step cost (~40ns/step on the dev host), so for the
-// small message kernels this corpus ships a few tens of executions
-// amortize the compile; 32 keeps cold types on the free path while
-// promoting anything resembling steady traffic almost immediately.
+// DefaultAdaptiveThreshold is the representative promotion point for
+// this corpus's small message kernels (one or two functions): a few tens
+// of executions amortize the compile. A zero AdaptiveEngine.Threshold no
+// longer uses this flat value — Prepare calibrates per module via
+// AdaptiveThresholdFor — but the constant remains the documented
+// ballpark (and the explicit setting tests pin against).
 const DefaultAdaptiveThreshold = 32
+
+// Calibration constants behind AdaptiveThresholdFor, measured on the dev
+// host: closure compilation costs a few hundred ns per lowered
+// instruction, and a promoted artifact saves roughly half the
+// interpreter's per-step dispatch (~22 ns/step). Only their ratio
+// matters for the promotion point, so modest host-to-host drift moves
+// every threshold proportionally and never reorders modules.
+const (
+	adaptiveCompileNSPerInstr = 350
+	adaptiveSaveNSPerStep     = 22
+)
+
+// AdaptiveThresholdFor returns the promotion point calibrated to the
+// module itself: the execution count at which the measured per-module
+// compile investment (≈ adaptiveCompileNSPerInstr × NumInstrs) is repaid
+// by the per-execution interpreter saving (≈ adaptiveSaveNSPerStep per
+// dynamic step, with steps-per-execution proxied by the mean function
+// size — one entry runs one function's worth of code, not the whole
+// module). The instruction counts cancel down to a per-function-count
+// ratio: a module carrying many functions pays a compile proportional to
+// all of them but amortizes through only one per execution, so it
+// promotes later; a single-hot-function kernel promotes almost
+// immediately. Clamped to [8, 4096] so degenerate shapes neither promote
+// on first sight nor starve forever.
+func AdaptiveThresholdFor(cm *CompiledModule) uint64 {
+	funcs := len(cm.Funcs)
+	if funcs < 1 {
+		funcs = 1
+	}
+	th := uint64(funcs) * (adaptiveCompileNSPerInstr + adaptiveSaveNSPerStep - 1) / adaptiveSaveNSPerStep
+	if th < 8 {
+		th = 8
+	}
+	if th > 4096 {
+		th = 4096
+	}
+	return th
+}
 
 // DefaultAdaptiveIdleWindow is the demotion point used when
 // AdaptiveEngine.IdleWindow is zero: a promoted type that sees none of
@@ -104,11 +141,13 @@ func (c *AdaptiveClock) SweepIdle() int {
 func (AdaptiveEngine) Name() string { return EngineNameAdaptive }
 
 // Prepare implements Engine. Preparation itself is interpreter-cheap:
-// the closure compilation is deferred until the threshold is crossed.
+// the closure compilation is deferred until the threshold is crossed. A
+// zero Threshold calibrates the promotion point to the module's own
+// measured compile cost (AdaptiveThresholdFor) instead of a flat count.
 func (e AdaptiveEngine) Prepare(cm *CompiledModule) (Artifact, error) {
 	th := e.Threshold
 	if th == 0 {
-		th = DefaultAdaptiveThreshold
+		th = AdaptiveThresholdFor(cm)
 	}
 	iw := e.IdleWindow
 	if iw == 0 {

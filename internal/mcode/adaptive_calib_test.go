@@ -1,0 +1,107 @@
+package mcode_test
+
+// Tests for the calibrated promotion threshold: a zero
+// AdaptiveEngine.Threshold no longer means a flat execution count but a
+// per-module break-even point derived from the module's own compile
+// cost, so a heavy-compile module (many functions, of which each
+// execution runs only one) promotes later than a trivial kernel.
+
+import (
+	"fmt"
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+// manyFuncs builds a module with n independent trivial functions plus
+// "main": the compile investment scales with n while each execution
+// still runs a single tiny function.
+func manyFuncs(name string, n int) *ir.Module {
+	m := ir.NewModule(name)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", []ir.Type{ir.I64}, ir.I64)
+	b.Ret(b.Add(b.Param(0), b.Const64(1)))
+	for i := 0; i < n; i++ {
+		b.NewFunc(fmt.Sprintf("aux%d", i), []ir.Type{ir.I64}, ir.I64)
+		b.Ret(b.Add(b.Param(0), b.Const64(int64(i))))
+	}
+	return m
+}
+
+func lowered(t *testing.T, m *ir.Module) *mcode.CompiledModule {
+	t.Helper()
+	cm, err := mcode.Lower(m, isa.XeonE5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// TestAdaptiveThresholdCalibration pins the satellite criterion: the
+// calibrated threshold grows with the module's compile cost, so a
+// heavy-compile module promotes later than a trivial one under the same
+// zero-Threshold engine.
+func TestAdaptiveThresholdCalibration(t *testing.T) {
+	trivial := lowered(t, addOne("calib-trivial"))
+	heavy := lowered(t, manyFuncs("calib-heavy", 63))
+
+	thTrivial := mcode.AdaptiveThresholdFor(trivial)
+	thHeavy := mcode.AdaptiveThresholdFor(heavy)
+	if thTrivial >= thHeavy {
+		t.Fatalf("calibration inverted: trivial threshold %d >= heavy threshold %d", thTrivial, thHeavy)
+	}
+	if thTrivial < 8 || thHeavy > 4096 {
+		t.Fatalf("thresholds escape the clamp: trivial=%d heavy=%d", thTrivial, thHeavy)
+	}
+	// The corpus's one-function message kernels must stay in the
+	// few-tens regime DefaultAdaptiveThreshold documents, so existing
+	// steady-traffic scenarios still promote.
+	if thTrivial > mcode.DefaultAdaptiveThreshold {
+		t.Errorf("trivial kernel threshold %d exceeds the documented ballpark %d",
+			thTrivial, mcode.DefaultAdaptiveThreshold)
+	}
+
+	// End to end: drive both modules through one zero-Threshold engine
+	// with identical traffic; the trivial one is promoted at a count
+	// where the heavy one still interprets, and the heavy one promotes
+	// once its own (later) break-even is crossed.
+	eng := mcode.AdaptiveEngine{Clock: mcode.NewAdaptiveClock()}
+	mkRunner := func(cm *mcode.CompiledModule) (func(n int), mcode.Artifact) {
+		art, err := eng.Prepare(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := ir.NewSimpleEnv(1 << 12)
+		ma, err := mcode.NewMachineArt(art, env, mcode.NewLinkage(cm), ir.ExecLimits{
+			StackBase: 2 << 10, StackSize: 1 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				ma.Reset()
+				if _, err := ma.Run("main", 7); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}, art
+	}
+	runT, artT := mkRunner(trivial)
+	runH, artH := mkRunner(heavy)
+
+	runT(int(thTrivial))
+	runH(int(thTrivial))
+	if _, promoted, ok := mcode.AdaptiveStatus(artT); !ok || !promoted {
+		t.Fatalf("trivial module not promoted at its own threshold %d", thTrivial)
+	}
+	if _, promoted, _ := mcode.AdaptiveStatus(artH); promoted {
+		t.Fatalf("heavy module promoted at %d executions despite threshold %d", thTrivial, thHeavy)
+	}
+	runH(int(thHeavy - thTrivial))
+	if _, promoted, _ := mcode.AdaptiveStatus(artH); !promoted {
+		t.Fatalf("heavy module not promoted at its threshold %d", thHeavy)
+	}
+}
