@@ -26,6 +26,8 @@ import (
 
 	"threechains/internal/bench"
 	"threechains/internal/isa"
+	"threechains/internal/obs"
+	"threechains/internal/place"
 	"threechains/internal/testbed"
 )
 
@@ -39,6 +41,7 @@ func main() {
 	regioncache := flag.Bool("regioncache", true, "include the data-region cache repeat-pull sweep")
 	jsonOut := flag.Bool("json", false, "write BENCH_engines.json with the engine and batch sweeps")
 	jsonPath := flag.String("json-path", "BENCH_engines.json", "output path for -json")
+	tracePath := flag.String("trace", "", "write a Perfetto-loadable Chrome trace of the concurrent-hetero scenario to this path and print its virtual-time profile")
 	flag.Parse()
 
 	fmt.Println("=== Three-Chains paper evaluation (simulated testbeds) ===")
@@ -71,6 +74,14 @@ func main() {
 		rows := regioncacheReport(*regioncache)
 		if rep != nil {
 			rep.RegionCache = rows
+		}
+	}
+	if *tracePath != "" || *jsonOut {
+		// -json without -trace still collects the metrics section
+		// (quietly, no trace file).
+		points := traceReport(*tracePath, *tracePath != "")
+		if rep != nil {
+			rep.Metrics = points
 		}
 	}
 	if *jsonOut {
@@ -122,6 +133,10 @@ type enginesReport struct {
 	// across (region size, dirty span) under cache-on vs cache-off, with
 	// the guest-outcome hash asserted equal between modes.
 	RegionCache []bench.RegionCacheResult `json:"regioncache,omitempty"`
+	// Metrics is the unified per-node metrics snapshot of the traced
+	// concurrent-hetero run (counters plus latency-histogram quantiles),
+	// deterministic in both order and values.
+	Metrics []obs.MetricPoint `json:"metrics,omitempty"`
 }
 
 type engineRow struct {
@@ -333,6 +348,40 @@ func regioncacheReport(print bool) []bench.RegionCacheResult {
 		fmt.Printf("\n")
 	}
 	return rows
+}
+
+// traceReport runs the concurrent-hetero scenario with tracing and
+// metrics attached, writes the Chrome trace-event JSON when path is
+// non-empty (load it at ui.perfetto.dev: one process per node with
+// core/nic-out/nic-in tracks plus a scheduler lane), prints the
+// virtual-time profile when print is true, and returns the metrics
+// snapshot for the JSON report.
+func traceReport(path string, print bool) []obs.MetricPoint {
+	sc := bench.ConcurrentPlacementScenarios()[0]
+	out, err := bench.RunTracedConcurrentScenario(testbed.ThorXeon(), sc.Params, place.PolicyCostModelQueue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events; load in ui.perfetto.dev)\n\n", path, out.Trace.NumEvents())
+	}
+	if print {
+		fmt.Printf("--- Virtual-time profile (%s) ---\n", sc.Name)
+		fmt.Print(out.Trace.Profile(12))
+		fmt.Printf("\n")
+	}
+	return out.Registry.Snapshot()
 }
 
 // writeJSON dumps the engines report for cross-PR trajectory tracking.

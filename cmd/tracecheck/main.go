@@ -1,0 +1,83 @@
+// tracecheck validates a Chrome trace-event JSON file produced by
+// `paperbench -trace` (or Trace.WriteChrome): the file must parse, use
+// the expected schema (process/thread metadata naming node tracks,
+// complete "X" spans carrying ts+dur, instant "i" events), and be
+// non-trivial. It validates the schema, not the bytes — the byte-level
+// determinism guarantee lives in the trace determinism test suite.
+//
+// Usage: tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type traceDoc struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+type event struct {
+	Ph   string         `json:"ph"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Name string         `json:"name"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: tracecheck trace.json")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		log.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		log.Fatalf("displayTimeUnit = %q, want \"ns\"", doc.DisplayTimeUnit)
+	}
+	var metas, spans, instants int
+	for i, ev := range doc.TraceEvents {
+		if ev.Pid == nil {
+			log.Fatalf("event %d (%q): missing pid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			metas++
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				log.Fatalf("event %d: unexpected metadata name %q", i, ev.Name)
+			}
+			if _, ok := ev.Args["name"]; !ok {
+				log.Fatalf("event %d: metadata without args.name", i)
+			}
+		case "X":
+			spans++
+			if ev.Ts == nil || ev.Dur == nil {
+				log.Fatalf("event %d (%q): complete event missing ts/dur", i, ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.Ts == nil {
+				log.Fatalf("event %d (%q): instant missing ts", i, ev.Name)
+			}
+		default:
+			log.Fatalf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if metas == 0 || spans == 0 || instants == 0 {
+		log.Fatalf("trace is trivial: %d metadata, %d spans, %d instants", metas, spans, instants)
+	}
+	fmt.Printf("ok: %d events (%d metadata, %d spans, %d instants)\n",
+		len(doc.TraceEvents), metas, spans, instants)
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"threechains"
 )
@@ -79,6 +80,34 @@ func main() {
 		fmt.Printf("%-8d %-8d %13dB %13dB %8.2f%%\n",
 			row.RegionWords, row.DirtyWords, row.Cache.GetBytes, row.NoCache.GetBytes, row.SavingsPct)
 	}
+
+	// Where did the virtual time go? Re-run the concurrent scenario with
+	// a trace attached (pure observation: same makespan, same results)
+	// and dump a Perfetto-loadable timeline — one process per node with
+	// core / nic-out / nic-in tracks — plus the aggregate profile.
+	traced, err := threechains.RunTracedConcurrentScenario(profile, threechains.WorkloadParams{
+		Seed: 46, Nodes: 4, Types: 6, Ops: 96,
+		MinRegionWords: 1024, MaxRegionWords: 3072,
+		HeavyIters: 8192, PredeployFrac: 0.5,
+		StreamDepth: 16,
+	}, threechains.PolicyCostModelQueue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const tracePath = "placement_trace.json"
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := traced.Trace.WriteChrome(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraced the queueing-aware run: makespan %.1fµs, %d events -> %s (load in ui.perfetto.dev)\n",
+		traced.Total.Micros(), traced.Trace.NumEvents(), tracePath)
+	fmt.Printf("\nvirtual-time profile:\n%s", traced.Trace.Profile(6))
 }
 
 func round2(xs []float64) []float64 {

@@ -146,6 +146,9 @@ type placementWorld struct {
 	names   []string
 	// results accumulates per-op observed values in execution order.
 	results []uint64
+	// decisions accumulates the driver planner's committed decisions
+	// (collected via OnCommit by runStream, for the determinism tests).
+	decisions []place.Decision
 }
 
 // buildWorkloadKernel builds the module for one generated type. Write
@@ -396,7 +399,8 @@ func (pw *placementWorld) run(policy place.Policy) (sim.Time, place.Stats, uint6
 // stream (indexed by op, not by completion order), so the result hash is
 // directly comparable with the sequential runner's — per-destination
 // serialization makes every op's value identical across modes, depths
-// and policies. The planner trace is enabled for the determinism tests.
+// and policies. Committed decisions are collected through the planner's
+// OnCommit hook for the determinism tests.
 func (pw *placementWorld) runStream(policy place.Policy) (sim.Time, place.Stats, uint64, error) {
 	w := pw.w
 	for _, op := range w.Ops {
@@ -412,7 +416,7 @@ func (pw *placementWorld) runStream(policy place.Policy) (sim.Time, place.Stats,
 	if burst < 1 {
 		burst = len(w.Ops)
 	}
-	pw.drv.Planner.TraceEnabled = true
+	pw.drv.Planner.OnCommit = func(d place.Decision) { pw.decisions = append(pw.decisions, d) }
 	for start := 0; start < len(w.Ops); start += burst {
 		end := start + burst
 		if end > len(w.Ops) {
@@ -480,7 +484,7 @@ func RunConcurrentPlacementScenario(p testbed.Profile, params place.WorkloadPara
 		return 0, place.Stats{}, 0, nil, err
 	}
 	total, stats, hash, err := pw.runStream(policy)
-	return total, stats, hash, pw.drv.Planner.Trace, err
+	return total, stats, hash, pw.decisions, err
 }
 
 // placementPolicies is the sweep's policy grid.

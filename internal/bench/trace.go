@@ -1,0 +1,64 @@
+package bench
+
+// Traced scenario runners: the concurrent placement scenario and the
+// sharded scale scenario with an obs.Trace (and, for the concurrent
+// run, an obs.Registry) attached before the stream starts. These back
+// `paperbench -trace` and the trace determinism suites; the untraced
+// runners stay exactly as they were, so every existing golden result is
+// untouched.
+
+import (
+	"threechains/internal/obs"
+	"threechains/internal/place"
+	"threechains/internal/sim"
+	"threechains/internal/testbed"
+)
+
+// TracedOutcome is one traced concurrent-placement run: the same
+// observables the untraced runner returns, plus the recorded trace and
+// the metrics registry.
+type TracedOutcome struct {
+	Total    sim.Time
+	Stats    place.Stats
+	Hash     uint64
+	Trace    *obs.Trace
+	Registry *obs.Registry
+}
+
+// RunTracedConcurrentScenario drives one concurrent placement scenario
+// as windowed offload streams with tracing and metrics attached.
+// Attachment is pure observation: Total and Hash are bit-identical to
+// the untraced runner's (asserted by TestTracingDoesNotPerturbRun).
+func RunTracedConcurrentScenario(p testbed.Profile, params place.WorkloadParams, policy place.Policy) (*TracedOutcome, error) {
+	w := place.Generate(params)
+	pw, err := newPlacementWorld(p, w, p.Engine)
+	if err != nil {
+		return nil, err
+	}
+	t := obs.NewTrace(len(pw.cl.Runtimes))
+	reg := obs.NewRegistry()
+	pw.cl.AttachTrace(t)
+	pw.cl.AttachMetrics(reg)
+	total, stats, hash, err := pw.runStream(policy)
+	if err != nil {
+		return nil, err
+	}
+	return &TracedOutcome{Total: total, Stats: stats, Hash: hash, Trace: t, Registry: reg}, nil
+}
+
+// RunTracedScaleScenario drives one grouped scale scenario at the given
+// shard count with tracing attached. The canonical trace bytes are
+// bit-identical at every shard count (the determinism suite's sharding
+// axis); only the scheduler lane — window barriers, excluded from the
+// canonical digest — varies with the shard count.
+func RunTracedScaleScenario(p testbed.Profile, sc ScaleScenario, shards int) (*ScaleOutcome, *obs.Trace, error) {
+	sw := place.GenerateScale(sc.Params)
+	w, err := newScaleWorld(p, sw, shards, sc.CrossTraffic)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := obs.NewTrace(len(w.cl.Runtimes))
+	w.cl.AttachTrace(t)
+	out, err := w.run()
+	return out, t, err
+}

@@ -183,7 +183,7 @@ func casChurn(t *testing.T, engine string) uint64 {
 		w64(st.Evictions)
 		w64(st.EvictedBytes)
 		w64(uint64(r.Store.Bytes()))
-		for _, ev := range r.Store.EvictLog {
+		for _, ev := range r.Store.EvictRecords() {
 			w64(ev.Hash)
 			w64(uint64(ev.Bytes))
 			w64(uint64(ev.At))

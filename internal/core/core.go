@@ -30,6 +30,7 @@ import (
 	"threechains/internal/jit"
 	"threechains/internal/linker"
 	"threechains/internal/mcode"
+	"threechains/internal/obs"
 	"threechains/internal/place"
 	"threechains/internal/sim"
 	"threechains/internal/ucx"
@@ -305,6 +306,19 @@ type Runtime struct {
 	// Planner routes Offload requests (the policy comes per call from
 	// OffloadOpts); its Stats accumulate this node's route mix.
 	Planner place.Planner
+
+	// Trace, when non-nil, receives this node's spans and instant events
+	// (plan/frame/pull/execute phases; the fabric and ucx layers emit
+	// through the node's own handle). Installed by Cluster.AttachTrace;
+	// nil — the default — costs one pointer compare per site, keeping the
+	// warm paths allocation-free.
+	Trace *obs.NodeTrace
+
+	// routeHists are the per-route offload-latency histograms (indexed by
+	// place.Route), nil until Cluster.AttachMetrics installs them. A
+	// non-nil entry makes offloadRouted observe plan-to-completion
+	// virtual-time latency into it at signal fire.
+	routeHists [3]*obs.Histogram
 
 	// adaptiveClock is the adaptive engine's per-node traffic clock (nil
 	// for other engines); the drain loop sweeps it periodically so
@@ -786,6 +800,10 @@ func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) (
 	buf := r.getFrameBuf(dst)
 	if r.Sent.Seen(dst, h.Hash) && !r.DisableSendCache {
 		r.Stats.TruncatedFrames++
+		if r.Trace != nil {
+			r.Trace.Instant(obs.TrackCore, "frame-trunc", r.eng().Now()).
+				Arg("payload", uint64(len(payload))).Arg("dst", uint64(dst))
+		}
 		return ifunc.AppendTruncated(buf, hdr, payload), nil
 	}
 	if !r.DisableSendCache && ch != 0 {
@@ -794,16 +812,28 @@ func (r *Runtime) buildFrame(dst int, h *Handle, entry uint16, payload []byte) (
 			r.Sent.Mark(dst, h.Hash)
 			r.Stats.TruncatedFrames++
 			r.Stats.CASTruncated++
+			if r.Trace != nil {
+				r.Trace.Instant(obs.TrackCore, "frame-trunc", r.eng().Now()).
+					Arg("payload", uint64(len(payload))).Arg("dst", uint64(dst))
+			}
 			return ifunc.AppendTruncated(buf, hdr, payload), nil
 		case casHashRef:
 			r.Sent.Mark(dst, h.Hash)
 			r.Stats.HashRefFrames++
+			if r.Trace != nil {
+				r.Trace.Instant(obs.TrackCore, "frame-hashref", r.eng().Now()).
+					Arg("payload", uint64(len(payload))).Arg("dst", uint64(dst))
+			}
 			return ifunc.AppendHashRef(buf, hdr, payload, ch, len(code)), nil
 		}
 	}
 	r.Sent.Mark(dst, h.Hash)
 	r.Stats.FullFrames++
 	r.Stats.ColdCodeBytes += uint64(len(code))
+	if r.Trace != nil {
+		r.Trace.Instant(obs.TrackCore, "frame-full", r.eng().Now()).
+			Arg("code", uint64(len(code))).Arg("dst", uint64(dst))
+	}
 	return ifunc.AppendBuild(buf, hdr, payload, code), nil
 }
 
@@ -1365,6 +1395,13 @@ func (r *Runtime) executeBatchAt(reg *ifunc.Registration, entry uint16, payloads
 		mult = 1
 	}
 	cost := sim.FromSeconds(mcode.Seconds(&ma.Counts, r.Node.March) * mult)
+	if r.Trace != nil {
+		// The span covers the core occupancy this charge models: ExecCPU
+		// queues behind whatever the core is already doing, so the span
+		// starts at the core-free time, not now.
+		r.Trace.Span(obs.TrackCore, "execute", r.Node.CPUFreeAt(), cost).
+			Arg("msgs", uint64(n)).Label(reg.Name)
+	}
 	r.Node.ExecCPU(cost, fl.fn)
 }
 

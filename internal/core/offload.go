@@ -24,6 +24,7 @@ import (
 	"threechains/internal/ifunc"
 	"threechains/internal/jit"
 	"threechains/internal/mcode"
+	"threechains/internal/obs"
 	"threechains/internal/place"
 	"threechains/internal/sim"
 	"threechains/internal/ucx"
@@ -114,6 +115,19 @@ func (r *Runtime) offloadRouted(dst int, h *Handle, fn string, payload []byte, o
 		}
 	}
 	r.Planner.Commit(d)
+	if r.Trace != nil {
+		// The planner's decision trace, surfaced through the span layer:
+		// one instant per committed (launched) offload, labeled with the
+		// handle so Perfetto's track shows which type routed where.
+		r.Trace.Instant(obs.TrackCore, "plan", req.Now).
+			Arg("route", uint64(d.Route)).Arg("dst", uint64(dst)).Label(h.Name)
+	}
+	if hist := r.routeHists[d.Route]; hist != nil && sig != nil {
+		start := req.Now
+		sig.OnFire(func() {
+			hist.Observe(uint64(r.eng().Now() - start))
+		})
+	}
 	return sig, execSig, d.Route, nil
 }
 
@@ -630,6 +644,10 @@ func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, 
 		}
 		r.Stats.WriteBackPutBytes += uint64(putPayload)
 		reg.ObservePutBytes(float64(putPayload))
+		if r.Trace != nil {
+			r.Trace.Instant(obs.TrackCore, "write-back", r.eng().Now()).
+				Arg("put", uint64(putPayload)).Arg("full", uint64(size))
+		}
 		// Cache maintenance: once the write-back lands, the owner's region
 		// equals the staged bytes — intern them now (the slot recycles),
 		// provisionally versioned 0 while a PUT is in flight; the real
@@ -687,6 +705,10 @@ func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, 
 		// Version hit: no wire legs at all — execution starts on the
 		// local core immediately, against the cached snapshot.
 		r.Stats.RegionElides++
+		if r.Trace != nil {
+			r.Trace.Instant(obs.TrackCore, "region-elide", r.eng().Now()).
+				Arg("bytes", size).Arg("dst", uint64(dst))
+		}
 		snap := cached.snapshot
 		r.Node.ExecCPU(regCost, func() { exec(snap) })
 	case getSegs != nil:
@@ -696,6 +718,10 @@ func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, 
 		r.Stats.RegionDeltaPulls++
 		r.Stats.PullGetBytes += uint64(wire)
 		reg.ObserveGetBytes(float64(wire))
+		if r.Trace != nil {
+			r.Trace.Instant(obs.TrackCore, "region-delta", r.eng().Now()).
+				Arg("wire", uint64(wire)).Arg("bytes", size)
+		}
 		op := ep.GetV(opts.DataAddr, getSegs, key)
 		op.Done.OnFire(func() {
 			if st := ucx.Status(op.Done.Value()); st != ucx.OK {
@@ -715,6 +741,10 @@ func (r *Runtime) offloadPull(dst int, h *Handle, entry uint16, payload []byte, 
 		// Whole-region GET: cold pull, evicted or absent entry, vectored
 		// framing not worth it, or region cache ineligible/disabled.
 		r.Stats.PullGetBytes += uint64(size)
+		if r.Trace != nil {
+			r.Trace.Instant(obs.TrackCore, "pull-get", r.eng().Now()).
+				Arg("bytes", size).Arg("dst", uint64(dst))
+		}
 		if cached != nil {
 			// A stale pull that fell back still teaches the planner what
 			// stale re-pulls of this type fetch; cold pulls do not (the

@@ -252,7 +252,8 @@ func TestOffloadBinaryShipUnviableRoutesPull(t *testing.T) {
 // report. A failed launch must leave no record.
 func TestPlannerStatsCountLaunchedRoutesOnly(t *testing.T) {
 	_, src, _, h, counter := offloadWorld(t)
-	src.Planner.TraceEnabled = true
+	var trace []place.Decision
+	src.Planner.OnCommit = func(d place.Decision) { trace = append(trace, d) }
 	// An over-arena payload passes the decision (payload size does not
 	// gate routing) and then fails the ship route's frame build.
 	huge := make([]byte, 1<<17)
@@ -265,8 +266,8 @@ func TestPlannerStatsCountLaunchedRoutesOnly(t *testing.T) {
 	if src.Planner.Stats != (place.Stats{}) {
 		t.Fatalf("failed launch was counted: stats %+v", src.Planner.Stats)
 	}
-	if len(src.Planner.Trace) != 0 {
-		t.Fatalf("failed launch was traced: %d entries", len(src.Planner.Trace))
+	if len(trace) != 0 {
+		t.Fatalf("failed launch was traced: %d entries", len(trace))
 	}
 }
 

@@ -391,7 +391,7 @@ func TestStoreBudgetSharedLRUMixesKinds(t *testing.T) {
 			t.Fatal("no evictions under budget pressure; scenario broken")
 		}
 		kinds := map[ifunc.BlobKind]bool{}
-		for _, ev := range st.EvictLog {
+		for _, ev := range st.EvictRecords() {
 			kinds[ev.Kind] = true
 			if ev.Hash == ifunc.ContentHash(h.ArchiveBytes) {
 				t.Fatal("pinned registration archive was evicted")
@@ -436,7 +436,7 @@ func TestStoreBudgetSharedLRUMixesKinds(t *testing.T) {
 			binary.LittleEndian.PutUint64(b[:], v)
 			fp.Write(b[:])
 		}
-		for _, ev := range st.EvictLog {
+		for _, ev := range st.EvictRecords() {
 			w64(ev.Hash)
 			w64(uint64(ev.Kind))
 			w64(uint64(ev.Bytes))

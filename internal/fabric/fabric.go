@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"threechains/internal/isa"
+	"threechains/internal/obs"
 	"threechains/internal/sim"
 )
 
@@ -100,6 +101,12 @@ func deliverMsg(a any) {
 	dst := msg.Dst
 	dst.Stats.MsgsReceived++
 	dst.Stats.BytesReceived += uint64(msg.Size)
+	if dst.Trace != nil {
+		// Arrival runs as the destination domain, so this writes the
+		// destination's buffer from its own dispatch — never the sender's.
+		dst.Trace.Instant(obs.TrackNICIn, "rx", dst.eng.Now()).
+			Arg("bytes", uint64(msg.Size)).Arg("src", uint64(msg.Src.ID))
+	}
 	h := msg.hnd
 	h(msg)
 	if !msg.retained {
@@ -141,6 +148,12 @@ type Node struct {
 	// runtime installs it to bump region version counters; it runs inside
 	// the write event, so observations are deterministic.
 	OnWrite func(addr uint64, n int)
+
+	// Trace, when set, receives this node's virtual-time spans and
+	// events (obs). Nil costs one compare per instrumented site; the
+	// field is written only from this node's dispatch context, matching
+	// the NodeTrace single-writer contract.
+	Trace *obs.NodeTrace
 }
 
 // NodeStats aggregates per-node traffic and compute counters.
@@ -307,6 +320,10 @@ func (n *Node) send(dst *Node, data []byte, meta interface{}, onNIC Handler, sig
 
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += uint64(size)
+	if n.Trace != nil {
+		n.Trace.Span(obs.TrackNICOut, "tx", start, txTime).
+			Arg("bytes", uint64(size)).Arg("dst", uint64(dst.ID))
+	}
 
 	if local != nil {
 		eng.AtFire(n.txFree, local, 0)

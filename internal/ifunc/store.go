@@ -74,6 +74,11 @@ type StoreStats struct {
 	Collisions uint64
 }
 
+// DefaultEvictLogCap is the eviction ring's default retention: enough
+// for every determinism suite to see its full sequence, small enough
+// that eviction-churn runs of any length stay bounded.
+const DefaultEvictLogCap = 4096
+
 // EvictRecord is one budget-driven eviction, logged in order so
 // determinism tests can compare eviction sequences bit-for-bit across
 // runs, engines and shard counts.
@@ -109,9 +114,22 @@ type Store struct {
 	// Now supplies virtual time for LRU recency; nil reads as 0 (still
 	// deterministic via insertion sequence).
 	Now func() sim.Time
-	// Stats counts activity; EvictLog records every eviction in order.
-	Stats    StoreStats
-	EvictLog []EvictRecord
+	// Stats counts activity.
+	Stats StoreStats
+	// EvictLogCap bounds the in-memory eviction log (a ring buffer: once
+	// full, each new record overwrites the oldest and bumps the dropped
+	// count). 0 means DefaultEvictLogCap; negative disables retention
+	// entirely (every record counts as dropped). Set before the first
+	// eviction; the ring does not resize in place.
+	EvictLogCap int
+	// OnEvict, when set, observes every budget-driven eviction as it
+	// happens — the retention-free hook (trace sinks), independent of the
+	// bounded ring.
+	OnEvict func(EvictRecord)
+
+	evictLog     []EvictRecord
+	evictHead    int
+	evictDropped uint64
 
 	blobs map[uint64]*blob
 	// order keeps insertion order so the eviction scan never depends on
@@ -273,10 +291,50 @@ func (s *Store) evictOver() {
 		s.bytes -= int64(len(bl.data))
 		s.Stats.Evictions++
 		s.Stats.EvictedBytes += uint64(len(bl.data))
-		s.EvictLog = append(s.EvictLog, EvictRecord{Hash: bl.hash, Kind: bl.kind, Bytes: len(bl.data), At: s.now()})
+		rec := EvictRecord{Hash: bl.hash, Kind: bl.kind, Bytes: len(bl.data), At: s.now()}
+		if s.OnEvict != nil {
+			s.OnEvict(rec)
+		}
+		s.logEvict(rec)
 		s.compact()
 	}
 }
+
+// logEvict appends rec to the bounded eviction ring, overwriting the
+// oldest retained record once the ring is full.
+func (s *Store) logEvict(rec EvictRecord) {
+	max := s.EvictLogCap
+	if max == 0 {
+		max = DefaultEvictLogCap
+	}
+	if max < 0 {
+		s.evictDropped++
+		return
+	}
+	if len(s.evictLog) < max {
+		s.evictLog = append(s.evictLog, rec)
+		return
+	}
+	s.evictLog[s.evictHead] = rec
+	s.evictHead = (s.evictHead + 1) % max
+	s.evictDropped++
+}
+
+// EvictRecords returns the retained eviction log, oldest first — the
+// last EvictLogCap evictions (all of them when the ring never filled).
+func (s *Store) EvictRecords() []EvictRecord {
+	out := make([]EvictRecord, 0, len(s.evictLog))
+	out = append(out, s.evictLog[s.evictHead:]...)
+	out = append(out, s.evictLog[:s.evictHead]...)
+	return out
+}
+
+// EvictLogLen returns the number of retained eviction records.
+func (s *Store) EvictLogLen() int { return len(s.evictLog) }
+
+// EvictLogDropped returns how many eviction records aged out of the
+// bounded ring (0 until the ring wraps).
+func (s *Store) EvictLogDropped() uint64 { return s.evictDropped }
 
 // compact drops dead entries from the insertion-order slice once they
 // outnumber live ones, keeping the victim scan amortized-linear.

@@ -124,13 +124,49 @@ func TestStoreBudgetBoundAndDeterministicEviction(t *testing.T) {
 	}
 	// Same churn, same eviction log — byte for byte.
 	s2, _ := run()
-	if len(s1.EvictLog) != len(s2.EvictLog) {
-		t.Fatalf("eviction counts differ: %d vs %d", len(s1.EvictLog), len(s2.EvictLog))
+	log1, log2 := s1.EvictRecords(), s2.EvictRecords()
+	if len(log1) != len(log2) {
+		t.Fatalf("eviction counts differ: %d vs %d", len(log1), len(log2))
 	}
-	for i := range s1.EvictLog {
-		if s1.EvictLog[i] != s2.EvictLog[i] {
-			t.Fatalf("eviction %d differs: %+v vs %+v", i, s1.EvictLog[i], s2.EvictLog[i])
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("eviction %d differs: %+v vs %+v", i, log1[i], log2[i])
 		}
+	}
+}
+
+// TestStoreEvictLogBounded pins the eviction ring: retention never
+// exceeds the cap, the dropped count accounts for the overflow exactly,
+// and the retained window is the most recent records in order.
+func TestStoreEvictLogBounded(t *testing.T) {
+	s, now := testStore()
+	s.Budget = 256
+	s.EvictLogCap = 8
+	churn(s, now, 64)
+	if s.Stats.Evictions <= 8 {
+		t.Fatalf("churn evicted only %d times; scenario broken", s.Stats.Evictions)
+	}
+	if got := s.EvictLogLen(); got != 8 {
+		t.Fatalf("retained %d records, want cap 8", got)
+	}
+	if want := s.Stats.Evictions - 8; s.EvictLogDropped() != want {
+		t.Fatalf("dropped %d, want %d", s.EvictLogDropped(), want)
+	}
+	recs := s.EvictRecords()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatalf("retained window out of order at %d: %v after %v", i, recs[i].At, recs[i-1].At)
+		}
+	}
+	// The hook sees every eviction, bounded ring or not.
+	s2, now2 := testStore()
+	s2.Budget = 256
+	s2.EvictLogCap = 8
+	hooked := 0
+	s2.OnEvict = func(EvictRecord) { hooked++ }
+	churn(s2, now2, 64)
+	if uint64(hooked) != s2.Stats.Evictions {
+		t.Fatalf("OnEvict saw %d of %d evictions", hooked, s2.Stats.Evictions)
 	}
 }
 

@@ -93,6 +93,14 @@ const DefaultAdaptiveIdleWindow = 4096
 type AdaptiveClock struct {
 	now      uint64
 	promoted []*adaptiveArtifact
+
+	// OnPromote/OnDemote, when set, observe tier transitions of artifacts
+	// aging against this clock: promotion to the superblock tier (with
+	// the execution count that earned it) and decay back to the
+	// interpreter. Plain nil-checked hooks — mcode never imports the
+	// observability layer; the runtime wires these into its trace.
+	OnPromote func(module string, execs uint64)
+	OnDemote  func(module string)
 }
 
 // NewAdaptiveClock returns a fresh per-node traffic clock.
@@ -199,6 +207,9 @@ func (a *adaptiveArtifact) demote() {
 	a.hot = nil
 	a.execs = 0
 	a.demotions++
+	if a.clock != nil && a.clock.OnDemote != nil {
+		a.clock.OnDemote(a.cm.Name)
+	}
 }
 
 // observe advances the traffic counters by n executions, ages out a
@@ -224,9 +235,14 @@ func (a *adaptiveArtifact) observe(n uint64) {
 		return
 	}
 	a.hot = art.(*closureArtifact)
-	if a.clock != nil && !a.inClock {
-		a.inClock = true
-		a.clock.promoted = append(a.clock.promoted, a)
+	if a.clock != nil {
+		if !a.inClock {
+			a.inClock = true
+			a.clock.promoted = append(a.clock.promoted, a)
+		}
+		if a.clock.OnPromote != nil {
+			a.clock.OnPromote(a.cm.Name, a.execs)
+		}
 	}
 }
 

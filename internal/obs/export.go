@@ -1,0 +1,220 @@
+package obs
+
+// Exporters: the canonical text encoding (the determinism digest), the
+// Chrome trace-event JSON file (Perfetto-loadable), and the text
+// virtual-time profile. All formatting is integer math over picosecond
+// values — no floating point anywhere an exported byte depends on — so
+// exports are bit-identical whenever the recorded events are.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"threechains/internal/sim"
+)
+
+// Canonical renders the merged trace (scheduler lane excluded) as one
+// line per event. This is the byte string the determinism suites pin
+// across runs, engines, and shard counts.
+func (t *Trace) Canonical() []byte {
+	var b bytes.Buffer
+	for _, r := range t.merged(false) {
+		ev := r.ev
+		kind := "span"
+		if ev.Kind == KindInstant {
+			kind = "inst"
+		}
+		fmt.Fprintf(&b, "n%d %s %s %s id=%016x start=%d dur=%d",
+			r.node, trackNames[ev.Track], kind, ev.Name, ev.ID, int64(ev.Start), int64(ev.Dur))
+		if ev.Arg0Name != "" {
+			fmt.Fprintf(&b, " %s=%d", ev.Arg0Name, ev.Arg0)
+		}
+		if ev.Arg1Name != "" {
+			fmt.Fprintf(&b, " %s=%d", ev.Arg1Name, ev.Arg1)
+		}
+		if ev.Str != "" {
+			fmt.Fprintf(&b, " %q", ev.Str)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// microseconds renders picoseconds as a decimal microsecond literal
+// using integer math only ("12.345678").
+func microseconds(t sim.Time) string {
+	ps := int64(t)
+	return fmt.Sprintf("%d.%06d", ps/1_000_000, ps%1_000_000)
+}
+
+// jsonEscape writes s as a JSON string literal (node names may carry
+// arbitrary bytes; event names are static identifiers but go through the
+// same path for uniformity).
+func jsonEscape(b *bytes.Buffer, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(b, "\\u%04x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON ("X" complete
+// events and "i" instants, metadata naming one process per node with
+// core/nic-out/nic-in threads plus a scheduler process). Load the file
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+	meta := func(pid int, value string, tid int, threadName bool) {
+		sep()
+		name := "process_name"
+		if threadName {
+			name = "thread_name"
+		}
+		fmt.Fprintf(&b, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":%q,\"args\":{\"name\":", pid, tid, name)
+		jsonEscape(&b, value)
+		b.WriteString("}}")
+	}
+	for i := range t.nodes {
+		name := t.names[i]
+		if name == "" {
+			name = fmt.Sprintf("node-%d", i)
+		}
+		meta(i, fmt.Sprintf("%s (node %d)", name, i), 0, false)
+		for tr := TrackCore; tr <= TrackNICIn; tr++ {
+			meta(i, trackNames[tr], int(tr), true)
+		}
+	}
+	schedPID := len(t.nodes)
+	meta(schedPID, "scheduler", 0, false)
+	meta(schedPID, "windows", int(TrackSched), true)
+
+	for _, r := range t.merged(true) {
+		ev := r.ev
+		pid, tid := r.node, int(ev.Track)
+		if r.node == len(t.nodes) {
+			pid, tid = schedPID, int(TrackSched)
+		}
+		sep()
+		if ev.Kind == KindSpan {
+			fmt.Fprintf(&b, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":",
+				pid, tid, microseconds(ev.Start), microseconds(ev.Dur))
+		} else {
+			fmt.Fprintf(&b, "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":",
+				pid, tid, microseconds(ev.Start))
+		}
+		jsonEscape(&b, ev.Name)
+		fmt.Fprintf(&b, ",\"args\":{\"id\":\"%016x\"", ev.ID)
+		if ev.Arg0Name != "" {
+			fmt.Fprintf(&b, ",%q:%d", ev.Arg0Name, ev.Arg0)
+		}
+		if ev.Arg1Name != "" {
+			fmt.Fprintf(&b, ",%q:%d", ev.Arg1Name, ev.Arg1)
+		}
+		if ev.Str != "" {
+			b.WriteString(",\"label\":")
+			jsonEscape(&b, ev.Str)
+		}
+		b.WriteString("}}")
+	}
+	b.WriteString("\n]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// profileRow aggregates one (track, phase) cell of the profile.
+type profileRow struct {
+	track uint8
+	name  string
+	total sim.Time
+	count int
+}
+
+// Profile renders the top-N virtual-time consumers by resource × phase:
+// span durations summed across all nodes, sorted by total descending
+// (ties by track then name, so the table itself is deterministic).
+// Instants are counted, not timed, and appear after the span rows.
+func (t *Trace) Profile(topN int) string {
+	type profKey struct {
+		track uint8
+		name  string
+	}
+	agg := map[profKey]*profileRow{}
+	insts := map[string]int{}
+	for _, nt := range t.nodes {
+		for i := range nt.Events {
+			ev := &nt.Events[i]
+			if ev.Kind == KindInstant {
+				insts[ev.Name]++
+				continue
+			}
+			k := profKey{ev.Track, ev.Name}
+			r := agg[k]
+			if r == nil {
+				r = &profileRow{track: ev.Track, name: ev.Name}
+				agg[k] = r
+			}
+			r.total += ev.Dur
+			r.count++
+		}
+	}
+	rows := make([]*profileRow, 0, len(agg))
+	var grand sim.Time
+	for _, r := range agg {
+		rows = append(rows, r)
+		grand += r.total
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].total != rows[b].total {
+			return rows[a].total > rows[b].total
+		}
+		if rows[a].track != rows[b].track {
+			return rows[a].track < rows[b].track
+		}
+		return rows[a].name < rows[b].name
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-8s %-16s %12s %8s %7s\n", "resource", "phase", "virtual-µs", "spans", "share")
+	for _, r := range rows {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(r.total) / float64(grand)
+		}
+		fmt.Fprintf(&b, "%-8s %-16s %12.1f %8d %6.1f%%\n",
+			trackNames[r.track], r.name, r.total.Micros(), r.count, share)
+	}
+	if len(insts) > 0 {
+		names := make([]string, 0, len(insts))
+		for n := range insts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("instants:")
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, insts[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

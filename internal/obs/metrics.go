@@ -1,0 +1,153 @@
+package obs
+
+// The unified metrics registry. The runtime already keeps its counters
+// in per-subsystem stats structs (core.RuntimeStats, ucx.WorkerStats,
+// fabric.NodeStats, ifunc.StoreStats, place.Stats) — those fields stay
+// exactly where they are (they ARE the compatibility accessors) and the
+// registry holds typed descriptors pointing at them, so registration
+// changes nothing on any hot path. Histograms are new storage: fixed
+// log-scale (power-of-two) buckets sized for latency tails, observed
+// behind nil-checks at completion sites.
+//
+// Snapshot order is registration order, which callers establish
+// deterministically (per node, then per metric), so snapshots — like
+// traces — are bit-identical across runs, engines, and shard counts.
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Counter is one registered counter: a live pointer into an existing
+// stats struct, or a closure for fields that need conversion.
+type Counter struct {
+	Node int
+	Name string
+	ptr  *uint64
+	get  func() uint64
+}
+
+// Value reads the counter's current value.
+func (c *Counter) Value() uint64 {
+	if c.ptr != nil {
+		return *c.ptr
+	}
+	return c.get()
+}
+
+// HistBuckets is the fixed bucket count: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. [2^(i-1), 2^i) for i ≥ 1 and {0} for
+// i = 0 — log-scale resolution from picoseconds to hours.
+const HistBuckets = 65
+
+// Histogram is a log-scale distribution (latencies in picoseconds,
+// sizes in bytes). Observe is mutex-guarded: completion callbacks on
+// different shards may observe concurrently, and bucket/sum updates are
+// commutative, so the final snapshot stays deterministic regardless of
+// interleaving.
+type Histogram struct {
+	Node int
+	Name string
+
+	mu      sync.Mutex
+	buckets [HistBuckets]uint64
+	count   uint64
+	sum     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// sample (q in (0,1]); 0 when empty. Log-scale buckets make this exact
+// to within a factor of two — the right resolution for tail latencies.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<63 - 1
+}
+
+// Registry is the cluster-wide metric set: counters and histograms in
+// registration order.
+type Registry struct {
+	counters []*Counter
+	hists    []*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a live pointer into an existing stats field.
+func (r *Registry) Counter(node int, name string, p *uint64) {
+	r.counters = append(r.counters, &Counter{Node: node, Name: name, ptr: p})
+}
+
+// CounterFunc registers a computed counter (non-uint64 sources).
+func (r *Registry) CounterFunc(node int, name string, get func() uint64) {
+	r.counters = append(r.counters, &Counter{Node: node, Name: name, get: get})
+}
+
+// Histogram registers and returns a new log-scale histogram.
+func (r *Registry) Histogram(node int, name string) *Histogram {
+	h := &Histogram{Node: node, Name: name}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// MetricPoint is one snapshot row. Counters carry Value; histograms
+// carry Count/Sum and the latency-tail quantiles.
+type MetricPoint struct {
+	Node  int    `json:"node"`
+	Name  string `json:"name"`
+	Value uint64 `json:"value,omitempty"`
+	Count uint64 `json:"count,omitempty"`
+	Sum   uint64 `json:"sum,omitempty"`
+	P50   uint64 `json:"p50,omitempty"`
+	P99   uint64 `json:"p99,omitempty"`
+	P999  uint64 `json:"p999,omitempty"`
+	Hist  bool   `json:"hist,omitempty"`
+}
+
+// Snapshot reads every metric in registration order. Call from host
+// context (between runs): counter reads are unsynchronized by design.
+func (r *Registry) Snapshot() []MetricPoint {
+	out := make([]MetricPoint, 0, len(r.counters)+len(r.hists))
+	for _, c := range r.counters {
+		out = append(out, MetricPoint{Node: c.Node, Name: c.Name, Value: c.Value()})
+	}
+	for _, h := range r.hists {
+		out = append(out, MetricPoint{
+			Node: h.Node, Name: h.Name, Hist: true,
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+		})
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"threechains/internal/sim"
+)
+
+// TestSpanIDDeterministic pins the ID derivation: same event key, same
+// ordinal → same ID; any component change → different ID.
+func TestSpanIDDeterministic(t *testing.T) {
+	a := spanID(100, 3, 7, 0)
+	if a != spanID(100, 3, 7, 0) {
+		t.Fatal("spanID not deterministic")
+	}
+	for _, b := range []uint64{
+		spanID(101, 3, 7, 0), spanID(100, 4, 7, 0),
+		spanID(100, 3, 8, 0), spanID(100, 3, 7, 1),
+	} {
+		if b == a {
+			t.Fatalf("spanID collision across distinct keys: %016x", a)
+		}
+	}
+}
+
+// TestNodeTraceOrdinals checks that events emitted under one engine
+// event key get distinct ordinals (distinct IDs) and that the ordinal
+// resets when the key changes.
+func TestNodeTraceOrdinals(t *testing.T) {
+	tr := NewTrace(1)
+	nt := tr.Node(0)
+	// No engine attached: the fallback key still yields unique IDs.
+	e1 := nt.Instant(TrackCore, "a", 10)
+	e2 := nt.Instant(TrackCore, "b", 10)
+	if e1.ID == e2.ID {
+		t.Fatal("fallback IDs collided")
+	}
+	if n := tr.NumEvents(); n != 2 {
+		t.Fatalf("NumEvents = %d, want 2", n)
+	}
+}
+
+// TestCanonicalMergeOrder pins the canonical encoding's merge order:
+// (start, node, emission order), scheduler lane excluded.
+func TestCanonicalMergeOrder(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Node(1).Span(TrackCore, "late", 20, 5)
+	tr.Node(0).Instant(TrackNICIn, "early", 10)
+	tr.Node(1).Instant(TrackNICOut, "mid", 15).Arg("bytes", 64)
+	tr.Sched.Span(TrackSched, "window", 0, 100)
+
+	lines := strings.Split(strings.TrimRight(string(tr.Canonical()), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("canonical has %d lines, want 3 (sched excluded): %q", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "n0 nic-in inst early") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "n1 nic-out inst mid") || !strings.Contains(lines[1], "bytes=64") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "n1 core span late") {
+		t.Fatalf("line 2 = %q", lines[2])
+	}
+	if !bytes.Equal(tr.Canonical(), tr.Canonical()) {
+		t.Fatal("Canonical not stable")
+	}
+}
+
+// TestWriteChromeValidJSON validates the exported trace parses as JSON
+// and carries the expected schema: metadata naming every node process
+// and per-node tracks, "X" spans with ts/dur, "i" instants.
+func TestWriteChromeValidJSON(t *testing.T) {
+	tr := NewTrace(2)
+	tr.SetNodeName(0, `thor "n0"`) // quote to exercise escaping
+	tr.Node(0).Span(TrackCore, "execute", 1_000_000, 2_000_000).Arg("msgs", 3).Label("wl-type-1")
+	tr.Node(1).Instant(TrackNICIn, "rx", 1_500_000)
+	tr.Sched.Span(TrackSched, "window", 0, 5_000_000).Arg("active", 2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var metas, spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	// 2 nodes × (1 process + 3 threads) + scheduler process + thread.
+	if metas != 2*4+2 {
+		t.Fatalf("metas = %d, want 10", metas)
+	}
+	if spans != 2 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 2/1", spans, instants)
+	}
+	if !strings.Contains(buf.String(), `thor \"n0\"`) {
+		t.Fatal("node name not escaped into metadata")
+	}
+}
+
+// TestMicroseconds pins the integer µs rendering.
+func TestMicroseconds(t *testing.T) {
+	if s := microseconds(sim.Time(1_234_567)); s != "1.234567" {
+		t.Fatalf("microseconds = %q", s)
+	}
+	if s := microseconds(0); s != "0.000000" {
+		t.Fatalf("microseconds(0) = %q", s)
+	}
+}
+
+// TestHistogramQuantiles checks the log-bucket quantile bounds.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(0, "lat")
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket 7 (64..127), upper bound 127
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20) // bucket 21, upper bound 2^21-1
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.50); q != 127 {
+		t.Fatalf("p50 = %d, want 127", q)
+	}
+	if q := h.Quantile(0.99); q != (1<<21)-1 {
+		t.Fatalf("p99 = %d, want %d", q, (1<<21)-1)
+	}
+}
+
+// TestRegistrySnapshotDeterministic pins snapshot order (registration
+// order) and pointer-descriptor reads.
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	var sent uint64
+	r.Counter(0, "sent", &sent)
+	r.CounterFunc(1, "derived", func() uint64 { return 42 })
+	h := r.Histogram(0, "lat")
+	h.Observe(10)
+	sent = 7
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	if snap[0].Name != "sent" || snap[0].Value != 7 {
+		t.Fatalf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "derived" || snap[1].Value != 42 {
+		t.Fatalf("snap[1] = %+v", snap[1])
+	}
+	if snap[2].Name != "lat" || snap[2].Count != 1 {
+		t.Fatalf("snap[2] = %+v", snap[2])
+	}
+}
+
+// TestProfileAggregates checks the profile table sums spans by
+// (resource, phase) and counts instants.
+func TestProfileAggregates(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Node(0).Span(TrackCore, "execute", 0, 100)
+	tr.Node(1).Span(TrackCore, "execute", 0, 300)
+	tr.Node(0).Span(TrackNICOut, "tx", 0, 50)
+	tr.Node(0).Instant(TrackCore, "frame-full", 0)
+	out := tr.Profile(10)
+	if !strings.Contains(out, "execute") || !strings.Contains(out, "tx") {
+		t.Fatalf("profile missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "frame-full=1") {
+		t.Fatalf("profile missing instants:\n%s", out)
+	}
+	exi := strings.Index(out, "execute")
+	txi := strings.Index(out, "tx")
+	if exi > txi {
+		t.Fatalf("profile not sorted by total desc:\n%s", out)
+	}
+}

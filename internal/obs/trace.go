@@ -1,0 +1,251 @@
+// Package obs is the observability layer for the simulated cluster:
+// virtual-time spans and instant events (per-node, per-resource tracks),
+// a unified metrics registry over the runtime's existing counters, and
+// exporters (Chrome trace-event JSON for Perfetto, a text virtual-time
+// profile, deterministic snapshots).
+//
+// Everything here observes virtual time; nothing perturbs it. Emission
+// sites throughout sim/fabric/ucx/core are nil-checked pointer hooks, so
+// with no trace attached the instrumented paths cost one compare and
+// allocate nothing. With a trace attached, host-side allocation is
+// allowed (event buffers grow) but no simulation event is ever scheduled
+// and no virtual-time cost is ever charged by the tracer — runs are
+// bit-identical with tracing on and off.
+//
+// # Determinism
+//
+// Each node's events are recorded in its own NodeTrace, written only
+// from that node's dispatch context (a node is pinned to one shard, so
+// the buffer is single-writer without locks). Per-node emission order is
+// a function of the node's dispatch order, which the engine guarantees
+// is identical at every shard count; span IDs derive from the engine's
+// deterministic event key (time, domain, seq) plus a per-dispatch
+// ordinal. The merged, canonical encoding is therefore bit-identical
+// across runs, execution engines, and shard counts.
+//
+// The one exception is the scheduler track: conservative window barriers
+// are genuinely shard-count-dependent (a single-heap run has none), so
+// Sched events appear in the Chrome export but are excluded from
+// Canonical(), the determinism digest.
+package obs
+
+import (
+	"sort"
+
+	"threechains/internal/sim"
+)
+
+// Track identifies the resource lane an event occupies within a node.
+const (
+	// TrackCore is CPU-core occupancy (drains, executions, registration).
+	TrackCore uint8 = iota
+	// TrackNICOut is transmit-side NIC occupancy (serialization time).
+	TrackNICOut
+	// TrackNICIn is receive-side arrival activity.
+	TrackNICIn
+	// TrackSched is the auxiliary scheduler lane (window barriers);
+	// excluded from the canonical determinism digest.
+	TrackSched
+	numTracks
+)
+
+// trackNames are the Perfetto thread names, indexed by track.
+var trackNames = [numTracks]string{"core", "nic-out", "nic-in", "sched"}
+
+// Kind discriminates spans (an interval of virtual time) from instants.
+type Kind uint8
+
+const (
+	// KindSpan is a [Start, Start+Dur) interval on a resource.
+	KindSpan Kind = iota
+	// KindInstant is a point event (cache elision, eviction, promotion).
+	KindInstant
+)
+
+// Event is one recorded trace event. Name and arg names must be static
+// or otherwise long-lived strings (string headers are copied, contents
+// are not); numeric payload rides the fixed Arg slots so recording never
+// boxes.
+type Event struct {
+	// Start is the event's virtual time; spans additionally cover Dur.
+	Start sim.Time
+	Dur   sim.Time
+	// ID is the deterministic span identity: FNV-1a over the engine's
+	// event ordering key (time, domain, seq) and a per-dispatch ordinal.
+	ID   uint64
+	Name string
+	// Str is an optional string payload (kernel name, route name).
+	Str string
+	// Arg0/Arg1 are optional numeric payloads, present when the
+	// corresponding name is non-empty.
+	Arg0Name string
+	Arg0     uint64
+	Arg1Name string
+	Arg1     uint64
+	Track    uint8
+	Kind     Kind
+}
+
+// Arg attaches a numeric argument (first call fills slot 0, second slot
+// 1; further calls are dropped). Returns ev for chaining; the pointer is
+// only valid until the next emission on the same NodeTrace.
+func (ev *Event) Arg(name string, v uint64) *Event {
+	switch {
+	case ev.Arg0Name == "":
+		ev.Arg0Name, ev.Arg0 = name, v
+	case ev.Arg1Name == "":
+		ev.Arg1Name, ev.Arg1 = name, v
+	}
+	return ev
+}
+
+// Label attaches the string payload.
+func (ev *Event) Label(s string) *Event {
+	ev.Str = s
+	return ev
+}
+
+// NodeTrace is one node's event buffer. It is written only from that
+// node's dispatch context (single-writer by the engine's domain-to-shard
+// pinning), so emission takes no locks.
+type NodeTrace struct {
+	// NodeID is the fabric node this buffer belongs to (-1: scheduler).
+	NodeID int
+	// Eng is the node's engine view, consulted for the deterministic
+	// event key behind span IDs. Nil (the scheduler lane) falls back to
+	// a private sequence counter.
+	Eng    *sim.Engine
+	Events []Event
+
+	lastAt      sim.Time
+	lastDom     int32
+	lastSeq     uint64
+	ordinal     uint32
+	fallbackSeq uint64
+}
+
+// spanID folds the event ordering key and ordinal through FNV-1a.
+func spanID(at sim.Time, dom int32, seq uint64, ordinal uint32) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, w := range [4]uint64{uint64(at), uint64(uint32(dom)), seq, uint64(ordinal)} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+func (nt *NodeTrace) emit(track uint8, kind Kind, name string, start, dur sim.Time) *Event {
+	var id uint64
+	if nt.Eng != nil {
+		at, dom, seq := nt.Eng.EventKey()
+		if at != nt.lastAt || dom != nt.lastDom || seq != nt.lastSeq {
+			nt.lastAt, nt.lastDom, nt.lastSeq = at, dom, seq
+			nt.ordinal = 0
+		}
+		id = spanID(at, dom, seq, nt.ordinal)
+		nt.ordinal++
+	} else {
+		nt.fallbackSeq++
+		id = spanID(start, -2, nt.fallbackSeq, 0)
+	}
+	nt.Events = append(nt.Events, Event{
+		Start: start, Dur: dur, ID: id, Name: name, Track: track, Kind: kind,
+	})
+	return &nt.Events[len(nt.Events)-1]
+}
+
+// Span records a [start, start+dur) occupancy interval on a track.
+func (nt *NodeTrace) Span(track uint8, name string, start, dur sim.Time) *Event {
+	return nt.emit(track, KindSpan, name, start, dur)
+}
+
+// Instant records a point event on a track.
+func (nt *NodeTrace) Instant(track uint8, name string, at sim.Time) *Event {
+	return nt.emit(track, KindInstant, name, at, 0)
+}
+
+// Trace is the cluster-wide recording sink: one NodeTrace per fabric
+// node plus the auxiliary scheduler lane.
+type Trace struct {
+	nodes []*NodeTrace
+	names []string
+	// Sched receives window-barrier events (Chrome export only; never
+	// part of the canonical digest).
+	Sched *NodeTrace
+}
+
+// NewTrace returns an empty trace for an n-node cluster.
+func NewTrace(n int) *Trace {
+	t := &Trace{
+		nodes: make([]*NodeTrace, n),
+		names: make([]string, n),
+		Sched: &NodeTrace{NodeID: -1},
+	}
+	for i := range t.nodes {
+		t.nodes[i] = &NodeTrace{NodeID: i}
+	}
+	return t
+}
+
+// Node returns node i's buffer.
+func (t *Trace) Node(i int) *NodeTrace { return t.nodes[i] }
+
+// NumNodes returns the node count the trace was sized for.
+func (t *Trace) NumNodes() int { return len(t.nodes) }
+
+// SetNodeName records node i's display name for the Chrome export.
+func (t *Trace) SetNodeName(i int, name string) { t.names[i] = name }
+
+// NumEvents returns the total recorded event count, scheduler included.
+func (t *Trace) NumEvents() int {
+	n := len(t.Sched.Events)
+	for _, nt := range t.nodes {
+		n += len(nt.Events)
+	}
+	return n
+}
+
+// mergedRef orders one event in the cluster-wide merged view.
+type mergedRef struct {
+	node int // position in t.nodes; len(nodes) for the scheduler lane
+	idx  int // emission index within the node buffer
+	ev   *Event
+}
+
+// merged returns every event sorted by (Start, node, emission index) —
+// a deterministic total order, because per-node emission order is
+// deterministic and per-node indices break all remaining ties.
+func (t *Trace) merged(includeSched bool) []mergedRef {
+	total := 0
+	for _, nt := range t.nodes {
+		total += len(nt.Events)
+	}
+	if includeSched {
+		total += len(t.Sched.Events)
+	}
+	refs := make([]mergedRef, 0, total)
+	for n, nt := range t.nodes {
+		for i := range nt.Events {
+			refs = append(refs, mergedRef{node: n, idx: i, ev: &nt.Events[i]})
+		}
+	}
+	if includeSched {
+		for i := range t.Sched.Events {
+			refs = append(refs, mergedRef{node: len(t.nodes), idx: i, ev: &t.Sched.Events[i]})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		ra, rb := refs[a], refs[b]
+		if ra.ev.Start != rb.ev.Start {
+			return ra.ev.Start < rb.ev.Start
+		}
+		if ra.node != rb.node {
+			return ra.node < rb.node
+		}
+		return ra.idx < rb.idx
+	})
+	return refs
+}

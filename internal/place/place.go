@@ -264,17 +264,17 @@ func (q *queueState) setRemote(dst int, t sim.Time) {
 
 // Planner routes offload requests on one node. Policy is the default for
 // Decide; per-request policies go through Plan/Commit without touching
-// it. Stats and Trace record committed (actually launched) decisions
+// it. Stats and OnCommit observe committed (actually launched) decisions
 // only, so the route mix the benchmarks report never counts a request
 // whose route then failed to launch.
 type Planner struct {
 	Policy Policy
-	// TraceEnabled records every committed decision in Trace
-	// (differential tests compare decision streams across runs and
-	// engines).
-	TraceEnabled bool
-	Trace        []Decision
-	Stats        Stats
+	// OnCommit, when set, observes every committed decision in order —
+	// the single decision-trace hook (the runtime wires it into the obs
+	// span layer; differential tests collect and compare the streams
+	// across runs and engines). Nil costs one compare per commit.
+	OnCommit func(Decision)
+	Stats    Stats
 
 	queue queueState
 	// demand counts committed remote decisions per (type, dst) pair.
@@ -443,7 +443,7 @@ func (p *Planner) planQueued(m CostModel, req Request) (Decision, error) {
 }
 
 // Commit records a planned decision whose route has actually been
-// launched: route-mix stats, the optional trace entry, and — for the
+// launched: route-mix stats, the OnCommit observation, and — for the
 // queueing policy — the chosen route's busy-until claims. A planned
 // decision that is never committed leaves no trace anywhere, so launch
 // failures (frame build, local registration) cannot skew the route mix
@@ -479,7 +479,7 @@ func (p *Planner) Commit(d Decision) {
 	if c.remoteCore > p.queue.remote(d.Dst) {
 		p.queue.setRemote(d.Dst, c.remoteCore)
 	}
-	if p.TraceEnabled {
-		p.Trace = append(p.Trace, d)
+	if p.OnCommit != nil {
+		p.OnCommit(d)
 	}
 }

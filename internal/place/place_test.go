@@ -121,7 +121,8 @@ func TestPlannerPolicies(t *testing.T) {
 func TestPlannerDeterminism(t *testing.T) {
 	m := model(4)
 	mk := func(pol Policy) []Decision {
-		p := &Planner{Policy: pol, TraceEnabled: true}
+		var trace []Decision
+		p := &Planner{Policy: pol, OnCommit: func(d Decision) { trace = append(trace, d) }}
 		w := Generate(WorkloadParams{Seed: 11, Ops: 40})
 		for i, op := range w.Ops {
 			r := req()
@@ -135,7 +136,7 @@ func TestPlannerDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return p.Trace
+		return trace
 	}
 	for _, pol := range []Policy{PolicyCostModel, PolicyCostModelQueue} {
 		a, b := mk(pol), mk(pol)
@@ -154,17 +155,18 @@ func TestPlannerDeterminism(t *testing.T) {
 // the contract that keeps launch failures out of the route mix.
 func TestPlanCommitSplit(t *testing.T) {
 	m := model(1)
-	p := &Planner{TraceEnabled: true}
+	var trace []Decision
+	p := &Planner{OnCommit: func(d Decision) { trace = append(trace, d) }}
 	d, err := p.Plan(PolicyShipCode, m, req())
 	if err != nil || d.Route != RouteShipCode {
 		t.Fatalf("plan: %v route %v", err, d.Route)
 	}
-	if p.Stats != (Stats{}) || len(p.Trace) != 0 {
-		t.Fatalf("Plan recorded: stats %+v trace %d", p.Stats, len(p.Trace))
+	if p.Stats != (Stats{}) || len(trace) != 0 {
+		t.Fatalf("Plan recorded: stats %+v trace %d", p.Stats, len(trace))
 	}
 	p.Commit(d)
-	if p.Stats.Ship != 1 || len(p.Trace) != 1 {
-		t.Fatalf("Commit did not record: stats %+v trace %d", p.Stats, len(p.Trace))
+	if p.Stats.Ship != 1 || len(trace) != 1 {
+		t.Fatalf("Commit did not record: stats %+v trace %d", p.Stats, len(trace))
 	}
 	// Plan must not touch the configured policy either.
 	if p.Policy != PolicyCostModel {

@@ -180,8 +180,14 @@ func (h *eventHeap) pop() event {
 // but the mailbox; the mailbox receives cross-shard events under its
 // mutex during parallel windows and is merged at barriers.
 type shardState struct {
-	now      Time
-	curDom   int32
+	now    Time
+	curDom int32
+	// curEvDom/curSeq are the dispatching event's ordering-key halves
+	// (scheduling domain and per-domain sequence number) — together with
+	// now they reproduce the full deterministic event key for observers
+	// (EventKey). Zero outside dispatch.
+	curEvDom int32
+	curSeq   uint64
 	events   eventHeap
 	executed uint64
 	inboxMu  sync.Mutex
@@ -200,6 +206,8 @@ func (sh *shardState) next() Time {
 func (sh *shardState) dispatch(ev event) {
 	sh.now = ev.at
 	sh.curDom = ev.tgt
+	sh.curEvDom = ev.dom
+	sh.curSeq = ev.seq
 	sh.executed++
 	switch {
 	case ev.fn != nil:
@@ -239,6 +247,14 @@ type group struct {
 	// the window (the wake channel send is the happens-before edge).
 	winActive bool
 	windowEnd Time
+
+	// windowHook, when set, observes every conservative window barrier:
+	// called from the coordinator (workers parked) with the window's
+	// [start, horizon) bounds and the number of shards about to run. A
+	// nil hook costs one pointer compare per window. Window geometry is
+	// inherently shard-count-dependent, so observers must keep barrier
+	// records out of any cross-shard-count determinism comparison.
+	windowHook func(start, horizon Time, active int)
 
 	wake    []chan Time
 	done    chan int
@@ -321,6 +337,13 @@ func (e *Engine) ProposeLookahead(l Time) {
 // multi-shard engine without lookahead runs sequentially merged).
 func (e *Engine) Lookahead() Time { return e.g.lookahead }
 
+// SetWindowHook installs an observer for conservative window barriers
+// (nil to remove). The hook runs on the coordinator between barriers —
+// never concurrently with shard workers — and must not schedule events.
+func (e *Engine) SetWindowHook(fn func(start, horizon Time, active int)) {
+	e.g.windowHook = fn
+}
+
 // Domain returns the view for domain d (creating it on first use), bound
 // to the shard chosen by the SetShardOf policy. Views are cached: the
 // same domain always yields the same *Engine.
@@ -354,6 +377,19 @@ func (e *Engine) Domain(d int) *Engine {
 // parallel window shards advance independently; after Run returns every
 // shard clock is normalized to the global maximum.
 func (e *Engine) Now() Time { return e.g.shards[e.shard].now }
+
+// EventKey returns the ordering key (time, scheduling domain, sequence)
+// of the event this view's shard is currently dispatching. The key is
+// assigned identically at every shard count and is identical across
+// engines (virtual-time behavior is engine-invariant by contract), so it
+// is a stable, deterministic identity for anything derived from the
+// currently running event — trace span IDs in particular. From host
+// context (outside any dispatch) it returns the shard's resting state:
+// all zeros before the first Run, the last dispatched key after.
+func (e *Engine) EventKey() (at Time, dom int32, seq uint64) {
+	sh := &e.g.shards[e.shard]
+	return sh.now, sh.curEvDom, sh.curSeq
+}
 
 // Executed returns the number of events dispatched so far, across all
 // shards. Host-context only while workers are parked.
@@ -596,6 +632,9 @@ func (g *group) runWindows() {
 			}
 		}
 		g.active = act
+		if g.windowHook != nil {
+			g.windowHook(T, end, len(act))
+		}
 		g.winActive = true
 		g.windowEnd = end
 		if len(act) == 1 || act[0] != 0 {

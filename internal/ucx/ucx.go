@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"threechains/internal/fabric"
+	"threechains/internal/obs"
 	"threechains/internal/sim"
 )
 
@@ -648,6 +649,12 @@ func (w *Worker) drainIfuncs() {
 	w.Stats.IfuncPolls++
 	w.Stats.IfuncFrames += uint64(n)
 	cost := w.IfuncPoll + sim.Time(n)*w.Ctx.Net.Params.RecvOverhead
+	if tr := w.Node.Trace; tr != nil {
+		// The drain's core occupancy: ExecCPU queues behind whatever the
+		// core is doing, so the span starts when the core frees up.
+		tr.Span(obs.TrackCore, "drain", w.Node.CPUFreeAt(), cost).
+			Arg("frames", uint64(n))
+	}
 	if w.pendBatch != nil {
 		panic("ucx: overlapping ifunc batch consumption")
 	}

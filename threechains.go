@@ -46,6 +46,7 @@ import (
 	"threechains/internal/isa"
 	"threechains/internal/mcode"
 	"threechains/internal/minilang"
+	"threechains/internal/obs"
 	"threechains/internal/place"
 	"threechains/internal/sim"
 	"threechains/internal/testbed"
@@ -280,6 +281,45 @@ func ScaleSweep(p Profile) ([]ScaleResult, error) {
 // saving per row (see cmd/paperbench -regioncache).
 func RegionCacheSweep(p Profile) ([]RegionCacheResult, error) {
 	return bench.RegionCacheSweep(p)
+}
+
+// Observability: deterministic virtual-time tracing and the unified
+// metrics registry. Attach sinks to a cluster before running —
+// Cluster.AttachTrace records every pipeline stage (plan, frame, wire,
+// drain, execute, write-back, cache events) as spans and instants on
+// virtual time, and Cluster.AttachMetrics registers typed counters and
+// latency histograms per node. With no sink attached every emission
+// site is a nil check: the warm paths stay allocation-free and all
+// results are bit-identical with tracing off or on.
+type (
+	// Trace is a per-node recording sink for virtual-time spans and
+	// instant events (Cluster.AttachTrace). Export with WriteChrome
+	// (Perfetto-loadable), Canonical (deterministic text encoding) or
+	// Profile (top-N virtual-time table).
+	Trace = obs.Trace
+	// MetricsRegistry is the unified metrics registry: typed counters
+	// and log-bucket latency histograms, snapshotted deterministically
+	// (Cluster.AttachMetrics).
+	MetricsRegistry = obs.Registry
+	// MetricPoint is one metric of a registry snapshot.
+	MetricPoint = obs.MetricPoint
+	// TracedOutcome is one traced concurrent placement run: the
+	// untraced observables plus the recorded trace and metrics.
+	TracedOutcome = bench.TracedOutcome
+)
+
+// NewTrace builds an empty trace sink for an n-node cluster.
+func NewTrace(n int) *Trace { return obs.NewTrace(n) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RunTracedConcurrentScenario drives one concurrent placement scenario
+// with tracing and metrics attached. Attachment is pure observation:
+// makespan, route stats and result hash are bit-identical to the
+// untraced run.
+func RunTracedConcurrentScenario(p Profile, params WorkloadParams, policy PlacementPolicy) (*TracedOutcome, error) {
+	return bench.RunTracedConcurrentScenario(p, params, policy)
 }
 
 // PaperTriples returns the fat-bitcode target list the paper ships
