@@ -113,6 +113,16 @@ type enginesReport struct {
 	// BatchSweeps holds the engine-level RunBatch sweep (per kernel) and
 	// the end-to-end delivery-pipeline sweep ("tsi-delivery").
 	BatchSweeps []bench.BatchSweep `json:"batch_sweeps"`
+	// Verifier is the static-verifier cost report: one-time host cost of
+	// full verification per corpus kernel, the modeled virtual-time
+	// admission scan, and the facts proven (step bound, elidable
+	// memory ops).
+	Verifier []verifierRow `json:"verifier,omitempty"`
+	// Elision is the proven-check elision comparison: ns/exec per
+	// (kernel, engine) with mcode.ElideChecks off vs on. Elision is
+	// host-perf only; the differential suites pin elided runs
+	// bit-identical to the interpreter oracle.
+	Elision []elisionRow `json:"elision,omitempty"`
 	// Placement is the compute/data placement policy sweep: per scenario,
 	// the total virtual time of ship-code vs pull-data vs the cost-model
 	// planner (internal/place), with the planner's route mix.
@@ -152,6 +162,27 @@ type engineRow struct {
 	SBSpeedup float64 `json:"sb_speedup"`
 }
 
+type verifierRow struct {
+	March         string  `json:"march"`
+	Kernel        string  `json:"kernel"`
+	Instrs        int     `json:"instrs"`
+	VerifyNs      float64 `json:"verify_ns"`
+	VirtualScanNs float64 `json:"virtual_scan_ns"`
+	Bounded       bool    `json:"bounded"`
+	MinSteps      int64   `json:"min_steps,omitempty"`
+	ElidableLoads int     `json:"elidable_loads"`
+	ElidableStore int     `json:"elidable_stores"`
+}
+
+type elisionRow struct {
+	March   string  `json:"march"`
+	Kernel  string  `json:"kernel"`
+	Engine  string  `json:"engine"`
+	OffNs   float64 `json:"off_ns"`
+	OnNs    float64 `json:"on_ns"`
+	Speedup float64 `json:"speedup"`
+}
+
 // engineReport collects the interpreter-vs-closure wall-clock comparison
 // and the message-rate-vs-batch-size sweeps: how fast the simulator host
 // executes guest code under each pluggable engine, and how much the
@@ -185,6 +216,47 @@ func engineReport(print bool) *enginesReport {
 				March: march.Name, Kernel: r.Kernel, Steps: r.Steps,
 				InterpNs: r.InterpNs, ClosureNs: r.ClosureNs, SuperNs: r.SuperNs,
 				Speedup: r.Speedup, SBSpeedup: r.SuperSpeedup,
+			})
+		}
+	}
+	printf("\n")
+
+	printf("--- Static verifier (one-time admission cost + proven facts) ---\n")
+	printf("%-16s %-12s %7s %12s %13s %8s %9s %7s %7s\n",
+		"march", "kernel", "instrs", "verify", "vscan(model)", "bounded", "minsteps", "eload", "estore")
+	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
+		rows, err := bench.MeasureVerifier(march)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			printf("%-16s %-12s %7d %10.1fns %11.1fns %8v %9d %7d %7d\n",
+				march.Name, r.Kernel, r.Instrs, r.VerifyNs, r.VirtualScanNs,
+				r.Bounded, r.MinSteps, r.ElidableLoads, r.ElidableStores)
+			rep.Verifier = append(rep.Verifier, verifierRow{
+				March: march.Name, Kernel: r.Kernel, Instrs: r.Instrs,
+				VerifyNs: r.VerifyNs, VirtualScanNs: r.VirtualScanNs,
+				Bounded: r.Bounded, MinSteps: r.MinSteps,
+				ElidableLoads: r.ElidableLoads, ElidableStore: r.ElidableStores,
+			})
+		}
+	}
+	printf("\n")
+
+	printf("--- Check elision (proven bounds/budget checks compiled out) ---\n")
+	printf("%-16s %-12s %-12s %12s %12s %9s\n",
+		"march", "kernel", "engine", "checks on", "elided", "speedup")
+	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
+		rows, err := bench.CompareElision(march)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			printf("%-16s %-12s %-12s %10.1fns %10.1fns %8.2fx\n",
+				march.Name, r.Kernel, r.Engine, r.OffNs, r.OnNs, r.Speedup)
+			rep.Elision = append(rep.Elision, elisionRow{
+				March: march.Name, Kernel: r.Kernel, Engine: r.Engine,
+				OffNs: r.OffNs, OnNs: r.OnNs, Speedup: r.Speedup,
 			})
 		}
 	}

@@ -1,0 +1,63 @@
+package bench
+
+// Pins the host-cost contract of proven-check elision: a warm compiled
+// engine running an in-budget kernel with elision enabled (the default)
+// must execute with zero allocations — the batched step-budget wrapper
+// and the unchecked load/store closures may not introduce per-run or
+// per-traversal garbage — and must return the interpreter oracle's
+// exact result and step count.
+
+import (
+	"testing"
+
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+)
+
+func TestElidedEnginesAllocFree(t *testing.T) {
+	if !mcode.ElideChecks {
+		t.Fatal("mcode.ElideChecks is not the default (true)")
+	}
+	for _, k := range EngineCorpus() {
+		for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.SuperblockEngine{}} {
+			t.Run(k.Name+"/"+eng.Name(), func(t *testing.T) {
+				oracle, err := newEngineTimer(mcode.InterpEngine{}, k, isa.XeonE5())
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle.ma.Reset()
+				want, err := oracle.ma.Run(k.Entry, k.Args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSteps := oracle.ma.Steps()
+
+				et, err := newEngineTimer(eng, k, isa.XeonE5())
+				if err != nil {
+					t.Fatal(err)
+				}
+				et.ma.Reset()
+				got, err := et.ma.Run(k.Entry, k.Args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want || et.ma.Steps() != wantSteps {
+					t.Fatalf("elided %s: result %d steps %d, oracle %d steps %d",
+						eng.Name(), got, et.ma.Steps(), want, wantSteps)
+				}
+
+				run := func() {
+					et.ma.Reset()
+					if _, err := et.ma.Run(k.Entry, k.Args...); err != nil {
+						t.Fatal(err)
+					}
+				}
+				run() // warm pools outside the measured window
+				if allocs := testing.AllocsPerRun(100, run); allocs > 0 {
+					t.Errorf("warm elided %s/%s allocates %.1f objects per execution, want 0",
+						eng.Name(), k.Name, allocs)
+				}
+			})
+		}
+	}
+}

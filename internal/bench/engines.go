@@ -79,6 +79,148 @@ func EngineCorpus() []EngineKernel {
 	}
 }
 
+// VerifierResult is one row of the static-verifier cost report: the
+// one-time host cost of verifying a corpus kernel plus the modeled
+// virtual-time charge a rejected binary admission of the same size
+// would pay, and the dataflow facts the pass proved (the inputs the
+// engines and the planner consume).
+type VerifierResult struct {
+	Kernel string
+	// Instrs is the lowered instruction count the linear scan walks.
+	Instrs int
+	// VerifyNs is the mean host wall-clock cost of one full
+	// verification (structural rules + dataflow analysis) of a freshly
+	// lowered module — the cost paid once per module admission, never
+	// per execution (Verify memoizes per module).
+	VerifyNs float64
+	// VirtualScanNs is the modeled admission charge for a binary module
+	// of this size (the rejection path's 2 ns/instruction scan).
+	VirtualScanNs float64
+	// Bounded and MinSteps report the entry function's static step
+	// bound, when proven (the planner's explore-free seed).
+	Bounded  bool
+	MinSteps int64
+	// ElidableLoads and ElidableStores count the memory operations the
+	// bounds analysis proved statically in-bounds — the checks the
+	// engines compile out.
+	ElidableLoads, ElidableStores int
+}
+
+// MeasureVerifier times full verification of the engine corpus on one
+// µarch. Verify memoizes per CompiledModule, so each timed call gets a
+// freshly lowered module; lowering happens outside the timer.
+func MeasureVerifier(march *isa.MicroArch) ([]VerifierResult, error) {
+	const copies = 256
+	var out []VerifierResult
+	for _, k := range EngineCorpus() {
+		cms := make([]*mcode.CompiledModule, copies)
+		for i := range cms {
+			cm, err := mcode.Lower(k.Mod, march)
+			if err != nil {
+				return nil, fmt.Errorf("bench: verifier %s: %w", k.Name, err)
+			}
+			cms[i] = cm
+		}
+		start := time.Now()
+		for _, cm := range cms {
+			if _, err := mcode.Verify(cm); err != nil {
+				return nil, fmt.Errorf("bench: verifier %s: %w", k.Name, err)
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / copies
+		facts, err := mcode.Verify(cms[0])
+		if err != nil {
+			return nil, err
+		}
+		r := VerifierResult{
+			Kernel: k.Name, Instrs: cms[0].NumInstrs(), VerifyNs: ns,
+			VirtualScanNs: 2 * float64(cms[0].NumInstrs()+1),
+		}
+		if ff := facts.Func(0); ff != nil {
+			if ff.Bounded() {
+				r.Bounded, r.MinSteps = true, ff.MinSteps
+			}
+			for fi := range cms[0].Funcs {
+				f := facts.Func(fi)
+				for pc, in := range cms[0].Funcs[fi].Code {
+					if !f.BoundsProven(int32(pc)) {
+						continue
+					}
+					switch in.Op {
+					case mcode.MLoad:
+						r.ElidableLoads++
+					case mcode.MStore:
+						r.ElidableStores++
+					}
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ElisionResult is one row of the check-elision comparison: ns/exec of
+// a kernel under one compiled engine with proven-check elision on vs
+// off. Elision is host-perf only — the differential suites pin elided
+// runs bit-identical to the interpreter — so the speedup column is the
+// whole story.
+type ElisionResult struct {
+	Kernel string
+	Engine string
+	// OffNs and OnNs are mean wall-clock nanoseconds per execution with
+	// ElideChecks disabled/enabled.
+	OffNs, OnNs float64
+	// Speedup is OffNs / OnNs.
+	Speedup float64
+}
+
+// CompareElision measures the closure and superblock engines on the
+// corpus with mcode.ElideChecks off and on. Rounds interleave the two
+// modes (fresh artifacts per mode — elision is decided at JIT time) and
+// the fastest round per mode is kept, mirroring CompareEngines.
+func CompareElision(march *isa.MicroArch) ([]ElisionResult, error) {
+	const rounds = 5
+	saved := mcode.ElideChecks
+	defer func() { mcode.ElideChecks = saved }()
+	var out []ElisionResult
+	for _, k := range EngineCorpus() {
+		iters := 20000
+		if k.Name != "tsi" {
+			iters = 1000
+		}
+		for _, eng := range []mcode.Engine{mcode.ClosureEngine{}, mcode.SuperblockEngine{}} {
+			var timers [2]*engineTimer
+			for mode, elide := range []bool{false, true} {
+				mcode.ElideChecks = elide
+				et, err := newEngineTimer(eng, k, march)
+				if err != nil {
+					return nil, fmt.Errorf("bench: elision %s/%s: %w", eng.Name(), k.Name, err)
+				}
+				timers[mode] = et
+			}
+			mcode.ElideChecks = saved
+			best := [2]float64{}
+			for r := 0; r < rounds; r++ {
+				for i, et := range timers {
+					ns, err := et.batch(iters)
+					if err != nil {
+						return nil, fmt.Errorf("bench: elision %s/%s: %w", eng.Name(), k.Name, err)
+					}
+					if r == 0 || ns < best[i] {
+						best[i] = ns
+					}
+				}
+			}
+			out = append(out, ElisionResult{
+				Kernel: k.Name, Engine: eng.Name(),
+				OffNs: best[0], OnNs: best[1], Speedup: best[0] / best[1],
+			})
+		}
+	}
+	return out, nil
+}
+
 // engineTimer is a warm machine ready for repeated timed batches.
 type engineTimer struct {
 	ma    *mcode.Machine

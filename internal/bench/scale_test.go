@@ -97,11 +97,13 @@ func TestScaleGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Re-pinned for the region cache (PR 8): the hash folds in planner
-	// stats and final virtual time, both of which legitimately move when
-	// repeat pulls elide their GETs. The guest-only outcome (per-op
-	// values + final region bytes) is unchanged from the PR 7 baseline.
-	if got, want := o.Hash, uint64(0xf7e15378d447e95a); got != want {
+	// Re-pinned for static planner seeding (verifier PR): types whose
+	// step count the verifier proved statically bounded are priced from
+	// the first message instead of detouring through explore-via-pull,
+	// which legitimately moves the route mix (and with it the planner
+	// stats and final virtual time the hash folds in). The new mix is
+	// bit-identical across shard counts 1/2/4 and across runs.
+	if got, want := o.Hash, uint64(0x6270a8953e413b8a); got != want {
 		t.Errorf("scale-256 result hash %016x, want %016x", got, want)
 	}
 }

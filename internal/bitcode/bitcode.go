@@ -185,7 +185,7 @@ func Encode(m *ir.Module) ([]byte, error) {
 
 func sortedKeys(m map[string]string) []string {
 	ks := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //repolint:allow maprange — key collection, sorted below (inline sort)
 		ks = append(ks, k)
 	}
 	// Insertion sort keeps encoding deterministic without importing sort

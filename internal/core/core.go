@@ -150,6 +150,44 @@ type Handle struct {
 	// each per-ISA object (binary kind).
 	archiveHash uint64
 	objectHash  map[isa.Arch]uint64
+	// staticSeed memoizes the verifier's per-entry static minimum-step
+	// bound (mcode analysis MinSteps) for never-executed planning; -1
+	// marks entries with no usable bound. Computed lazily on first use —
+	// handles on hot paths that never plan pay nothing.
+	staticSeed     []float64
+	staticSeedDone bool
+}
+
+// StaticMinSteps returns the static minimum-step bound for entry when
+// the verifier proved the entry bounded (acyclic, call-free code — the
+// message-kernel common case), usable as a planning seed for a type that
+// has never executed anywhere. Loopy kernels return false: their
+// per-activation cost genuinely needs an execution to observe, so the
+// planner keeps exploring them. Only bitcode handles are analyzed; the
+// memoized seeds reflect the µarch that first asked, which is fine for
+// an estimate (and deterministic — virtual-time call order is fixed).
+func (h *Handle) StaticMinSteps(entry uint16, march *isa.MicroArch) (float64, bool) {
+	if !h.staticSeedDone {
+		h.staticSeedDone = true
+		if h.Kind == ifunc.KindBitcode && h.Module != nil {
+			if cm, err := mcode.Lower(h.Module, march); err == nil {
+				if facts, err := mcode.Verify(cm); err == nil {
+					seeds := make([]float64, len(facts.Funcs))
+					for i := range seeds {
+						seeds[i] = -1
+						if ff := facts.Func(i); ff != nil && ff.Bounded() {
+							seeds[i] = float64(ff.MinSteps)
+						}
+					}
+					h.staticSeed = seeds
+				}
+			}
+		}
+	}
+	if int(entry) >= len(h.staticSeed) || h.staticSeed[entry] < 0 {
+		return 0, false
+	}
+	return h.staticSeed[entry], true
 }
 
 // ContentHash returns the content key of the code section this handle
@@ -426,6 +464,12 @@ type RuntimeStats struct {
 	// chunk-granular vectored GetV.
 	RegionElides     uint64
 	RegionDeltaPulls uint64
+	// VerifyRejects counts wire-received modules the static verifier
+	// rejected at admission (mcode.Verify): the frame is dropped (also
+	// counted in DroppedFrames) before any runtime, session or store
+	// state mutates, and the scan that rejected it is charged in virtual
+	// time like any other compute.
+	VerifyRejects uint64
 }
 
 func newRuntime(c *Cluster, node *fabric.Node, eng mcode.Engine) *Runtime {
@@ -667,8 +711,16 @@ func (r *Runtime) unpublishHandle(h *Handle) {
 		r.Store.Unpin(h.archiveHash)
 		return
 	}
-	for _, ch := range h.objectHash {
-		r.Store.Unpin(ch)
+	// Unpin in sorted arch order: unpin sequence feeds the store's
+	// eviction bookkeeping, and map order would leak host randomness
+	// into it.
+	archs := make([]int, 0, len(h.objectHash))
+	for a := range h.objectHash { //repolint:allow maprange — key collection, sorted below
+		archs = append(archs, int(a))
+	}
+	sort.Ints(archs)
+	for _, a := range archs {
+		r.Store.Unpin(h.objectHash[isa.Arch(a)])
 	}
 }
 
@@ -1142,6 +1194,12 @@ func (r *Runtime) releaseGroup(g *frameGroup) {
 	r.groupPool = append(r.groupPool, g)
 }
 
+// verifyScanPerInstr is the modeled virtual-time cost per instruction
+// of the static verifier's linear scan over a binary module — the
+// charge a rejected binary admission pays (accepted modules fold the
+// scan into the calibrated load/JIT cost they already pay).
+const verifyScanPerInstr = 2 * sim.Nanosecond
+
 // registerFromWire registers an unseen ifunc type from a full (or
 // store-resolved hash-ref) frame, returning the registration and the
 // virtual time the registration step costs (JIT compile for bitcode,
@@ -1166,6 +1224,21 @@ func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Tim
 		r.Store.Unpin(ch)
 		return nil, 0, err
 	}
+	// A verifier rejection is a first-class admission outcome, not just a
+	// failure: it is counted, traced and charged in virtual time (the
+	// static scan ran on this core before it said no), and then takes the
+	// ordinary fail path — pin released, nothing registered or cached.
+	// Accepted modules pay nothing extra here: their verification is
+	// folded into the calibrated JIT/load charge they already pay.
+	reject := func(vcost sim.Time, err error) (*ifunc.Registration, sim.Time, error) {
+		r.Stats.VerifyRejects++
+		if r.Trace != nil {
+			r.Trace.Instant(obs.TrackCore, "verify-reject", r.eng().Now()).
+				Arg("hash", f.NameHash).Arg("cost_ps", uint64(vcost))
+		}
+		r.Node.ExecCPU(vcost, func() {})
+		return fail(err)
+	}
 	var cost sim.Time
 	switch f.Kind {
 	case ifunc.KindBitcode:
@@ -1178,6 +1251,11 @@ func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Tim
 			return fail(err)
 		}
 		c, jc, _, err := r.Session.Compile(jit.CacheKey(code), mod)
+		if errors.Is(err, mcode.ErrVerify) {
+			// The JIT ran its front half (parse, optimize, lower) before
+			// the verifier said no: charge the full compile estimate.
+			return reject(r.Session.CompileCost(mod), err)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -1197,6 +1275,10 @@ func (r *Runtime) registerFromWire(f *ifunc.Frame) (*ifunc.Registration, sim.Tim
 			return fail(err)
 		}
 		c, lc, _, err := r.Session.LoadBinary(jit.CacheKey(code), cm)
+		if errors.Is(err, mcode.ErrVerify) {
+			// Binary admission pays a linear scan of the instructions.
+			return reject(sim.Time(cm.NumInstrs()+1)*verifyScanPerInstr, err)
+		}
 		if err != nil {
 			return fail(err)
 		}

@@ -85,6 +85,7 @@ func (c *Cluster) AttachMetrics(m *obs.Registry) {
 		m.Counter(i, "runtime.guest_sends", &rs.GuestSends)
 		m.Counter(i, "runtime.drains", &rs.Drains)
 		m.Counter(i, "runtime.group_runs", &rs.GroupRuns)
+		m.Counter(i, "runtime.verify_rejects", &rs.VerifyRejects)
 		m.Counter(i, "runtime.region_elides", &rs.RegionElides)
 		m.Counter(i, "runtime.region_delta_pulls", &rs.RegionDeltaPulls)
 		m.Counter(i, "runtime.pull_get_bytes", &rs.PullGetBytes)

@@ -84,7 +84,7 @@ func (r *Runtime) offloadRouted(dst int, h *Handle, fn string, payload []byte, o
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	req, model := r.buildRequest(dst, h, payload, opts)
+	req, model := r.buildRequest(dst, h, entry, payload, opts)
 	d, err := r.Planner.Plan(opts.Policy, model, req)
 	if err != nil {
 		return nil, nil, 0, err
@@ -148,7 +148,7 @@ func snapshotPayload(p []byte) []byte {
 // state — sent-cache and registry contents, calibrated costs, decayed
 // step estimates — so the resulting decision is deterministic across
 // runs and engines.
-func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadOpts) (place.Request, place.CostModel) {
+func (r *Runtime) buildRequest(dst int, h *Handle, entry uint16, payload []byte, opts OffloadOpts) (place.Request, place.CostModel) {
 	rdst := r.Cluster.Runtimes[dst]
 	req := place.Request{
 		DstIsLocal: dst == r.Node.ID,
@@ -253,7 +253,15 @@ func (r *Runtime) buildRequest(dst int, h *Handle, payload []byte, opts OffloadO
 		}
 	}
 	if !req.Measured && h.Module != nil {
-		req.MeanSteps = float64(h.Module.NumInstrs())
+		// Never-executed anywhere: prefer the verifier's proven static
+		// step bound for the entry (exact for straight-line kernels) over
+		// the blind code-size guess — a statically bounded type is priced
+		// like a measured one instead of detouring through explore.
+		if m, ok := h.StaticMinSteps(entry, r.Node.March); ok {
+			req.MeanSteps, req.StaticBound = m, true
+		} else {
+			req.MeanSteps = float64(h.Module.NumInstrs())
+		}
 	}
 
 	req.LocalRegFanout = len(r.Cluster.Runtimes) - 1

@@ -283,11 +283,11 @@ func TestShipFramePricedBytesMatchWire(t *testing.T) {
 	payload := []byte{0}
 	check := func(label string, r *Runtime, h *Handle, wantLen int) {
 		t.Helper()
-		req, _ := r.buildRequest(3, h, payload, OffloadOpts{})
 		entry, err := h.EntryIndex("main")
 		if err != nil {
 			t.Fatal(err)
 		}
+		req, _ := r.buildRequest(3, h, entry, payload, OffloadOpts{})
 		frame, err := r.buildFrame(3, h, entry, payload)
 		if err != nil {
 			t.Fatal(err)

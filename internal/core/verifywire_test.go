@@ -1,0 +1,108 @@
+package core
+
+// Wire-admission tests for the static verifier: a binary module that
+// fails verification must be rejected at the trust boundary — counted,
+// charged, and dropped — with zero runtime state mutated. No registry
+// entry, no session cache entry, no store pin, no execution.
+
+import (
+	"errors"
+	"testing"
+
+	"threechains/internal/elfx"
+	"threechains/internal/ifunc"
+	"threechains/internal/mcode"
+)
+
+// badBinaryObject lowers the TSI kernel for dst's µarch, corrupts one
+// instruction into an out-of-range branch (ErrVerifyBranch in the
+// negative corpus), and encodes it as the wire object a binary ifunc
+// ships.
+func badBinaryObject(t *testing.T, dst *Runtime) []byte {
+	t.Helper()
+	cm, err := mcode.Lower(BuildTSI(), dst.Node.March)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Funcs[0].Code[1] = mcode.MInstr{Op: mcode.MJmp, Target: 1 << 20}
+	obj, err := elfx.Build(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.Encode()
+}
+
+func TestWireRejectsUnverifiableBinary(t *testing.T) {
+	c := twoNodes()
+	src, dst := c.Runtime(0), c.Runtime(1)
+	ep := src.Worker.Connect(dst.Worker)
+
+	obj := badBinaryObject(t, dst)
+	hdr := ifunc.Header{Kind: ifunc.KindBinary, NameHash: ifunc.NameHash("evil"), Entry: 0}
+	ep.SendIfunc(ifunc.Build(hdr, []byte{1}, obj))
+	c.Run()
+
+	if dst.Stats.VerifyRejects != 1 {
+		t.Fatalf("VerifyRejects = %d, want 1", dst.Stats.VerifyRejects)
+	}
+	if dst.Stats.DroppedFrames != 1 {
+		t.Fatalf("DroppedFrames = %d, want 1", dst.Stats.DroppedFrames)
+	}
+	if !errors.Is(dst.LastDropErr, mcode.ErrVerify) || !errors.Is(dst.LastDropErr, mcode.ErrVerifyBranch) {
+		t.Fatalf("LastDropErr = %v, want ErrVerifyBranch", dst.LastDropErr)
+	}
+	if dst.Stats.Executions != 0 {
+		t.Fatalf("Executions = %d, want 0 (rejected code ran!)", dst.Stats.Executions)
+	}
+
+	// No state mutated by the rejected admission:
+	if _, known := dst.Reg.Get(hdr.NameHash); known {
+		t.Fatal("rejected type appears in the registry")
+	}
+	if ch := ifunc.ContentHash(obj); dst.Store.HasPinned(ch) {
+		t.Fatal("rejected code section left pinned in the content store")
+	}
+	if dst.Stats.BinaryLoads != 0 {
+		t.Fatalf("BinaryLoads = %d, want 0", dst.Stats.BinaryLoads)
+	}
+
+	// Re-sending the identical frame must verify (and reject) again: a
+	// session-cache entry for the rejected module would short-circuit
+	// straight to execution.
+	ep.SendIfunc(ifunc.Build(hdr, []byte{1}, obj))
+	c.Run()
+	if dst.Stats.VerifyRejects != 2 {
+		t.Fatalf("VerifyRejects after resend = %d, want 2", dst.Stats.VerifyRejects)
+	}
+	if dst.Session.Stats.CacheHits != 0 {
+		t.Fatalf("session cache hits = %d: rejected module was cached", dst.Session.Stats.CacheHits)
+	}
+}
+
+// TestWireRejectChargesVirtualTime pins the admission cost model: the
+// rejecting node pays the linear verifier scan in virtual time, so a
+// rejection is observable in the timeline (and deterministic — two
+// identical clusters agree on the final clock).
+func TestWireRejectChargesVirtualTime(t *testing.T) {
+	run := func() (verifyRejects uint64, now int64) {
+		c := twoNodes()
+		src, dst := c.Runtime(0), c.Runtime(1)
+		ep := src.Worker.Connect(dst.Worker)
+		ep.SendIfunc(ifunc.Build(
+			ifunc.Header{Kind: ifunc.KindBinary, NameHash: ifunc.NameHash("evil"), Entry: 0},
+			[]byte{1}, badBinaryObject(t, dst)))
+		c.Run()
+		return dst.Stats.VerifyRejects, int64(c.Eng.Now())
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if r1 != 1 || r2 != 1 {
+		t.Fatalf("rejects = %d, %d, want 1, 1", r1, r2)
+	}
+	if t1 != t2 {
+		t.Fatalf("final virtual time diverged across identical runs: %d vs %d", t1, t2)
+	}
+	if t1 == 0 {
+		t.Fatal("rejection charged no virtual time")
+	}
+}

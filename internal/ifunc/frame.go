@@ -208,6 +208,12 @@ func (f *Frame) ParseInto(data []byte) error {
 		return fmt.Errorf("%w: kind %d", ErrBadFrame, data[1])
 	}
 	f.Version = data[2]
+	// The reserved byte must be zero: enforcing it keeps every accepted
+	// frame canonical (parse∘build is the identity), which the fuzz
+	// harness checks.
+	if data[3] != 0 {
+		return fmt.Errorf("%w: nonzero reserved byte %#x", ErrBadFrame, data[3])
+	}
 	f.NameHash = binary.LittleEndian.Uint64(data[4:])
 	f.Entry = binary.LittleEndian.Uint16(data[12:])
 	f.SrcNode = binary.LittleEndian.Uint16(data[14:])

@@ -1,0 +1,86 @@
+package ifunc
+
+// Native fuzz target for the frame decoder — the one parser in the
+// system that consumes raw bytes straight off the simulated wire, and
+// therefore the one place a malformed message could panic a receiver
+// instead of being rejected. The properties checked on every input:
+//
+//  1. ParseInto never panics, whatever the bytes (the fuzzer enforces
+//     this implicitly).
+//  2. Parse and ParseInto agree — same error or same decoded frame —
+//     including when the reused Frame held a previous parse's aliases.
+//  3. Any frame that parses re-encodes byte-for-byte: the three wire
+//     forms (full / truncated / hash-ref) are disjoint and canonical,
+//     so parse∘build is the identity on valid frames.
+//
+// Run the smoke in CI with: go test -fuzz=FuzzFrameParseInto -fuzztime=10s ./internal/ifunc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedFrames builds one representative of each wire form plus the
+// boundary shapes the decoder branches on.
+func seedFrames() [][]byte {
+	h := Header{
+		Kind: KindBitcode, Version: 1, NameHash: NameHash("fuzz/seed"),
+		Entry: 2, SrcNode: 7, Seq: 41,
+	}
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	code := bytes.Repeat([]byte{0x90}, 33)
+	return [][]byte{
+		Build(h, payload, code),                                   // full
+		AppendTruncated(nil, h, payload),                          // truncated (cache hit)
+		AppendHashRef(nil, h, payload, 0x1234abcd, 33),            // hash-ref
+		Build(Header{Kind: KindBinary}, nil, nil),                 // empty payload + code
+		AppendTruncated(nil, Header{Kind: KindBinary}, []byte{1}), // §V-A 26-byte frame
+		{Magic0},           // short
+		{},                 // empty
+		{0x00, 0x01, 0x02}, // bad start magic
+	}
+}
+
+func FuzzFrameParseInto(f *testing.F) {
+	for _, seed := range seedFrames() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reused receiver frame pre-polluted with stale aliases, the way
+		// a polling-loop receiver's is: ParseInto must fully overwrite.
+		stale := Frame{
+			Header:  Header{Kind: KindBinary, NameHash: 99, PayloadLen: 7},
+			Payload: []byte{1, 2, 3}, Code: []byte{4, 5},
+			HashRef: true, CodeHash: 77, CodeLen: 9,
+		}
+		errInto := stale.ParseInto(data)
+		fresh, errParse := Parse(data)
+
+		if (errInto == nil) != (errParse == nil) {
+			t.Fatalf("ParseInto err=%v, Parse err=%v", errInto, errParse)
+		}
+		if errInto != nil {
+			return
+		}
+		if stale.Header != fresh.Header || stale.HashRef != fresh.HashRef ||
+			stale.CodeHash != fresh.CodeHash || stale.CodeLen != fresh.CodeLen ||
+			!bytes.Equal(stale.Payload, fresh.Payload) || !bytes.Equal(stale.Code, fresh.Code) {
+			t.Fatalf("reused-frame parse diverged from fresh parse:\n%+v\n%+v", stale, fresh)
+		}
+
+		// Canonical re-encode: rebuild the frame in its detected form and
+		// compare bytes.
+		var re []byte
+		switch {
+		case stale.HashRef:
+			re = AppendHashRef(nil, stale.Header, stale.Payload, stale.CodeHash, int(stale.CodeLen))
+		case stale.Code != nil || len(data) > TruncatedLen(len(stale.Payload)):
+			re = Build(stale.Header, stale.Payload, stale.Code)
+		default:
+			re = AppendTruncated(nil, stale.Header, stale.Payload)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode diverged:\n in=%x\nout=%x", data, re)
+		}
+	})
+}

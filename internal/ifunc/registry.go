@@ -233,7 +233,7 @@ func (c *SentCache) Mark(dstNode int, hash uint64) {
 
 // Forget drops all entries for a type (re-registration invalidates).
 func (c *SentCache) Forget(hash uint64) {
-	for k := range c.m {
+	for k := range c.m { //repolint:allow maprange — filter-delete of all matches, order-insensitive
 		if k.hash == hash {
 			delete(c.m, k)
 		}

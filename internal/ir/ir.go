@@ -493,7 +493,7 @@ func (m *Module) Clone() *Module {
 	c.Deps = append([]string(nil), m.Deps...)
 	if m.Meta != nil {
 		c.Meta = make(map[string]string, len(m.Meta))
-		for k, v := range m.Meta {
+		for k, v := range m.Meta { //repolint:allow maprange — map-to-map copy, order-insensitive
 			c.Meta[k] = v
 		}
 	}

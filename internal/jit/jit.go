@@ -44,6 +44,11 @@ type Compiled struct {
 	Art mcode.Artifact
 	// Globals maps the module's own globals to their loaded addresses.
 	Globals map[string]uint64
+	// Facts carries the static verifier's proven dataflow facts
+	// (mcode.Verify), computed once here — verify-once caching: every
+	// re-registration that hits the session cache reuses them, and the
+	// engines read them through the module without re-analyzing.
+	Facts *mcode.ModuleFacts
 	// CompileTime is the virtual time the initial compilation cost.
 	CompileTime sim.Time
 	// Key is the cache key the artifact is stored under.
@@ -142,16 +147,23 @@ func (s *Session) compile(key string, m *ir.Module) (*Compiled, error) {
 	if err := passes.Optimize(work, s.OptLevel); err != nil {
 		return nil, fmt.Errorf("jit: optimize: %w", err)
 	}
-	// Load dependencies before resolution (the shipped deps list).
-	if err := s.Load.LoadDeps(work.Deps); err != nil {
-		return nil, fmt.Errorf("jit: %s: %w", m.Name, err)
-	}
 	cm, err := mcode.Lower(work, s.March)
 	if err != nil {
 		return nil, fmt.Errorf("jit: lower: %w", err)
 	}
+	// Static verification gates everything that mutates session, loader
+	// or node state: a rejected module loads no dependencies, allocates
+	// no globals and leaves no cache entry.
+	facts, err := mcode.Verify(cm)
+	if err != nil {
+		return nil, fmt.Errorf("jit: %s: %w", m.Name, err)
+	}
+	// Load dependencies before resolution (the shipped deps list).
+	if err := s.Load.LoadDeps(work.Deps); err != nil {
+		return nil, fmt.Errorf("jit: %s: %w", m.Name, err)
+	}
 	globals := make(map[string]uint64, len(cm.Globals))
-	for _, g := range cm.Globals {
+	for _, g := range cm.Globals { //repolint:allow maprange — cm.Globals is mcode's []Global, not Compiled's map
 		globals[g.Name] = s.Alloc(g)
 	}
 	link, err := linker.PatchGOT(cm, globals, s.Load)
@@ -165,7 +177,7 @@ func (s *Session) compile(key string, m *ir.Module) (*Compiled, error) {
 	s.Stats.Compiles++
 	s.Stats.InstrsCompiled += m.NumInstrs()
 	return &Compiled{
-		CM: cm, Link: link, Art: art, Globals: globals,
+		CM: cm, Link: link, Art: art, Globals: globals, Facts: facts,
 		CompileTime: cost, Key: key,
 	}, nil
 }
@@ -180,11 +192,19 @@ func (s *Session) LoadBinary(key string, cm *mcode.CompiledModule) (*Compiled, s
 		s.Stats.CacheHits++
 		return c, LookupCost, true, nil
 	}
+	// A binary module is the untrusted case the verifier exists for: the
+	// code was lowered elsewhere and arrives as raw instructions. Verify
+	// before any state moves — no deps loaded, no globals allocated, no
+	// cache entry for a rejected module.
+	facts, err := mcode.Verify(cm)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("jit: %s: %w", cm.Name, err)
+	}
 	if err := s.Load.LoadDeps(cm.Deps); err != nil {
 		return nil, 0, false, fmt.Errorf("jit: %s: %w", cm.Name, err)
 	}
 	globals := make(map[string]uint64, len(cm.Globals))
-	for _, g := range cm.Globals {
+	for _, g := range cm.Globals { //repolint:allow maprange — cm.Globals is mcode's []Global, not Compiled's map
 		globals[g.Name] = s.Alloc(g)
 	}
 	link, err := linker.PatchGOT(cm, globals, s.Load)
@@ -201,7 +221,7 @@ func (s *Session) LoadBinary(key string, cm *mcode.CompiledModule) (*Compiled, s
 		// The paper's "pure" fast path: no GOT, straight to execution.
 		cost = 50 * sim.Nanosecond
 	}
-	c := &Compiled{CM: cm, Link: link, Art: art, Globals: globals, CompileTime: cost, Key: key}
+	c := &Compiled{CM: cm, Link: link, Art: art, Globals: globals, Facts: facts, CompileTime: cost, Key: key}
 	s.cache[key] = c
 	return c, cost, false, nil
 }

@@ -110,10 +110,10 @@ func (ld *Loader) load(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoLibrary, name)
 	}
-	for sym, fn := range lib.Funcs {
+	for sym, fn := range lib.Funcs { //repolint:allow maprange — map-to-map merge, order-insensitive
 		ld.funcs[sym] = fn
 	}
-	for sym, addr := range lib.Data {
+	for sym, addr := range lib.Data { //repolint:allow maprange — map-to-map merge, order-insensitive
 		ld.data[sym] = addr
 	}
 	ld.loaded[name] = true

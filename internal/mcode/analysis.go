@@ -1,0 +1,649 @@
+package mcode
+
+// Dataflow analysis over verified lowered code: abstract interpretation
+// on the control-flow graph proving per-instruction facts the engines
+// consume to elide runtime checks, plus static step bounds the
+// placement planner uses to price never-executed types.
+//
+// The abstract domain per register is the three-point lattice
+//
+//	unknown  ⊑  const(v)            (exact value)
+//	unknown  ⊑  stack(room)         (an alloca-derived pointer with at
+//	                                 least `room` addressable bytes)
+//
+// stack(room) is the load-bearing point: MAlloca's contract in vm.go is
+// that a *successful* allocation returns a pointer whose rounded size is
+// zeroed through the same f.mem the engines index, node memory never
+// shrinks, and nothing moves the region — so an access at a constant
+// offset within `room` of a dominating alloca can never be out of
+// bounds on any execution that reaches it (an alloca that faults aborts
+// before the access). The meet over all paths keeps only facts proven
+// on every path, which is exactly the dominance requirement.
+//
+// Soundness contract (pinned by the differential suites): every fact is
+// a statement about *all* executions, so an engine eliding a check on a
+// proven fact stays bit-identical to the reference interpreter — if an
+// elision could ever diverge, the fact proving it is a verifier bug,
+// and the oracle comparison catches it.
+
+import "threechains/internal/ir"
+
+// ModuleFacts carries the per-function analysis results, parallel to
+// CompiledModule.Funcs. Entries are nil for functions that failed
+// structural verification under the tolerant Analyze path.
+type ModuleFacts struct {
+	Funcs []*FuncFacts
+}
+
+// Func returns the facts for function fi, nil-safe on every level.
+func (mf *ModuleFacts) Func(fi int) *FuncFacts {
+	if mf == nil || fi < 0 || fi >= len(mf.Funcs) {
+		return nil
+	}
+	return mf.Funcs[fi]
+}
+
+// BlockFacts is one basic block's static summary.
+type BlockFacts struct {
+	// Start/End delimit the block's instructions: [Start, End).
+	Start, End int32
+	// Steps is the block's static step cost — every instruction charges
+	// exactly one step, so this is End-Start (local-call body steps are
+	// charged inside the callee's own activation).
+	Steps int32
+}
+
+// FuncFacts is one function's proven dataflow facts.
+type FuncFacts struct {
+	// Reachable marks instructions reachable from the entry.
+	Reachable []bool
+	// BoundsOK marks memory accesses (loads, stores, atomics) statically
+	// proven in-bounds: the address is a dominating alloca's pointer at
+	// a constant offset with the full access inside the zeroed region.
+	BoundsOK []bool
+	// NoFault marks instructions that can never fault at runtime:
+	// pure ALU/FP/compare/cast/branch/ret work, division by a nonzero
+	// constant, and BoundsOK memory accesses. Allocas, calls, GOT reads,
+	// vector kernels and traps are never NoFault.
+	NoFault []bool
+	// Blocks lists the basic blocks in start order.
+	Blocks []BlockFacts
+	// MinSteps is a sound lower bound on the steps one activation of the
+	// function charges (shortest entry→return path, local callee minima
+	// included after refinement).
+	MinSteps int64
+	// MaxSteps is an exact upper bound on the steps one activation can
+	// charge, or -1 when unbounded (cyclic control flow or local calls).
+	MaxSteps int64
+	// MaybeUninit reports a reachable read of a register not definitely
+	// assigned on every path. Not a fault — frames are zeroed — but a
+	// useful lint fact for frontends.
+	MaybeUninit bool
+}
+
+// BoundsProven reports the BoundsOK fact for pc, nil-safe: no facts
+// means no elision.
+func (ff *FuncFacts) BoundsProven(pc int32) bool {
+	return ff != nil && int(pc) < len(ff.BoundsOK) && ff.BoundsOK[pc]
+}
+
+// NoFaultRange reports whether every instruction in [lo, hi) is proven
+// NoFault, nil-safe.
+func (ff *FuncFacts) NoFaultRange(lo, hi int32) bool {
+	if ff == nil || lo < 0 || int(hi) > len(ff.NoFault) {
+		return false
+	}
+	for pc := lo; pc < hi; pc++ {
+		if !ff.NoFault[pc] {
+			return false
+		}
+	}
+	return true
+}
+
+// NoFaultAt reports the NoFault fact for pc, nil-safe.
+func (ff *FuncFacts) NoFaultAt(pc int32) bool {
+	return ff != nil && int(pc) < len(ff.NoFault) && ff.NoFault[pc]
+}
+
+// Bounded reports whether the function has a static step upper bound.
+func (ff *FuncFacts) Bounded() bool { return ff != nil && ff.MaxSteps >= 0 }
+
+// analyzeModule runs the dataflow pass over every structurally valid
+// function (bad lists the invalid ones under the tolerant path; nil
+// means all valid). Local-call minimum-step contributions are refined
+// with one extra monotone round, which keeps the result a sound lower
+// bound even for recursion.
+func analyzeModule(cm *CompiledModule, bad map[int]bool) *ModuleFacts {
+	mf := &ModuleFacts{Funcs: make([]*FuncFacts, len(cm.Funcs))}
+	calleeMin := make([]int64, len(cm.Funcs))
+	for round := 0; round < 2; round++ {
+		for i := range cm.Funcs {
+			if bad[i] {
+				continue
+			}
+			mf.Funcs[i] = analyzeFunc(cm, i, calleeMin)
+		}
+		for i, ff := range mf.Funcs {
+			if ff != nil {
+				calleeMin[i] = ff.MinSteps
+			}
+		}
+	}
+	return mf
+}
+
+// Abstract value kinds.
+const (
+	absUnknown uint8 = iota
+	absConst         // v holds the exact register value
+	absStack         // v holds the remaining addressable room in bytes
+)
+
+type absVal struct {
+	kind uint8
+	v    uint64
+}
+
+// meetVal is the lattice meet: agreement survives, conflict drops to
+// unknown (stack pointers keep the smaller proven room).
+func meetVal(a, b absVal) absVal {
+	switch {
+	case a.kind != b.kind:
+		return absVal{}
+	case a.kind == absConst && a.v == b.v:
+		return a
+	case a.kind == absStack:
+		if b.v < a.v {
+			return b
+		}
+		return a
+	case a == b:
+		return a
+	default:
+		return absVal{}
+	}
+}
+
+// analyzer is the per-function fixed-point state.
+type analyzer struct {
+	p      *Program
+	cm     *CompiledModule
+	blocks []BlockFacts
+	blkAt  []int32 // pc -> block index (leaders only need Start lookup)
+	in     [][]absVal
+	defsIn [][]uint64 // definitely-assigned register bitsets
+	seen   []bool
+}
+
+// analyzeFunc computes the facts for function fi. Structure is already
+// verified: every branch target is in range and the code cannot fall
+// past the end.
+func analyzeFunc(cm *CompiledModule, fi int, calleeMin []int64) *FuncFacts {
+	p := cm.Funcs[fi]
+	n := len(p.Code)
+	a := &analyzer{p: p, cm: cm}
+	a.buildBlocks()
+	nb := len(a.blocks)
+	a.in = make([][]absVal, nb)
+	a.defsIn = make([][]uint64, nb)
+	a.seen = make([]bool, nb)
+
+	// Entry state: parameters unknown, everything else an exact zero
+	// (register files are zeroed per activation — vm.getRegs and the
+	// engine frame pools both guarantee it).
+	words := (p.NumRegs + 63) / 64
+	entry := make([]absVal, p.NumRegs)
+	entryDefs := make([]uint64, words)
+	for r := p.Params; r < p.NumRegs; r++ {
+		entry[r] = absVal{kind: absConst}
+	}
+	for r := 0; r < p.Params; r++ {
+		entryDefs[r/64] |= 1 << (r % 64)
+	}
+
+	// Fixed point over block in-states.
+	work := []int32{0}
+	a.joinInto(0, entry, entryDefs)
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := append([]absVal(nil), a.in[bi]...)
+		defs := append([]uint64(nil), a.defsIn[bi]...)
+		blk := a.blocks[bi]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			a.transfer(pc, st, defs, nil)
+		}
+		for _, s := range a.succs(bi) {
+			if a.joinInto(s, st, defs) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Final pass: per-pc facts from the settled in-states.
+	ff := &FuncFacts{
+		Reachable: make([]bool, n),
+		BoundsOK:  make([]bool, n),
+		NoFault:   make([]bool, n),
+		Blocks:    a.blocks,
+	}
+	for bi, blk := range a.blocks {
+		if !a.seen[bi] {
+			continue
+		}
+		st := append([]absVal(nil), a.in[bi]...)
+		defs := append([]uint64(nil), a.defsIn[bi]...)
+		for pc := blk.Start; pc < blk.End; pc++ {
+			ff.Reachable[pc] = true
+			a.transfer(pc, st, defs, ff)
+		}
+	}
+	a.stepBounds(ff, calleeMin)
+	return ff
+}
+
+// buildBlocks splits the code at leaders (entry, branch targets,
+// post-terminator successors) into basic blocks.
+func (a *analyzer) buildBlocks() {
+	p := a.p
+	n := len(p.Code)
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case MJmp:
+			leader[in.Target] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case MJnz, MCmpBr:
+			leader[in.Target] = true
+			leader[in.Imm] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case MRet, MTrap:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	a.blkAt = make([]int32, n)
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			a.blocks = append(a.blocks, BlockFacts{Start: int32(pc)})
+		}
+		a.blkAt[pc] = int32(len(a.blocks) - 1)
+	}
+	for i := range a.blocks {
+		if i+1 < len(a.blocks) {
+			a.blocks[i].End = a.blocks[i+1].Start
+		} else {
+			a.blocks[i].End = int32(n)
+		}
+		a.blocks[i].Steps = a.blocks[i].End - a.blocks[i].Start
+	}
+}
+
+// succs returns block bi's successor block indices.
+func (a *analyzer) succs(bi int32) []int32 {
+	blk := a.blocks[bi]
+	last := &a.p.Code[blk.End-1]
+	switch last.Op {
+	case MJmp:
+		return []int32{a.blkAt[last.Target]}
+	case MJnz, MCmpBr:
+		return []int32{a.blkAt[last.Target], a.blkAt[int32(last.Imm)]}
+	case MRet, MTrap:
+		return nil
+	default:
+		// Fallthrough; verification guarantees End < len(code) here.
+		return []int32{a.blkAt[blk.End]}
+	}
+}
+
+// joinInto meets (st, defs) into block bi's in-state, reporting change.
+func (a *analyzer) joinInto(bi int32, st []absVal, defs []uint64) bool {
+	if !a.seen[bi] {
+		a.seen[bi] = true
+		a.in[bi] = append([]absVal(nil), st...)
+		a.defsIn[bi] = append([]uint64(nil), defs...)
+		return true
+	}
+	changed := false
+	cur := a.in[bi]
+	for r := range cur {
+		m := meetVal(cur[r], st[r])
+		if m != cur[r] {
+			cur[r] = m
+			changed = true
+		}
+	}
+	cd := a.defsIn[bi]
+	for w := range cd {
+		m := cd[w] & defs[w]
+		if m != cd[w] {
+			cd[w] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transfer applies one instruction to the abstract state. When ff is
+// non-nil (the final facts pass) it also records per-pc facts from the
+// pre-state.
+func (a *analyzer) transfer(pc int32, st []absVal, defs []uint64, ff *FuncFacts) {
+	in := &a.p.Code[pc]
+	setDst := func(dst int32, v absVal) {
+		st[dst] = v
+		defs[dst/64] |= 1 << (dst % 64)
+	}
+	read := func(rs ...int32) {
+		if ff == nil || ff.MaybeUninit {
+			return
+		}
+		for _, r := range rs {
+			if defs[r/64]&(1<<(r%64)) == 0 {
+				ff.MaybeUninit = true
+			}
+		}
+	}
+	fact := func(bounds, noFault bool) {
+		if ff != nil {
+			ff.BoundsOK[pc] = bounds
+			ff.NoFault[pc] = noFault
+		}
+	}
+	// inBounds proves a [size]-byte access at base+off within a stack
+	// region's remaining room.
+	inBounds := func(base absVal, off int64, size int) bool {
+		return base.kind == absStack && off >= 0 &&
+			uint64(off) <= base.v && uint64(size) <= base.v-uint64(off)
+	}
+
+	switch in.Op {
+	case MNop:
+		fact(false, true)
+	case MTrap:
+		fact(false, false)
+	case MConst:
+		fact(false, true)
+		setDst(in.Dst, absVal{kind: absConst, v: uint64(in.Imm)})
+	case MAdd:
+		read(in.A, in.B)
+		fact(false, true)
+		x, y := st[in.A], st[in.B]
+		switch {
+		case x.kind == absConst && y.kind == absConst:
+			setDst(in.Dst, absVal{kind: absConst, v: x.v + y.v})
+		case x.kind == absStack && y.kind == absConst && y.v <= x.v:
+			setDst(in.Dst, absVal{kind: absStack, v: x.v - y.v})
+		case y.kind == absStack && x.kind == absConst && x.v <= y.v:
+			setDst(in.Dst, absVal{kind: absStack, v: y.v - x.v})
+		default:
+			setDst(in.Dst, absVal{})
+		}
+	case MSub, MMul, MAnd, MXor, MShl, MLShr, MAShr:
+		read(in.A, in.B)
+		fact(false, true)
+		x, y := st[in.A], st[in.B]
+		if x.kind == absConst && y.kind == absConst {
+			setDst(in.Dst, absVal{kind: absConst, v: constALU(in.Op, x.v, y.v)})
+		} else {
+			setDst(in.Dst, absVal{})
+		}
+	case MOr:
+		read(in.A, in.B)
+		fact(false, true)
+		x, y := st[in.A], st[in.B]
+		switch {
+		case in.A == in.B:
+			// The lowering's register-copy idiom: or r, r.
+			setDst(in.Dst, x)
+		case x.kind == absConst && y.kind == absConst:
+			setDst(in.Dst, absVal{kind: absConst, v: x.v | y.v})
+		case x.kind == absConst && x.v == 0:
+			setDst(in.Dst, y)
+		case y.kind == absConst && y.v == 0:
+			setDst(in.Dst, x)
+		default:
+			setDst(in.Dst, absVal{})
+		}
+	case MSDiv, MUDiv, MSRem, MURem:
+		read(in.A, in.B)
+		fact(false, st[in.B].kind == absConst && st[in.B].v != 0)
+		setDst(in.Dst, absVal{})
+	case MFAdd, MFSub, MFMul, MFDiv, MICmp, MFCmp,
+		MSIToFP, MUIToFP, MFPToSI, MFPToUI:
+		if in.Op == MSIToFP || in.Op == MUIToFP || in.Op == MFPToSI || in.Op == MFPToUI {
+			read(in.A)
+		} else {
+			read(in.A, in.B)
+		}
+		fact(false, true)
+		setDst(in.Dst, absVal{})
+	case MTrunc:
+		read(in.A)
+		fact(false, true)
+		if x := st[in.A]; x.kind == absConst {
+			setDst(in.Dst, absVal{kind: absConst, v: truncTo(in.Ty, x.v)})
+		} else {
+			setDst(in.Dst, absVal{})
+		}
+	case MSExt:
+		read(in.A)
+		fact(false, true)
+		if x := st[in.A]; x.kind == absConst {
+			setDst(in.Dst, absVal{kind: absConst, v: sextFrom(in.Ty, x.v)})
+		} else {
+			setDst(in.Dst, absVal{})
+		}
+	case MSelect:
+		read(in.A, in.B, in.C)
+		fact(false, true)
+		setDst(in.Dst, meetVal(st[in.B], st[in.C]))
+	case MAlloca:
+		fact(false, false) // stack overflow is a runtime outcome
+		setDst(in.Dst, absVal{kind: absStack, v: (uint64(in.Imm) + 7) &^ 7})
+	case MLoad:
+		read(in.A)
+		ok := inBounds(st[in.A], in.Imm, in.Ty.Size())
+		fact(ok, ok)
+		setDst(in.Dst, absVal{})
+	case MStore:
+		read(in.A, in.B)
+		ok := inBounds(st[in.B], in.Imm, in.Ty.Size())
+		fact(ok, ok)
+	case MPtrAdd:
+		read(in.A, in.B)
+		fact(false, true)
+		x, y := st[in.A], st[in.B]
+		switch {
+		case x.kind == absConst && y.kind == absConst:
+			setDst(in.Dst, absVal{kind: absConst, v: x.v + y.v*uint64(in.Imm2) + uint64(in.Imm)})
+		case x.kind == absStack && y.kind == absConst &&
+			in.Imm >= 0 && in.Imm2 >= 0 &&
+			y.v <= 1<<32 && in.Imm2 <= 1<<32 && in.Imm <= 1<<32:
+			if tot := y.v*uint64(in.Imm2) + uint64(in.Imm); tot <= x.v {
+				setDst(in.Dst, absVal{kind: absStack, v: x.v - tot})
+			} else {
+				setDst(in.Dst, absVal{})
+			}
+		default:
+			setDst(in.Dst, absVal{})
+		}
+	case MGlobal:
+		fact(false, false) // link table length is a load-time property
+		setDst(in.Dst, absVal{})
+	case MJmp:
+		fact(false, true)
+	case MJnz:
+		read(in.A)
+		fact(false, true)
+	case MCmpBr:
+		read(in.A, in.B)
+		fact(false, true)
+	case MRet:
+		if in.A != int32(ir.NoReg) {
+			read(in.A)
+		}
+		fact(false, true)
+	case MCallLocal, MCallExt:
+		for i := int32(0); i < in.ArgCount; i++ {
+			read(in.ArgBase + i)
+		}
+		fact(false, false)
+		if in.Dst != int32(ir.NoReg) {
+			setDst(in.Dst, absVal{})
+		}
+	case MAtomicAddLSE, MAtomicAddCAS:
+		read(in.A, in.B)
+		ok := inBounds(st[in.A], 0, 8)
+		fact(ok, ok)
+		setDst(in.Dst, absVal{})
+	case MAtomicCASOp:
+		read(in.A, in.B, in.C)
+		ok := inBounds(st[in.A], 0, 8)
+		fact(ok, ok)
+		setDst(in.Dst, absVal{})
+	case MVSet, MVCopy:
+		read(in.A, in.B, in.C)
+		fact(false, false)
+	case MVBinOp:
+		read(in.A, in.B, in.C, in.ArgBase)
+		fact(false, false)
+	case MVReduce:
+		read(in.A, in.B)
+		fact(false, false)
+		setDst(in.Dst, absVal{})
+	}
+}
+
+// constALU folds a two-operand ALU op over constants, mirroring vm.go.
+func constALU(op MOp, a, b uint64) uint64 {
+	switch op {
+	case MSub:
+		return a - b
+	case MMul:
+		return a * b
+	case MAnd:
+		return a & b
+	case MXor:
+		return a ^ b
+	case MShl:
+		return a << (b & 63)
+	case MLShr:
+		return a >> (b & 63)
+	case MAShr:
+		return uint64(int64(a) >> (b & 63))
+	}
+	return 0
+}
+
+// stepBounds fills MinSteps/MaxSteps: shortest entry→return path over
+// the block graph (plus refined local-callee minima) for the lower
+// bound; for the upper bound, the longest path when the graph is
+// acyclic and call-free, -1 otherwise.
+func (a *analyzer) stepBounds(ff *FuncFacts, calleeMin []int64) {
+	nb := len(a.blocks)
+	const inf = int64(1) << 62
+	weight := make([]int64, nb)
+	hasCall := false
+	for bi, blk := range a.blocks {
+		w := int64(blk.Steps)
+		for pc := blk.Start; pc < blk.End; pc++ {
+			if a.p.Code[pc].Op == MCallLocal {
+				w += calleeMin[a.p.Code[pc].Target]
+				if a.seen[bi] {
+					hasCall = true
+				}
+			}
+		}
+		weight[bi] = w
+	}
+
+	// Shortest path by worklist relaxation (weights are positive, the
+	// graphs are tiny).
+	dist := make([]int64, nb)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	work := []int32{0}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := dist[bi] + weight[bi]
+		for _, s := range a.succs(bi) {
+			if d < dist[s] {
+				dist[s] = d
+				work = append(work, s)
+			}
+		}
+	}
+	ff.MinSteps = inf
+	for bi, blk := range a.blocks {
+		if dist[bi] == inf {
+			continue
+		}
+		if a.p.Code[blk.End-1].Op == MRet && dist[bi]+weight[bi] < ff.MinSteps {
+			ff.MinSteps = dist[bi] + weight[bi]
+		}
+	}
+	if ff.MinSteps == inf {
+		// No reachable return: every activation aborts (trap or budget);
+		// the only sound static lower bound is the entry block.
+		ff.MinSteps = int64(a.blocks[0].Steps)
+	}
+
+	// Acyclicity by iterative DFS with colors.
+	ff.MaxSteps = -1
+	if hasCall {
+		return
+	}
+	color := make([]uint8, nb) // 0 white, 1 grey, 2 black
+	order := make([]int32, 0, nb)
+	type frame struct {
+		bi   int32
+		next int
+	}
+	stack := []frame{{bi: 0}}
+	color[0] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := a.succs(f.bi)
+		if f.next < len(ss) {
+			s := ss[f.next]
+			f.next++
+			switch color[s] {
+			case 1:
+				return // back edge: cyclic, no upper bound
+			case 0:
+				color[s] = 1
+				stack = append(stack, frame{bi: s})
+			}
+			continue
+		}
+		color[f.bi] = 2
+		order = append(order, f.bi)
+		stack = stack[:len(stack)-1]
+	}
+	// Longest path over the DAG in reverse postorder (order is a
+	// postorder, so iterate as-is: successors finish first).
+	longest := make([]int64, nb)
+	var max int64
+	for _, bi := range order {
+		best := int64(0)
+		for _, s := range a.succs(bi) {
+			if longest[s] > best {
+				best = longest[s]
+			}
+		}
+		longest[bi] = best + weight[bi]
+	}
+	max = longest[0]
+	ff.MaxSteps = max
+}

@@ -34,9 +34,16 @@ func prepareClosureArtifact(cm *CompiledModule, super bool) (Artifact, error) {
 	if super {
 		kind = EngineNameSuperblock
 	}
+	// Static dataflow facts (analysis.go) let the compiled closures drop
+	// checks the verifier already discharged: bounds tests on accesses
+	// proven inside an alloca region, and per-traversal budget checks in
+	// proven fault-free native loops. Analyze is tolerant — a function
+	// that fails verification gets no facts and compiles fully checked —
+	// so artifacts prepared outside the admission path keep working.
+	facts := Analyze(cm)
 	a := &closureArtifact{cm: cm, super: super, progs: make([]*cprog, len(cm.Funcs))}
 	for i, p := range cm.Funcs {
-		cp, err := a.compileProg(p)
+		cp, err := a.compileProg(p, facts.Func(i))
 		if err != nil {
 			return nil, fmt.Errorf("mcode: %s-compile %s.%s: %w", kind, cm.Name, p.Name, err)
 		}
@@ -352,9 +359,20 @@ func isTerminator(op MOp) bool {
 	return op == MJmp || op == MJnz || op == MCmpBr || op == MRet
 }
 
+// elideAt reports whether the bounds test of the 8-byte memory access at
+// pc can be compiled out: the verifier's abstract interpretation must
+// have proven the access inside the frame's alloca region on every path
+// (FuncFacts.BoundsProven) and the global ElideChecks escape hatch must
+// be on. Purely a host-speed decision — the elided closure computes
+// exactly the state the checked one would, so no simulated outcome can
+// depend on it.
+func elideAt(ff *FuncFacts, pc int32) bool {
+	return ElideChecks && ff.BoundsProven(pc)
+}
+
 // compileProg partitions the linear code into basic blocks and compiles
 // each into a closure chain.
-func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
+func (a *closureArtifact) compileProg(p *Program, ff *FuncFacts) (*cprog, error) {
 	cp := &cprog{name: p.Name, params: p.Params, numRegs: p.NumRegs, prog: p}
 	code := p.Code
 
@@ -441,7 +459,7 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 	}
 	for b := range starts {
 		if a.super {
-			blk, err := a.compileSuper(p, b, starts, blockOf, tgt, &cp.blocks[b])
+			blk, err := a.compileSuper(p, b, starts, blockOf, tgt, &cp.blocks[b], ff)
 			if err != nil {
 				return nil, err
 			}
@@ -453,7 +471,7 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 		if b+1 < len(starts) {
 			end = starts[b+1]
 		}
-		blk, err := a.compileBlock(p, start, end, tgt)
+		blk, err := a.compileBlock(p, start, end, tgt, ff)
 		if err != nil {
 			return nil, err
 		}
@@ -464,7 +482,7 @@ func (a *closureArtifact) compileProg(p *Program) (*cprog, error) {
 
 // compileBlock compiles code[start:end) into one closure chain, built
 // backwards so every instruction captures its successor directly.
-func (a *closureArtifact) compileBlock(p *Program, start, end int, tgt func(int32) *cblock) (cblock, error) {
+func (a *closureArtifact) compileBlock(p *Program, start, end int, tgt func(int32) *cblock, ff *FuncFacts) (cblock, error) {
 	code := p.Code
 	blk := cblock{steps: int64(end - start), start: int32(start)}
 
@@ -516,18 +534,18 @@ func (a *closureArtifact) compileBlock(p *Program, start, end int, tgt func(int3
 		// group's fault fix is that instruction's.
 		if i+2 < bodyEnd && fusableConstALU(&code[i], &code[i+1]) &&
 			fusableALUStore8(&code[i+1], &code[i+2]) {
-			chain[k] = fuseConstALUStore8(&code[i], &code[i+1], &code[i+2], chain[k+3], fxAt(i+2))
+			chain[k] = fuseConstALUStore8(&code[i], &code[i+1], &code[i+2], chain[k+3], fxAt(i+2), elideAt(ff, int32(i+2)))
 			continue
 		}
 		if i+1 < bodyEnd && fusableALUStore8(&code[i], &code[i+1]) {
-			chain[k] = fuseALUStore8(&code[i], &code[i+1], chain[k+2], fxAt(i+1))
+			chain[k] = fuseALUStore8(&code[i], &code[i+1], chain[k+2], fxAt(i+1), elideAt(ff, int32(i+1)))
 			continue
 		}
 		if i+1 < bodyEnd && fusableConstALU(&code[i], &code[i+1]) {
 			chain[k] = fuseConstALU(&code[i], &code[i+1], chain[k+2])
 			continue
 		}
-		c, err := a.compileInstr(&code[i], chain[k+1], fxAt(i))
+		c, err := a.compileInstr(&code[i], chain[k+1], fxAt(i), elideAt(ff, int32(i)))
 		if err != nil {
 			return blk, err
 		}
@@ -606,10 +624,20 @@ func storeVal8(f *cframe, addr uint64, ty ir.Type, val uint64, fx *faultFix) (*c
 }
 
 // fuseConstALUStore8 compiles (const; add/sub using it; 8-byte store of
-// the result) into one superinstruction closure.
-func fuseConstALUStore8(cin, ain, sin *MInstr, next bclosure, fx *faultFix) bclosure {
+// the result) into one superinstruction closure. selide drops the store's
+// bounds test when the verifier proved the access in bounds.
+func fuseConstALUStore8(cin, ain, sin *MInstr, next bclosure, fx *faultFix, selide bool) bclosure {
 	p := aluPlan(cin, ain)
 	sy, soff, ty := int(sin.B), uint64(sin.Imm), sin.Ty
+	if selide {
+		return func(f *cframe) (*cblock, error) {
+			val := p.eval(f.regs)
+			f.regs[p.constDst] = p.v
+			f.regs[p.dst] = val
+			le64put(f.mem, f.regs[sy]+soff, val)
+			return next(f)
+		}
+	}
 	return func(f *cframe) (*cblock, error) {
 		val := p.eval(f.regs)
 		f.regs[p.constDst] = p.v
@@ -622,10 +650,19 @@ func fuseConstALUStore8(cin, ain, sin *MInstr, next bclosure, fx *faultFix) bclo
 }
 
 // fuseALUStore8 compiles (add/sub; 8-byte store of the result) into one
-// superinstruction closure.
-func fuseALUStore8(ain, sin *MInstr, next bclosure, fx *faultFix) bclosure {
+// superinstruction closure. selide drops the store's bounds test when the
+// verifier proved the access in bounds.
+func fuseALUStore8(ain, sin *MInstr, next bclosure, fx *faultFix, selide bool) bclosure {
 	p := aluPlan(nil, ain)
 	sy, soff, ty := int(sin.B), uint64(sin.Imm), sin.Ty
+	if selide {
+		return func(f *cframe) (*cblock, error) {
+			val := p.eval(f.regs)
+			f.regs[p.dst] = val
+			le64put(f.mem, f.regs[sy]+soff, val)
+			return next(f)
+		}
+	}
 	return func(f *cframe) (*cblock, error) {
 		val := p.eval(f.regs)
 		f.regs[p.dst] = val
@@ -781,8 +818,9 @@ func (a *closureArtifact) compileTerm(in *MInstr, tgt func(int32) *cblock) (bclo
 }
 
 // compileInstr compiles one straight-line instruction, chaining to next.
-// Faulting paths restore exact accounting through fx.
-func (a *closureArtifact) compileInstr(in *MInstr, next bclosure, fx *faultFix) (bclosure, error) {
+// Faulting paths restore exact accounting through fx. elide (elideAt)
+// licenses dropping the bounds test of a proven-in-bounds 8-byte access.
+func (a *closureArtifact) compileInstr(in *MInstr, next bclosure, fx *faultFix, elide bool) (bclosure, error) {
 	d, x, y, z := int(in.Dst), int(in.A), int(in.B), int(in.C)
 	imm := in.Imm
 	switch in.Op {
@@ -1007,6 +1045,14 @@ func (a *closureArtifact) compileInstr(in *MInstr, next bclosure, fx *faultFix) 
 	case MLoad:
 		ty, off := in.Ty, uint64(imm)
 		if ty.Size() == 8 && ty != ir.F32 {
+			if elide {
+				// The verifier proved [regs[x]+off, +8) inside the frame's
+				// alloca region on every path to this pc: no bounds test.
+				return func(f *cframe) (*cblock, error) {
+					f.regs[d] = le64get(f.mem, f.regs[x]+off)
+					return next(f)
+				}, nil
+			}
 			// Type specialization resolved at closure-compile time: the
 			// dominant 8-byte access inlines to a bounds check plus one
 			// little-endian load; the generic path (with its identical
@@ -1036,6 +1082,12 @@ func (a *closureArtifact) compileInstr(in *MInstr, next bclosure, fx *faultFix) 
 	case MStore:
 		ty, off := in.Ty, uint64(imm)
 		if ty.Size() == 8 && ty != ir.F32 {
+			if elide {
+				return func(f *cframe) (*cblock, error) {
+					le64put(f.mem, f.regs[y]+off, f.regs[x])
+					return next(f)
+				}, nil
+			}
 			return func(f *cframe) (*cblock, error) {
 				mem := f.mem
 				addr := f.regs[y] + off

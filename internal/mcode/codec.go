@@ -66,7 +66,15 @@ func DecodeText(data []byte, arch isa.Arch) ([]MInstr, error) {
 		return nil, ErrBadText
 	}
 	off += k
-	code := make([]MInstr, 0, n)
+	// Cap the pre-allocation by what the remaining bytes could possibly
+	// hold (every record is at least 4 bytes in either encoding), so a
+	// tiny frame with a huge declared count cannot demand gigabytes
+	// before the first record read fails.
+	capHint := n
+	if m := uint64(len(data)-off) / 4; capHint > m {
+		capHint = m
+	}
+	code := make([]MInstr, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		var mi MInstr
 		var err error

@@ -1,0 +1,95 @@
+package mcode
+
+// Native fuzz target for the text-section decoder — the parser that
+// consumes binary-ifunc code bytes off the wire. DecodeText guards the
+// verifier itself: a stream that panics the decoder never reaches
+// Verify, so this is the outermost trust boundary for shipped machine
+// code. Properties checked on every input:
+//
+//  1. DecodeText never panics and never allocates proportionally to a
+//     declared count the remaining bytes cannot hold.
+//  2. Idempotent canonicalization: any stream that decodes re-encodes
+//     to a canonical form that decodes to the identical instruction
+//     slice and re-encodes to identical bytes. (The variable-width
+//     x86-style encoding admits non-canonical inputs — present-but-zero
+//     mask fields — so byte equality is asserted only after one
+//     canonicalization round, not against the raw input.)
+//
+// Run the smoke in CI with: go test -fuzz=FuzzDecodeText -fuzztime=10s ./internal/mcode
+
+import (
+	"bytes"
+	"testing"
+
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+)
+
+// fuzzArchs maps the fuzzer's free byte onto the three wire encodings.
+var fuzzArchs = []isa.Arch{isa.ArchAArch64, isa.ArchX86_64, isa.ArchRISCV64}
+
+// seedProgram exercises every field the codecs serialize: registers,
+// both immediates, branch targets and the vector/call misc block.
+func seedProgram() *Program {
+	return &Program{
+		Name: "fuzz/seed", Params: 2, NumRegs: 8,
+		Code: []MInstr{
+			{Op: MConst, Ty: ir.I64, Dst: 2, Imm: -7},
+			{Op: MAdd, Ty: ir.I64, Dst: 3, A: 0, B: 2},
+			{Op: MICmp, Ty: ir.I64, Pred: ir.PredSLT, Dst: 4, A: 3, B: 1},
+			{Op: MLoad, Ty: ir.I64, Dst: 5, A: 3, Imm: 16},
+			{Op: MStore, Ty: ir.I64, A: 5, B: 3, Imm: 24, Imm2: 1},
+			{Op: MJnz, A: 4, Target: 1},
+			{Op: MRet, A: 5},
+		},
+	}
+}
+
+func FuzzDecodeText(f *testing.F) {
+	for i, arch := range fuzzArchs {
+		enc, err := EncodeText(seedProgram(), arch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc, byte(i))
+		// Truncated and bit-flipped variants steer the fuzzer toward the
+		// record-boundary checks.
+		f.Add(enc[:len(enc)/2], byte(i))
+		flip := append([]byte(nil), enc...)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip, byte(i))
+	}
+	f.Add([]byte{byte(isa.ArchAArch64), 0xFF, 0xFF, 0xFF, 0x7F}, byte(0)) // huge declared count
+	f.Add([]byte{}, byte(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, archSel byte) {
+		arch := fuzzArchs[int(archSel)%len(fuzzArchs)]
+		code, err := DecodeText(data, arch)
+		if err != nil {
+			return
+		}
+		canon, err := EncodeText(&Program{Code: code}, arch)
+		if err != nil {
+			t.Fatalf("decoded stream failed to re-encode: %v", err)
+		}
+		code2, err := DecodeText(canon, arch)
+		if err != nil {
+			t.Fatalf("canonical form failed to decode: %v", err)
+		}
+		if len(code2) != len(code) {
+			t.Fatalf("canonicalization changed length: %d -> %d", len(code), len(code2))
+		}
+		for i := range code {
+			if code[i] != code2[i] {
+				t.Fatalf("instr %d changed across canonicalization:\n%+v\n%+v", i, code[i], code2[i])
+			}
+		}
+		canon2, err := EncodeText(&Program{Code: code2}, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form not a fixed point:\n%x\n%x", canon, canon2)
+		}
+	})
+}

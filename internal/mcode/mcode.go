@@ -157,6 +157,15 @@ type CompiledModule struct {
 	GOT      []GOTEntry
 	Globals  []ir.Global
 	Deps     []string
+
+	// Verification memo (verify.go): one static pass per module
+	// instance, shared by admission, JIT caching and engine prepare.
+	// Like the rest of the module, not synchronized — a module belongs
+	// to one session.
+	vdone  bool
+	verr   error
+	vfacts *ModuleFacts
+	afacts *ModuleFacts
 }
 
 // FuncIndex returns the index of the named function, or -1.

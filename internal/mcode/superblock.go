@@ -257,7 +257,7 @@ func formRegion(code []MInstr, starts []int, blockOf []int32, b int) (segs [][2]
 // by the native-loop wrapper so a budget-exhausted back edge can hand the
 // block back to the trampoline (whose pre-charge check then fails and
 // replays the abort exactly on the interpreter).
-func (a *closureArtifact) compileSuper(p *Program, b int, starts []int, blockOf []int32, tgt func(int32) *cblock, self *cblock) (cblock, error) {
+func (a *closureArtifact) compileSuper(p *Program, b int, starts []int, blockOf []int32, tgt func(int32) *cblock, self *cblock, ff *FuncFacts) (cblock, error) {
 	code := p.Code
 	segs, fallsToHead := formRegion(code, starts, blockOf, b)
 	head := segs[0][0]
@@ -317,7 +317,7 @@ func (a *closureArtifact) compileSuper(p *Program, b int, starts []int, blockOf 
 	chainEnd := S
 	var next bclosure
 	if isTerminator(lastIn.Op) {
-		if c, startPos := a.fuseTail(code, flat, rtgt, fxAt); c != nil {
+		if c, startPos := a.fuseTail(code, flat, rtgt, fxAt, ff); c != nil {
 			next, chainEnd = c, startPos
 			if startPos == 0 && lastIn.Op == MRet {
 				// The ret-anchored fusion covers the entire region and
@@ -352,11 +352,11 @@ func (a *closureArtifact) compileSuper(p *Program, b int, starts []int, blockOf 
 			chain[k] = chain[k+1]
 			continue
 		}
-		if c := a.fuseSuper(code, flat, k, chainEnd, chain, fxAt); c != nil {
+		if c := a.fuseSuper(code, flat, k, chainEnd, chain, fxAt, ff); c != nil {
 			chain[k] = c
 			continue
 		}
-		c, err := a.compileInstr(&code[flat[k].pc], chain[k+1], fxAt(k))
+		c, err := a.compileInstr(&code[flat[k].pc], chain[k+1], fxAt(k), elideAt(ff, flat[k].pc))
 		if err != nil {
 			return blk, err
 		}
@@ -379,6 +379,48 @@ func (a *closureArtifact) compileSuper(p *Program, b int, starts []int, blockOf 
 	// oracle bit for bit.
 	inner := chain[0]
 	steps, deltas := blk.steps, blk.deltas
+	if regionNoFault(ff, segs) {
+		// Proven fault-free loop: the verifier showed no instruction in
+		// the region can fault, so the only per-traversal question is the
+		// budget. rem/steps traversals statically fit the remaining
+		// budget, so the check (and the delta retirement) hoists out of
+		// the loop: k traversals run back to back, deltas retire k-at-
+		// once, and the first traversal that would not fit returns the
+		// block to the trampoline's refund+replay abort path un-charged —
+		// the exact point the per-traversal check would have stopped at,
+		// since rem mod steps < steps. Mid-batch faults (impossible when
+		// the facts are sound, but the accounting does not rely on that)
+		// retire only the n completed traversals; the faulted one is
+		// already exact through its faultFix.
+		blk.run = func(f *cframe) (*cblock, error) {
+			nb, err := inner(f)
+			ma := f.ma
+			var n uint64
+			if err == nil && nb == loopBack {
+				if rem := ma.Limits.MaxSteps - ma.steps; rem >= steps {
+					k := uint64(rem) / uint64(steps)
+					for n < k {
+						ma.steps += steps
+						n++
+						nb, err = inner(f)
+						if err != nil || nb != loopBack {
+							break
+						}
+					}
+				}
+			}
+			if n != 0 {
+				for _, d := range deltas {
+					f.counts[d.op] += d.n * n
+				}
+			}
+			if err == nil && nb == loopBack {
+				return self, nil
+			}
+			return nb, err
+		}
+		return blk, nil
+	}
 	blk.run = func(f *cframe) (*cblock, error) {
 		nb, err := inner(f)
 		for err == nil && nb == loopBack {
@@ -395,6 +437,22 @@ func (a *closureArtifact) compileSuper(p *Program, b int, starts []int, blockOf 
 		return nb, err
 	}
 	return blk, nil
+}
+
+// regionNoFault reports whether the verifier proved every instruction of
+// the region fault-free (FuncFacts.NoFault over all segments), licensing
+// the batched budget check of the native-loop wrapper. Gated on the same
+// ElideChecks escape hatch as the bounds elisions.
+func regionNoFault(ff *FuncFacts, segs [][2]int32) bool {
+	if !ElideChecks || ff == nil {
+		return false
+	}
+	for _, s := range segs {
+		if !ff.NoFaultRange(s[0], s[1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Widened-fusion helpers. All fused closures execute strictly
@@ -424,12 +482,13 @@ func le64put(mem []byte, addr uint64, v uint64) {
 // fuseSuper attempts a body fusion at region position k (which must not
 // be absorbed), looking ahead across absorbed jumps — the merge seams are
 // transparent to value flow. It returns nil when no pattern matches.
-func (a *closureArtifact) fuseSuper(code []MInstr, flat []rref, k, chainEnd int, chain []bclosure, fxAt func(int) *faultFix) bclosure {
+func (a *closureArtifact) fuseSuper(code []MInstr, flat []rref, k, chainEnd int, chain []bclosure, fxAt func(int) *faultFix, ff *FuncFacts) bclosure {
 	nextExec := func(i int) int {
 		for i++; i < chainEnd && flat[i].absorbed; i++ {
 		}
 		return i
 	}
+	el := func(i int) bool { return elideAt(ff, flat[i].pc) }
 	in0 := &code[flat[k].pc]
 	p1 := nextExec(k)
 	if p1 >= chainEnd {
@@ -440,24 +499,24 @@ func (a *closureArtifact) fuseSuper(code []MInstr, flat []rref, k, chainEnd int,
 	// load8 + add/sub consuming it (+ store8 of the result).
 	if isLd8(in0) && isAddSub(in1) && (in1.A == in0.Dst || in1.B == in0.Dst) {
 		if p2 := nextExec(p1); p2 < chainEnd && fusableALUStore8(in1, &code[flat[p2].pc]) {
-			return fuseLoadALUStore8(in0, in1, &code[flat[p2].pc], chain[nextExec(p2)], fxAt(k), fxAt(p2))
+			return fuseLoadALUStore8(in0, in1, &code[flat[p2].pc], chain[nextExec(p2)], fxAt(k), fxAt(p2), el(k), el(p2))
 		}
-		return fuseLoadALU(in0, in1, chain[nextExec(p1)], fxAt(k))
+		return fuseLoadALU(in0, in1, chain[nextExec(p1)], fxAt(k), el(k))
 	}
 	// const + add/sub (+ store8) — the closure engine's original set.
 	if fusableConstALU(in0, in1) {
 		if p2 := nextExec(p1); p2 < chainEnd && fusableALUStore8(in1, &code[flat[p2].pc]) {
-			return fuseConstALUStore8(in0, in1, &code[flat[p2].pc], chain[nextExec(p2)], fxAt(p2))
+			return fuseConstALUStore8(in0, in1, &code[flat[p2].pc], chain[nextExec(p2)], fxAt(p2), el(p2))
 		}
 		return fuseConstALU(in0, in1, chain[nextExec(p1)])
 	}
 	if fusableALUStore8(in0, in1) {
-		return fuseALUStore8(in0, in1, chain[nextExec(p1)], fxAt(p1))
+		return fuseALUStore8(in0, in1, chain[nextExec(p1)], fxAt(p1), el(p1))
 	}
 	// store8 + load8 from the same address: forward the stored value
 	// (nothing between them writes the shared base register).
 	if isSt8(in0) && isLd8(in1) && in1.A == in0.B && in1.Imm == in0.Imm {
-		return fuseStoreFwd8(in0, in1, chain[nextExec(p1)], fxAt(k))
+		return fuseStoreFwd8(in0, in1, chain[nextExec(p1)], fxAt(k), el(k))
 	}
 	return nil
 }
@@ -466,10 +525,23 @@ func isAddSub(in *MInstr) bool { return in.Op == MAdd || in.Op == MSub }
 
 // fuseLoadALU compiles (8-byte load; add/sub consuming it) into one
 // closure: the loaded value flows through a Go local into the ALU.
-func fuseLoadALU(lin, ain *MInstr, next bclosure, lfx *faultFix) bclosure {
+// lelide drops the load's bounds test when proven in bounds.
+func fuseLoadALU(lin, ain *MInstr, next bclosure, lfx *faultFix, lelide bool) bclosure {
 	lx, loff, lty, ld := int(lin.A), uint64(lin.Imm), lin.Ty, int(lin.Dst)
 	ax, ay, ad := int(ain.A), int(ain.B), int(ain.Dst)
 	sub := ain.Op == MSub
+	if lelide {
+		return func(f *cframe) (*cblock, error) {
+			f.regs[ld] = le64get(f.mem, f.regs[lx]+loff)
+			lhs, rhs := f.regs[ax], f.regs[ay]
+			if sub {
+				f.regs[ad] = lhs - rhs
+			} else {
+				f.regs[ad] = lhs + rhs
+			}
+			return next(f)
+		}
+	}
 	return func(f *cframe) (*cblock, error) {
 		mem := f.mem
 		addr := f.regs[lx] + loff
@@ -492,12 +564,35 @@ func fuseLoadALU(lin, ain *MInstr, next bclosure, lfx *faultFix) bclosure {
 // store of the result). When the store provably targets the load address
 // (same unclobbered base register and offset), the pair becomes a
 // read-modify-write with a single bounds check.
-func fuseLoadALUStore8(lin, ain, sin *MInstr, next bclosure, lfx, sfx *faultFix) bclosure {
+func fuseLoadALUStore8(lin, ain, sin *MInstr, next bclosure, lfx, sfx *faultFix, lelide, selide bool) bclosure {
 	lx, loff, lty, ld := int(lin.A), uint64(lin.Imm), lin.Ty, int(lin.Dst)
 	ax, ay, ad := int(ain.A), int(ain.B), int(ain.Dst)
 	sub := ain.Op == MSub
 	sy, soff, sty := int(sin.B), uint64(sin.Imm), sin.Ty
 	rmw := sin.B == lin.A && sin.Imm == lin.Imm && ad != lx && ld != lx
+	if lelide && (rmw || selide) {
+		// Fully proven read-modify-write (or independently proven store):
+		// no bounds test at all — the loop-body shape of memory-carried
+		// accumulators runs as three raw memory ops plus the ALU.
+		return func(f *cframe) (*cblock, error) {
+			mem := f.mem
+			addr := f.regs[lx] + loff
+			v := le64get(mem, addr)
+			f.regs[ld] = v
+			lhs, rhs := f.regs[ax], f.regs[ay]
+			r := lhs + rhs
+			if sub {
+				r = lhs - rhs
+			}
+			f.regs[ad] = r
+			if rmw {
+				le64put(mem, addr, r)
+			} else {
+				le64put(mem, f.regs[sy]+soff, r)
+			}
+			return next(f)
+		}
+	}
 	return func(f *cframe) (*cblock, error) {
 		mem := f.mem
 		addr := f.regs[lx] + loff
@@ -516,6 +611,10 @@ func fuseLoadALUStore8(lin, ain, sin *MInstr, next bclosure, lfx, sfx *faultFix)
 			le64put(mem, addr, r)
 			return next(f)
 		}
+		if selide {
+			le64put(mem, f.regs[sy]+soff, r)
+			return next(f)
+		}
 		if nb, ok, err := storeVal8(f, f.regs[sy]+soff, sty, r, sfx); !ok {
 			return nb, err
 		}
@@ -527,9 +626,17 @@ func fuseLoadALUStore8(lin, ain, sin *MInstr, next bclosure, lfx, sfx *faultFix)
 // address) into one closure: the stored value is forwarded to the load's
 // destination register without a memory round trip. The store's bounds
 // check covers the load (identical 8-byte range).
-func fuseStoreFwd8(sin, lin *MInstr, next bclosure, sfx *faultFix) bclosure {
+func fuseStoreFwd8(sin, lin *MInstr, next bclosure, sfx *faultFix, selide bool) bclosure {
 	sv, sb, soff, sty := int(sin.A), int(sin.B), uint64(sin.Imm), sin.Ty
 	ld := int(lin.Dst)
+	if selide {
+		return func(f *cframe) (*cblock, error) {
+			val := f.regs[sv]
+			le64put(f.mem, f.regs[sb]+soff, val)
+			f.regs[ld] = val
+			return next(f)
+		}
+	}
 	return func(f *cframe) (*cblock, error) {
 		val := f.regs[sv]
 		if nb, ok, err := storeVal8(f, f.regs[sb]+soff, sty, val, sfx); !ok {
@@ -548,7 +655,7 @@ func fuseStoreFwd8(sin, lin *MInstr, next bclosure, sfx *faultFix) bclosure {
 //	load8; cmpbr on the loaded value                        — test tail
 //	icmp; jnz on the compare result                         — compare+branch
 //	load8?; const?; add/sub; store8; ret                    — RMW kernel tail (TSI)
-func (a *closureArtifact) fuseTail(code []MInstr, flat []rref, rtgt func(int32) *cblock, fxAt func(int) *faultFix) (bclosure, int) {
+func (a *closureArtifact) fuseTail(code []MInstr, flat []rref, rtgt func(int32) *cblock, fxAt func(int) *faultFix, ff *FuncFacts) (bclosure, int) {
 	S := len(flat)
 	term := &code[flat[S-1].pc]
 	prevExec := func(i int) int {
@@ -556,6 +663,7 @@ func (a *closureArtifact) fuseTail(code []MInstr, flat []rref, rtgt func(int32) 
 		}
 		return i
 	}
+	el := func(i int) bool { return elideAt(ff, flat[i].pc) }
 	p1 := prevExec(S - 1)
 	if p1 < 0 {
 		return nil, 0
@@ -578,11 +686,11 @@ func (a *closureArtifact) fuseTail(code []MInstr, flat []rref, rtgt func(int32) 
 							cin = &code[flat[p4].pc]
 							start = p4
 						}
-						return fuseBackEdge(cin, ain, in2, in1, term, rtgt, fxAt(p2)), start
+						return fuseBackEdge(cin, ain, in2, in1, term, rtgt, fxAt(p2), el(p2)), start
 					}
 				}
 			}
-			return fuseLoadCmpBr(in1, term, rtgt, fxAt(p1)), p1
+			return fuseLoadCmpBr(in1, term, rtgt, fxAt(p1), el(p1)), p1
 		}
 	case MJnz:
 		if in1.Op == MICmp && term.A == in1.Dst {
@@ -626,7 +734,7 @@ func (a *closureArtifact) fuseTail(code []MInstr, flat []rref, rtgt func(int32) 
 // stored value: the store's bounds check covers it and nothing between
 // them writes the shared base register (only the absorbed back jump sits
 // in between).
-func fuseBackEdge(cin, ain, sin, lin, br *MInstr, rtgt func(int32) *cblock, sfx *faultFix) bclosure {
+func fuseBackEdge(cin, ain, sin, lin, br *MInstr, rtgt func(int32) *cblock, sfx *faultFix, selide bool) bclosure {
 	p := aluPlan(cin, ain)
 	sy, soff, sty := int(sin.B), uint64(sin.Imm), sin.Ty
 	ad, cd := int(ain.Dst), -1
@@ -672,7 +780,7 @@ func fuseBackEdge(cin, ain, sin, lin, br *MInstr, rtgt func(int32) *cblock, sfx 
 		f.regs[ad] = val
 		mem := f.mem
 		saddr := f.regs[sy] + soff
-		if saddr >= uint64(len(mem)) || saddr+8 > uint64(len(mem)) {
+		if !selide && (saddr >= uint64(len(mem)) || saddr+8 > uint64(len(mem))) {
 			// Cold fault path: the generic checked store produces the
 			// oracle's error text and sfx restores exact accounting.
 			nb, _, err := storeVal8(f, saddr, sty, val, sfx)
@@ -696,7 +804,7 @@ func fuseBackEdge(cin, ain, sin, lin, br *MInstr, rtgt func(int32) *cblock, sfx 
 
 // fuseLoadCmpBr compiles (8-byte load; compare-and-branch on the loaded
 // value) into one closure — the loop-head test of memory-carried loops.
-func fuseLoadCmpBr(lin, br *MInstr, rtgt func(int32) *cblock, lfx *faultFix) bclosure {
+func fuseLoadCmpBr(lin, br *MInstr, rtgt func(int32) *cblock, lfx *faultFix, lelide bool) bclosure {
 	lx, loff, lty, ld := int(lin.A), uint64(lin.Imm), lin.Ty, int(lin.Dst)
 	bx, by := int(br.A), int(br.B)
 	pred, isF := br.Pred, br.Ty == ir.F64
@@ -704,7 +812,7 @@ func fuseLoadCmpBr(lin, br *MInstr, rtgt func(int32) *cblock, lfx *faultFix) bcl
 	return func(f *cframe) (*cblock, error) {
 		mem := f.mem
 		addr := f.regs[lx] + loff
-		if addr >= uint64(len(mem)) || addr+8 > uint64(len(mem)) {
+		if !lelide && (addr >= uint64(len(mem)) || addr+8 > uint64(len(mem))) {
 			_, err := ir.LoadMem(mem, addr, lty)
 			return lfx.fail(f, err)
 		}

@@ -1,0 +1,280 @@
+package mcode_test
+
+// Verifier tests: the full paper corpus must pass static verification
+// on every µarch (the verifier's acceptance contract is "everything
+// Lower emits from ir.Verify-passing IR"), and the negative corpus pins
+// one deliberately malformed module to each rule's sentinel. The
+// dataflow facts are checked against hand-computable programs; their
+// global soundness (elided checks bit-identical to the interp oracle)
+// rides the engine differential suites.
+
+import (
+	"errors"
+	"testing"
+
+	"threechains/internal/core"
+	"threechains/internal/ir"
+	"threechains/internal/isa"
+	"threechains/internal/mcode"
+	"threechains/internal/minilang"
+)
+
+func TestVerifyAcceptsLoweredCorpora(t *testing.T) {
+	ml, err := minilang.Compile("mlverify", diffMinilangSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := map[string]*ir.Module{
+		"tsi":        core.BuildTSI(),
+		"chaser":     core.BuildChaser(),
+		"propagator": core.BuildPropagator(),
+		"minilang":   ml,
+	}
+	for _, march := range []*isa.MicroArch{isa.XeonE5(), isa.A64FX(), isa.CortexA72()} {
+		for name, mod := range mods {
+			cm, err := mcode.Lower(mod, march)
+			if err != nil {
+				t.Fatalf("%s/%s: lower: %v", march.Name, name, err)
+			}
+			facts, err := mcode.Verify(cm)
+			if err != nil {
+				t.Fatalf("%s/%s: verify rejected corpus module: %v", march.Name, name, err)
+			}
+			if facts == nil || len(facts.Funcs) != len(cm.Funcs) {
+				t.Fatalf("%s/%s: missing facts", march.Name, name)
+			}
+			for i, ff := range facts.Funcs {
+				if ff == nil {
+					t.Fatalf("%s/%s: nil facts for %s", march.Name, name, cm.Funcs[i].Name)
+				}
+			}
+			// Memoized: a second call returns the identical result.
+			again, err := mcode.Verify(cm)
+			if err != nil || again != facts {
+				t.Fatalf("%s/%s: memo broken: %p vs %p (%v)", march.Name, name, facts, again, err)
+			}
+		}
+	}
+}
+
+// okModule returns a minimal valid one-function module the negative
+// cases mutate.
+func okModule() *mcode.CompiledModule {
+	return &mcode.CompiledModule{
+		Name: "neg",
+		Funcs: []*mcode.Program{{
+			Name: "f", Params: 1, NumRegs: 4,
+			Code: []mcode.MInstr{
+				{Op: mcode.MConst, Dst: 1, Imm: 7},
+				{Op: mcode.MAdd, Dst: 2, A: 0, B: 1},
+				{Op: mcode.MRet, A: 2},
+			},
+		}},
+		GOT: []mcode.GOTEntry{{Sym: "data", Kind: mcode.GOTData}},
+	}
+}
+
+func TestVerifyNegativeCorpus(t *testing.T) {
+	noReg := int32(ir.NoReg)
+	cases := []struct {
+		name string
+		rule error
+		mut  func(cm *mcode.CompiledModule)
+	}{
+		{"nil-function", mcode.ErrVerifyModule, func(cm *mcode.CompiledModule) {
+			cm.Funcs = append(cm.Funcs, nil)
+		}},
+		{"oversized-frame", mcode.ErrVerifyModule, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].NumRegs = 1 << 20
+		}},
+		{"unknown-opcode", mcode.ErrVerifyOpcode, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1].Op = mcode.MOp(200)
+		}},
+		{"register-out-of-frame", mcode.ErrVerifyRegister, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1].B = 4
+		}},
+		{"negative-register", mcode.ErrVerifyRegister, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1].Dst = -3
+		}},
+		{"arg-window-outside-frame", mcode.ErrVerifyOperand, func(cm *mcode.CompiledModule) {
+			cm.GOT[0].Kind = mcode.GOTFunc
+			cm.Funcs[0].Code[1] = mcode.MInstr{
+				Op: mcode.MCallExt, Target: 0, Dst: noReg, ArgBase: 2, ArgCount: 3,
+			}
+		}},
+		{"branch-off-code", mcode.ErrVerifyBranch, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{Op: mcode.MJmp, Target: 9}
+		}},
+		{"negative-else-target", mcode.ErrVerifyBranch, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{Op: mcode.MJnz, A: 0, Target: 0, Imm: -1}
+		}},
+		{"fallthrough-past-end", mcode.ErrVerifyBranch, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code = cm.Funcs[0].Code[:2]
+		}},
+		{"callee-out-of-module", mcode.ErrVerifyCall, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{
+				Op: mcode.MCallLocal, Target: 5, Dst: noReg, ArgBase: 0, ArgCount: 0,
+			}
+		}},
+		{"call-arity-mismatch", mcode.ErrVerifyCall, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{
+				Op: mcode.MCallLocal, Target: 0, Dst: noReg, ArgBase: 0, ArgCount: 0,
+			}
+		}},
+		{"negative-got-slot", mcode.ErrVerifyGOT, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{Op: mcode.MGlobal, Dst: 2, Target: -1}
+		}},
+		{"call-through-data-slot", mcode.ErrVerifyGOT, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{
+				Op: mcode.MCallExt, Target: 0, Dst: noReg, ArgBase: 0, ArgCount: 0,
+			}
+		}},
+		{"sizeless-load", mcode.ErrVerifyType, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{Op: mcode.MLoad, Ty: ir.Void, Dst: 2, A: 0}
+		}},
+		{"negative-alloca", mcode.ErrVerifyAlloca, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{Op: mcode.MAlloca, Dst: 2, Imm: -8}
+		}},
+		{"vbinop-shape", mcode.ErrVerifyVector, func(cm *mcode.CompiledModule) {
+			cm.Funcs[0].Code[1] = mcode.MInstr{
+				Op: mcode.MVBinOp, A: 0, B: 1, C: 2, ArgBase: 3, ArgCount: 2,
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cm := okModule()
+			tc.mut(cm)
+			facts, err := mcode.Verify(cm)
+			if err == nil {
+				t.Fatalf("malformed module verified")
+			}
+			if facts != nil {
+				t.Fatalf("rejection returned facts")
+			}
+			if !errors.Is(err, tc.rule) {
+				t.Fatalf("error %v does not match rule %v", err, tc.rule)
+			}
+			if !errors.Is(err, mcode.ErrVerify) {
+				t.Fatalf("error %v does not match parent ErrVerify", err)
+			}
+			// Deterministic: the memoized rejection is identical.
+			if _, again := mcode.Verify(cm); again == nil || again.Error() != err.Error() {
+				t.Fatalf("rejection not deterministic: %v vs %v", err, again)
+			}
+		})
+	}
+	// Control: the unmutated base module verifies.
+	if _, err := mcode.Verify(okModule()); err != nil {
+		t.Fatalf("base module rejected: %v", err)
+	}
+}
+
+func TestAnalyzeTolerantGivesNilFactsForBadFunc(t *testing.T) {
+	cm := okModule()
+	// Second function falls past the end — structurally invalid, but the
+	// tolerant path must still give facts for the valid one.
+	cm.Funcs = append(cm.Funcs, &mcode.Program{
+		Name: "bad", NumRegs: 2,
+		Code: []mcode.MInstr{{Op: mcode.MConst, Dst: 0, Imm: 1}},
+	})
+	facts := mcode.Analyze(cm)
+	if facts == nil || facts.Func(0) == nil {
+		t.Fatalf("no facts for the valid function")
+	}
+	if facts.Func(1) != nil {
+		t.Fatalf("facts produced for a structurally invalid function")
+	}
+	if _, err := mcode.Verify(cm); err == nil {
+		t.Fatalf("strict Verify accepted the invalid function")
+	}
+}
+
+func TestAnalysisBoundsAndStepFacts(t *testing.T) {
+	noReg := int32(ir.NoReg)
+	// r1 = alloca 16; store r0 -> [r1+8]; r2 = load [r1+8];
+	// r3 = load [r1+16] (out of room); ret r2
+	cm := &mcode.CompiledModule{
+		Name: "facts",
+		Funcs: []*mcode.Program{{
+			Name: "f", Params: 1, NumRegs: 5,
+			Code: []mcode.MInstr{
+				{Op: mcode.MAlloca, Dst: 1, Imm: 16},
+				{Op: mcode.MStore, Ty: ir.I64, A: 0, B: 1, Imm: 8},
+				{Op: mcode.MLoad, Ty: ir.I64, Dst: 2, A: 1, Imm: 8},
+				{Op: mcode.MLoad, Ty: ir.I64, Dst: 3, A: 1, Imm: 16},
+				{Op: mcode.MRet, A: 2},
+			},
+		}},
+	}
+	facts, err := mcode.Verify(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := facts.Func(0)
+	for pc, want := range []bool{false, true, true, false, false} {
+		if got := ff.BoundsProven(int32(pc)); got != want {
+			t.Fatalf("BoundsOK[%d] = %v, want %v", pc, got, want)
+		}
+	}
+	// NoFault: the alloca may overflow the stack and the last load is
+	// unproven; everything else cannot fault.
+	for pc, want := range []bool{false, true, true, false, true} {
+		if got := ff.NoFaultAt(int32(pc)); got != want {
+			t.Fatalf("NoFault[%d] = %v, want %v", pc, got, want)
+		}
+	}
+	// Straight-line code: exact static step count, 5 instructions.
+	if !ff.Bounded() || ff.MinSteps != 5 || ff.MaxSteps != 5 {
+		t.Fatalf("step bounds = [%d,%d] bounded=%v, want exactly 5",
+			ff.MinSteps, ff.MaxSteps, ff.Bounded())
+	}
+
+	// A loop makes the upper bound unbounded but keeps the shortest-path
+	// lower bound: r1 = r0; loop: r1 = r1 - 1 (const); jnz r1 -> loop.
+	loop := &mcode.CompiledModule{
+		Name: "loop",
+		Funcs: []*mcode.Program{{
+			Name: "g", Params: 1, NumRegs: 3,
+			Code: []mcode.MInstr{
+				{Op: mcode.MConst, Dst: 1, Imm: 1},
+				{Op: mcode.MSub, Dst: 0, A: 0, B: 1},
+				{Op: mcode.MJnz, A: 0, Target: 1, Imm: 3},
+				{Op: mcode.MRet, A: noReg},
+			},
+		}},
+	}
+	lf, err := mcode.Verify(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lf.Func(0)
+	if g.Bounded() {
+		t.Fatalf("cyclic function reported bounded")
+	}
+	// Shortest path: const, sub, jnz (not taken), ret = 4 steps.
+	if g.MinSteps != 4 {
+		t.Fatalf("loop MinSteps = %d, want 4", g.MinSteps)
+	}
+}
+
+func TestAnalysisTSIStepsMatchExecution(t *testing.T) {
+	cm, err := mcode.Lower(core.BuildTSI(), isa.XeonE5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := mcode.Verify(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := facts.Func(cm.FuncIndex("main"))
+	if !ff.Bounded() {
+		t.Fatalf("TSI main not statically bounded")
+	}
+	if ff.MinSteps != ff.MaxSteps {
+		t.Fatalf("straight-line TSI has min %d != max %d", ff.MinSteps, ff.MaxSteps)
+	}
+	if ff.MinSteps != int64(len(cm.Funcs[cm.FuncIndex("main")].Code)) {
+		t.Fatalf("TSI static steps %d != code length", ff.MinSteps)
+	}
+}

@@ -106,7 +106,7 @@ func (CopyProp) Run(m *ir.Module, f *ir.Func) bool {
 			// Redefinition invalidates copies involving the destination.
 			if in.Dst != ir.NoReg {
 				delete(copyOf, in.Dst)
-				for dst, src := range copyOf {
+				for dst, src := range copyOf { //repolint:allow maprange — filter-delete of all matches, order-insensitive
 					if src == in.Dst {
 						delete(copyOf, dst)
 					}

@@ -183,6 +183,13 @@ type Request struct {
 	// misprediction can do on a slow remote) and seeds the decayed
 	// estimate every later decision for the type will price.
 	Measured bool
+	// StaticBound reports that an unmeasured MeanSteps came from the
+	// static verifier's dataflow analysis — a proven per-activation step
+	// bound for acyclic, call-free code — rather than a blind code-size
+	// guess. The explore-via-pull detour exists to bound the damage of a
+	// misprediction; a proven bound carries no such risk, so statically
+	// bounded types are priced like measured ones from the first message.
+	StaticBound bool
 	// PullViable reports whether the pull leg can run at all (region
 	// fits the local staging arena, a remote key is known, and — for
 	// binary handles — code for the local architecture exists).
@@ -388,9 +395,9 @@ func (p *Planner) Plan(pol Policy, m CostModel, req Request) (Decision, error) {
 			return Decision{}, ErrNoViableRoute
 		}
 		d.Route = RoutePullData
-	case !req.Measured && req.PullViable:
-		// PolicyCostModel, never-executed type: explore via pull (see
-		// Request.Measured).
+	case !req.Measured && !req.StaticBound && req.PullViable:
+		// PolicyCostModel, never-executed type with no static bound:
+		// explore via pull (see Request.Measured / Request.StaticBound).
 		d.Route = RoutePullData
 	default: // PolicyCostModel
 		d.EstShip = m.ShipCost(req)
@@ -423,7 +430,7 @@ func (p *Planner) planQueued(m CostModel, req Request) (Decision, error) {
 		d.Route = RoutePullData
 	case !req.PullViable:
 		d.Route = RouteShipCode
-	case !req.Measured:
+	case !req.Measured && !req.StaticBound:
 		// The explore-then-exploit rule of PolicyCostModel, unchanged:
 		// the first execution of a type runs on the local core.
 		d.Route = RoutePullData

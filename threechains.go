@@ -118,7 +118,33 @@ type (
 	Time = sim.Time
 	// IRType is an IR value type for the builder path.
 	IRType = ir.Type
+	// CompiledModule is a lowered (machine-code-level) module — what the
+	// wire actually carries for binary ifuncs and what the verifier
+	// checks.
+	CompiledModule = mcode.CompiledModule
+	// ModuleFacts carries the static verifier's proven per-function
+	// dataflow facts (reachability, bounds proofs, step bounds).
+	ModuleFacts = mcode.ModuleFacts
 )
+
+// ErrVerify is the static verifier's rejection class: every module the
+// admission path refuses wraps it (errors.Is-matchable), and a cluster
+// counts such refusals in RuntimeStats.VerifyRejects.
+var ErrVerify = mcode.ErrVerify
+
+// VerifyModule runs the static verifier over a lowered module and
+// returns its proven dataflow facts. The same pass gates every
+// wire-received module before registration (a rejected module mutates no
+// runtime, session or store state); calling it directly is useful for
+// validating hand-built binary modules before shipping them.
+func VerifyModule(cm *CompiledModule) (*ModuleFacts, error) { return mcode.Verify(cm) }
+
+// LowerModule compiles an IR module to machine code for one
+// micro-architecture — the form VerifyModule checks and binary ifuncs
+// ship (profiles expose their endpoint µarch via Profile.March).
+func LowerModule(m *Module, march *MicroArch) (*CompiledModule, error) {
+	return mcode.Lower(m, march)
+}
 
 // IR value types for the builder path.
 const (
